@@ -1,0 +1,213 @@
+package safehome
+
+// Benchmark harness: one testing.B benchmark per figure/table of the paper's
+// evaluation (each iteration regenerates a scaled-down version of the
+// artifact through the experiments package), plus micro-benchmarks of the
+// mechanisms the paper reports costs for — most importantly the Timeline
+// scheduler's insertion path (Fig 15d) and the lineage-table operations.
+//
+// Regenerate the full-size artifacts with:
+//
+//	go run ./cmd/safehome-bench -experiment all
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"safehome/internal/device"
+	"safehome/internal/experiments"
+	"safehome/internal/harness"
+	"safehome/internal/kasa"
+	"safehome/internal/lineage"
+	"safehome/internal/routine"
+	"safehome/internal/sim"
+	"safehome/internal/visibility"
+	"safehome/internal/workload"
+)
+
+// benchOpts keeps each iteration small so `go test -bench=.` stays tractable;
+// the safehome-bench binary runs the full-size versions.
+func benchOpts() experiments.Options { return experiments.Options{Trials: 1, Quick: true, Seed: 1} }
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables := exp.Run(benchOpts())
+		if len(tables) == 0 {
+			b.Fatalf("%s produced no tables", id)
+		}
+	}
+}
+
+// --- one benchmark per paper artifact -------------------------------------------
+
+func BenchmarkFigure1(b *testing.B)   { runExperiment(b, "fig1") }
+func BenchmarkFigure2(b *testing.B)   { runExperiment(b, "fig2") }
+func BenchmarkFigure3(b *testing.B)   { runExperiment(b, "fig3") }
+func BenchmarkFigure12a(b *testing.B) { runExperiment(b, "fig12a") }
+func BenchmarkFigure12b(b *testing.B) { runExperiment(b, "fig12b") }
+func BenchmarkFigure13(b *testing.B)  { runExperiment(b, "fig13") }
+func BenchmarkFigure14(b *testing.B)  { runExperiment(b, "fig14") }
+func BenchmarkFigure15ab(b *testing.B) {
+	runExperiment(b, "fig15ab")
+}
+func BenchmarkFigure15c(b *testing.B) { runExperiment(b, "fig15c") }
+func BenchmarkFigure15d(b *testing.B) { runExperiment(b, "fig15d") }
+func BenchmarkFigure16(b *testing.B)  { runExperiment(b, "fig16") }
+func BenchmarkFigure17(b *testing.B)  { runExperiment(b, "fig17") }
+func BenchmarkTable3(b *testing.B)    { runExperiment(b, "table3") }
+
+// --- trace scenarios under each visibility model ---------------------------------
+
+func benchScenario(b *testing.B, gen harness.Generator, model visibility.Model) {
+	b.Helper()
+	b.ReportAllocs()
+	opts := visibility.DefaultOptions(model)
+	for i := 0; i < b.N; i++ {
+		res := harness.Run(gen(int64(i)+1), opts, int64(i)+1)
+		if res.Report.Routines == 0 {
+			b.Fatal("scenario produced no routines")
+		}
+	}
+}
+
+func BenchmarkMorningScenario(b *testing.B) {
+	for _, model := range []visibility.Model{visibility.WV, visibility.GSV, visibility.PSV, visibility.EV} {
+		b.Run(model.String(), func(b *testing.B) {
+			benchScenario(b, func(seed int64) workload.Spec { return workload.Morning(seed) }, model)
+		})
+	}
+}
+
+func BenchmarkPartyScenario(b *testing.B) {
+	benchScenario(b, func(seed int64) workload.Spec { return workload.Party(seed) }, visibility.EV)
+}
+
+func BenchmarkFactoryScenario(b *testing.B) {
+	benchScenario(b, func(seed int64) workload.Spec {
+		p := workload.DefaultFactoryParams()
+		p.Stages = 20
+		p.Seed = seed
+		return workload.Factory(p)
+	}, visibility.EV)
+}
+
+// --- Fig 15d: the true scheduler-insertion micro-benchmark -----------------------
+
+// BenchmarkTimelineInsertion measures Algorithm 1's cost of placing one new
+// routine into a lineage table already occupied by 30 routines over 15
+// devices (the paper's Raspberry Pi configuration, Fig 15d).
+func BenchmarkTimelineInsertion(b *testing.B) {
+	for _, nCmds := range []int{2, 5, 10} {
+		b.Run(fmt.Sprintf("commands=%d", nCmds), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				ctrl := newOccupiedController(15, 30)
+				probe := benchRoutine("probe", nCmds, 15, int64(i))
+				b.StartTimer()
+				ctrl.Submit(probe)
+			}
+		})
+	}
+}
+
+// newOccupiedController builds an EV/TL controller with busy lineages.
+func newOccupiedController(devices, routines int) visibility.Controller {
+	reg := device.Plugs(devices)
+	fleet := device.NewFleet(reg)
+	env := visibility.NewSimEnv(sim.NewAtEpoch(), fleet)
+	ctrl := visibility.New(env, fleet.Snapshot(), visibility.DefaultOptions(visibility.EV))
+	for i := 0; i < routines; i++ {
+		ctrl.Submit(benchRoutine(fmt.Sprintf("bg-%d", i), 3, devices, int64(i)))
+	}
+	return ctrl
+}
+
+func benchRoutine(name string, nCmds, devices int, seed int64) *routine.Routine {
+	r := routine.New(name)
+	for c := 0; c < nCmds; c++ {
+		r.Commands = append(r.Commands, routine.Command{
+			Device:   device.ID(fmt.Sprintf("plug-%d", int(seed+int64(c*7))%devices)),
+			Target:   device.On,
+			Duration: time.Duration(1+(c%5)) * time.Minute,
+		})
+	}
+	return r
+}
+
+// --- mechanism micro-benchmarks ---------------------------------------------------
+
+func BenchmarkLineageTableAppendAndCompact(b *testing.B) {
+	b.ReportAllocs()
+	devs := []device.ID{"a", "b", "c", "d", "e"}
+	initial := make(map[device.ID]device.State, len(devs))
+	for _, d := range devs {
+		initial[d] = device.Off
+	}
+	for i := 0; i < b.N; i++ {
+		tab := lineage.NewTable(initial)
+		for r := routine.ID(1); r <= 20; r++ {
+			for _, d := range devs {
+				if _, err := tab.Append(d, lineage.Access{Routine: r, Status: lineage.Scheduled}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		for r := routine.ID(1); r <= 20; r++ {
+			for _, d := range devs {
+				_ = tab.SetStatus(d, r, lineage.Acquired)
+				_ = tab.SetTarget(d, r, device.On)
+				_ = tab.SetStatus(d, r, lineage.Released)
+			}
+			tab.Compact(r)
+		}
+	}
+}
+
+func BenchmarkEVMicroWorkload(b *testing.B) {
+	p := workload.DefaultMicroParams()
+	p.Routines = 40
+	p.Devices = 15
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Seed = int64(i) + 1
+		res := harness.Run(workload.Micro(p), visibility.DefaultOptions(visibility.EV), p.Seed)
+		if res.Report.Committed == 0 {
+			b.Fatal("no routine committed")
+		}
+	}
+}
+
+func BenchmarkKasaCodecRoundTrip(b *testing.B) {
+	payload := []byte(`{"context":{"device_id":"plug-7"},"system":{"set_relay_state":{"state":1}}}`)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(payload)))
+	for i := 0; i < b.N; i++ {
+		if out := kasa.Decrypt(kasa.Encrypt(payload)); len(out) != len(payload) {
+			b.Fatal("round trip length mismatch")
+		}
+	}
+}
+
+func BenchmarkCongruenceCheck(b *testing.B) {
+	// End-state serializability check for a committed Morning scenario.
+	spec := workload.Morning(1)
+	res := harness.Run(spec, visibility.DefaultOptions(visibility.EV), 1)
+	if !res.Report.FinalCongruent {
+		b.Fatal("expected a congruent end state")
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out := harness.Run(spec, visibility.DefaultOptions(visibility.EV), int64(i))
+		if !out.Report.FinalCongruent {
+			b.Fatal("unexpected incongruence")
+		}
+	}
+}

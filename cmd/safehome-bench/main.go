@@ -1,0 +1,61 @@
+// Command safehome-bench regenerates the paper's evaluation figures and
+// tables (§7) from the workload-driven emulation and prints them as plain
+// text.
+//
+// Usage:
+//
+//	safehome-bench -list
+//	safehome-bench -experiment fig12a -trials 20
+//	safehome-bench -experiment all -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"safehome/internal/experiments"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment ID to run (see -list), or 'all'")
+		trials     = flag.Int("trials", 0, "trials per data point (0 = per-experiment default)")
+		seed       = flag.Int64("seed", 1, "base random seed")
+		quick      = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
+		list       = flag.Bool("list", false, "list available experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available experiments:")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-8s %-18s %s\n", e.ID, e.Paper, e.Description)
+		}
+		return
+	}
+
+	opts := experiments.Options{Trials: *trials, Seed: *seed, Quick: *quick}
+	var selected []experiments.Experiment
+	if strings.EqualFold(*experiment, "all") {
+		selected = experiments.All()
+	} else {
+		exp, ok := experiments.ByID(*experiment)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list to see options\n", *experiment)
+			os.Exit(2)
+		}
+		selected = []experiments.Experiment{exp}
+	}
+
+	for _, exp := range selected {
+		start := time.Now()
+		fmt.Printf("### %s (%s) — %s\n\n", exp.Paper, exp.ID, exp.Description)
+		for _, tab := range exp.Run(opts) {
+			fmt.Println(tab.String())
+		}
+		fmt.Printf("(%s regenerated in %v)\n\n", exp.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

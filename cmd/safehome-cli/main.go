@@ -1,0 +1,140 @@
+// Command safehome-cli talks to a running safehome-hub over its HTTP API:
+// inspect devices and routines, submit routine specs, manage the routine
+// bank, and tail the activity log.
+//
+// Usage:
+//
+//	safehome-cli -hub http://127.0.0.1:8123 status
+//	safehome-cli devices
+//	safehome-cli routines
+//	safehome-cli submit routine.json
+//	safehome-cli store routine.json
+//	safehome-cli trigger evening-routine
+//	safehome-cli events
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	hubURL := flag.String("hub", "http://127.0.0.1:8123", "base URL of the safehome-hub API")
+	timeout := flag.Duration("timeout", 5*time.Second, "HTTP request timeout")
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	cli := &client{base: strings.TrimRight(*hubURL, "/"), http: &http.Client{Timeout: *timeout}}
+
+	var err error
+	switch args[0] {
+	case "status":
+		err = cli.printJSON("GET", "/api/status", nil)
+	case "devices":
+		err = cli.printJSON("GET", "/api/devices", nil)
+	case "routines":
+		err = cli.printJSON("GET", "/api/routines", nil)
+	case "routine":
+		if len(args) < 2 {
+			err = fmt.Errorf("usage: safehome-cli routine <id>")
+			break
+		}
+		err = cli.printJSON("GET", "/api/routines/"+args[1], nil)
+	case "submit":
+		err = cli.postFile(args[1:], "/api/routines")
+	case "store":
+		err = cli.postFile(args[1:], "/api/bank")
+	case "bank":
+		err = cli.printJSON("GET", "/api/bank", nil)
+	case "trigger":
+		if len(args) < 2 {
+			err = fmt.Errorf("usage: safehome-cli trigger <name>")
+			break
+		}
+		err = cli.printJSON("POST", "/api/bank/"+args[1]+"/trigger", nil)
+	case "events":
+		err = cli.printJSON("GET", "/api/events", nil)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "safehome-cli: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: safehome-cli [-hub URL] <command>
+
+commands:
+  status              hub summary
+  devices             device states and liveness
+  routines            all routine results
+  routine <id>        one routine result
+  submit <spec.json>  submit a routine for execution
+  store <spec.json>   save a routine definition in the bank
+  bank                list stored routine names
+  trigger <name>      dispatch a stored routine
+  events              recent controller events`)
+}
+
+type client struct {
+	base string
+	http *http.Client
+}
+
+func (c *client) postFile(args []string, path string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("a routine spec file is required")
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	return c.printJSON("POST", path, data)
+}
+
+func (c *client) printJSON(method, path string, body []byte) error {
+	var reader io.Reader
+	if body != nil {
+		reader = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, c.base+path, reader)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		return fmt.Errorf("%s %s: %s: %s", method, path, resp.Status, strings.TrimSpace(string(payload)))
+	}
+	var pretty bytes.Buffer
+	if err := json.Indent(&pretty, payload, "", "  "); err != nil {
+		fmt.Println(strings.TrimSpace(string(payload)))
+		return nil
+	}
+	fmt.Println(pretty.String())
+	return nil
+}

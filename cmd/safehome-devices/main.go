@@ -1,0 +1,96 @@
+// Command safehome-devices runs the emulated smart-plug fleet: a TCP endpoint
+// speaking the TP-Link Kasa-style protocol, backed by in-memory devices. It
+// is the stand-in for the physical plugs of the paper's deployment and the
+// natural peer of the safehome-hub binary.
+//
+// Usage:
+//
+//	safehome-devices -listen 127.0.0.1:9999 -plugs 10
+//	safehome-devices -plugs 5 -chaos 10s     # randomly fail/restore devices
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"safehome/internal/device"
+	"safehome/internal/kasa"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:9999", "address to serve the Kasa protocol on")
+		plugs   = flag.Int("plugs", 10, "number of emulated smart plugs (plug-0..plug-N-1)")
+		chaos   = flag.Duration("chaos", 0, "if set, randomly fail and restore one device at this period")
+		seed    = flag.Int64("seed", time.Now().UnixNano(), "seed for chaos injection")
+		verbose = flag.Bool("verbose", false, "log every protocol exchange")
+	)
+	flag.Parse()
+
+	if *plugs <= 0 {
+		log.Fatal("safehome-devices: -plugs must be positive")
+	}
+	reg := device.Plugs(*plugs)
+	fleet := device.NewFleet(reg)
+	em := kasa.NewEmulator(fleet)
+	if *verbose {
+		em.Logf = log.Printf
+	}
+
+	addr, err := em.Start(*listen)
+	if err != nil {
+		log.Fatalf("safehome-devices: %v", err)
+	}
+	defer em.Close()
+
+	fmt.Printf("emulating %d smart plugs on %s\n", *plugs, addr)
+	for _, info := range reg.All() {
+		fmt.Printf("  %-10s %-6s initial=%s\n", info.ID, info.Kind, info.Initial)
+	}
+
+	stopChaos := make(chan struct{})
+	if *chaos > 0 {
+		go runChaos(fleet, reg.IDs(), *chaos, *seed, stopChaos)
+		fmt.Printf("chaos mode: failing/restoring a random device every %v\n", *chaos)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	close(stopChaos)
+	fmt.Println("shutting down")
+}
+
+// runChaos alternately fails and restores randomly chosen devices, so the
+// hub's failure detector and abort/rollback paths can be exercised live.
+func runChaos(fleet *device.Fleet, ids []device.ID, period time.Duration, seed int64, stop <-chan struct{}) {
+	rng := rand.New(rand.NewSource(seed))
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	down := make(map[device.ID]bool)
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			id := ids[rng.Intn(len(ids))]
+			if down[id] {
+				if err := fleet.Restore(id); err == nil {
+					delete(down, id)
+					log.Printf("chaos: restored %s", id)
+				}
+			} else {
+				if err := fleet.Fail(id); err == nil {
+					down[id] = true
+					log.Printf("chaos: failed %s", id)
+				}
+			}
+		}
+	}
+}

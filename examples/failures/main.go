@@ -1,0 +1,92 @@
+// Failures: the paper's motivating routine Rcooling = {window:CLOSE; ac:ON}
+// runs while the window device fails at different instants. The example shows
+// how each visibility model reasons about the failure — abort with rollback,
+// or serialize the failure event after the routine and commit — and how
+// must / best-effort tags change the outcome.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"safehome"
+)
+
+func home(model safehome.Model) *safehome.SimulatedHome {
+	h, err := safehome.NewSimulatedHome(safehome.Config{Model: model},
+		safehome.DeviceInfo{ID: "window", Kind: "window", Initial: safehome.Open},
+		safehome.DeviceInfo{ID: "ac", Kind: "ac", Initial: safehome.Off},
+		safehome.DeviceInfo{ID: "hall-light", Kind: "light", Initial: safehome.Off},
+		safehome.DeviceInfo{ID: "door", Kind: "door-lock", Initial: safehome.Unlocked},
+	)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+func cooling() *safehome.Routine {
+	return safehome.NewRoutine("cooling",
+		safehome.Command{Device: "window", Target: safehome.Closed},
+		safehome.Command{Device: "ac", Target: safehome.On},
+	)
+}
+
+func report(h *safehome.SimulatedHome) {
+	for _, res := range h.Results() {
+		fmt.Printf("    %-12s %-9s executed=%d rolled-back=%d",
+			res.Routine.Name, res.Status, res.Executed, res.RolledBack)
+		if res.AbortReason != "" {
+			fmt.Printf("  (%s)", res.AbortReason)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("    end state: window=%s ac=%s\n", h.DeviceState("window"), h.DeviceState("ac"))
+}
+
+func main() {
+	fmt.Println("Scenario A: the window fails AFTER its command completed (150ms into the run)")
+	fmt.Println("  GSV aborts (failure during execution); EV serializes the failure after the")
+	fmt.Println("  routine and commits — the home still ends in the desired state.")
+	for _, model := range []safehome.Model{safehome.GSV, safehome.PSV, safehome.EV} {
+		h := home(model)
+		if _, err := h.Submit(cooling()); err != nil {
+			panic(err)
+		}
+		h.FailDeviceAfter(150*time.Millisecond, "window")
+		h.Run()
+		fmt.Printf("  %s:\n", model)
+		report(h)
+	}
+
+	fmt.Println()
+	fmt.Println("Scenario B: the AC is dead from the start — the must command fails, the routine")
+	fmt.Println("  aborts everywhere, and the already-closed window is rolled back open.")
+	for _, model := range []safehome.Model{safehome.GSV, safehome.EV} {
+		h := home(model)
+		h.FailDeviceAfter(0, "ac")
+		if err := h.SubmitAfter(10*time.Millisecond, cooling()); err != nil {
+			panic(err)
+		}
+		h.Run()
+		fmt.Printf("  %s:\n", model)
+		report(h)
+	}
+
+	fmt.Println()
+	fmt.Println("Scenario C: leave-home with a best-effort light and a must door lock; the light")
+	fmt.Println("  is dead but the door still locks and the routine completes.")
+	h := home(safehome.EV)
+	h.FailDeviceAfter(0, "hall-light")
+	leave := safehome.NewRoutine("leave-home",
+		safehome.Command{Device: "hall-light", Target: safehome.Off, BestEffort: true},
+		safehome.Command{Device: "door", Target: safehome.Locked},
+	)
+	if err := h.SubmitAfter(10*time.Millisecond, leave); err != nil {
+		panic(err)
+	}
+	h.Run()
+	res := h.Results()[0]
+	fmt.Printf("  EV: %s (best-effort failures: %d), door=%s\n",
+		res.Status, res.BestEffortFailures, h.DeviceState("door"))
+}

@@ -1,0 +1,93 @@
+// Live hub: an end-to-end run of the real-time path — an in-process emulated
+// TP-Link-style plug fleet served over TCP, the Kasa driver, a LiveHome
+// running Eventual Visibility with its failure detector, and the hub HTTP
+// API. A plug is killed mid-run to show live failure detection, abort and
+// rollback.
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"safehome"
+)
+
+func main() {
+	// 1. A fleet of five emulated smart plugs served over the Kasa protocol.
+	devices := safehome.Plugs(5)
+	emulator := safehome.NewKasaEmulator(devices...)
+	addr, err := emulator.Start("127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	defer emulator.Close()
+	fmt.Printf("emulated plug fleet listening on %s\n", addr)
+
+	// 2. A live SafeHome hub controlling those plugs through the network driver.
+	ids := make([]safehome.DeviceID, len(devices))
+	for i, d := range devices {
+		ids[i] = d.ID
+	}
+	driver := safehome.NewKasaEmulatorDriver(addr, ids)
+	home, err := safehome.NewLiveHome(safehome.Config{
+		Model:                    safehome.EV,
+		DefaultShortCommand:      50 * time.Millisecond,
+		FailureDetectionInterval: 100 * time.Millisecond,
+	}, driver, devices...)
+	if err != nil {
+		panic(err)
+	}
+	home.Start()
+	defer home.Close()
+
+	// 3. The hub HTTP API (the same one safehome-hub serves).
+	api := httptest.NewServer(home.HTTPHandler())
+	defer api.Close()
+	fmt.Printf("hub HTTP API at %s/api/status\n\n", api.URL)
+
+	// 4. Submit an "evening" routine across all plugs, and a conflicting one.
+	evening := safehome.NewRoutine("evening-lights")
+	for _, id := range ids {
+		evening.Commands = append(evening.Commands, safehome.Command{Device: id, Target: safehome.On})
+	}
+	if _, err := home.Submit(evening); err != nil {
+		panic(err)
+	}
+	if _, err := home.Submit(safehome.NewRoutine("night-mode",
+		safehome.Command{Device: ids[0], Target: safehome.Off},
+		safehome.Command{Device: ids[1], Target: safehome.Off},
+	)); err != nil {
+		panic(err)
+	}
+
+	// 5. Kill one plug while routines are in flight: the failure detector
+	// notices within its probe period and the controller reacts.
+	time.Sleep(20 * time.Millisecond)
+	if err := emulator.Fleet().Fail(ids[4]); err != nil {
+		panic(err)
+	}
+	fmt.Printf("injected failure of %s\n", ids[4])
+
+	if err := home.WaitIdle(10 * time.Second); err != nil {
+		panic(err)
+	}
+
+	fmt.Println("\nroutine outcomes:")
+	for _, res := range home.Results() {
+		fmt.Printf("  %-16s %-10s executed=%d rolled-back=%d %s\n",
+			res.Routine.Name, res.Status, res.Executed, res.RolledBack, res.AbortReason)
+	}
+
+	fmt.Println("\ndevice view (committed state + liveness):")
+	for _, d := range home.Devices() {
+		fmt.Printf("  %-8s state=%-4s up=%v\n", d.Info.ID, d.State, d.Up)
+	}
+
+	resp, err := http.Get(api.URL + "/api/status")
+	if err == nil {
+		fmt.Printf("\nGET /api/status -> %s\n", resp.Status)
+		resp.Body.Close()
+	}
+}

@@ -1,0 +1,38 @@
+// Morning rush: the paper's Morning scenario (§7.2) — four family members
+// concurrently firing 29 routines over 25 minutes against 31 devices — run
+// under all four visibility models. The output mirrors Fig 12a's morning row:
+// Eventual Visibility keeps latency close to today's Weak Visibility while
+// guaranteeing a serializable end state, and Global Strict Visibility is an
+// order of magnitude slower.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"safehome/internal/harness"
+	"safehome/internal/workload"
+)
+
+func main() {
+	const trials = 10
+	fmt.Printf("Morning scenario (%d randomized trials per model)\n", trials)
+	fmt.Printf("%-8s %12s %12s %10s %12s %12s\n",
+		"model", "p50 latency", "p95 latency", "aborted", "temp incong", "parallelism")
+
+	gen := func(seed int64) workload.Spec { return workload.Morning(seed) }
+	for _, agg := range harness.Compare(gen, harness.StandardConfigs(), trials, 1) {
+		fmt.Printf("%-8s %12s %12s %10d %11.1f%% %12.2f\n",
+			agg.Label(),
+			time.Duration(agg.LatencyMS.P50*float64(time.Millisecond)).Round(time.Second),
+			time.Duration(agg.LatencyMS.P95*float64(time.Millisecond)).Round(time.Second),
+			agg.Aborted,
+			100*agg.TempIncongruence.Mean,
+			agg.Parallelism.Mean,
+		)
+	}
+	fmt.Println()
+	fmt.Println("Reading the table: EV's median latency tracks WV (the status quo) while GSV")
+	fmt.Println("serializes the whole household; only WV can end the morning in a state no")
+	fmt.Println("serial order of the routines could produce.")
+}

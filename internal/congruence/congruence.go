@@ -1,0 +1,183 @@
+// Package congruence decides whether a smart home's end state is serially
+// equivalent to *some* sequential execution of a set of routines — the
+// paper's "final incongruence" metric (§7.1, Fig 12b), and the property that
+// GSV/PSV/EV guarantee while Weak Visibility does not.
+//
+// Routines only write devices (reads happen through conditions, which do not
+// affect the end state), so the question reduces to: is there a total order
+// of the committed routines in which, for every device, the last routine to
+// write it writes the observed final state? That can be decided greedily by
+// building the order backwards: a routine may be placed last if and only if
+// every not-yet-explained device it writes ends in that routine's final write
+// — placing it "covers" those devices, and the argument repeats on the rest.
+// The greedy choice is safe (an exchange argument shows any eligible routine
+// can be placed last whenever some valid order exists), so the check runs in
+// O(routines² × writes) instead of exploring orders.
+package congruence
+
+import (
+	"sort"
+
+	"safehome/internal/device"
+	"safehome/internal/routine"
+)
+
+// Writes captures the effect one committed routine has on the home: for each
+// device it touches, the final state that routine drives the device to.
+type Writes struct {
+	ID    routine.ID
+	Final map[device.ID]device.State
+}
+
+// FromRoutine extracts a Writes record from a routine definition.
+func FromRoutine(r *routine.Routine) Writes {
+	w := Writes{ID: r.ID, Final: make(map[device.ID]device.State)}
+	for _, d := range r.Devices() {
+		if st, ok := r.LastWriteTo(d); ok {
+			w.Final[d] = st
+		}
+	}
+	return w
+}
+
+// FromRoutines maps FromRoutine over a slice.
+func FromRoutines(rs []*routine.Routine) []Writes {
+	out := make([]Writes, 0, len(rs))
+	for _, r := range rs {
+		out = append(out, FromRoutine(r))
+	}
+	return out
+}
+
+// Result explains a congruence decision.
+type Result struct {
+	Congruent bool
+	// Witness is one serial order of routine IDs that produces the observed
+	// end state (only set when Congruent).
+	Witness []routine.ID
+	// BadDevices lists devices whose final state cannot be explained by any
+	// serial order (unwritable values, or devices whose required last writers
+	// form a cycle).
+	BadDevices []device.ID
+}
+
+// Check reports whether the observed end state `final` is equal to the end
+// state of some serial execution of `committed` starting from `initial`.
+//
+// Only devices present in `final` are checked. A device written by no
+// committed routine must retain its initial state; a device with writers must
+// end in the last-write state of one of them, consistently orderable across
+// all devices.
+func Check(initial map[device.ID]device.State, committed []Writes, final map[device.ID]device.State) Result {
+	res := Result{}
+
+	// writers[d] = routines that write d.
+	writers := make(map[device.ID][]int)
+	for i, w := range committed {
+		for d := range w.Final {
+			writers[d] = append(writers[d], i)
+		}
+	}
+
+	// Devices that still need a "last writer" matching the final state.
+	uncovered := make(map[device.ID]bool)
+	for _, d := range device.SortedIDs(final) {
+		want := final[d]
+		ws := writers[d]
+		if len(ws) == 0 {
+			if init, ok := initial[d]; ok && init != want {
+				res.BadDevices = append(res.BadDevices, d)
+			}
+			continue
+		}
+		explainable := false
+		for _, i := range ws {
+			if committed[i].Final[d] == want {
+				explainable = true
+				break
+			}
+		}
+		if !explainable {
+			res.BadDevices = append(res.BadDevices, d)
+			continue
+		}
+		uncovered[d] = true
+	}
+	if len(res.BadDevices) > 0 {
+		return res
+	}
+
+	// Build the serial order backwards: repeatedly place (latest first) any
+	// remaining routine whose writes to still-uncovered devices all match the
+	// final state. Prefer the largest routine ID so the witness stays close
+	// to submission order.
+	remaining := make([]int, len(committed))
+	for i := range committed {
+		remaining[i] = i
+	}
+	reversed := make([]routine.ID, 0, len(committed))
+	for len(remaining) > 0 {
+		pick := -1
+		for idx, i := range remaining {
+			ok := true
+			for d, st := range committed[i].Final {
+				if uncovered[d] && final[d] != st {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			if pick == -1 || committed[i].ID > committed[remaining[pick]].ID {
+				pick = idx
+			}
+		}
+		if pick == -1 {
+			// No routine can be the latest among the rest: the required last
+			// writers contradict each other.
+			for d := range uncovered {
+				res.BadDevices = append(res.BadDevices, d)
+			}
+			sort.Slice(res.BadDevices, func(i, j int) bool { return res.BadDevices[i] < res.BadDevices[j] })
+			return res
+		}
+		chosen := remaining[pick]
+		remaining = append(remaining[:pick], remaining[pick+1:]...)
+		reversed = append(reversed, committed[chosen].ID)
+		for d := range committed[chosen].Final {
+			delete(uncovered, d)
+		}
+	}
+
+	res.Congruent = true
+	res.Witness = make([]routine.ID, 0, len(reversed))
+	for i := len(reversed) - 1; i >= 0; i-- {
+		res.Witness = append(res.Witness, reversed[i])
+	}
+	return res
+}
+
+// SerialEndState computes the end state of executing the routines serially
+// in the given order, starting from initial. Useful in tests and for
+// constructing expected outcomes.
+func SerialEndState(initial map[device.ID]device.State, rs []*routine.Routine, serial []routine.ID) map[device.ID]device.State {
+	out := make(map[device.ID]device.State, len(initial))
+	for d, s := range initial {
+		out[d] = s
+	}
+	byID := make(map[routine.ID]*routine.Routine, len(rs))
+	for _, r := range rs {
+		byID[r.ID] = r
+	}
+	for _, id := range serial {
+		r, ok := byID[id]
+		if !ok {
+			continue
+		}
+		for _, c := range r.Commands {
+			out[c.Device] = c.Target
+		}
+	}
+	return out
+}

@@ -1,0 +1,373 @@
+// Package device models the smart devices SafeHome manages: their identity
+// and metadata (Registry), the Actuator interface the concurrency
+// controllers issue commands through, and a simulated Fleet with fail-stop /
+// fail-recovery injection used by the emulation experiments.
+//
+// SafeHome itself never requires logic on the devices; it drives them purely
+// through their command API (here: Apply/Status/Ping). The simulated Fleet
+// and the kasa TCP driver both implement Actuator, so the controllers are
+// oblivious to whether they are talking to an emulation or to networked
+// plugs.
+package device
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ID uniquely identifies a device within the home.
+type ID string
+
+// State is a device's externally visible state. SafeHome treats states as
+// opaque comparable values; conventional values for on/off devices are On
+// and Off, while richer devices use free-form values such as "BREW",
+// "HEAT:400F" or "LEVEL:25".
+type State string
+
+// Conventional states.
+const (
+	StateUnknown State = ""
+	On           State = "ON"
+	Off          State = "OFF"
+	Open         State = "OPEN"
+	Closed       State = "CLOSED"
+	Locked       State = "LOCKED"
+	Unlocked     State = "UNLOCKED"
+)
+
+// Kind is a coarse device category, used by workload generators and the hub
+// UI; the controllers themselves are kind-agnostic.
+type Kind string
+
+// Device kinds that appear in the paper's motivating examples and the
+// trace-based scenarios.
+const (
+	KindPlug        Kind = "plug"
+	KindLight       Kind = "light"
+	KindSwitch      Kind = "switch"
+	KindThermostat  Kind = "thermostat"
+	KindAC          Kind = "ac"
+	KindWindow      Kind = "window"
+	KindShade       Kind = "shade"
+	KindDoorLock    Kind = "door-lock"
+	KindGarage      Kind = "garage"
+	KindCoffeeMaker Kind = "coffee-maker"
+	KindPancake     Kind = "pancake-maker"
+	KindToaster     Kind = "toaster"
+	KindDishwasher  Kind = "dishwasher"
+	KindDryer       Kind = "dryer"
+	KindVacuum      Kind = "vacuum"
+	KindMop         Kind = "mop"
+	KindSprinkler   Kind = "sprinkler"
+	KindSpeaker     Kind = "speaker"
+	KindOven        Kind = "oven"
+	KindAlarm       Kind = "alarm"
+	KindCamera      Kind = "camera"
+	KindTrashCan    Kind = "trash-can"
+	KindStation     Kind = "assembly-station"
+)
+
+// Info is a device's static metadata.
+type Info struct {
+	ID   ID     `json:"id"`
+	Name string `json:"name"`
+	Kind Kind   `json:"kind"`
+	Room string `json:"room"`
+	// Initial is the state a fresh (or factory-reset) device starts in.
+	Initial State `json:"initial,omitempty"`
+}
+
+// Errors returned by actuators.
+var (
+	// ErrUnknownDevice indicates a command addressed a device that is not
+	// registered with the actuator.
+	ErrUnknownDevice = errors.New("device: unknown device")
+	// ErrUnavailable indicates the device is failed/unreachable; the command
+	// had no effect.
+	ErrUnavailable = errors.New("device: unavailable")
+)
+
+// Actuator is the device-facing API used by the concurrency controllers and
+// the failure detector. Implementations must be safe for concurrent use.
+type Actuator interface {
+	// Apply attempts to drive the device to the target state. It returns
+	// ErrUnavailable if the device is down and ErrUnknownDevice if it is not
+	// registered.
+	Apply(id ID, target State) error
+	// Status reports the device's current state (the "ground truth", which
+	// may differ from SafeHome's committed state).
+	Status(id ID) (State, error)
+	// Ping checks reachability without changing state.
+	Ping(id ID) error
+}
+
+// Registry holds device metadata for a home. The zero value is usable.
+type Registry struct {
+	mu      sync.RWMutex
+	devices map[ID]Info
+	order   []ID
+}
+
+// NewRegistry returns a registry pre-populated with the given devices.
+func NewRegistry(devices ...Info) *Registry {
+	r := &Registry{}
+	for _, d := range devices {
+		r.Add(d)
+	}
+	return r
+}
+
+// Add registers (or replaces) a device.
+func (r *Registry) Add(d Info) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.devices == nil {
+		r.devices = make(map[ID]Info)
+	}
+	if _, exists := r.devices[d.ID]; !exists {
+		r.order = append(r.order, d.ID)
+	}
+	r.devices[d.ID] = d
+}
+
+// Get returns the metadata for id.
+func (r *Registry) Get(id ID) (Info, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, ok := r.devices[id]
+	return d, ok
+}
+
+// Len returns the number of registered devices.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.devices)
+}
+
+// IDs returns device IDs in registration order.
+func (r *Registry) IDs() []ID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]ID(nil), r.order...)
+}
+
+// All returns metadata for every device in registration order.
+func (r *Registry) All() []Info {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Info, 0, len(r.order))
+	for _, id := range r.order {
+		out = append(out, r.devices[id])
+	}
+	return out
+}
+
+// Plugs returns a registry of n generic smart plugs named plug-0..plug-n-1,
+// all initially Off. Useful for microbenchmarks and tests.
+func Plugs(n int) *Registry {
+	r := NewRegistry()
+	for i := 0; i < n; i++ {
+		r.Add(Info{
+			ID:      ID(fmt.Sprintf("plug-%d", i)),
+			Name:    fmt.Sprintf("Smart Plug %d", i),
+			Kind:    KindPlug,
+			Room:    "lab",
+			Initial: Off,
+		})
+	}
+	return r
+}
+
+// Fleet is an in-memory simulated device fleet implementing Actuator, with
+// fail-stop / fail-recovery injection. It is the stand-in for the physical
+// TP-Link devices used in the paper's deployment.
+type Fleet struct {
+	mu      sync.Mutex
+	devices map[ID]*simDevice
+	order   []ID
+}
+
+type simDevice struct {
+	info   Info
+	state  State
+	failed bool
+	// counters for observability / tests
+	applies  int
+	rejects  int
+	pings    int
+	failures int
+}
+
+// NewFleet builds a fleet with one simulated device per registry entry, each
+// starting in its Initial state (Off when unspecified).
+func NewFleet(reg *Registry) *Fleet {
+	f := &Fleet{devices: make(map[ID]*simDevice)}
+	for _, info := range reg.All() {
+		st := info.Initial
+		if st == StateUnknown {
+			st = Off
+		}
+		f.devices[info.ID] = &simDevice{info: info, state: st}
+		f.order = append(f.order, info.ID)
+	}
+	return f
+}
+
+func (f *Fleet) get(id ID) (*simDevice, error) {
+	d, ok := f.devices[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownDevice, id)
+	}
+	return d, nil
+}
+
+// Apply implements Actuator.
+func (f *Fleet) Apply(id ID, target State) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	d, err := f.get(id)
+	if err != nil {
+		return err
+	}
+	if d.failed {
+		d.rejects++
+		return fmt.Errorf("%w: %s", ErrUnavailable, id)
+	}
+	d.applies++
+	d.state = target
+	return nil
+}
+
+// Status implements Actuator.
+func (f *Fleet) Status(id ID) (State, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	d, err := f.get(id)
+	if err != nil {
+		return StateUnknown, err
+	}
+	if d.failed {
+		return StateUnknown, fmt.Errorf("%w: %s", ErrUnavailable, id)
+	}
+	return d.state, nil
+}
+
+// Ping implements Actuator.
+func (f *Fleet) Ping(id ID) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	d, err := f.get(id)
+	if err != nil {
+		return err
+	}
+	d.pings++
+	if d.failed {
+		return fmt.Errorf("%w: %s", ErrUnavailable, id)
+	}
+	return nil
+}
+
+// Fail marks the device as failed (fail-stop): subsequent Apply/Status/Ping
+// calls return ErrUnavailable until Restore is called. The device's state is
+// preserved (a crashed plug keeps whatever physical state it had).
+func (f *Fleet) Fail(id ID) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	d, err := f.get(id)
+	if err != nil {
+		return err
+	}
+	if !d.failed {
+		d.failed = true
+		d.failures++
+	}
+	return nil
+}
+
+// Restore brings a failed device back (fail-recovery).
+func (f *Fleet) Restore(id ID) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	d, err := f.get(id)
+	if err != nil {
+		return err
+	}
+	d.failed = false
+	return nil
+}
+
+// Failed reports whether the device is currently failed.
+func (f *Fleet) Failed(id ID) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	d, err := f.get(id)
+	if err != nil {
+		return false
+	}
+	return d.failed
+}
+
+// ForceState sets a device's state directly, bypassing failure checks. Used
+// by tests and by workload setup to establish initial conditions.
+func (f *Fleet) ForceState(id ID, s State) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	d, err := f.get(id)
+	if err != nil {
+		return err
+	}
+	d.state = s
+	return nil
+}
+
+// Snapshot returns the ground-truth state of every device (including failed
+// ones, whose last physical state is preserved), keyed by ID.
+func (f *Fleet) Snapshot() map[ID]State {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[ID]State, len(f.devices))
+	for id, d := range f.devices {
+		out[id] = d.state
+	}
+	return out
+}
+
+// IDs returns the device IDs in registration order.
+func (f *Fleet) IDs() []ID {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]ID(nil), f.order...)
+}
+
+// Stats describes a simulated device's activity counters.
+type Stats struct {
+	Applies  int // successful state changes
+	Rejects  int // commands rejected because the device was down
+	Pings    int
+	Failures int // number of injected fail-stop events
+}
+
+// DeviceStats returns activity counters for a device.
+func (f *Fleet) DeviceStats(id ID) (Stats, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	d, err := f.get(id)
+	if err != nil {
+		return Stats{}, err
+	}
+	return Stats{Applies: d.applies, Rejects: d.rejects, Pings: d.pings, Failures: d.failures}, nil
+}
+
+// SortedIDs returns the IDs sorted lexicographically; convenient for stable
+// test output.
+func SortedIDs(m map[ID]State) []ID {
+	ids := make([]ID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

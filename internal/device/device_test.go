@@ -1,0 +1,198 @@
+package device
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestRegistryAddGet(t *testing.T) {
+	r := NewRegistry(
+		Info{ID: "light-1", Name: "Kitchen Light", Kind: KindLight, Room: "kitchen"},
+		Info{ID: "ac-1", Name: "Living Room AC", Kind: KindAC, Room: "living"},
+	)
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	got, ok := r.Get("light-1")
+	if !ok || got.Kind != KindLight {
+		t.Fatalf("Get(light-1) = %+v, %v", got, ok)
+	}
+	if _, ok := r.Get("nope"); ok {
+		t.Fatal("Get of unknown device should report !ok")
+	}
+	ids := r.IDs()
+	if len(ids) != 2 || ids[0] != "light-1" || ids[1] != "ac-1" {
+		t.Fatalf("IDs = %v, want registration order", ids)
+	}
+}
+
+func TestRegistryReplaceKeepsOrder(t *testing.T) {
+	r := NewRegistry(Info{ID: "a"}, Info{ID: "b"})
+	r.Add(Info{ID: "a", Name: "renamed"})
+	if r.Len() != 2 {
+		t.Fatalf("replacing should not grow registry, Len=%d", r.Len())
+	}
+	got, _ := r.Get("a")
+	if got.Name != "renamed" {
+		t.Fatalf("replace did not take effect: %+v", got)
+	}
+	if ids := r.IDs(); ids[0] != "a" {
+		t.Fatalf("order changed on replace: %v", ids)
+	}
+}
+
+func TestPlugsHelper(t *testing.T) {
+	r := Plugs(5)
+	if r.Len() != 5 {
+		t.Fatalf("Plugs(5) registered %d devices", r.Len())
+	}
+	info, ok := r.Get("plug-3")
+	if !ok || info.Initial != Off || info.Kind != KindPlug {
+		t.Fatalf("plug-3 = %+v, ok=%v", info, ok)
+	}
+}
+
+func TestFleetApplyStatus(t *testing.T) {
+	f := NewFleet(Plugs(2))
+	if st, err := f.Status("plug-0"); err != nil || st != Off {
+		t.Fatalf("initial status = %v, %v", st, err)
+	}
+	if err := f.Apply("plug-0", On); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := f.Status("plug-0"); st != On {
+		t.Fatalf("status after apply = %v, want ON", st)
+	}
+	if st, _ := f.Status("plug-1"); st != Off {
+		t.Fatalf("plug-1 should be untouched, got %v", st)
+	}
+}
+
+func TestFleetUnknownDevice(t *testing.T) {
+	f := NewFleet(Plugs(1))
+	if err := f.Apply("ghost", On); !errors.Is(err, ErrUnknownDevice) {
+		t.Fatalf("Apply(ghost) err = %v, want ErrUnknownDevice", err)
+	}
+	if _, err := f.Status("ghost"); !errors.Is(err, ErrUnknownDevice) {
+		t.Fatalf("Status(ghost) err = %v", err)
+	}
+	if err := f.Ping("ghost"); !errors.Is(err, ErrUnknownDevice) {
+		t.Fatalf("Ping(ghost) err = %v", err)
+	}
+	if err := f.Fail("ghost"); !errors.Is(err, ErrUnknownDevice) {
+		t.Fatalf("Fail(ghost) err = %v", err)
+	}
+}
+
+func TestFleetFailureInjection(t *testing.T) {
+	f := NewFleet(Plugs(1))
+	if err := f.Apply("plug-0", On); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Fail("plug-0"); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Failed("plug-0") {
+		t.Fatal("Failed should report true after Fail")
+	}
+	if err := f.Apply("plug-0", Off); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("Apply to failed device err = %v, want ErrUnavailable", err)
+	}
+	if err := f.Ping("plug-0"); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("Ping failed device err = %v", err)
+	}
+	// Physical state is preserved across the failure.
+	if snap := f.Snapshot(); snap["plug-0"] != On {
+		t.Fatalf("failed device lost its physical state: %v", snap["plug-0"])
+	}
+	if err := f.Restore("plug-0"); err != nil {
+		t.Fatal(err)
+	}
+	if f.Failed("plug-0") {
+		t.Fatal("device should be healthy after Restore")
+	}
+	if err := f.Apply("plug-0", Off); err != nil {
+		t.Fatalf("Apply after restore: %v", err)
+	}
+}
+
+func TestFleetStatsCounters(t *testing.T) {
+	f := NewFleet(Plugs(1))
+	_ = f.Apply("plug-0", On)
+	_ = f.Ping("plug-0")
+	_ = f.Fail("plug-0")
+	_ = f.Fail("plug-0") // double-fail counted once
+	_ = f.Apply("plug-0", Off)
+	st, err := f.DeviceStats("plug-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Applies != 1 || st.Rejects != 1 || st.Pings != 1 || st.Failures != 1 {
+		t.Fatalf("unexpected stats %+v", st)
+	}
+}
+
+func TestFleetInitialStates(t *testing.T) {
+	r := NewRegistry(
+		Info{ID: "door", Kind: KindDoorLock, Initial: Locked},
+		Info{ID: "win", Kind: KindWindow, Initial: Open},
+		Info{ID: "plug", Kind: KindPlug}, // defaults to Off
+	)
+	f := NewFleet(r)
+	snap := f.Snapshot()
+	if snap["door"] != Locked || snap["win"] != Open || snap["plug"] != Off {
+		t.Fatalf("initial snapshot wrong: %v", snap)
+	}
+}
+
+func TestForceState(t *testing.T) {
+	f := NewFleet(Plugs(1))
+	_ = f.Fail("plug-0")
+	if err := f.ForceState("plug-0", On); err != nil {
+		t.Fatal(err)
+	}
+	if snap := f.Snapshot(); snap["plug-0"] != On {
+		t.Fatal("ForceState should bypass failure")
+	}
+	if err := f.ForceState("ghost", On); !errors.Is(err, ErrUnknownDevice) {
+		t.Fatalf("ForceState(ghost) err = %v", err)
+	}
+}
+
+func TestSortedIDs(t *testing.T) {
+	m := map[ID]State{"b": On, "a": Off, "c": On}
+	ids := SortedIDs(m)
+	if len(ids) != 3 || ids[0] != "a" || ids[1] != "b" || ids[2] != "c" {
+		t.Fatalf("SortedIDs = %v", ids)
+	}
+}
+
+func TestFleetConcurrentAccess(t *testing.T) {
+	f := NewFleet(Plugs(8))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := ID(fmt.Sprintf("plug-%d", w))
+			for i := 0; i < 200; i++ {
+				_ = f.Apply(id, On)
+				_, _ = f.Status(id)
+				_ = f.Ping(id)
+				if i%50 == 0 {
+					_ = f.Fail(id)
+					_ = f.Restore(id)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := f.Snapshot()
+	if len(snap) != 8 {
+		t.Fatalf("snapshot size %d", len(snap))
+	}
+}
+
+var _ Actuator = (*Fleet)(nil)

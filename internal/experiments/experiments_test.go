@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// quick returns options that keep every experiment fast enough for unit tests.
+func quick() Options { return Options{Trials: 2, Quick: true, Seed: 1} }
+
+func TestAllExperimentsRunAndRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow-ish; skipped with -short")
+	}
+	for _, exp := range All() {
+		t.Run(exp.ID, func(t *testing.T) {
+			tables := exp.Run(quick())
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", exp.ID)
+			}
+			for _, tab := range tables {
+				if tab.ID == "" || tab.Title == "" {
+					t.Errorf("%s: table missing ID or title: %+v", exp.ID, tab)
+				}
+				if len(tab.Columns) == 0 || len(tab.Rows) == 0 {
+					t.Errorf("%s: table %s has no columns or rows", exp.ID, tab.ID)
+				}
+				for _, row := range tab.Rows {
+					if len(row) != len(tab.Columns) {
+						t.Errorf("%s: table %s row %v has %d cells, want %d",
+							exp.ID, tab.ID, row, len(row), len(tab.Columns))
+					}
+				}
+				text := tab.String()
+				if !strings.Contains(text, tab.ID) || !strings.Contains(text, tab.Columns[0]) {
+					t.Errorf("%s: rendered table missing ID or header:\n%s", exp.ID, text)
+				}
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	exp, ok := ByID("FIG12A")
+	if !ok || exp.ID != "fig12a" {
+		t.Fatalf("ByID(FIG12A) = %+v, %v", exp, ok)
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("ByID(nope) should not resolve")
+	}
+	if len(IDs()) != len(All()) {
+		t.Fatalf("IDs() length %d != All() length %d", len(IDs()), len(All()))
+	}
+}
+
+func TestFigure1ShapeMatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped with -short")
+	}
+	// With enough trials, WV incongruence at offset 0 should be non-zero for
+	// the largest device count, and EV-style congruence is covered elsewhere.
+	tables := Figure1(Options{Trials: 30, Seed: 1})
+	tab := tables[0]
+	last := tab.Rows[len(tab.Rows)-1]
+	pct := parsePct(t, last[1]) // offset=0 column for the largest device count
+	if pct <= 0 {
+		t.Errorf("Fig 1: expected non-zero incongruence for %s devices at offset 0, got %v%%", last[0], pct)
+	}
+}
+
+func TestFigure2ShapeMatchesPaper(t *testing.T) {
+	tables := Figure2(Options{Trials: 1, Seed: 1})
+	rows := tables[0].Rows
+	if len(rows) != 3 {
+		t.Fatalf("Fig 2 should have GSV/PSV/EV rows, got %v", rows)
+	}
+	makespan := map[string]float64{}
+	for _, row := range rows {
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatalf("bad makespan cell %q: %v", row[1], err)
+		}
+		makespan[row[0]] = v
+	}
+	if !(makespan["EV"] < makespan["PSV"] && makespan["PSV"] < makespan["GSV"]) {
+		t.Errorf("Fig 2 ordering should be EV < PSV < GSV, got %v", makespan)
+	}
+	// The paper reports 8 / 5 / 3 time units; allow generous slack for the
+	// emulation's 100ms short commands.
+	if makespan["GSV"] < 7 || makespan["GSV"] > 9 {
+		t.Errorf("GSV makespan = %v units, want ~8", makespan["GSV"])
+	}
+	if makespan["EV"] > 4.5 {
+		t.Errorf("EV makespan = %v units, want ~3", makespan["EV"])
+	}
+}
+
+func TestFigure3MatrixMatchesPaper(t *testing.T) {
+	tab := Figure3(Options{})[0]
+	verdict := map[string][]string{}
+	for _, row := range tab.Rows {
+		verdict[row[0]] = row[1:]
+	}
+	// Columns are GSV, S-GSV, PSV, EV.
+	check := func(name string, want []string) {
+		t.Helper()
+		got := verdict[name]
+		if len(got) != len(want) {
+			t.Fatalf("case %q missing: %v", name, verdict)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("case %q column %d = %q, want %q", name, i, got[i], want[i])
+			}
+		}
+	}
+	check("F,Re before routine", []string{"ok", "ok", "ok", "ok"})
+	check("F before first cmd (no Re)", []string{"abort", "abort", "abort", "abort"})
+	check("F during window cmd", []string{"abort", "abort", "abort", "abort"})
+	check("F after window, down at finish", []string{"abort", "abort", "abort", "ok"})
+	check("F after window, Re before finish", []string{"abort", "abort", "ok", "ok"})
+	check("F of untouched device", []string{"ok", "abort", "ok", "ok"})
+}
+
+func TestTable3MatchesPaperDefaults(t *testing.T) {
+	tab := Table3(Options{})[0]
+	want := map[string]string{
+		"R": "100", "rho": "4", "C": "3", "alpha": "0.05",
+		"L%": "10%", "|L|": "20.0m", "|S|": "10.0s", "M": "100%", "F": "0%",
+	}
+	got := map[string]string{}
+	for _, row := range tab.Rows {
+		got[row[0]] = row[1]
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("Table 3 %s = %q, want %q", k, got[k], v)
+		}
+	}
+}
+
+func parsePct(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "%"), 64)
+	if err != nil {
+		t.Fatalf("bad percentage cell %q: %v", cell, err)
+	}
+	return v
+}

@@ -1,0 +1,391 @@
+// Implementations of the parameterized-microbenchmark artifacts: Figures 13
+// through 17 and Table 3.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"safehome/internal/device"
+	"safehome/internal/harness"
+	"safehome/internal/routine"
+	"safehome/internal/sim"
+	"safehome/internal/stats"
+	"safehome/internal/visibility"
+	"safehome/internal/workload"
+)
+
+// microGen builds a Generator for Table-3 microbenchmark parameters, scaled
+// down under Quick mode.
+func microGen(p workload.MicroParams, o Options) harness.Generator {
+	if o.Quick {
+		p.Routines = 24
+		p.Devices = 12
+	}
+	return func(seed int64) workload.Spec {
+		p := p
+		p.Seed = seed
+		return workload.Micro(p)
+	}
+}
+
+// Figure13 reproduces the failure/atomicity evaluation: abort rate and
+// rollback overhead as functions of the Must-command percentage (at F=25%)
+// and of the failed-device percentage (at M=100%), for GSV, S-GSV, PSV and EV.
+func Figure13(o Options) []Table {
+	o = o.normalized(10)
+	mustSweep := []float64{0, 25, 50, 75, 100}
+	failSweep := []float64{0, 10, 25, 50}
+	if o.Quick {
+		mustSweep = []float64{0, 100}
+		failSweep = []float64{0, 25}
+	}
+
+	run := func(must, failed float64) []float64 {
+		p := workload.DefaultMicroParams()
+		p.MustPct = must
+		p.FailedPct = failed
+		p.Routines = 60
+		var abortRates, rollbacks []float64
+		for _, cfg := range harness.FailureConfigs() {
+			agg := harness.RunTrials(microGen(p, o), cfg.Options, o.Trials, o.Seed)
+			abortRates = append(abortRates, agg.AbortRate.Mean)
+			rollbacks = append(rollbacks, agg.RollbackOverhead.Mean)
+		}
+		return append(abortRates, rollbacks...)
+	}
+	labels := []string{"GSV", "S-GSV", "PSV", "EV"}
+
+	mkTable := func(id, title, xlabel string) Table {
+		t := Table{ID: id, Title: title, Columns: append([]string{xlabel}, labels...)}
+		return t
+	}
+	a := mkTable("fig13a", "Abort rate vs Must% (F=25%)", "must%")
+	b := mkTable("fig13b", "Abort rate vs Failed% (M=100%)", "failed%")
+	c := mkTable("fig13c", "Rollback overhead vs Must% (F=25%)", "must%")
+	d := mkTable("fig13d", "Rollback overhead vs Failed% (M=100%)", "failed%")
+	a.Notes = "paper: EV aborts slightly more (higher concurrency); see 13c/d for the intrusiveness comparison"
+	d.Notes = "EV rolls back the smallest fraction of commands among all models"
+
+	for _, must := range mustSweep {
+		vals := run(must, 25)
+		rowA := []string{fmt.Sprintf("%.0f", must)}
+		rowC := []string{fmt.Sprintf("%.0f", must)}
+		for i := range labels {
+			rowA = append(rowA, fmtPct(vals[i]))
+			rowC = append(rowC, fmtPct(vals[len(labels)+i]))
+		}
+		a.Rows = append(a.Rows, rowA)
+		c.Rows = append(c.Rows, rowC)
+	}
+	for _, failed := range failSweep {
+		vals := run(100, failed)
+		rowB := []string{fmt.Sprintf("%.0f", failed)}
+		rowD := []string{fmt.Sprintf("%.0f", failed)}
+		for i := range labels {
+			rowB = append(rowB, fmtPct(vals[i]))
+			rowD = append(rowD, fmtPct(vals[len(labels)+i]))
+		}
+		b.Rows = append(b.Rows, rowB)
+		d.Rows = append(d.Rows, rowD)
+	}
+	return []Table{a, b, c, d}
+}
+
+// Figure14 compares the EV scheduling policies (FCFS, JiT, Timeline) on
+// normalized end-to-end latency, temporary incongruence and parallelism as
+// the injected concurrency ρ grows.
+func Figure14(o Options) []Table {
+	o = o.normalized(10)
+	rhos := []int{2, 4, 8}
+	if o.Quick {
+		rhos = []int{4}
+	}
+
+	lat := Table{ID: "fig14a", Title: "Normalized E2E latency vs concurrency (EV schedulers)",
+		Columns: []string{"rho", "FCFS", "JiT", "TL"},
+		Notes:   "TL < JiT < FCFS; the paper reports TL 2.36x/1.33x faster than FCFS/JiT at rho=4"}
+	inc := Table{ID: "fig14b", Title: "Temporary incongruence vs concurrency (EV schedulers)",
+		Columns: []string{"rho", "FCFS", "JiT", "TL"}}
+	par := Table{ID: "fig14c", Title: "Parallelism level vs concurrency (EV schedulers)",
+		Columns: []string{"rho", "FCFS", "JiT", "TL"}}
+
+	for _, rho := range rhos {
+		p := workload.DefaultMicroParams()
+		p.Concurrency = rho
+		p.Routines = 60
+		rowL := []string{fmt.Sprintf("%d", rho)}
+		rowI := []string{fmt.Sprintf("%d", rho)}
+		rowP := []string{fmt.Sprintf("%d", rho)}
+		for _, cfg := range harness.SchedulerConfigs() {
+			agg := harness.RunTrials(microGen(p, o), cfg.Options, o.Trials, o.Seed)
+			rowL = append(rowL, fmtF(agg.NormalizedLatency.Mean))
+			rowI = append(rowI, fmtPct(agg.TempIncongruence.Mean))
+			rowP = append(rowP, fmtF(agg.Parallelism.Mean))
+		}
+		lat.Rows = append(lat.Rows, rowL)
+		inc.Rows = append(inc.Rows, rowI)
+		par.Rows = append(par.Rows, rowP)
+	}
+	return []Table{lat, inc, par}
+}
+
+// Figure15ab reproduces the lock-lease ablation under the Timeline scheduler:
+// normalized latency and temporary incongruence with both leases on, only
+// pre-leases, only post-leases, and none, swept over concurrency.
+func Figure15ab(o Options) []Table {
+	o = o.normalized(10)
+	rhos := []int{2, 4, 8}
+	if o.Quick {
+		rhos = []int{4}
+	}
+	labels := []string{"Both-on", "Pre-off", "Post-off", "Both-off"}
+
+	lat := Table{ID: "fig15a", Title: "Normalized E2E latency: lease ablation (EV/TL)",
+		Columns: append([]string{"rho"}, labels...),
+		Notes:   "disabling both leases costs 3x-5.5x latency in the paper; post-leases matter more than pre-leases"}
+	inc := Table{ID: "fig15b", Title: "Temporary incongruence: lease ablation (EV/TL)",
+		Columns: append([]string{"rho"}, labels...)}
+
+	for _, rho := range rhos {
+		p := workload.DefaultMicroParams()
+		p.Concurrency = rho
+		p.Routines = 60
+		rowL := []string{fmt.Sprintf("%d", rho)}
+		rowI := []string{fmt.Sprintf("%d", rho)}
+		for _, cfg := range harness.LeaseConfigs() {
+			agg := harness.RunTrials(microGen(p, o), cfg.Options, o.Trials, o.Seed)
+			rowL = append(rowL, fmtF(agg.NormalizedLatency.Mean))
+			rowI = append(rowI, fmtPct(agg.TempIncongruence.Mean))
+		}
+		lat.Rows = append(lat.Rows, rowL)
+		inc.Rows = append(inc.Rows, rowI)
+	}
+	return []Table{lat, inc}
+}
+
+// Figure15c reproduces the stretch-factor CDF: how much the Timeline
+// scheduler stretches a routine's execution (actual start→finish over ideal
+// runtime) as routines get longer.
+func Figure15c(o Options) []Table {
+	o = o.normalized(10)
+	sizes := []float64{2, 4, 8}
+	if o.Quick {
+		sizes = []float64{2, 4}
+	}
+	tab := Table{
+		ID:    "fig15c",
+		Title: "Routine stretch factor vs commands per routine (EV/TL)",
+		Columns: []string{"commands/routine", "stretch p50", "stretch p90", "stretch p99",
+			"% routines stretched > 1.05"},
+		Notes: "paper: stretch first rises with routine size, then falls as the lock table saturates",
+	}
+	for _, c := range sizes {
+		p := workload.DefaultMicroParams()
+		p.CommandsPerRoutine = c
+		p.Routines = 60
+		agg := harness.RunTrials(microGen(p, o), visibility.DefaultOptions(visibility.EV), o.Trials, o.Seed)
+		stretched := 0
+		for _, v := range agg.StretchValues {
+			if v > 1.05 {
+				stretched++
+			}
+		}
+		frac := 0.0
+		if len(agg.StretchValues) > 0 {
+			frac = float64(stretched) / float64(len(agg.StretchValues))
+		}
+		tab.Rows = append(tab.Rows, []string{
+			fmt.Sprintf("%.0f", c),
+			fmtF(agg.Stretch.P50), fmtF(agg.Stretch.P90), fmtF(agg.Stretch.P99),
+			fmtPct(frac),
+		})
+	}
+	return []Table{tab}
+}
+
+// Figure15d measures the Timeline scheduler's routine-insertion cost (the
+// wall-clock time of Algorithm 1) against the number of commands in the new
+// routine, with a lineage table pre-populated by 30 routines over 15 devices
+// — the configuration the paper ran on a Raspberry Pi.
+func Figure15d(o Options) []Table {
+	o = o.normalized(50)
+	sizes := []int{2, 4, 6, 8, 10}
+	if o.Quick {
+		sizes = []int{2, 10}
+	}
+	tab := Table{
+		ID:      "fig15d",
+		Title:   "Timeline scheduler insertion time vs routine size (15 devices, 30 pre-placed routines)",
+		Columns: []string{"commands", "mean insert time", "max insert time"},
+		Notes:   "the paper reports ~1 ms for a 10-command routine on a Raspberry Pi 3B+",
+	}
+	for _, size := range sizes {
+		durs := make([]float64, 0, o.Trials)
+		for trial := 0; trial < o.Trials; trial++ {
+			ctrl, _ := prePopulatedEV(15, 30, o.Seed+int64(trial))
+			r := syntheticRoutine("probe", size, 15, o.Seed+int64(trial))
+			start := time.Now()
+			ctrl.Submit(r)
+			durs = append(durs, float64(time.Since(start))/float64(time.Microsecond))
+		}
+		sum := stats.Summarize(durs)
+		tab.Rows = append(tab.Rows, []string{
+			fmt.Sprintf("%d", size),
+			fmt.Sprintf("%.1fus", sum.Mean),
+			fmt.Sprintf("%.1fus", sum.Max),
+		})
+	}
+	return []Table{tab}
+}
+
+// prePopulatedEV builds an EV/TL controller with `routines` long routines
+// already placed over `devices` devices, so insertion-time measurements see a
+// realistically occupied lineage table.
+func prePopulatedEV(devices, routines int, seed int64) (visibility.Controller, *sim.Sim) {
+	reg := device.Plugs(devices)
+	fleet := device.NewFleet(reg)
+	s := sim.NewAtEpoch()
+	env := visibility.NewSimEnv(s, fleet)
+	ctrl := visibility.New(env, fleet.Snapshot(), visibility.DefaultOptions(visibility.EV))
+	for i := 0; i < routines; i++ {
+		ctrl.Submit(syntheticRoutine(fmt.Sprintf("bg-%d", i), 3, devices, seed+int64(i)))
+	}
+	return ctrl, s
+}
+
+// syntheticRoutine builds a routine with n commands over the plug fleet,
+// including a long command so its lineage accesses occupy time.
+func syntheticRoutine(name string, n, devices int, seed int64) *routine.Routine {
+	rng := stats.NewRNG(seed)
+	r := routine.New(name)
+	for c := 0; c < n; c++ {
+		dur := time.Duration(1+rng.Intn(5)) * time.Minute
+		r.Commands = append(r.Commands, routine.Command{
+			Device:   device.ID(fmt.Sprintf("plug-%d", rng.Intn(devices))),
+			Target:   device.On,
+			Duration: dur,
+		})
+	}
+	return r
+}
+
+// Figure16 reproduces the routine-size and device-popularity sweeps: latency,
+// parallelism, temporary incongruence and order mismatch as the average
+// commands per routine grows, and latency as the Zipf skew α grows.
+func Figure16(o Options) []Table {
+	o = o.normalized(8)
+	sizes := []float64{1, 2, 4, 6, 8}
+	alphas := []float64{0.05, 0.5, 1.0, 2.0}
+	if o.Quick {
+		sizes = []float64{2, 4}
+		alphas = []float64{0.05, 1.0}
+	}
+	models := harness.StandardConfigs()
+
+	lat := Table{ID: "fig16a", Title: "E2E latency (p50) vs commands per routine",
+		Columns: []string{"commands", "WV", "GSV", "PSV", "EV"},
+		Notes:   "PSV approaches GSV as routines grow; EV stays closer to WV"}
+	par := Table{ID: "fig16b", Title: "Parallelism level vs commands per routine",
+		Columns: []string{"commands", "WV", "GSV", "PSV", "EV"}}
+	inc := Table{ID: "fig16c", Title: "EV temporary incongruence and order mismatch vs commands per routine",
+		Columns: []string{"commands", "temp incongruence", "order mismatch"},
+		Notes:   "PSV and GSV are always zero and omitted"}
+	pop := Table{ID: "fig16d", Title: "E2E latency (p50) vs device popularity skew (alpha)",
+		Columns: []string{"alpha", "WV", "GSV", "PSV", "EV"}}
+
+	for _, c := range sizes {
+		p := workload.DefaultMicroParams()
+		p.CommandsPerRoutine = c
+		p.Routines = 60
+		rowL := []string{fmt.Sprintf("%.0f", c)}
+		rowP := []string{fmt.Sprintf("%.0f", c)}
+		for _, cfg := range models {
+			agg := harness.RunTrials(microGen(p, o), cfg.Options, o.Trials, o.Seed)
+			rowL = append(rowL, fmtMS(agg.LatencyMS.P50))
+			rowP = append(rowP, fmtF(agg.Parallelism.Mean))
+			if cfg.Options.Model == visibility.EV {
+				inc.Rows = append(inc.Rows, []string{
+					fmt.Sprintf("%.0f", c),
+					fmtPct(agg.TempIncongruence.Mean),
+					fmtPct(agg.OrderMismatch.Mean),
+				})
+			}
+		}
+		lat.Rows = append(lat.Rows, rowL)
+		par.Rows = append(par.Rows, rowP)
+	}
+
+	for _, alpha := range alphas {
+		p := workload.DefaultMicroParams()
+		p.Alpha = alpha
+		p.Routines = 60
+		row := []string{fmt.Sprintf("%.2f", alpha)}
+		for _, cfg := range models {
+			agg := harness.RunTrials(microGen(p, o), cfg.Options, o.Trials, o.Seed)
+			row = append(row, fmtMS(agg.LatencyMS.P50))
+		}
+		pop.Rows = append(pop.Rows, row)
+	}
+	return []Table{lat, par, inc, pop}
+}
+
+// Figure17 reproduces the long-running-routine sweeps: temporary incongruence
+// and order mismatch as the long-command duration |L| and the long-routine
+// fraction L% grow (EV under the Timeline scheduler).
+func Figure17(o Options) []Table {
+	o = o.normalized(8)
+	durations := []time.Duration{5 * time.Minute, 10 * time.Minute, 20 * time.Minute, 40 * time.Minute}
+	fractions := []float64{5, 10, 25, 50}
+	if o.Quick {
+		durations = durations[:2]
+		fractions = fractions[:2]
+	}
+
+	a := Table{ID: "fig17a", Title: "EV: impact of long-command duration |L| (L%=10)",
+		Columns: []string{"|L|", "temp incongruence", "order mismatch"},
+		Notes:   "paper: longer runs spread routines out (less incongruence) while order mismatch rises"}
+	b := Table{ID: "fig17b", Title: "EV: impact of long-routine percentage L% (|L|=20m)",
+		Columns: []string{"L%", "temp incongruence", "order mismatch"},
+		Notes:   "paper: more long routines raise incongruence; order mismatch falls as post-leases dominate"}
+
+	for _, d := range durations {
+		p := workload.DefaultMicroParams()
+		p.LongMean = d
+		p.Routines = 60
+		agg := harness.RunTrials(microGen(p, o), visibility.DefaultOptions(visibility.EV), o.Trials, o.Seed)
+		a.Rows = append(a.Rows, []string{fmtDur(d), fmtPct(agg.TempIncongruence.Mean), fmtPct(agg.OrderMismatch.Mean)})
+	}
+	for _, f := range fractions {
+		p := workload.DefaultMicroParams()
+		p.LongPct = f
+		p.Routines = 60
+		agg := harness.RunTrials(microGen(p, o), visibility.DefaultOptions(visibility.EV), o.Trials, o.Seed)
+		b.Rows = append(b.Rows, []string{fmt.Sprintf("%.0f", f), fmtPct(agg.TempIncongruence.Mean), fmtPct(agg.OrderMismatch.Mean)})
+	}
+	return []Table{a, b}
+}
+
+// Table3 renders the microbenchmark parameter defaults, as a self-check that
+// the generator defaults match the paper.
+func Table3(Options) []Table {
+	p := workload.DefaultMicroParams()
+	tab := Table{
+		ID:      "table3",
+		Title:   "Parameterized microbenchmark defaults",
+		Columns: []string{"name", "default", "description"},
+	}
+	tab.Rows = [][]string{
+		{"R", fmt.Sprintf("%d", p.Routines), "total number of routines"},
+		{"rho", fmt.Sprintf("%d", p.Concurrency), "number of concurrent routines injected"},
+		{"C", fmt.Sprintf("%.0f", p.CommandsPerRoutine), "average commands per routine (ND)"},
+		{"alpha", fmt.Sprintf("%.2f", p.Alpha), "Zipfian coefficient of device popularity"},
+		{"L%", fmt.Sprintf("%.0f%%", p.LongPct), "percentage of long running routines"},
+		{"|L|", fmtDur(p.LongMean), "average duration of a long running command (ND)"},
+		{"|S|", fmtDur(p.ShortMean), "average duration of a short running command (ND)"},
+		{"M", fmt.Sprintf("%.0f%%", p.MustPct), "percentage of Must commands per routine"},
+		{"F", fmt.Sprintf("%.0f%%", p.FailedPct), "percentage of failed devices"},
+		{"devices", fmt.Sprintf("%d", p.Devices), "size of the device fleet"},
+	}
+	return []Table{tab}
+}

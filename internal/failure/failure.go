@@ -1,0 +1,180 @@
+// Package failure implements SafeHome's failure detector (§6): devices are
+// explicitly probed with periodic pings, and any successful exchange with a
+// device counts as an implicit acknowledgement that suppresses redundant
+// pings. Up/down transitions are reported through callbacks, which the hub
+// forwards to the concurrency controller as NotifyFailure / NotifyRestart.
+package failure
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"safehome/internal/device"
+)
+
+// Defaults mirror the paper's implementation: a 1-second probe period and a
+// 100 ms response timeout (the timeout itself is enforced by the actuator).
+const (
+	DefaultInterval = 1 * time.Second
+)
+
+// Options configures a Detector.
+type Options struct {
+	// Interval is the probe period; devices contacted more recently than this
+	// (implicit acks) are not pinged. Defaults to DefaultInterval.
+	Interval time.Duration
+	// OnFailure is invoked (outside the detector's lock) when a device
+	// transitions up → down.
+	OnFailure func(device.ID)
+	// OnRestart is invoked when a device transitions down → up.
+	OnRestart func(device.ID)
+	// Now overrides the clock (tests).
+	Now func() time.Time
+}
+
+// Detector tracks device liveness. It is safe for concurrent use.
+type Detector struct {
+	actuator device.Actuator
+	opts     Options
+
+	mu          sync.Mutex
+	devices     []device.ID
+	up          map[device.ID]bool
+	lastContact map[device.ID]time.Time
+	polls       int
+	pings       int
+}
+
+// NewDetector builds a detector for the given devices. All devices start in
+// the "up" state; the first poll corrects that if needed.
+func NewDetector(actuator device.Actuator, devices []device.ID, opts Options) *Detector {
+	if opts.Interval <= 0 {
+		opts.Interval = DefaultInterval
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	d := &Detector{
+		actuator:    actuator,
+		opts:        opts,
+		devices:     append([]device.ID(nil), devices...),
+		up:          make(map[device.ID]bool, len(devices)),
+		lastContact: make(map[device.ID]time.Time, len(devices)),
+	}
+	for _, id := range devices {
+		d.up[id] = true
+	}
+	return d
+}
+
+// Up reports whether the device is currently believed to be up.
+func (d *Detector) Up(id device.ID) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.up[id]
+}
+
+// Down returns the devices currently believed failed.
+func (d *Detector) Down() []device.ID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []device.ID
+	for _, id := range d.devices {
+		if !d.up[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Stats reports how many polls have run and how many explicit pings were sent
+// (implicit acks reduce the latter).
+func (d *Detector) Stats() (polls, pings int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.polls, d.pings
+}
+
+// ReportContact records an implicit acknowledgement: some exchange with the
+// device succeeded (e.g. a command response), so it is up and need not be
+// pinged this period. A down device reported up triggers OnRestart.
+func (d *Detector) ReportContact(id device.ID) {
+	d.markResult(id, true)
+}
+
+// ReportSilence records implicit failure evidence: an exchange with the
+// device failed. A device reported down triggers OnFailure.
+func (d *Detector) ReportSilence(id device.ID) {
+	d.markResult(id, false)
+}
+
+// markResult updates liveness state and fires the transition callback.
+func (d *Detector) markResult(id device.ID, ok bool) {
+	d.mu.Lock()
+	known := false
+	for _, dev := range d.devices {
+		if dev == id {
+			known = true
+			break
+		}
+	}
+	if !known {
+		d.mu.Unlock()
+		return
+	}
+	wasUp := d.up[id]
+	d.up[id] = ok
+	if ok {
+		d.lastContact[id] = d.opts.Now()
+	}
+	var cb func(device.ID)
+	switch {
+	case wasUp && !ok:
+		cb = d.opts.OnFailure
+	case !wasUp && ok:
+		cb = d.opts.OnRestart
+	}
+	d.mu.Unlock()
+	if cb != nil {
+		cb(id)
+	}
+}
+
+// Poll probes every device whose last contact is older than the probe
+// interval, and reports up/down transitions. It returns the number of pings
+// sent.
+func (d *Detector) Poll() int {
+	d.mu.Lock()
+	now := d.opts.Now()
+	d.polls++
+	var toPing []device.ID
+	for _, id := range d.devices {
+		if last, ok := d.lastContact[id]; ok && d.up[id] && now.Sub(last) < d.opts.Interval {
+			continue // implicit ack is fresh enough
+		}
+		toPing = append(toPing, id)
+	}
+	d.pings += len(toPing)
+	d.mu.Unlock()
+
+	for _, id := range toPing {
+		err := d.actuator.Ping(id)
+		d.markResult(id, err == nil)
+	}
+	return len(toPing)
+}
+
+// Run polls at the configured interval until the context is cancelled.
+func (d *Detector) Run(ctx context.Context) {
+	ticker := time.NewTicker(d.opts.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			d.Poll()
+		}
+	}
+}

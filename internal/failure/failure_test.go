@@ -1,0 +1,174 @@
+package failure
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"safehome/internal/device"
+)
+
+func newFleet(ids ...device.ID) *device.Fleet {
+	reg := device.NewRegistry()
+	for _, id := range ids {
+		reg.Add(device.Info{ID: id, Kind: device.KindPlug, Initial: device.Off})
+	}
+	return device.NewFleet(reg)
+}
+
+// recorder collects transition callbacks.
+type recorder struct {
+	mu       sync.Mutex
+	failures []device.ID
+	restarts []device.ID
+}
+
+func (r *recorder) onFailure(id device.ID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.failures = append(r.failures, id)
+}
+
+func (r *recorder) onRestart(id device.ID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.restarts = append(r.restarts, id)
+}
+
+func (r *recorder) counts() (int, int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.failures), len(r.restarts)
+}
+
+func TestDetectorDetectsFailureAndRestart(t *testing.T) {
+	fleet := newFleet("a", "b")
+	rec := &recorder{}
+	now := time.Date(2021, 4, 26, 8, 0, 0, 0, time.UTC)
+	det := NewDetector(fleet, []device.ID{"a", "b"}, Options{
+		Interval:  time.Second,
+		OnFailure: rec.onFailure,
+		OnRestart: rec.onRestart,
+		Now:       func() time.Time { return now },
+	})
+	advance := func(d time.Duration) { now = now.Add(d) }
+
+	det.Poll()
+	if f, r := rec.counts(); f != 0 || r != 0 {
+		t.Fatalf("healthy poll produced transitions: %d failures %d restarts", f, r)
+	}
+
+	if err := fleet.Fail("a"); err != nil {
+		t.Fatal(err)
+	}
+	advance(2 * time.Second)
+	det.Poll()
+	if f, _ := rec.counts(); f != 1 {
+		t.Fatalf("failures = %d, want 1", f)
+	}
+	if det.Up("a") {
+		t.Error("device a should be down")
+	}
+	if down := det.Down(); len(down) != 1 || down[0] != "a" {
+		t.Errorf("Down() = %v, want [a]", down)
+	}
+
+	// Repeated polls while down do not re-fire the failure callback.
+	advance(2 * time.Second)
+	det.Poll()
+	if f, _ := rec.counts(); f != 1 {
+		t.Fatalf("failures after repeat poll = %d, want 1", f)
+	}
+
+	if err := fleet.Restore("a"); err != nil {
+		t.Fatal(err)
+	}
+	advance(2 * time.Second)
+	det.Poll()
+	if _, r := rec.counts(); r != 1 {
+		t.Fatalf("restarts = %d, want 1", r)
+	}
+	if !det.Up("a") {
+		t.Error("device a should be up again")
+	}
+}
+
+func TestImplicitAcksSuppressPings(t *testing.T) {
+	fleet := newFleet("a", "b")
+	now := time.Date(2021, 4, 26, 8, 0, 0, 0, time.UTC)
+	det := NewDetector(fleet, []device.ID{"a", "b"}, Options{
+		Interval: time.Second,
+		Now:      func() time.Time { return now },
+	})
+
+	// Fresh implicit acks for both devices: the next poll sends no pings.
+	det.ReportContact("a")
+	det.ReportContact("b")
+	if n := det.Poll(); n != 0 {
+		t.Fatalf("poll sent %d pings despite fresh implicit acks, want 0", n)
+	}
+
+	// Advance past the interval: both get pinged again.
+	now = now.Add(2 * time.Second)
+	if n := det.Poll(); n != 2 {
+		t.Fatalf("poll sent %d pings, want 2", n)
+	}
+	polls, pings := det.Stats()
+	if polls != 2 || pings != 2 {
+		t.Fatalf("stats = %d polls %d pings, want 2 and 2", polls, pings)
+	}
+}
+
+func TestReportSilenceMarksFailure(t *testing.T) {
+	fleet := newFleet("a")
+	rec := &recorder{}
+	det := NewDetector(fleet, []device.ID{"a"}, Options{OnFailure: rec.onFailure, OnRestart: rec.onRestart})
+
+	det.ReportSilence("a")
+	if det.Up("a") {
+		t.Error("device should be marked down after implicit silence")
+	}
+	if f, _ := rec.counts(); f != 1 {
+		t.Errorf("failures = %d, want 1", f)
+	}
+	// Contact brings it back.
+	det.ReportContact("a")
+	if _, r := rec.counts(); r != 1 {
+		t.Errorf("restarts = %d, want 1", r)
+	}
+}
+
+func TestUnknownDeviceReportsIgnored(t *testing.T) {
+	fleet := newFleet("a")
+	rec := &recorder{}
+	det := NewDetector(fleet, []device.ID{"a"}, Options{OnFailure: rec.onFailure})
+	det.ReportSilence("ghost")
+	if f, _ := rec.counts(); f != 0 {
+		t.Errorf("reports about unknown devices should be ignored, got %d failures", f)
+	}
+}
+
+func TestRunLoopPollsUntilCancelled(t *testing.T) {
+	fleet := newFleet("a")
+	if err := fleet.Fail("a"); err != nil {
+		t.Fatal(err)
+	}
+	failed := make(chan device.ID, 1)
+	det := NewDetector(fleet, []device.ID{"a"}, Options{
+		Interval:  10 * time.Millisecond,
+		OnFailure: func(id device.ID) { failed <- id },
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go det.Run(ctx)
+
+	select {
+	case id := <-failed:
+		if id != "a" {
+			t.Fatalf("failure callback for %s, want a", id)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run loop never detected the failure")
+	}
+}

@@ -1,0 +1,185 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"safehome/internal/device"
+	"safehome/internal/routine"
+	"safehome/internal/visibility"
+	"safehome/internal/workload"
+)
+
+func twoRoutineSpec() workload.Spec {
+	return workload.Spec{
+		Name: "two",
+		Devices: []device.Info{
+			{ID: "a", Kind: device.KindPlug, Initial: device.Off},
+			{ID: "b", Kind: device.KindPlug, Initial: device.Off},
+		},
+		Submissions: []workload.Submission{
+			{At: 0, Routine: routine.New("r1",
+				routine.Command{Device: "a", Target: device.On},
+				routine.Command{Device: "b", Target: device.On})},
+			{At: 50 * time.Millisecond, Routine: routine.New("r2",
+				routine.Command{Device: "b", Target: device.Off})},
+		},
+	}
+}
+
+func TestRunSingleTrial(t *testing.T) {
+	for _, m := range visibility.Models {
+		t.Run(m.String(), func(t *testing.T) {
+			res := Run(twoRoutineSpec(), visibility.DefaultOptions(m), 1)
+			if res.Report.Routines != 2 {
+				t.Fatalf("routines = %d, want 2", res.Report.Routines)
+			}
+			if res.Report.Committed != 2 {
+				t.Fatalf("committed = %d, want 2 (no failures injected)", res.Report.Committed)
+			}
+			if !res.Report.FinalCongruent {
+				t.Errorf("end state should be serially equivalent: %v", res.EndState)
+			}
+			if res.Elapsed <= 0 {
+				t.Errorf("elapsed = %v, want > 0", res.Elapsed)
+			}
+			if res.EndState["a"] != device.On {
+				t.Errorf("device a = %q, want ON", res.EndState["a"])
+			}
+			if len(res.Report.Latencies) != 2 {
+				t.Errorf("latencies = %v, want 2 entries", res.Report.Latencies)
+			}
+		})
+	}
+}
+
+func TestRunWithFailureInjection(t *testing.T) {
+	spec := twoRoutineSpec()
+	spec.Failures = []workload.FailureEvent{{At: 10 * time.Millisecond, Device: "b"}}
+	res := Run(spec, visibility.DefaultOptions(EVOptionsForTest().Model), 1)
+	// r1's must command on b fails -> abort; r2's only command on b fails -> abort.
+	if res.Report.Aborted == 0 {
+		t.Errorf("expected aborts when device b is failed, got %+v", res.Report)
+	}
+	if !res.Report.FinalCongruent {
+		t.Errorf("end state must stay serially equivalent w.r.t. committed routines")
+	}
+}
+
+// EVOptionsForTest returns EV defaults (helper keeps the test table tidy).
+func EVOptionsForTest() visibility.Options { return visibility.DefaultOptions(visibility.EV) }
+
+func TestRunWithRestartInjection(t *testing.T) {
+	spec := twoRoutineSpec()
+	spec.Failures = []workload.FailureEvent{
+		{At: 5 * time.Millisecond, Device: "b"},
+		{At: 10 * time.Millisecond, Device: "b", Restart: true},
+	}
+	// Submissions at 0 and 50ms: by the time either routine touches b
+	// (>=100ms), it has recovered, so everything commits.
+	res := Run(spec, visibility.DefaultOptions(visibility.EV), 1)
+	if res.Report.Committed != 2 {
+		t.Errorf("committed = %d, want 2 after restart", res.Report.Committed)
+	}
+}
+
+func TestRunTrialsAggregates(t *testing.T) {
+	gen := func(seed int64) workload.Spec {
+		p := workload.DefaultMicroParams()
+		p.Routines = 10
+		p.Devices = 8
+		p.LongPct = 0
+		p.ShortMean = time.Second
+		p.Seed = seed
+		return workload.Micro(p)
+	}
+	agg := RunTrials(gen, visibility.DefaultOptions(visibility.EV), 5, 1)
+	if agg.Trials != 5 {
+		t.Fatalf("trials = %d, want 5", agg.Trials)
+	}
+	if agg.Routines != 50 {
+		t.Fatalf("routines = %d, want 50", agg.Routines)
+	}
+	if agg.Committed != 50 {
+		t.Fatalf("committed = %d, want 50 (no failures)", agg.Committed)
+	}
+	if agg.FinalIncongruence != 0 {
+		t.Errorf("EV final incongruence = %v, want 0", agg.FinalIncongruence)
+	}
+	if agg.LatencyMS.Count != 50 {
+		t.Errorf("latency samples = %d, want 50", agg.LatencyMS.Count)
+	}
+}
+
+func TestRunTrialsZeroTrialsClamped(t *testing.T) {
+	agg := RunTrials(Fixed(twoRoutineSpec()), visibility.DefaultOptions(visibility.WV), 0, 1)
+	if agg.Trials != 1 {
+		t.Errorf("trials = %d, want clamped to 1", agg.Trials)
+	}
+}
+
+func TestCompareRunsEveryConfig(t *testing.T) {
+	aggs := Compare(Fixed(twoRoutineSpec()), StandardConfigs(), 2, 1)
+	if len(aggs) != 4 {
+		t.Fatalf("aggregates = %d, want 4", len(aggs))
+	}
+	labels := map[string]bool{}
+	for _, a := range aggs {
+		labels[a.Label()] = true
+		if a.Trials != 2 {
+			t.Errorf("%s trials = %d, want 2", a.Label(), a.Trials)
+		}
+	}
+	for _, want := range []string{"WV", "GSV", "PSV", "EV(TL)"} {
+		if !labels[want] {
+			t.Errorf("missing aggregate for %s: %v", want, labels)
+		}
+	}
+}
+
+func TestConfigSetShapes(t *testing.T) {
+	if got := len(StandardConfigs()); got != 4 {
+		t.Errorf("StandardConfigs = %d, want 4", got)
+	}
+	if got := len(FailureConfigs()); got != 4 {
+		t.Errorf("FailureConfigs = %d, want 4", got)
+	}
+	if got := len(SchedulerConfigs()); got != 3 {
+		t.Errorf("SchedulerConfigs = %d, want 3", got)
+	}
+	if got := len(LeaseConfigs()); got != 4 {
+		t.Errorf("LeaseConfigs = %d, want 4", got)
+	}
+	for _, cfg := range LeaseConfigs() {
+		if cfg.Options.Model != visibility.EV {
+			t.Errorf("lease config %s model = %v, want EV", cfg.Label, cfg.Options.Model)
+		}
+	}
+}
+
+func TestObserverChainingPreserved(t *testing.T) {
+	var seen int
+	opts := visibility.DefaultOptions(visibility.EV)
+	opts.Observer = func(visibility.Event) { seen++ }
+	Run(twoRoutineSpec(), opts, 1)
+	if seen == 0 {
+		t.Error("caller-provided observer should still receive events")
+	}
+}
+
+func TestMorningScenarioUnderAllModels(t *testing.T) {
+	// A smoke test of the full Morning scenario under every standard model:
+	// everything commits (no failures) and end states are serially equivalent.
+	gen := func(seed int64) workload.Spec { return workload.Morning(seed) }
+	for _, cfg := range StandardConfigs() {
+		t.Run(cfg.Label, func(t *testing.T) {
+			agg := RunTrials(gen, cfg.Options, 2, 1)
+			if agg.Committed != agg.Routines {
+				t.Errorf("%s: committed %d of %d routines", cfg.Label, agg.Committed, agg.Routines)
+			}
+			if cfg.Label != "WV" && agg.FinalIncongruence != 0 {
+				t.Errorf("%s: final incongruence = %v, want 0", cfg.Label, agg.FinalIncongruence)
+			}
+		})
+	}
+}

@@ -1,0 +1,287 @@
+// Package hub implements the SafeHome edge hub of Fig 11: it wires the
+// routine bank, the routine dispatcher, the concurrency controller for the
+// configured visibility model, the device driver and the failure detector
+// together, and exposes an HTTP API for users and triggers.
+//
+// The hub serializes all controller access with one mutex; the live
+// environment delivers command completions and timer callbacks under the same
+// mutex, so the controller keeps its single-threaded execution model.
+package hub
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"safehome/internal/device"
+	"safehome/internal/failure"
+	"safehome/internal/live"
+	"safehome/internal/routine"
+	"safehome/internal/visibility"
+)
+
+// Config configures a hub.
+type Config struct {
+	// Model is the visibility model to enforce (default EV).
+	Model visibility.Model
+	// Scheduler is the EV scheduling policy (default Timeline).
+	Scheduler visibility.SchedulerKind
+	// DefaultShort is the assumed hold of zero-duration commands.
+	DefaultShort time.Duration
+	// FailureInterval is the failure detector's probe period (default 1s).
+	FailureInterval time.Duration
+	// EventLog caps the in-memory activity log (default 1024 events).
+	EventLog int
+}
+
+func (c Config) normalized() Config {
+	if c.DefaultShort <= 0 {
+		c.DefaultShort = visibility.DefaultShortCommand
+	}
+	if c.FailureInterval <= 0 {
+		c.FailureInterval = failure.DefaultInterval
+	}
+	if c.EventLog <= 0 {
+		c.EventLog = 1024
+	}
+	return c
+}
+
+// Hub is a running SafeHome instance.
+type Hub struct {
+	cfg Config
+	reg *device.Registry
+
+	mu       sync.Mutex
+	ctrl     visibility.Controller
+	env      *live.Env
+	bank     *routine.Bank
+	detector *failure.Detector
+	events   []visibility.Event
+
+	cancelDetect context.CancelFunc
+	started      time.Time
+
+	triggerOnce sync.Once
+	triggerSt   *triggerState
+}
+
+// New builds a hub controlling the registered devices through the actuator
+// (the kasa driver for networked plugs, or an in-memory fleet for tests and
+// demos).
+func New(cfg Config, reg *device.Registry, actuator device.Actuator) (*Hub, error) {
+	if reg == nil || reg.Len() == 0 {
+		return nil, fmt.Errorf("hub: no devices registered")
+	}
+	if actuator == nil {
+		return nil, fmt.Errorf("hub: nil actuator")
+	}
+	cfg = cfg.normalized()
+
+	h := &Hub{cfg: cfg, reg: reg, bank: routine.NewBank(), started: time.Now()}
+	h.env = live.New(&h.mu, actuator)
+
+	opts := visibility.DefaultOptions(cfg.Model)
+	opts.Scheduler = cfg.Scheduler
+	opts.DefaultShort = cfg.DefaultShort
+	opts.Observer = h.recordEvent
+
+	// Seed the controller's committed-state view from the devices' initial
+	// metadata; unknown initial states are left for the first routines to set.
+	initial := make(map[device.ID]device.State)
+	for _, info := range reg.All() {
+		if info.Initial != device.StateUnknown {
+			initial[info.ID] = info.Initial
+		}
+	}
+	h.mu.Lock()
+	h.ctrl = visibility.New(h.env, initial, opts)
+	h.mu.Unlock()
+
+	h.detector = failure.NewDetector(actuator, reg.IDs(), failure.Options{
+		Interval:  cfg.FailureInterval,
+		OnFailure: h.onDeviceFailure,
+		OnRestart: h.onDeviceRestart,
+	})
+	h.env.OnContact = func(id device.ID, ok bool) {
+		if ok {
+			h.detector.ReportContact(id)
+		} else {
+			h.detector.ReportSilence(id)
+		}
+	}
+	return h, nil
+}
+
+// recordEvent appends to the bounded activity log. It runs under h.mu (the
+// controller only emits events from within its serialized context).
+func (h *Hub) recordEvent(e visibility.Event) {
+	h.events = append(h.events, e)
+	if len(h.events) > h.cfg.EventLog {
+		h.events = h.events[len(h.events)-h.cfg.EventLog:]
+	}
+}
+
+func (h *Hub) onDeviceFailure(id device.ID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.ctrl.NotifyFailure(id)
+}
+
+func (h *Hub) onDeviceRestart(id device.ID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.ctrl.NotifyRestart(id)
+}
+
+// Start launches the failure detector's probe loop.
+func (h *Hub) Start() {
+	ctx, cancel := context.WithCancel(context.Background())
+	h.cancelDetect = cancel
+	go h.detector.Run(ctx)
+}
+
+// Close stops background activity (failure detection and scheduled triggers)
+// and waits for in-flight commands.
+func (h *Hub) Close() {
+	if h.cancelDetect != nil {
+		h.cancelDetect()
+	}
+	h.stopTriggers()
+	h.env.Wait()
+}
+
+// Model returns the hub's visibility model.
+func (h *Hub) Model() visibility.Model { return h.cfg.Model }
+
+// Registry returns the device registry.
+func (h *Hub) Registry() *device.Registry { return h.reg }
+
+// Detector exposes the failure detector (CLI status, tests).
+func (h *Hub) Detector() *failure.Detector { return h.detector }
+
+// SubmitRoutine validates and submits a routine for execution.
+func (h *Hub) SubmitRoutine(r *routine.Routine) (routine.ID, error) {
+	if err := r.Validate(h.reg); err != nil {
+		return routine.None, err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ctrl.Submit(r), nil
+}
+
+// SubmitSpec parses a Fig 10-style JSON routine document and submits it.
+func (h *Hub) SubmitSpec(spec []byte) (routine.ID, error) {
+	r, err := routine.ParseSpec(spec)
+	if err != nil {
+		return routine.None, err
+	}
+	return h.SubmitRoutine(r)
+}
+
+// StoreRoutine saves a routine definition in the routine bank.
+func (h *Hub) StoreRoutine(r *routine.Routine) error {
+	if err := r.Validate(h.reg); err != nil {
+		return err
+	}
+	return h.bank.Store(r)
+}
+
+// StoredRoutines lists the names in the routine bank.
+func (h *Hub) StoredRoutines() []string { return h.bank.Names() }
+
+// Trigger dispatches a stored routine by name (the "Routine Dispatcher" of
+// Fig 11 invoked by a user or an automation trigger).
+func (h *Hub) Trigger(name string) (routine.ID, error) {
+	r, ok := h.bank.Get(name)
+	if !ok {
+		return routine.None, fmt.Errorf("hub: no stored routine named %q", name)
+	}
+	return h.SubmitRoutine(r)
+}
+
+// Results returns per-routine outcomes in submission order.
+func (h *Hub) Results() []visibility.Result {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ctrl.Results()
+}
+
+// Result returns one routine's outcome.
+func (h *Hub) Result(id routine.ID) (visibility.Result, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ctrl.Result(id)
+}
+
+// PendingCount returns the number of unfinished routines.
+func (h *Hub) PendingCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ctrl.PendingCount()
+}
+
+// Events returns a copy of the recent activity log.
+func (h *Hub) Events() []visibility.Event {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]visibility.Event(nil), h.events...)
+}
+
+// DeviceStatus describes one device for the API and CLI.
+type DeviceStatus struct {
+	Info  device.Info  `json:"info"`
+	State device.State `json:"state"`
+	Up    bool         `json:"up"`
+}
+
+// Devices reports every device's committed state (the controller's view) and
+// liveness.
+func (h *Hub) Devices() []DeviceStatus {
+	h.mu.Lock()
+	committed := h.ctrl.CommittedStates()
+	h.mu.Unlock()
+
+	infos := h.reg.All()
+	out := make([]DeviceStatus, 0, len(infos))
+	for _, info := range infos {
+		st, ok := committed[info.ID]
+		if !ok {
+			st = info.Initial
+		}
+		out = append(out, DeviceStatus{Info: info, State: st, Up: h.detector.Up(info.ID)})
+	}
+	return out
+}
+
+// Status summarizes the hub for the API and CLI.
+type Status struct {
+	Model     string    `json:"model"`
+	Scheduler string    `json:"scheduler"`
+	Devices   int       `json:"devices"`
+	Routines  int       `json:"routines"`
+	Pending   int       `json:"pending"`
+	Active    int       `json:"active"`
+	Stored    int       `json:"stored_routines"`
+	Since     time.Time `json:"since"`
+}
+
+// Status returns the hub summary.
+func (h *Hub) Status() Status {
+	h.mu.Lock()
+	results := h.ctrl.Results()
+	pending := h.ctrl.PendingCount()
+	active := h.ctrl.ActiveCount()
+	h.mu.Unlock()
+	return Status{
+		Model:     h.cfg.Model.String(),
+		Scheduler: h.cfg.Scheduler.String(),
+		Devices:   h.reg.Len(),
+		Routines:  len(results),
+		Pending:   pending,
+		Active:    active,
+		Stored:    h.bank.Len(),
+		Since:     h.started,
+	}
+}

@@ -1,0 +1,231 @@
+package hub
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"safehome/internal/routine"
+	"safehome/internal/visibility"
+)
+
+// Handler returns the hub's HTTP API:
+//
+//	GET  /api/status              hub summary
+//	GET  /api/devices             device states and liveness
+//	GET  /api/routines            all routine results
+//	GET  /api/routines/{id}       one routine result
+//	POST /api/routines            submit a routine (Fig 10-style JSON spec)
+//	GET  /api/bank                stored routine names
+//	POST /api/bank                store a routine definition
+//	POST /api/bank/{name}/trigger dispatch a stored routine
+//	GET  /api/events              recent controller events
+func (h *Hub) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, h.Status())
+	})
+	mux.HandleFunc("GET /api/devices", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, h.Devices())
+	})
+	mux.HandleFunc("GET /api/routines", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, resultsJSON(h.Results()))
+	})
+	mux.HandleFunc("GET /api/routines/{id}", h.handleGetRoutine)
+	mux.HandleFunc("POST /api/routines", h.handleSubmit)
+	mux.HandleFunc("GET /api/bank", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, h.StoredRoutines())
+	})
+	mux.HandleFunc("POST /api/bank", h.handleStore)
+	mux.HandleFunc("POST /api/bank/{name}/trigger", h.handleTrigger)
+	mux.HandleFunc("POST /api/bank/{name}/schedule", h.handleSchedule)
+	mux.HandleFunc("GET /api/triggers", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, h.Triggers())
+	})
+	mux.HandleFunc("DELETE /api/triggers/{handle}", h.handleCancelTrigger)
+	mux.HandleFunc("GET /api/events", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, eventsJSON(h.Events()))
+	})
+	return mux
+}
+
+// handleSchedule creates an automation trigger for a stored routine. The
+// delay (one-shot) or interval (recurring) is given as a Go duration string
+// in the `after` or `every` query parameter.
+func (h *Hub) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var (
+		handle TriggerHandle
+		err    error
+	)
+	switch {
+	case r.URL.Query().Get("every") != "":
+		var interval time.Duration
+		interval, err = time.ParseDuration(r.URL.Query().Get("every"))
+		if err == nil {
+			handle, err = h.ScheduleEvery(name, interval)
+		}
+	case r.URL.Query().Get("after") != "":
+		var delay time.Duration
+		delay, err = time.ParseDuration(r.URL.Query().Get("after"))
+		if err == nil {
+			handle, err = h.ScheduleAfter(name, delay)
+		}
+	default:
+		err = fmt.Errorf("either ?after=<duration> or ?every=<duration> is required")
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"handle": handle})
+}
+
+func (h *Hub) handleCancelTrigger(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("handle"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad trigger handle: %w", err))
+		return
+	}
+	h.CancelTrigger(TriggerHandle(id))
+	writeJSON(w, http.StatusOK, map[string]string{"cancelled": r.PathValue("handle")})
+}
+
+func (h *Hub) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+		return
+	}
+	id, err := h.SubmitSpec(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"id": id})
+}
+
+func (h *Hub) handleGetRoutine(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad routine id: %w", err))
+		return
+	}
+	res, ok := h.Result(routine.ID(id))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no routine %d", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, resultJSON(res))
+}
+
+func (h *Hub) handleStore(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+		return
+	}
+	def, err := routine.ParseSpec(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := h.StoreRoutine(def); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"stored": def.Name})
+}
+
+func (h *Hub) handleTrigger(w http.ResponseWriter, r *http.Request) {
+	id, err := h.Trigger(r.PathValue("name"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"id": id})
+}
+
+// --- JSON views ---------------------------------------------------------------
+
+type resultView struct {
+	ID          routine.ID `json:"id"`
+	Name        string     `json:"name"`
+	Status      string     `json:"status"`
+	Submitted   time.Time  `json:"submitted"`
+	Started     time.Time  `json:"started,omitempty"`
+	Finished    time.Time  `json:"finished,omitempty"`
+	LatencyMS   int64      `json:"latency_ms,omitempty"`
+	Executed    int        `json:"executed"`
+	Skipped     int        `json:"skipped,omitempty"`
+	BestEffort  int        `json:"best_effort_failures,omitempty"`
+	RolledBack  int        `json:"rolled_back,omitempty"`
+	AbortReason string     `json:"abort_reason,omitempty"`
+}
+
+func resultJSON(res visibility.Result) resultView {
+	v := resultView{
+		ID:          res.ID,
+		Status:      res.Status.String(),
+		Submitted:   res.Submitted,
+		Started:     res.Started,
+		Finished:    res.Finished,
+		Executed:    res.Executed,
+		Skipped:     res.Skipped,
+		BestEffort:  res.BestEffortFailures,
+		RolledBack:  res.RolledBack,
+		AbortReason: res.AbortReason,
+	}
+	if res.Routine != nil {
+		v.Name = res.Routine.Name
+	}
+	if res.Status == visibility.StatusCommitted {
+		v.LatencyMS = res.Latency().Milliseconds()
+	}
+	return v
+}
+
+func resultsJSON(results []visibility.Result) []resultView {
+	out := make([]resultView, 0, len(results))
+	for _, res := range results {
+		out = append(out, resultJSON(res))
+	}
+	return out
+}
+
+type eventView struct {
+	Time    time.Time `json:"time"`
+	Kind    string    `json:"kind"`
+	Routine int64     `json:"routine,omitempty"`
+	Device  string    `json:"device,omitempty"`
+	State   string    `json:"state,omitempty"`
+	Detail  string    `json:"detail,omitempty"`
+}
+
+func eventsJSON(events []visibility.Event) []eventView {
+	out := make([]eventView, 0, len(events))
+	for _, e := range events {
+		out = append(out, eventView{
+			Time:    e.Time,
+			Kind:    e.Kind.String(),
+			Routine: int64(e.Routine),
+			Device:  string(e.Device),
+			State:   string(e.State),
+			Detail:  e.Detail,
+		})
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

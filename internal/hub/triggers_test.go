@@ -1,0 +1,171 @@
+package hub
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"safehome/internal/device"
+	"safehome/internal/visibility"
+)
+
+func TestScheduleAfterFiresOnce(t *testing.T) {
+	h, _ := newTestHub(t)
+	if err := h.StoreRoutine(coolingRoutine()); err != nil {
+		t.Fatal(err)
+	}
+	handle, err := h.ScheduleAfter("cooling", 10*time.Millisecond)
+	if err != nil {
+		t.Fatalf("ScheduleAfter: %v", err)
+	}
+	if len(h.Triggers()) != 1 {
+		t.Fatalf("Triggers = %v, want 1 active", h.Triggers())
+	}
+
+	deadline := time.Now().Add(3 * time.Second)
+	for len(h.Results()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("scheduled trigger never fired")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	waitIdle(t, h)
+	res := h.Results()[0]
+	if res.Status != visibility.StatusCommitted {
+		t.Fatalf("triggered routine = %v (%s)", res.Status, res.AbortReason)
+	}
+	// One-shot triggers disappear once fired.
+	deadline = time.Now().Add(time.Second)
+	for len(h.Triggers()) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("one-shot trigger still active: %v", h.Triggers())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	_ = handle
+}
+
+func TestScheduleEveryRepeats(t *testing.T) {
+	h, _ := newTestHub(t)
+	if err := h.StoreRoutine(coolingRoutine()); err != nil {
+		t.Fatal(err)
+	}
+	handle, err := h.ScheduleEvery("cooling", 15*time.Millisecond)
+	if err != nil {
+		t.Fatalf("ScheduleEvery: %v", err)
+	}
+
+	deadline := time.Now().Add(3 * time.Second)
+	for len(h.Results()) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("recurring trigger fired %d times, want >= 2", len(h.Results()))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	h.CancelTrigger(handle)
+	fired := len(h.Results())
+	time.Sleep(60 * time.Millisecond)
+	if extra := len(h.Results()) - fired; extra > 1 {
+		t.Errorf("trigger kept firing after cancellation (%d extra submissions)", extra)
+	}
+	if len(h.Triggers()) != 0 {
+		t.Errorf("Triggers after cancel = %v, want none", h.Triggers())
+	}
+	waitIdle(t, h)
+}
+
+func TestScheduleValidation(t *testing.T) {
+	h, _ := newTestHub(t)
+	if _, err := h.ScheduleAfter("missing", time.Millisecond); err == nil {
+		t.Error("scheduling an unknown routine should fail")
+	}
+	if err := h.StoreRoutine(coolingRoutine()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.ScheduleEvery("cooling", 0); err == nil {
+		t.Error("a non-positive interval should be rejected")
+	}
+}
+
+func TestTriggerHTTPEndpoints(t *testing.T) {
+	h, _ := newTestHub(t)
+	if err := h.StoreRoutine(coolingRoutine()); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h.Handler())
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/api/bank/cooling/schedule?every=50ms", "application/json", nil)
+	if err != nil || resp.StatusCode != http.StatusCreated {
+		t.Fatalf("schedule: %v %v", resp.StatusCode, err)
+	}
+	var created struct {
+		Handle int64 `json:"handle"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	var triggers []ScheduledTrigger
+	resp, err = http.Get(srv.URL + "/api/triggers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&triggers); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(triggers) != 1 || triggers[0].Routine != "cooling" {
+		t.Fatalf("triggers = %+v", triggers)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/api/triggers/%d", srv.URL, created.Handle), nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: %v %v", resp.StatusCode, err)
+	}
+	resp.Body.Close()
+	if len(h.Triggers()) != 0 {
+		t.Fatalf("triggers after cancel = %v", h.Triggers())
+	}
+
+	// Bad requests.
+	resp, _ = http.Post(srv.URL+"/api/bank/cooling/schedule", "application/json", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("schedule without duration = %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp, _ = http.Post(srv.URL+"/api/bank/missing/schedule?after=1s", "application/json", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("schedule unknown routine = %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+	waitIdle(t, h)
+}
+
+func TestCloseCancelsTriggers(t *testing.T) {
+	reg := testRegistry()
+	h, err := New(Config{Model: visibility.EV, DefaultShort: time.Millisecond}, reg, device.NewFleet(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.StoreRoutine(coolingRoutine()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.ScheduleEvery("cooling", 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	h.Close()
+	if _, err := h.ScheduleAfter("cooling", time.Millisecond); err == nil {
+		t.Error("scheduling after Close should fail")
+	}
+	h.ResumeTriggers()
+	if _, err := h.ScheduleAfter("cooling", time.Millisecond); err != nil {
+		t.Errorf("scheduling after ResumeTriggers should work, got %v", err)
+	}
+	h.Close()
+}

@@ -1,0 +1,86 @@
+// Package kasa implements the TP-Link Kasa-style smart-plug protocol that
+// SafeHome's implementation drives real devices with (§6): JSON command
+// documents obfuscated with the well-known "autokey" XOR cipher and framed
+// with a 4-byte big-endian length prefix over TCP.
+//
+// The package contains three pieces:
+//
+//   - the wire codec (this file), byte-compatible with the cipher used by
+//     HS100/HS105/HS110 plugs;
+//   - an Emulator that serves a whole fleet of virtual plugs over one TCP
+//     listener, backed by a device.Fleet (the stand-in for physical plugs);
+//   - a Driver that implements device.Actuator over the protocol, so the live
+//     hub can control either emulated or real plugs through the same code.
+package kasa
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// cipherSeed is the initial autokey byte used by TP-Link's obfuscation.
+const cipherSeed byte = 171
+
+// maxFrame bounds accepted frame sizes; real plug replies are well under 16 KiB.
+const maxFrame = 1 << 20
+
+// Encrypt applies the autokey XOR obfuscation to a plaintext JSON payload.
+// Each output byte is the XOR of the plaintext byte with the previous
+// ciphertext byte (the seed for the first byte).
+func Encrypt(plain []byte) []byte {
+	out := make([]byte, len(plain))
+	key := cipherSeed
+	for i, b := range plain {
+		out[i] = b ^ key
+		key = out[i]
+	}
+	return out
+}
+
+// Decrypt reverses Encrypt.
+func Decrypt(cipher []byte) []byte {
+	out := make([]byte, len(cipher))
+	key := cipherSeed
+	for i, b := range cipher {
+		out[i] = b ^ key
+		key = b
+	}
+	return out
+}
+
+// WriteFrame writes one length-prefixed, obfuscated message.
+func WriteFrame(w io.Writer, plain []byte) error {
+	body := Encrypt(plain)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("kasa: writing frame header: %w", err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("kasa: writing frame body: %w", err)
+	}
+	return nil
+}
+
+// ErrFrameTooLarge is returned when a peer announces an implausibly large frame.
+var ErrFrameTooLarge = errors.New("kasa: frame too large")
+
+// ReadFrame reads one length-prefixed message and returns the decrypted
+// plaintext.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("kasa: reading frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("kasa: reading frame body: %w", err)
+	}
+	return Decrypt(body), nil
+}

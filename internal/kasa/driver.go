@@ -1,0 +1,140 @@
+package kasa
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"safehome/internal/device"
+)
+
+// DefaultTimeout bounds one request/response exchange with a plug. The
+// paper's failure detector declares a device failed after a 100 ms silence;
+// the driver default is slightly larger to tolerate loopback scheduling
+// hiccups without masking real failures.
+const DefaultTimeout = 250 * time.Millisecond
+
+// Driver drives smart plugs over the Kasa protocol and implements
+// device.Actuator, so the live hub's controllers work identically over
+// emulated plugs, real TP-Link plugs, or the in-memory fleet.
+//
+// Every device maps to a network address. Real plugs each have their own
+// address (port 9999); the emulator serves every device on one address.
+type Driver struct {
+	mu      sync.RWMutex
+	addrs   map[device.ID]string
+	timeout time.Duration
+}
+
+// NewDriver builds a driver with the given device→address mapping.
+func NewDriver(addrs map[device.ID]string) *Driver {
+	cp := make(map[device.ID]string, len(addrs))
+	for id, a := range addrs {
+		cp[id] = a
+	}
+	return &Driver{addrs: cp, timeout: DefaultTimeout}
+}
+
+// NewSingleEndpointDriver maps every listed device to one address (the
+// emulator pattern).
+func NewSingleEndpointDriver(addr string, ids []device.ID) *Driver {
+	addrs := make(map[device.ID]string, len(ids))
+	for _, id := range ids {
+		addrs[id] = addr
+	}
+	return NewDriver(addrs)
+}
+
+// SetTimeout overrides the per-exchange timeout.
+func (d *Driver) SetTimeout(t time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if t > 0 {
+		d.timeout = t
+	}
+}
+
+// AddDevice registers (or re-points) a device address.
+func (d *Driver) AddDevice(id device.ID, addr string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.addrs[id] = addr
+}
+
+// Devices lists the devices the driver knows about.
+func (d *Driver) Devices() []device.ID {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]device.ID, 0, len(d.addrs))
+	for id := range d.addrs {
+		out = append(out, id)
+	}
+	return out
+}
+
+func (d *Driver) lookup(id device.ID) (string, time.Duration, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	addr, ok := d.addrs[id]
+	if !ok {
+		return "", 0, fmt.Errorf("%w: %s", device.ErrUnknownDevice, id)
+	}
+	return addr, d.timeout, nil
+}
+
+// exchange performs one request/response round trip.
+func (d *Driver) exchange(id device.ID, payload []byte) ([]byte, error) {
+	addr, timeout, err := d.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", device.ErrUnavailable, id, err)
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(timeout)
+	_ = conn.SetDeadline(deadline)
+	if err := WriteFrame(conn, payload); err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", device.ErrUnavailable, id, err)
+	}
+	reply, err := ReadFrame(conn)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", device.ErrUnavailable, id, err)
+	}
+	return reply, nil
+}
+
+// Apply implements device.Actuator.
+func (d *Driver) Apply(id device.ID, target device.State) error {
+	payload, err := marshalSetState(id, target)
+	if err != nil {
+		return err
+	}
+	reply, err := d.exchange(id, payload)
+	if err != nil {
+		return err
+	}
+	return parseStateResponse(reply)
+}
+
+// Status implements device.Actuator.
+func (d *Driver) Status(id device.ID) (device.State, error) {
+	payload, err := marshalGetSysinfo(id)
+	if err != nil {
+		return device.StateUnknown, err
+	}
+	reply, err := d.exchange(id, payload)
+	if err != nil {
+		return device.StateUnknown, err
+	}
+	return parseSysinfoResponse(reply)
+}
+
+// Ping implements device.Actuator: a get_sysinfo round trip whose payload is
+// discarded.
+func (d *Driver) Ping(id device.ID) error {
+	_, err := d.Status(id)
+	return err
+}

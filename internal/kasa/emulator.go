@@ -1,0 +1,213 @@
+package kasa
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"safehome/internal/device"
+)
+
+// Emulator serves a fleet of virtual smart plugs over a single TCP listener,
+// speaking the Kasa wire protocol. It is the stand-in for the TP-Link
+// HS105/HS110 devices of the paper's deployment: the hub's Driver cannot tell
+// the difference.
+//
+// Failed devices (device.Fleet.Fail) do not answer: the emulator drops the
+// connection without a reply, so drivers observe a timeout — exactly how an
+// unplugged smart plug behaves.
+type Emulator struct {
+	fleet *device.Fleet
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+
+	// Logf, if set, receives protocol trace lines (useful in the devices
+	// binary with -verbose).
+	Logf func(format string, args ...any)
+}
+
+// NewEmulator creates an emulator over the given simulated fleet.
+func NewEmulator(fleet *device.Fleet) *Emulator {
+	return &Emulator{fleet: fleet, conns: make(map[net.Conn]struct{})}
+}
+
+// Fleet returns the backing fleet (tests and the devices binary use it to
+// inject failures).
+func (e *Emulator) Fleet() *device.Fleet { return e.fleet }
+
+// Start begins listening on addr ("127.0.0.1:0" for an ephemeral port) and
+// serving requests until Close. It returns the bound address.
+func (e *Emulator) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("kasa: emulator listen: %w", err)
+	}
+	e.mu.Lock()
+	e.listener = ln
+	e.closed = false
+	e.mu.Unlock()
+
+	e.wg.Add(1)
+	go e.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the listener address (empty before Start).
+func (e *Emulator) Addr() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.listener == nil {
+		return ""
+	}
+	return e.listener.Addr().String()
+}
+
+// Close stops the listener and closes active connections.
+func (e *Emulator) Close() error {
+	e.mu.Lock()
+	e.closed = true
+	ln := e.listener
+	for c := range e.conns {
+		c.Close()
+	}
+	e.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	e.wg.Wait()
+	return err
+}
+
+func (e *Emulator) acceptLoop(ln net.Listener) {
+	defer e.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			e.mu.Lock()
+			closed := e.closed
+			e.mu.Unlock()
+			if closed || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			e.logf("accept error: %v", err)
+			continue
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			conn.Close()
+			return
+		}
+		e.conns[conn] = struct{}{}
+		e.mu.Unlock()
+
+		e.wg.Add(1)
+		go e.serveConn(conn)
+	}
+}
+
+func (e *Emulator) serveConn(conn net.Conn) {
+	defer e.wg.Done()
+	defer func() {
+		conn.Close()
+		e.mu.Lock()
+		delete(e.conns, conn)
+		e.mu.Unlock()
+	}()
+
+	for {
+		plain, err := ReadFrame(conn)
+		if err != nil {
+			return // EOF or broken frame: the client is done
+		}
+		reply, respond := e.handle(plain)
+		if !respond {
+			// Unreachable (failed) device: behave like a dead plug.
+			return
+		}
+		if err := WriteFrame(conn, reply); err != nil {
+			return
+		}
+	}
+}
+
+// handle processes one decoded request and returns the reply, plus whether a
+// reply should be sent at all (false = simulate an unreachable device).
+func (e *Emulator) handle(plain []byte) ([]byte, bool) {
+	var req request
+	if err := json.Unmarshal(plain, &req); err != nil {
+		e.logf("bad request: %v", err)
+		return mustJSON(response{System: systemResponse{GetSysinfo: &sysinfo{ErrCode: -1}}}), true
+	}
+	if req.Context == nil || req.Context.DeviceID == "" {
+		return mustJSON(response{System: systemResponse{GetSysinfo: &sysinfo{ErrCode: -2}}}), true
+	}
+	id := device.ID(req.Context.DeviceID)
+
+	// A failed device never answers; an unknown device answers with an error.
+	if e.fleet.Failed(id) {
+		e.logf("%s: unreachable", id)
+		return nil, false
+	}
+
+	switch {
+	case req.System.SetRelayState != nil:
+		target := device.Off
+		if req.System.SetRelayState.State != 0 {
+			target = device.On
+		}
+		return e.apply(id, target, true), true
+	case req.System.SetDeviceState != nil:
+		return e.apply(id, device.State(req.System.SetDeviceState.State), false), true
+	case req.System.GetSysinfo != nil:
+		st, err := e.fleet.Status(id)
+		if err != nil {
+			return mustJSON(response{System: systemResponse{GetSysinfo: &sysinfo{ErrCode: -3}}}), true
+		}
+		info := &sysinfo{Alias: string(id), DeviceID: string(id), Model: "SafeHome.Emulated(US)", State: string(st)}
+		if st == device.On {
+			info.RelayState = 1
+		}
+		return mustJSON(response{System: systemResponse{GetSysinfo: info}}), true
+	default:
+		return mustJSON(response{System: systemResponse{GetSysinfo: &sysinfo{ErrCode: -4}}}), true
+	}
+}
+
+func (e *Emulator) apply(id device.ID, target device.State, relay bool) []byte {
+	result := &errOnly{}
+	if err := e.fleet.Apply(id, target); err != nil {
+		result.ErrCode = -3
+		result.ErrMsg = err.Error()
+	}
+	e.logf("%s <- %s (err_code=%d)", id, target, result.ErrCode)
+	resp := response{}
+	if relay {
+		resp.System.SetRelayState = result
+	} else {
+		resp.System.SetDeviceState = result
+	}
+	return mustJSON(resp)
+}
+
+func (e *Emulator) logf(format string, args ...any) {
+	if e.Logf != nil {
+		e.Logf(format, args...)
+	}
+}
+
+func mustJSON(v any) []byte {
+	data, err := json.Marshal(v)
+	if err != nil {
+		log.Panicf("kasa: marshalling response: %v", err)
+	}
+	return data
+}

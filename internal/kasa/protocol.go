@@ -1,0 +1,128 @@
+package kasa
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"safehome/internal/device"
+)
+
+// request is the JSON document sent to a plug. Real HS-series plugs accept
+// the system.set_relay_state and system.get_sysinfo commands; the emulation
+// adds system.set_device_state so that richer SafeHome states ("BREW",
+// "HEAT:400F", ...) survive the round trip. The context block addresses one
+// device of a multi-device endpoint, mirroring how Kasa power strips address
+// child sockets.
+type request struct {
+	Context *contextBlock `json:"context,omitempty"`
+	System  systemRequest `json:"system"`
+}
+
+type contextBlock struct {
+	DeviceID string `json:"device_id,omitempty"`
+}
+
+type systemRequest struct {
+	SetRelayState  *setRelayState  `json:"set_relay_state,omitempty"`
+	SetDeviceState *setDeviceState `json:"set_device_state,omitempty"`
+	GetSysinfo     *struct{}       `json:"get_sysinfo,omitempty"`
+}
+
+type setRelayState struct {
+	State int `json:"state"`
+}
+
+type setDeviceState struct {
+	State string `json:"state"`
+}
+
+// response is the JSON document a plug answers with.
+type response struct {
+	System systemResponse `json:"system"`
+}
+
+type systemResponse struct {
+	SetRelayState  *errOnly `json:"set_relay_state,omitempty"`
+	SetDeviceState *errOnly `json:"set_device_state,omitempty"`
+	GetSysinfo     *sysinfo `json:"get_sysinfo,omitempty"`
+}
+
+type errOnly struct {
+	ErrCode int    `json:"err_code"`
+	ErrMsg  string `json:"err_msg,omitempty"`
+}
+
+// sysinfo mirrors the subset of the real get_sysinfo reply SafeHome uses,
+// plus the emulation's free-form device state.
+type sysinfo struct {
+	ErrCode    int    `json:"err_code"`
+	Alias      string `json:"alias"`
+	DeviceID   string `json:"deviceId"`
+	Model      string `json:"model"`
+	RelayState int    `json:"relay_state"`
+	State      string `json:"state,omitempty"`
+}
+
+// --- request builders (used by the driver) -----------------------------------
+
+func marshalSetState(id device.ID, target device.State) ([]byte, error) {
+	req := request{Context: &contextBlock{DeviceID: string(id)}}
+	switch target {
+	case device.On:
+		req.System.SetRelayState = &setRelayState{State: 1}
+	case device.Off:
+		req.System.SetRelayState = &setRelayState{State: 0}
+	default:
+		req.System.SetDeviceState = &setDeviceState{State: string(target)}
+	}
+	return json.Marshal(req)
+}
+
+func marshalGetSysinfo(id device.ID) ([]byte, error) {
+	return json.Marshal(request{
+		Context: &contextBlock{DeviceID: string(id)},
+		System:  systemRequest{GetSysinfo: &struct{}{}},
+	})
+}
+
+// parseStateResponse extracts the error code of a set_relay_state /
+// set_device_state reply.
+func parseStateResponse(data []byte) error {
+	var resp response
+	if err := json.Unmarshal(data, &resp); err != nil {
+		return fmt.Errorf("kasa: parsing set-state response: %w", err)
+	}
+	eo := resp.System.SetRelayState
+	if eo == nil {
+		eo = resp.System.SetDeviceState
+	}
+	if eo == nil {
+		return fmt.Errorf("kasa: set-state response missing result: %s", data)
+	}
+	if eo.ErrCode != 0 {
+		return fmt.Errorf("kasa: device error %d: %s", eo.ErrCode, eo.ErrMsg)
+	}
+	return nil
+}
+
+// parseSysinfoResponse extracts the device state from a get_sysinfo reply.
+func parseSysinfoResponse(data []byte) (device.State, error) {
+	var resp response
+	if err := json.Unmarshal(data, &resp); err != nil {
+		return device.StateUnknown, fmt.Errorf("kasa: parsing sysinfo response: %w", err)
+	}
+	info := resp.System.GetSysinfo
+	if info == nil {
+		return device.StateUnknown, fmt.Errorf("kasa: sysinfo response missing payload: %s", data)
+	}
+	if info.ErrCode != 0 {
+		return device.StateUnknown, fmt.Errorf("kasa: device error %d", info.ErrCode)
+	}
+	if info.State != "" {
+		return device.State(info.State), nil
+	}
+	if info.RelayState == 1 {
+		return device.On, nil
+	}
+	return device.Off, nil
+}

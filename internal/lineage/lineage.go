@@ -1,0 +1,536 @@
+// Package lineage implements SafeHome's locking data-structure (§4.2–4.3 of
+// the paper): per-device lineages of lock-access entries, the four
+// serializability invariants, gap search for the Timeline scheduler,
+// pre-/post-lease placement, commit compaction ("last writer wins"),
+// current-device-status inference, and rollback targets for aborts.
+//
+// The lineage table is a purely in-memory, single-threaded structure owned by
+// the Eventual Visibility controller; it never talks to devices.
+package lineage
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"safehome/internal/device"
+	"safehome/internal/routine"
+)
+
+// Status is the lock status of a lock-access entry (Fig 5).
+type Status int
+
+const (
+	// Scheduled means the routine is planned to acquire the lock but has not
+	// executed any command on the device yet.
+	Scheduled Status = iota
+	// Acquired means the routine currently holds and uses the lock.
+	Acquired
+	// Released means the routine is done with the device (its last command on
+	// the device completed, or it finished); successors may acquire.
+	Released
+)
+
+func (s Status) String() string {
+	switch s {
+	case Scheduled:
+		return "S"
+	case Acquired:
+		return "A"
+	case Released:
+		return "R"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Access is one lock-access entry in a device's lineage: which routine plans
+// to (or does) hold the device's virtual lock, what state it drives the
+// device to, and the estimated start/duration of the hold (used by the
+// Timeline scheduler's gap search and by lease revocation timeouts).
+type Access struct {
+	Routine  routine.ID
+	Status   Status
+	Target   device.State  // last state this routine has driven / will drive the device to
+	Start    time.Time     // estimated start of the exclusive hold
+	Duration time.Duration // estimated length of the exclusive hold
+}
+
+// End returns the estimated end of the hold.
+func (a Access) End() time.Time { return a.Start.Add(a.Duration) }
+
+// String renders the entry compactly, e.g. "R3[A]->ON".
+func (a Access) String() string {
+	return fmt.Sprintf("R%d[%s]->%s", a.Routine, a.Status, a.Target)
+}
+
+// Lineage is the ordered plan of lock transitions for one device: its last
+// committed state followed by lock-access entries in serialization order.
+type Lineage struct {
+	Device    device.ID
+	Committed device.State
+	Accesses  []Access
+}
+
+// Errors returned by table operations.
+var (
+	ErrNoAccess   = errors.New("lineage: routine has no access on device")
+	ErrHasAccess  = errors.New("lineage: routine already has an access on device")
+	ErrBadStatus  = errors.New("lineage: invalid status transition")
+	ErrViolation  = errors.New("lineage: invariant violation")
+	ErrNoSuchSlot = errors.New("lineage: insertion anchor not found")
+)
+
+// Table is the virtual locking table: one lineage per device plus the last
+// committed state of every device (Fig 4). It is not safe for concurrent use;
+// the controllers that own it are single-threaded.
+type Table struct {
+	byDev map[device.ID]*Lineage
+	order []device.ID
+}
+
+// NewTable builds a table whose committed states are the given initial device
+// states. Devices not present are added lazily with an unknown committed
+// state when first touched.
+func NewTable(initial map[device.ID]device.State) *Table {
+	t := &Table{byDev: make(map[device.ID]*Lineage)}
+	ids := make([]device.ID, 0, len(initial))
+	for d := range initial {
+		ids = append(ids, d)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, d := range ids {
+		t.ensure(d).Committed = initial[d]
+	}
+	return t
+}
+
+func (t *Table) ensure(d device.ID) *Lineage {
+	l, ok := t.byDev[d]
+	if !ok {
+		l = &Lineage{Device: d}
+		t.byDev[d] = l
+		t.order = append(t.order, d)
+	}
+	return l
+}
+
+// Lineage returns the lineage for a device (creating an empty one if absent).
+func (t *Table) Lineage(d device.ID) *Lineage { return t.ensure(d) }
+
+// Devices returns all device IDs known to the table, in insertion order.
+func (t *Table) Devices() []device.ID { return append([]device.ID(nil), t.order...) }
+
+// Committed returns the last committed state of the device.
+func (t *Table) Committed(d device.ID) device.State { return t.ensure(d).Committed }
+
+// SetCommitted overwrites the committed state of the device.
+func (t *Table) SetCommitted(d device.ID, s device.State) { t.ensure(d).Committed = s }
+
+// Find returns the index of rid's access in d's lineage, or -1.
+func (t *Table) Find(d device.ID, rid routine.ID) int {
+	l := t.ensure(d)
+	for i, a := range l.Accesses {
+		if a.Routine == rid {
+			return i
+		}
+	}
+	return -1
+}
+
+// Access returns rid's access entry on d.
+func (t *Table) Access(d device.ID, rid routine.ID) (Access, bool) {
+	if i := t.Find(d, rid); i >= 0 {
+		return t.ensure(d).Accesses[i], true
+	}
+	return Access{}, false
+}
+
+// Append adds a Scheduled access at the tail of d's lineage. It returns the
+// routines that precede the new access (its per-device preSet).
+func (t *Table) Append(d device.ID, a Access) ([]routine.ID, error) {
+	l := t.ensure(d)
+	if t.Find(d, a.Routine) >= 0 {
+		return nil, fmt.Errorf("%w: R%d on %s", ErrHasAccess, a.Routine, d)
+	}
+	pre := routinesOf(l.Accesses)
+	l.Accesses = append(l.Accesses, a)
+	return pre, nil
+}
+
+// InsertAt inserts an access at position idx of d's lineage (0 = before
+// everything). It returns the per-device preSet and postSet implied by the
+// position.
+func (t *Table) InsertAt(d device.ID, idx int, a Access) (pre, post []routine.ID, err error) {
+	l := t.ensure(d)
+	if t.Find(d, a.Routine) >= 0 {
+		return nil, nil, fmt.Errorf("%w: R%d on %s", ErrHasAccess, a.Routine, d)
+	}
+	if idx < 0 || idx > len(l.Accesses) {
+		return nil, nil, fmt.Errorf("%w: index %d out of range [0,%d]", ErrNoSuchSlot, idx, len(l.Accesses))
+	}
+	pre = routinesOf(l.Accesses[:idx])
+	post = routinesOf(l.Accesses[idx:])
+	l.Accesses = append(l.Accesses, Access{})
+	copy(l.Accesses[idx+1:], l.Accesses[idx:])
+	l.Accesses[idx] = a
+	return pre, post, nil
+}
+
+// InsertBefore inserts an access immediately before the access of routine
+// `anchor` in d's lineage (the pre-lease placement of Fig 6b).
+func (t *Table) InsertBefore(d device.ID, a Access, anchor routine.ID) (pre, post []routine.ID, err error) {
+	idx := t.Find(d, anchor)
+	if idx < 0 {
+		return nil, nil, fmt.Errorf("%w: anchor R%d on %s", ErrNoSuchSlot, anchor, d)
+	}
+	return t.InsertAt(d, idx, a)
+}
+
+// InsertAfter inserts an access immediately after the access of routine
+// `anchor` in d's lineage (the post-lease placement of Fig 6c).
+func (t *Table) InsertAfter(d device.ID, a Access, anchor routine.ID) (pre, post []routine.ID, err error) {
+	idx := t.Find(d, anchor)
+	if idx < 0 {
+		return nil, nil, fmt.Errorf("%w: anchor R%d on %s", ErrNoSuchSlot, anchor, d)
+	}
+	return t.InsertAt(d, idx+1, a)
+}
+
+// SetStatus transitions rid's access on d to the given status. The only legal
+// transitions are Scheduled→Acquired, Acquired→Released and (for early
+// placement bookkeeping) Scheduled→Released.
+func (t *Table) SetStatus(d device.ID, rid routine.ID, s Status) error {
+	idx := t.Find(d, rid)
+	if idx < 0 {
+		return fmt.Errorf("%w: R%d on %s", ErrNoAccess, rid, d)
+	}
+	a := &t.ensure(d).Accesses[idx]
+	if s < a.Status {
+		return fmt.Errorf("%w: R%d on %s: %v -> %v", ErrBadStatus, rid, d, a.Status, s)
+	}
+	a.Status = s
+	return nil
+}
+
+// SetTarget records the state rid's most recent command drove d to. It keeps
+// the lineage usable for current-state inference (Fig 8) and for rollbacks.
+func (t *Table) SetTarget(d device.ID, rid routine.ID, st device.State) error {
+	idx := t.Find(d, rid)
+	if idx < 0 {
+		return fmt.Errorf("%w: R%d on %s", ErrNoAccess, rid, d)
+	}
+	t.ensure(d).Accesses[idx].Target = st
+	return nil
+}
+
+// Status returns the current status of rid's access on d.
+func (t *Table) Status(d device.ID, rid routine.ID) (Status, bool) {
+	a, ok := t.Access(d, rid)
+	return a.Status, ok
+}
+
+// RemoveAccess deletes rid's access from d's lineage (no-op if absent).
+func (t *Table) RemoveAccess(d device.ID, rid routine.ID) {
+	l := t.ensure(d)
+	idx := t.Find(d, rid)
+	if idx < 0 {
+		return
+	}
+	l.Accesses = append(l.Accesses[:idx], l.Accesses[idx+1:]...)
+}
+
+// RemoveRoutine deletes rid's accesses from every lineage and returns the
+// devices it was removed from.
+func (t *Table) RemoveRoutine(rid routine.ID) []device.ID {
+	var out []device.ID
+	for _, d := range t.order {
+		if t.Find(d, rid) >= 0 {
+			t.RemoveAccess(d, rid)
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// CanAcquire reports whether rid may acquire d's lock right now: rid has an
+// access on d and every access before it is Released.
+func (t *Table) CanAcquire(d device.ID, rid routine.ID) bool {
+	l := t.ensure(d)
+	idx := t.Find(d, rid)
+	if idx < 0 {
+		return false
+	}
+	for i := 0; i < idx; i++ {
+		if l.Accesses[i].Status != Released {
+			return false
+		}
+	}
+	return true
+}
+
+// Holder returns the routine whose access on d is currently Acquired (at most
+// one, by Invariant 2), or routine.None.
+func (t *Table) Holder(d device.ID) routine.ID {
+	for _, a := range t.ensure(d).Accesses {
+		if a.Status == Acquired {
+			return a.Routine
+		}
+	}
+	return routine.None
+}
+
+// NextWaiter returns the first non-Released access's routine on d (the
+// effective current or next lock owner), or routine.None.
+func (t *Table) NextWaiter(d device.ID) routine.ID {
+	for _, a := range t.ensure(d).Accesses {
+		if a.Status != Released {
+			return a.Routine
+		}
+	}
+	return routine.None
+}
+
+// PreSet returns the routines whose access on d is strictly before rid's.
+func (t *Table) PreSet(d device.ID, rid routine.ID) []routine.ID {
+	idx := t.Find(d, rid)
+	if idx < 0 {
+		return nil
+	}
+	return routinesOf(t.ensure(d).Accesses[:idx])
+}
+
+// PostSet returns the routines whose access on d is strictly after rid's.
+func (t *Table) PostSet(d device.ID, rid routine.ID) []routine.ID {
+	idx := t.Find(d, rid)
+	if idx < 0 {
+		return nil
+	}
+	return routinesOf(t.ensure(d).Accesses[idx+1:])
+}
+
+// CurrentState infers the device's current state from the lineage alone
+// (Fig 8), without querying the device:
+//
+//  1. an Acquired access exists → its Target;
+//  2. otherwise the right-most Released access with a known target → its Target;
+//  3. otherwise the committed state.
+func (t *Table) CurrentState(d device.ID) device.State {
+	l := t.ensure(d)
+	for _, a := range l.Accesses {
+		if a.Status == Acquired && a.Target != device.StateUnknown {
+			return a.Target
+		}
+	}
+	for i := len(l.Accesses) - 1; i >= 0; i-- {
+		if l.Accesses[i].Status == Released && l.Accesses[i].Target != device.StateUnknown {
+			return l.Accesses[i].Target
+		}
+	}
+	return l.Committed
+}
+
+// RollbackTarget returns the state device d should be restored to if routine
+// rid aborts: the Target of the access immediately to the left of rid's entry
+// (if it has a known target), else the committed state (§4.3 "Aborts and
+// Rollbacks").
+func (t *Table) RollbackTarget(d device.ID, rid routine.ID) device.State {
+	l := t.ensure(d)
+	idx := t.Find(d, rid)
+	if idx < 0 {
+		return l.Committed
+	}
+	for i := idx - 1; i >= 0; i-- {
+		if l.Accesses[i].Target != device.StateUnknown {
+			return l.Accesses[i].Target
+		}
+	}
+	return l.Committed
+}
+
+// LastAcquirerWas reports whether routine rid is the most recent routine to
+// have actually held (Acquired or later Released after acquiring) device d —
+// i.e. whether an abort of rid needs to physically restore d (§4.3).
+// Accesses that are still Scheduled never held the device.
+func (t *Table) LastAcquirerWas(d device.ID, rid routine.ID) bool {
+	l := t.ensure(d)
+	last := routine.None
+	for _, a := range l.Accesses {
+		if a.Status == Acquired || (a.Status == Released && a.Target != device.StateUnknown) {
+			last = a.Routine
+		}
+	}
+	return last == rid && last != routine.None
+}
+
+// Compact performs commit compaction for routine rid (Fig 7): for every
+// device rid has an access on, the committed state becomes rid's recorded
+// target (when known), and rid's access plus every access before it are
+// removed — later routines in the serialization order will overwrite earlier
+// routines' effects ("last writer wins"). It returns, per device, the
+// routines whose accesses were folded away (excluding rid itself).
+func (t *Table) Compact(rid routine.ID) map[device.ID][]routine.ID {
+	folded := make(map[device.ID][]routine.ID)
+	for _, d := range t.order {
+		l := t.byDev[d]
+		idx := t.Find(d, rid)
+		if idx < 0 {
+			continue
+		}
+		if tgt := l.Accesses[idx].Target; tgt != device.StateUnknown {
+			l.Committed = tgt
+		}
+		if idx > 0 {
+			folded[d] = routinesOf(l.Accesses[:idx])
+		}
+		l.Accesses = append([]Access(nil), l.Accesses[idx+1:]...)
+	}
+	return folded
+}
+
+// Gap is a free interval in a device's lineage where a new lock-access can be
+// placed. Index is the insertion position into Accesses; End is zero for the
+// unbounded gap after the last access.
+type Gap struct {
+	Index int
+	Start time.Time
+	End   time.Time
+}
+
+// Bounded reports whether the gap has a finite end.
+func (g Gap) Bounded() bool { return !g.End.IsZero() }
+
+// Fits reports whether a hold of length dur starting no earlier than earliest
+// fits inside the gap, and returns the start time it would get.
+func (g Gap) Fits(earliest time.Time, dur time.Duration) (time.Time, bool) {
+	start := g.Start
+	if earliest.After(start) {
+		start = earliest
+	}
+	if !g.Bounded() {
+		return start, true
+	}
+	if start.Add(dur).After(g.End) {
+		return time.Time{}, false
+	}
+	return start, true
+}
+
+// Gaps enumerates the free intervals of d's lineage based on the estimated
+// start/duration of its existing accesses, beginning no earlier than `from`.
+// The final gap (after the last access) is unbounded. Used by the Timeline
+// scheduler's placement search (Fig 9, Algorithm 1).
+func (t *Table) Gaps(d device.ID, from time.Time) []Gap {
+	l := t.ensure(d)
+	var gaps []Gap
+	cursor := from
+	for i, a := range l.Accesses {
+		if a.Start.After(cursor) {
+			gaps = append(gaps, Gap{Index: i, Start: cursor, End: a.Start})
+		}
+		if a.End().After(cursor) {
+			cursor = a.End()
+		}
+	}
+	gaps = append(gaps, Gap{Index: len(l.Accesses), Start: cursor})
+	return gaps
+}
+
+// --- invariants (§4.3) -----------------------------------------------------
+
+// CheckInvariants verifies invariants 1–4 of §4.3 and returns a descriptive
+// error for the first violation found. It is used by tests and can be enabled
+// at runtime by the EV controller in debug mode.
+func (t *Table) CheckInvariants() error {
+	// Invariant 1: lock-accesses in a lineage do not overlap in (estimated)
+	// time, when estimates are present.
+	for _, d := range t.order {
+		l := t.byDev[d]
+		for i := 1; i < len(l.Accesses); i++ {
+			prev, cur := l.Accesses[i-1], l.Accesses[i]
+			if prev.Start.IsZero() || cur.Start.IsZero() || prev.Duration == 0 || cur.Duration == 0 {
+				continue
+			}
+			if prev.End().After(cur.Start) && prev.Status == Scheduled && cur.Status == Scheduled {
+				return fmt.Errorf("%w: invariant 1: %s accesses %v and %v overlap", ErrViolation, d, prev, cur)
+			}
+		}
+	}
+	// Invariant 2: at most one Acquired access per lineage.
+	for _, d := range t.order {
+		acquired := 0
+		for _, a := range t.byDev[d].Accesses {
+			if a.Status == Acquired {
+				acquired++
+			}
+		}
+		if acquired > 1 {
+			return fmt.Errorf("%w: invariant 2: device %s has %d Acquired accesses", ErrViolation, d, acquired)
+		}
+	}
+	// Invariant 3: [R]* [A]? [S]* per lineage.
+	for _, d := range t.order {
+		phase := Released // expect Released first
+		for _, a := range t.byDev[d].Accesses {
+			switch a.Status {
+			case Released:
+				if phase != Released {
+					return fmt.Errorf("%w: invariant 3: device %s has Released after %v", ErrViolation, d, phase)
+				}
+			case Acquired:
+				if phase == Scheduled {
+					return fmt.Errorf("%w: invariant 3: device %s has Acquired after Scheduled", ErrViolation, d)
+				}
+				phase = Acquired
+			case Scheduled:
+				phase = Scheduled
+			}
+		}
+	}
+	// Invariant 4: consistent serialize-before ordering across lineages.
+	type pair struct{ a, b routine.ID }
+	seen := make(map[pair]device.ID)
+	for _, d := range t.order {
+		accs := t.byDev[d].Accesses
+		for i := 0; i < len(accs); i++ {
+			for j := i + 1; j < len(accs); j++ {
+				ri, rj := accs[i].Routine, accs[j].Routine
+				if ri == rj {
+					continue
+				}
+				if prevDev, ok := seen[pair{rj, ri}]; ok {
+					return fmt.Errorf("%w: invariant 4: R%d before R%d on %s but R%d before R%d on %s",
+						ErrViolation, rj, ri, prevDev, ri, rj, d)
+				}
+				if _, ok := seen[pair{ri, rj}]; !ok {
+					seen[pair{ri, rj}] = d
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the whole table, one line per device, in the style of Fig 5.
+func (t *Table) String() string {
+	var b strings.Builder
+	for _, d := range t.order {
+		l := t.byDev[d]
+		fmt.Fprintf(&b, "%-12s commit=%-8s", d, l.Committed)
+		for _, a := range l.Accesses {
+			fmt.Fprintf(&b, " | %s", a)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func routinesOf(accs []Access) []routine.ID {
+	out := make([]routine.ID, 0, len(accs))
+	for _, a := range accs {
+		out = append(out, a.Routine)
+	}
+	return out
+}

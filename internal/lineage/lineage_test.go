@@ -1,0 +1,455 @@
+package lineage
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"safehome/internal/device"
+	"safehome/internal/routine"
+)
+
+var (
+	devA = device.ID("ac")
+	devB = device.ID("window")
+	devC = device.ID("light")
+	t0   = time.Date(2021, 4, 26, 8, 0, 0, 0, time.UTC)
+)
+
+func newTestTable() *Table {
+	return NewTable(map[device.ID]device.State{
+		devA: device.Off,
+		devB: device.Open,
+		devC: device.Off,
+	})
+}
+
+func TestNewTableCommittedStates(t *testing.T) {
+	tab := newTestTable()
+	if got := tab.Committed(devA); got != device.Off {
+		t.Fatalf("Committed(%s) = %q, want OFF", devA, got)
+	}
+	if got := tab.Committed(devB); got != device.Open {
+		t.Fatalf("Committed(%s) = %q, want OPEN", devB, got)
+	}
+	if got := tab.Committed("unknown-device"); got != device.StateUnknown {
+		t.Fatalf("Committed(unknown) = %q, want unknown", got)
+	}
+	if len(tab.Devices()) != 4 {
+		t.Fatalf("Devices() = %v, want 4 entries (3 initial + lazily added)", tab.Devices())
+	}
+}
+
+func TestAppendAndFind(t *testing.T) {
+	tab := newTestTable()
+	pre, err := tab.Append(devA, Access{Routine: 1, Status: Scheduled, Target: device.On})
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if len(pre) != 0 {
+		t.Fatalf("first append preSet = %v, want empty", pre)
+	}
+	pre, err = tab.Append(devA, Access{Routine: 2, Status: Scheduled, Target: device.Off})
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if len(pre) != 1 || pre[0] != 1 {
+		t.Fatalf("second append preSet = %v, want [1]", pre)
+	}
+	if _, err := tab.Append(devA, Access{Routine: 1}); !errors.Is(err, ErrHasAccess) {
+		t.Fatalf("duplicate append err = %v, want ErrHasAccess", err)
+	}
+	if idx := tab.Find(devA, 2); idx != 1 {
+		t.Fatalf("Find(R2) = %d, want 1", idx)
+	}
+	if idx := tab.Find(devA, 99); idx != -1 {
+		t.Fatalf("Find(R99) = %d, want -1", idx)
+	}
+}
+
+func TestInsertBeforeAfter(t *testing.T) {
+	tab := newTestTable()
+	mustAppend(t, tab, devA, Access{Routine: 1, Status: Scheduled})
+	mustAppend(t, tab, devA, Access{Routine: 3, Status: Scheduled})
+
+	pre, post, err := tab.InsertBefore(devA, Access{Routine: 2, Status: Scheduled}, 3)
+	if err != nil {
+		t.Fatalf("InsertBefore: %v", err)
+	}
+	if len(pre) != 1 || pre[0] != 1 {
+		t.Fatalf("preSet = %v, want [1]", pre)
+	}
+	if len(post) != 1 || post[0] != 3 {
+		t.Fatalf("postSet = %v, want [3]", post)
+	}
+	wantOrder := []routine.ID{1, 2, 3}
+	for i, a := range tab.Lineage(devA).Accesses {
+		if a.Routine != wantOrder[i] {
+			t.Fatalf("lineage order = %v, want %v", tab.Lineage(devA).Accesses, wantOrder)
+		}
+	}
+
+	_, _, err = tab.InsertAfter(devA, Access{Routine: 4, Status: Scheduled}, 3)
+	if err != nil {
+		t.Fatalf("InsertAfter: %v", err)
+	}
+	if idx := tab.Find(devA, 4); idx != 3 {
+		t.Fatalf("R4 at index %d, want 3 (after R3)", idx)
+	}
+
+	if _, _, err := tab.InsertBefore(devA, Access{Routine: 5}, 42); !errors.Is(err, ErrNoSuchSlot) {
+		t.Fatalf("InsertBefore missing anchor err = %v, want ErrNoSuchSlot", err)
+	}
+}
+
+func TestStatusTransitions(t *testing.T) {
+	tab := newTestTable()
+	mustAppend(t, tab, devA, Access{Routine: 1, Status: Scheduled})
+	if err := tab.SetStatus(devA, 1, Acquired); err != nil {
+		t.Fatalf("Scheduled->Acquired: %v", err)
+	}
+	if err := tab.SetStatus(devA, 1, Released); err != nil {
+		t.Fatalf("Acquired->Released: %v", err)
+	}
+	if err := tab.SetStatus(devA, 1, Acquired); !errors.Is(err, ErrBadStatus) {
+		t.Fatalf("Released->Acquired err = %v, want ErrBadStatus", err)
+	}
+	if err := tab.SetStatus(devA, 99, Acquired); !errors.Is(err, ErrNoAccess) {
+		t.Fatalf("missing access err = %v, want ErrNoAccess", err)
+	}
+}
+
+func TestCanAcquireAndHolder(t *testing.T) {
+	tab := newTestTable()
+	mustAppend(t, tab, devA, Access{Routine: 1, Status: Scheduled})
+	mustAppend(t, tab, devA, Access{Routine: 2, Status: Scheduled})
+
+	if !tab.CanAcquire(devA, 1) {
+		t.Fatal("R1 should be able to acquire (head of lineage)")
+	}
+	if tab.CanAcquire(devA, 2) {
+		t.Fatal("R2 must not acquire while R1 is not Released")
+	}
+	if tab.CanAcquire(devA, 99) {
+		t.Fatal("routine without access must not acquire")
+	}
+
+	mustStatus(t, tab, devA, 1, Acquired)
+	if got := tab.Holder(devA); got != 1 {
+		t.Fatalf("Holder = R%d, want R1", got)
+	}
+	if got := tab.NextWaiter(devA); got != 1 {
+		t.Fatalf("NextWaiter = R%d, want R1", got)
+	}
+	mustStatus(t, tab, devA, 1, Released)
+	if got := tab.Holder(devA); got != routine.None {
+		t.Fatalf("Holder after release = R%d, want none", got)
+	}
+	if got := tab.NextWaiter(devA); got != 2 {
+		t.Fatalf("NextWaiter = R%d, want R2", got)
+	}
+	if !tab.CanAcquire(devA, 2) {
+		t.Fatal("R2 should be able to acquire after R1 released")
+	}
+}
+
+func TestCurrentStateInference(t *testing.T) {
+	// The three cases of Fig 8.
+	tab := newTestTable()
+
+	// Case (c): no accesses -> committed state.
+	if got := tab.CurrentState(devA); got != device.Off {
+		t.Fatalf("empty lineage current state = %q, want committed OFF", got)
+	}
+
+	// Case (b): right-most Released entry.
+	mustAppend(t, tab, devA, Access{Routine: 1, Status: Released, Target: device.On})
+	mustAppend(t, tab, devA, Access{Routine: 2, Status: Released, Target: device.Off})
+	if got := tab.CurrentState(devA); got != device.Off {
+		t.Fatalf("released-only current state = %q, want OFF (right-most released)", got)
+	}
+
+	// Case (a): Acquired entry wins.
+	mustAppend(t, tab, devA, Access{Routine: 3, Status: Scheduled})
+	mustStatus(t, tab, devA, 3, Acquired)
+	if err := tab.SetTarget(devA, 3, device.On); err != nil {
+		t.Fatalf("SetTarget: %v", err)
+	}
+	if got := tab.CurrentState(devA); got != device.On {
+		t.Fatalf("acquired current state = %q, want ON", got)
+	}
+
+	// An Acquired access that has not executed a command yet (unknown target)
+	// should not mask the released history.
+	tab2 := newTestTable()
+	mustAppend(t, tab2, devA, Access{Routine: 1, Status: Released, Target: device.On})
+	mustAppend(t, tab2, devA, Access{Routine: 2, Status: Acquired})
+	if got := tab2.CurrentState(devA); got != device.On {
+		t.Fatalf("acquired-no-target current state = %q, want ON", got)
+	}
+}
+
+func TestRollbackTarget(t *testing.T) {
+	tab := newTestTable()
+	mustAppend(t, tab, devA, Access{Routine: 1, Status: Released, Target: device.On})
+	mustAppend(t, tab, devA, Access{Routine: 2, Status: Acquired, Target: device.Off})
+
+	if got := tab.RollbackTarget(devA, 2); got != device.On {
+		t.Fatalf("RollbackTarget(R2) = %q, want ON (previous entry)", got)
+	}
+	if got := tab.RollbackTarget(devA, 1); got != device.Off {
+		t.Fatalf("RollbackTarget(R1) = %q, want committed OFF", got)
+	}
+	if got := tab.RollbackTarget(devA, 99); got != device.Off {
+		t.Fatalf("RollbackTarget(missing) = %q, want committed OFF", got)
+	}
+}
+
+func TestLastAcquirerWas(t *testing.T) {
+	tab := newTestTable()
+	mustAppend(t, tab, devA, Access{Routine: 1, Status: Released, Target: device.On})
+	mustAppend(t, tab, devA, Access{Routine: 2, Status: Acquired, Target: device.Off})
+	mustAppend(t, tab, devA, Access{Routine: 3, Status: Scheduled})
+
+	if !tab.LastAcquirerWas(devA, 2) {
+		t.Fatal("R2 holds the device; it is the last acquirer")
+	}
+	if tab.LastAcquirerWas(devA, 1) {
+		t.Fatal("R1 is not the last acquirer (R2 acquired after it)")
+	}
+	if tab.LastAcquirerWas(devA, 3) {
+		t.Fatal("R3 is only Scheduled; it never acquired the device")
+	}
+}
+
+func TestRemoveRoutine(t *testing.T) {
+	tab := newTestTable()
+	mustAppend(t, tab, devA, Access{Routine: 1, Status: Scheduled})
+	mustAppend(t, tab, devB, Access{Routine: 1, Status: Scheduled})
+	mustAppend(t, tab, devB, Access{Routine: 2, Status: Scheduled})
+
+	removed := tab.RemoveRoutine(1)
+	if len(removed) != 2 {
+		t.Fatalf("RemoveRoutine removed from %v, want 2 devices", removed)
+	}
+	if tab.Find(devA, 1) != -1 || tab.Find(devB, 1) != -1 {
+		t.Fatal("R1 accesses should be gone")
+	}
+	if tab.Find(devB, 2) != 0 {
+		t.Fatal("R2 access on window should remain and shift to index 0")
+	}
+}
+
+func TestCompactLastWriterWins(t *testing.T) {
+	// Mirrors Fig 7: R3 commits while earlier routines still have accesses on
+	// shared devices; their accesses are folded away and the committed state
+	// becomes R3's write.
+	tab := newTestTable()
+	mustAppend(t, tab, devA, Access{Routine: 1, Status: Released, Target: device.On})
+	mustAppend(t, tab, devA, Access{Routine: 3, Status: Released, Target: device.Off})
+	mustAppend(t, tab, devB, Access{Routine: 3, Status: Released, Target: device.Closed})
+	mustAppend(t, tab, devB, Access{Routine: 4, Status: Scheduled})
+
+	folded := tab.Compact(3)
+
+	if got := tab.Committed(devA); got != device.Off {
+		t.Fatalf("committed(%s) = %q, want OFF (R3's write)", devA, got)
+	}
+	if got := tab.Committed(devB); got != device.Closed {
+		t.Fatalf("committed(%s) = %q, want CLOSED", devB, got)
+	}
+	if len(tab.Lineage(devA).Accesses) != 0 {
+		t.Fatalf("devA lineage should be empty after compaction, got %v", tab.Lineage(devA).Accesses)
+	}
+	if got := len(tab.Lineage(devB).Accesses); got != 1 {
+		t.Fatalf("devB lineage should keep only R4, got %d entries", got)
+	}
+	if rs := folded[devA]; len(rs) != 1 || rs[0] != 1 {
+		t.Fatalf("folded[%s] = %v, want [1]", devA, rs)
+	}
+}
+
+func TestCompactWithoutTargetKeepsCommitted(t *testing.T) {
+	tab := newTestTable()
+	mustAppend(t, tab, devA, Access{Routine: 1, Status: Released})
+	tab.Compact(1)
+	if got := tab.Committed(devA); got != device.Off {
+		t.Fatalf("committed = %q, want original OFF (no target recorded)", got)
+	}
+}
+
+func TestGapsUnbounded(t *testing.T) {
+	tab := newTestTable()
+	gaps := tab.Gaps(devA, t0)
+	if len(gaps) != 1 {
+		t.Fatalf("empty lineage gaps = %v, want a single unbounded gap", gaps)
+	}
+	if gaps[0].Bounded() || !gaps[0].Start.Equal(t0) || gaps[0].Index != 0 {
+		t.Fatalf("unexpected gap %+v", gaps[0])
+	}
+	if start, ok := gaps[0].Fits(t0.Add(time.Minute), time.Hour); !ok || !start.Equal(t0.Add(time.Minute)) {
+		t.Fatalf("unbounded gap should fit anything, got %v %v", start, ok)
+	}
+}
+
+func TestGapsBetweenAccesses(t *testing.T) {
+	tab := newTestTable()
+	mustAppend(t, tab, devA, Access{Routine: 1, Status: Scheduled, Start: t0, Duration: 10 * time.Minute})
+	mustAppend(t, tab, devA, Access{Routine: 2, Status: Scheduled, Start: t0.Add(30 * time.Minute), Duration: 10 * time.Minute})
+
+	gaps := tab.Gaps(devA, t0)
+	if len(gaps) != 2 {
+		t.Fatalf("gaps = %+v, want 2 (between R1 and R2, and after R2)", gaps)
+	}
+	mid := gaps[0]
+	if mid.Index != 1 {
+		t.Fatalf("middle gap index = %d, want 1", mid.Index)
+	}
+	if !mid.Start.Equal(t0.Add(10*time.Minute)) || !mid.End.Equal(t0.Add(30*time.Minute)) {
+		t.Fatalf("middle gap = %+v, want [t0+10m, t0+30m)", mid)
+	}
+	if _, ok := mid.Fits(t0, 25*time.Minute); ok {
+		t.Fatal("25-minute hold must not fit in a 20-minute gap")
+	}
+	if start, ok := mid.Fits(t0, 15*time.Minute); !ok || !start.Equal(t0.Add(10*time.Minute)) {
+		t.Fatalf("15-minute hold should fit starting at gap start, got %v %v", start, ok)
+	}
+	tail := gaps[1]
+	if tail.Bounded() || tail.Index != 2 {
+		t.Fatalf("tail gap = %+v, want unbounded at index 2", tail)
+	}
+}
+
+func TestInvariant2Violation(t *testing.T) {
+	tab := newTestTable()
+	mustAppend(t, tab, devA, Access{Routine: 1, Status: Acquired})
+	mustAppend(t, tab, devA, Access{Routine: 2, Status: Acquired})
+	err := tab.CheckInvariants()
+	if err == nil || !strings.Contains(err.Error(), "invariant 2") {
+		t.Fatalf("CheckInvariants = %v, want invariant 2 violation", err)
+	}
+}
+
+func TestInvariant3Violation(t *testing.T) {
+	tab := newTestTable()
+	mustAppend(t, tab, devA, Access{Routine: 1, Status: Scheduled})
+	mustAppend(t, tab, devA, Access{Routine: 2, Status: Released})
+	err := tab.CheckInvariants()
+	if err == nil || !strings.Contains(err.Error(), "invariant 3") {
+		t.Fatalf("CheckInvariants = %v, want invariant 3 violation", err)
+	}
+}
+
+func TestInvariant4Violation(t *testing.T) {
+	tab := newTestTable()
+	mustAppend(t, tab, devA, Access{Routine: 1, Status: Scheduled})
+	mustAppend(t, tab, devA, Access{Routine: 2, Status: Scheduled})
+	mustAppend(t, tab, devB, Access{Routine: 2, Status: Scheduled})
+	mustAppend(t, tab, devB, Access{Routine: 1, Status: Scheduled})
+	err := tab.CheckInvariants()
+	if err == nil || !strings.Contains(err.Error(), "invariant 4") {
+		t.Fatalf("CheckInvariants = %v, want invariant 4 violation", err)
+	}
+}
+
+func TestInvariantsHoldOnWellFormedTable(t *testing.T) {
+	tab := newTestTable()
+	mustAppend(t, tab, devA, Access{Routine: 1, Status: Released, Target: device.On})
+	mustAppend(t, tab, devA, Access{Routine: 2, Status: Acquired, Target: device.Off})
+	mustAppend(t, tab, devA, Access{Routine: 3, Status: Scheduled})
+	mustAppend(t, tab, devB, Access{Routine: 2, Status: Scheduled})
+	mustAppend(t, tab, devB, Access{Routine: 3, Status: Scheduled})
+	if err := tab.CheckInvariants(); err != nil {
+		t.Fatalf("CheckInvariants: %v", err)
+	}
+	if !strings.Contains(tab.String(), "R2[A]->OFF") {
+		t.Fatalf("String() missing acquired entry:\n%s", tab.String())
+	}
+}
+
+// Property: appending routines in the same relative order to every lineage
+// always satisfies the invariants, regardless of which subset of devices each
+// routine touches.
+func TestPropertyAppendOrderPreservesInvariants(t *testing.T) {
+	f := func(masks []uint8) bool {
+		if len(masks) > 12 {
+			masks = masks[:12]
+		}
+		devs := []device.ID{devA, devB, devC}
+		tab := newTestTable()
+		for i, m := range masks {
+			rid := routine.ID(i + 1)
+			for bit, d := range devs {
+				if m&(1<<uint(bit)) == 0 {
+					continue
+				}
+				if _, err := tab.Append(d, Access{Routine: rid, Status: Scheduled}); err != nil {
+					return false
+				}
+			}
+		}
+		return tab.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CurrentState never invents a state — it is always either the
+// committed state or the target of one of the accesses.
+func TestPropertyCurrentStateIsKnownValue(t *testing.T) {
+	states := []device.State{device.On, device.Off, device.Open, device.Closed}
+	f := func(statuses []uint8, targets []uint8) bool {
+		tab := newTestTable()
+		n := len(statuses)
+		if n > 10 {
+			n = 10
+		}
+		valid := map[device.State]bool{device.Off: true} // committed state of devA
+		phase := Released
+		for i := 0; i < n; i++ {
+			st := Status(statuses[i] % 3)
+			// Keep invariant 3 satisfied so the table is well-formed.
+			if st < phase {
+				st = phase
+			}
+			if st == Acquired && phase == Acquired {
+				st = Scheduled
+			}
+			phase = st
+			tgt := states[0]
+			if len(targets) > 0 {
+				tgt = states[int(targets[i%len(targets)])%len(states)]
+			}
+			if st == Scheduled {
+				tgt = device.StateUnknown
+			}
+			if _, err := tab.Append(devA, Access{Routine: routine.ID(i + 1), Status: st, Target: tgt}); err != nil {
+				return false
+			}
+			if tgt != device.StateUnknown {
+				valid[tgt] = true
+			}
+		}
+		return valid[tab.CurrentState(devA)]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustAppend(t *testing.T, tab *Table, d device.ID, a Access) {
+	t.Helper()
+	if _, err := tab.Append(d, a); err != nil {
+		t.Fatalf("Append(%s, %v): %v", d, a, err)
+	}
+}
+
+func mustStatus(t *testing.T, tab *Table, d device.ID, rid routine.ID, s Status) {
+	t.Helper()
+	if err := tab.SetStatus(d, rid, s); err != nil {
+		t.Fatalf("SetStatus(%s, R%d, %v): %v", d, rid, s, err)
+	}
+}

@@ -1,0 +1,79 @@
+// Package live provides the real-time execution environment for SafeHome's
+// concurrency controllers: commands actuate real (or emulated) devices
+// through a device.Actuator, holds are real wall-clock durations, and every
+// callback re-enters the controller under the hub's lock — giving the
+// controllers the same single-threaded view they have under simulation.
+package live
+
+import (
+	"sync"
+	"time"
+
+	"safehome/internal/device"
+	"safehome/internal/routine"
+)
+
+// Env implements visibility.Env over wall-clock time and a device actuator.
+type Env struct {
+	mu       *sync.Mutex
+	actuator device.Actuator
+
+	// OnContact, if set, is called (outside the lock) after every device
+	// exchange with the exchange's success — the hub uses it to feed implicit
+	// acks/silences to the failure detector.
+	OnContact func(id device.ID, ok bool)
+
+	wg sync.WaitGroup
+}
+
+// New builds a live environment. mu is the lock that serializes the
+// controller (the hub's lock); callbacks are delivered while holding it.
+func New(mu *sync.Mutex, actuator device.Actuator) *Env {
+	return &Env{mu: mu, actuator: actuator}
+}
+
+// Now implements visibility.Env.
+func (e *Env) Now() time.Time { return time.Now() }
+
+// After implements visibility.Env.
+func (e *Env) After(d time.Duration, fn func()) (cancel func()) {
+	timer := time.AfterFunc(d, func() {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		fn()
+	})
+	return func() { timer.Stop() }
+}
+
+// Exec implements visibility.Env: the device is actuated immediately, the
+// exclusive hold lasts for the command's duration, and done is delivered
+// under the controller lock.
+func (e *Env) Exec(rid routine.ID, cmd routine.Command, hold time.Duration, done func(error)) {
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		err := e.actuator.Apply(cmd.Device, cmd.Target)
+		if e.OnContact != nil {
+			e.OnContact(cmd.Device, err == nil)
+		}
+		if err == nil {
+			time.Sleep(hold)
+		}
+		e.mu.Lock()
+		done(err)
+		e.mu.Unlock()
+	}()
+}
+
+// DeviceState implements visibility.Env.
+func (e *Env) DeviceState(d device.ID) (device.State, error) {
+	st, err := e.actuator.Status(d)
+	if e.OnContact != nil {
+		e.OnContact(d, err == nil)
+	}
+	return st, err
+}
+
+// Wait blocks until every in-flight command goroutine has delivered its
+// completion. It is used by tests and by graceful hub shutdown.
+func (e *Env) Wait() { e.wg.Wait() }

@@ -1,0 +1,151 @@
+package live
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"safehome/internal/device"
+	"safehome/internal/routine"
+	"safehome/internal/visibility"
+)
+
+func newFleet(ids ...device.ID) *device.Fleet {
+	reg := device.NewRegistry()
+	for _, id := range ids {
+		reg.Add(device.Info{ID: id, Kind: device.KindPlug, Initial: device.Off})
+	}
+	return device.NewFleet(reg)
+}
+
+func TestEnvImplementsVisibilityEnv(t *testing.T) {
+	var mu sync.Mutex
+	var env visibility.Env = New(&mu, newFleet("a"))
+	if env.Now().IsZero() {
+		t.Fatal("Now() returned zero time")
+	}
+}
+
+func TestExecActuatesAndCompletes(t *testing.T) {
+	var mu sync.Mutex
+	fleet := newFleet("a")
+	var contacts []bool
+	env := New(&mu, fleet)
+	env.OnContact = func(_ device.ID, ok bool) { contacts = append(contacts, ok) }
+
+	done := make(chan error, 1)
+	start := time.Now()
+	mu.Lock()
+	env.Exec(1, routine.Command{Device: "a", Target: device.On}, 30*time.Millisecond, func(err error) {
+		done <- err
+	})
+	mu.Unlock()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Exec completion err = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Exec never completed")
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Errorf("Exec completed after %v, want >= hold duration", elapsed)
+	}
+	if st, _ := fleet.Status("a"); st != device.On {
+		t.Errorf("device state = %q, want ON", st)
+	}
+	env.Wait()
+	if len(contacts) != 1 || !contacts[0] {
+		t.Errorf("contacts = %v, want one successful contact", contacts)
+	}
+}
+
+func TestExecReportsFailureFast(t *testing.T) {
+	var mu sync.Mutex
+	fleet := newFleet("a")
+	if err := fleet.Fail("a"); err != nil {
+		t.Fatal(err)
+	}
+	env := New(&mu, fleet)
+	done := make(chan error, 1)
+	env.Exec(1, routine.Command{Device: "a", Target: device.On}, time.Hour, func(err error) {
+		done <- err
+	})
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Exec to a failed device should report an error")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("failed Exec should not wait out the hold duration")
+	}
+}
+
+func TestAfterAndCancel(t *testing.T) {
+	var mu sync.Mutex
+	env := New(&mu, newFleet("a"))
+
+	fired := make(chan struct{}, 1)
+	env.After(20*time.Millisecond, func() { fired <- struct{}{} })
+	select {
+	case <-fired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("After callback never fired")
+	}
+
+	cancelled := make(chan struct{}, 1)
+	cancel := env.After(50*time.Millisecond, func() { cancelled <- struct{}{} })
+	cancel()
+	select {
+	case <-cancelled:
+		t.Fatal("cancelled timer still fired")
+	case <-time.After(150 * time.Millisecond):
+	}
+}
+
+func TestLiveControllerEndToEnd(t *testing.T) {
+	// Run a real EV controller over the live environment with an in-memory
+	// fleet: the cooling routine and a conflicting lights routine must both
+	// commit, with a serializable end state.
+	var mu sync.Mutex
+	fleet := newFleet("window", "ac", "light")
+	env := New(&mu, fleet)
+	opts := visibility.DefaultOptions(visibility.EV)
+	opts.DefaultShort = 10 * time.Millisecond
+
+	mu.Lock()
+	ctrl := visibility.New(env, fleet.Snapshot(), opts)
+	ctrl.Submit(routine.New("cooling",
+		routine.Command{Device: "window", Target: device.Closed},
+		routine.Command{Device: "ac", Target: device.On}))
+	ctrl.Submit(routine.New("lights",
+		routine.Command{Device: "light", Target: device.On},
+		routine.Command{Device: "ac", Target: device.Off}))
+	mu.Unlock()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		pending := ctrl.PendingCount()
+		mu.Unlock()
+		if pending == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("live controller did not finish in time")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	for _, res := range ctrl.Results() {
+		if res.Status != visibility.StatusCommitted {
+			t.Errorf("routine %s = %v (%s)", res.Routine.Name, res.Status, res.AbortReason)
+		}
+	}
+	if st, _ := fleet.Status("window"); st != device.Closed {
+		t.Errorf("window = %q, want CLOSED", st)
+	}
+}

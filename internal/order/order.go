@@ -1,0 +1,356 @@
+// Package order maintains SafeHome's serialization order: a precedence
+// graph over routines, device failure events and device restart events.
+//
+// The controllers use it to (a) record "serialize-before" relationships
+// implied by lineage placement and lock leases, (b) refuse leases that would
+// contradict an already-established order (the preSet/postSet test of
+// Algorithm 1 and §4.1), and (c) extract the final serially-equivalent order
+// and the order-mismatch metric (§7.6).
+package order
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"safehome/internal/device"
+	"safehome/internal/routine"
+)
+
+// Kind distinguishes the three event types that appear in a serialization
+// order (§3: failure and restart events are serialized alongside routines).
+type Kind int
+
+const (
+	// KindRoutine is a routine node.
+	KindRoutine Kind = iota
+	// KindFailure is a device failure event node.
+	KindFailure
+	// KindRestart is a device restart event node.
+	KindRestart
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindRoutine:
+		return "routine"
+	case KindFailure:
+		return "failure"
+	case KindRestart:
+		return "restart"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Node identifies one entry of the serialization order.
+type Node struct {
+	Kind    Kind
+	Routine routine.ID // set for KindRoutine
+	Device  device.ID  // set for failure/restart events
+	Seq     int        // distinguishes repeated failure/restart of one device
+}
+
+// RoutineNode returns the node for a routine.
+func RoutineNode(id routine.ID) Node { return Node{Kind: KindRoutine, Routine: id} }
+
+// FailureNode returns the node for the seq-th failure event of a device.
+func FailureNode(dev device.ID, seq int) Node {
+	return Node{Kind: KindFailure, Device: dev, Seq: seq}
+}
+
+// RestartNode returns the node for the seq-th restart event of a device.
+func RestartNode(dev device.ID, seq int) Node {
+	return Node{Kind: KindRestart, Device: dev, Seq: seq}
+}
+
+// String renders the node in the paper's notation (R3, F[ac]#0, Re[ac]#0).
+func (n Node) String() string {
+	switch n.Kind {
+	case KindRoutine:
+		return fmt.Sprintf("R%d", n.Routine)
+	case KindFailure:
+		return fmt.Sprintf("F[%s]#%d", n.Device, n.Seq)
+	case KindRestart:
+		return fmt.Sprintf("Re[%s]#%d", n.Device, n.Seq)
+	default:
+		return "?"
+	}
+}
+
+// ErrCycle is returned when adding a precedence edge would create a cycle,
+// i.e. contradict the already-established serialization order.
+var ErrCycle = errors.New("order: edge would create a cycle")
+
+// Graph is a precedence DAG over serialization-order nodes. The zero value
+// is not usable; call NewGraph. Graph is not safe for concurrent use (the
+// controllers are single-threaded).
+type Graph struct {
+	nodes   map[Node]int // node -> insertion sequence (tie-break for Order)
+	nextSeq int
+	succ    map[Node]map[Node]bool
+	pred    map[Node]map[Node]bool
+}
+
+// NewGraph returns an empty precedence graph.
+func NewGraph() *Graph {
+	return &Graph{
+		nodes: make(map[Node]int),
+		succ:  make(map[Node]map[Node]bool),
+		pred:  make(map[Node]map[Node]bool),
+	}
+}
+
+// AddNode registers a node (idempotent).
+func (g *Graph) AddNode(n Node) {
+	if _, ok := g.nodes[n]; ok {
+		return
+	}
+	g.nodes[n] = g.nextSeq
+	g.nextSeq++
+	g.succ[n] = make(map[Node]bool)
+	g.pred[n] = make(map[Node]bool)
+}
+
+// Has reports whether the node is registered.
+func (g *Graph) Has(n Node) bool {
+	_, ok := g.nodes[n]
+	return ok
+}
+
+// Len returns the number of registered nodes.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// AddEdge records that `before` is serialized before `after`. Both nodes are
+// registered if needed. It returns ErrCycle (and leaves the graph unchanged)
+// if the edge would contradict existing constraints; self-edges are also
+// rejected.
+func (g *Graph) AddEdge(before, after Node) error {
+	if before == after {
+		return fmt.Errorf("%w: self edge %v", ErrCycle, before)
+	}
+	g.AddNode(before)
+	g.AddNode(after)
+	if g.succ[before][after] {
+		return nil
+	}
+	if g.HasPath(after, before) {
+		return fmt.Errorf("%w: %v -> %v contradicts existing order", ErrCycle, before, after)
+	}
+	g.succ[before][after] = true
+	g.pred[after][before] = true
+	return nil
+}
+
+// CanOrder reports whether an edge before→after could be added without
+// contradicting the current constraints (without adding it).
+func (g *Graph) CanOrder(before, after Node) bool {
+	if before == after {
+		return false
+	}
+	if !g.Has(before) || !g.Has(after) {
+		return true
+	}
+	return !g.HasPath(after, before)
+}
+
+// HasPath reports whether `from` reaches `to` through precedence edges
+// (i.e. from is serialized before to, transitively).
+func (g *Graph) HasPath(from, to Node) bool {
+	if !g.Has(from) || !g.Has(to) {
+		return false
+	}
+	if from == to {
+		return false
+	}
+	// Iterative DFS; graphs are small (tens of nodes).
+	stack := []Node{from}
+	visited := map[Node]bool{from: true}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for next := range g.succ[n] {
+			if next == to {
+				return true
+			}
+			if !visited[next] {
+				visited[next] = true
+				stack = append(stack, next)
+			}
+		}
+	}
+	return false
+}
+
+// Remove deletes a node and all its edges, e.g. when a routine aborts and
+// therefore does not appear in the final serialization order.
+func (g *Graph) Remove(n Node) {
+	if !g.Has(n) {
+		return
+	}
+	for p := range g.pred[n] {
+		delete(g.succ[p], n)
+	}
+	for s := range g.succ[n] {
+		delete(g.pred[s], n)
+	}
+	delete(g.succ, n)
+	delete(g.pred, n)
+	delete(g.nodes, n)
+}
+
+// Predecessors returns the direct predecessors of n.
+func (g *Graph) Predecessors(n Node) []Node {
+	var out []Node
+	for p := range g.pred[n] {
+		out = append(out, p)
+	}
+	sortNodes(g, out)
+	return out
+}
+
+// Successors returns the direct successors of n.
+func (g *Graph) Successors(n Node) []Node {
+	var out []Node
+	for s := range g.succ[n] {
+		out = append(out, s)
+	}
+	sortNodes(g, out)
+	return out
+}
+
+// Ancestors returns every node serialized before n (transitively). Used as
+// the preSet in lease/gap legality checks.
+func (g *Graph) Ancestors(n Node) map[Node]bool {
+	return g.reach(n, g.pred)
+}
+
+// Descendants returns every node serialized after n (transitively). Used as
+// the postSet in lease/gap legality checks.
+func (g *Graph) Descendants(n Node) map[Node]bool {
+	return g.reach(n, g.succ)
+}
+
+func (g *Graph) reach(start Node, adj map[Node]map[Node]bool) map[Node]bool {
+	out := make(map[Node]bool)
+	if !g.Has(start) {
+		return out
+	}
+	stack := []Node{start}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for next := range adj[n] {
+			if !out[next] {
+				out[next] = true
+				stack = append(stack, next)
+			}
+		}
+	}
+	return out
+}
+
+func sortNodes(g *Graph, ns []Node) {
+	sort.Slice(ns, func(i, j int) bool { return g.nodes[ns[i]] < g.nodes[ns[j]] })
+}
+
+// Order returns a topological order of all registered nodes consistent with
+// the precedence edges. Ties are broken by routine ID (i.e. submission
+// order) and then by insertion sequence, which yields the
+// minimum-order-mismatch serialization among valid ones for the common case.
+func (g *Graph) Order() []Node {
+	indeg := make(map[Node]int, len(g.nodes))
+	for n := range g.nodes {
+		indeg[n] = len(g.pred[n])
+	}
+	ready := make([]Node, 0, len(g.nodes))
+	for n, d := range indeg {
+		if d == 0 {
+			ready = append(ready, n)
+		}
+	}
+	less := func(a, b Node) bool {
+		if a.Kind == KindRoutine && b.Kind == KindRoutine {
+			return a.Routine < b.Routine
+		}
+		return g.nodes[a] < g.nodes[b]
+	}
+	var out []Node
+	for len(ready) > 0 {
+		sort.Slice(ready, func(i, j int) bool { return less(ready[i], ready[j]) })
+		n := ready[0]
+		ready = ready[1:]
+		out = append(out, n)
+		for s := range g.succ[n] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	if len(out) != len(g.nodes) {
+		// Should be impossible: AddEdge prevents cycles.
+		panic("order: graph contains a cycle")
+	}
+	return out
+}
+
+// RoutineOrder returns only the routine IDs from Order, in serialization
+// order.
+func (g *Graph) RoutineOrder() []routine.ID {
+	var out []routine.ID
+	for _, n := range g.Order() {
+		if n.Kind == KindRoutine {
+			out = append(out, n.Routine)
+		}
+	}
+	return out
+}
+
+// --- order mismatch -------------------------------------------------------
+
+// KendallTau returns the swap distance between two orderings of the same
+// routine set: the number of pairs whose relative order differs. Elements
+// present in only one of the slices are ignored.
+func KendallTau(a, b []routine.ID) int {
+	posB := make(map[routine.ID]int, len(b))
+	for i, id := range b {
+		posB[id] = i
+	}
+	var common []routine.ID
+	for _, id := range a {
+		if _, ok := posB[id]; ok {
+			common = append(common, id)
+		}
+	}
+	inversions := 0
+	for i := 0; i < len(common); i++ {
+		for j := i + 1; j < len(common); j++ {
+			if posB[common[i]] > posB[common[j]] {
+				inversions++
+			}
+		}
+	}
+	return inversions
+}
+
+// OrderMismatch returns the normalized swap distance in [0,1]: KendallTau
+// divided by the maximum possible number of discordant pairs. It is the
+// paper's "order mismatch" metric (§7.6).
+func OrderMismatch(submission, serialization []routine.ID) float64 {
+	posB := make(map[routine.ID]int, len(serialization))
+	for i, id := range serialization {
+		posB[id] = i
+	}
+	n := 0
+	for _, id := range submission {
+		if _, ok := posB[id]; ok {
+			n++
+		}
+	}
+	if n < 2 {
+		return 0
+	}
+	maxPairs := n * (n - 1) / 2
+	return float64(KendallTau(submission, serialization)) / float64(maxPairs)
+}

@@ -1,0 +1,256 @@
+package order
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"safehome/internal/routine"
+	"safehome/internal/stats"
+)
+
+func TestAddEdgeAndPath(t *testing.T) {
+	g := NewGraph()
+	a, b, c := RoutineNode(1), RoutineNode(2), RoutineNode(3)
+	if err := g.AddEdge(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(b, c); err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasPath(a, c) {
+		t.Fatal("transitive path a->c missing")
+	}
+	if g.HasPath(c, a) {
+		t.Fatal("reverse path should not exist")
+	}
+	if g.Len() != 3 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+}
+
+func TestCycleRejected(t *testing.T) {
+	g := NewGraph()
+	a, b, c := RoutineNode(1), RoutineNode(2), RoutineNode(3)
+	mustEdge(t, g, a, b)
+	mustEdge(t, g, b, c)
+	if err := g.AddEdge(c, a); !errors.Is(err, ErrCycle) {
+		t.Fatalf("expected ErrCycle, got %v", err)
+	}
+	// Graph must be unchanged by the failed insertion.
+	if g.HasPath(c, a) {
+		t.Fatal("rejected edge left residue")
+	}
+	if err := g.AddEdge(a, a); !errors.Is(err, ErrCycle) {
+		t.Fatalf("self edge should be rejected, got %v", err)
+	}
+	if !g.CanOrder(a, c) || g.CanOrder(c, a) {
+		t.Fatal("CanOrder disagrees with constraints")
+	}
+	if g.CanOrder(a, a) {
+		t.Fatal("CanOrder(a,a) should be false")
+	}
+}
+
+func TestDuplicateEdgeIdempotent(t *testing.T) {
+	g := NewGraph()
+	a, b := RoutineNode(1), RoutineNode(2)
+	mustEdge(t, g, a, b)
+	mustEdge(t, g, a, b)
+	if got := g.Successors(a); len(got) != 1 {
+		t.Fatalf("duplicate edge created extra successor: %v", got)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	g := NewGraph()
+	a, b, c := RoutineNode(1), RoutineNode(2), RoutineNode(3)
+	mustEdge(t, g, a, b)
+	mustEdge(t, g, b, c)
+	g.Remove(b)
+	if g.Has(b) {
+		t.Fatal("b still present")
+	}
+	if g.HasPath(a, c) {
+		t.Fatal("path through removed node should be gone")
+	}
+	// After removal, an order contradicting the old constraint is allowed.
+	if err := g.AddEdge(c, a); err != nil {
+		t.Fatalf("edge after removal should succeed: %v", err)
+	}
+	g.Remove(Node{Kind: KindRoutine, Routine: 99}) // removing absent node is a no-op
+}
+
+func TestFailureAndRestartNodes(t *testing.T) {
+	g := NewGraph()
+	r := RoutineNode(1)
+	f := FailureNode("window", 0)
+	re := RestartNode("window", 0)
+	mustEdge(t, g, r, f)  // failure serialized after routine (EV case 3)
+	mustEdge(t, g, f, re) // restart after failure
+	ord := g.Order()
+	if len(ord) != 3 || ord[0] != r || ord[1] != f || ord[2] != re {
+		t.Fatalf("Order = %v", ord)
+	}
+	if f.String() != "F[window]#0" || re.String() != "Re[window]#0" || r.String() != "R1" {
+		t.Fatalf("string forms: %v %v %v", f, re, r)
+	}
+	if KindRoutine.String() != "routine" || KindFailure.String() != "failure" || KindRestart.String() != "restart" {
+		t.Fatal("Kind.String wrong")
+	}
+}
+
+func TestOrderPrefersSubmissionOrder(t *testing.T) {
+	g := NewGraph()
+	// Register in reverse so insertion order disagrees with routine IDs.
+	for id := routine.ID(5); id >= 1; id-- {
+		g.AddNode(RoutineNode(id))
+	}
+	// Single constraint: 4 before 2.
+	mustEdge(t, g, RoutineNode(4), RoutineNode(2))
+	got := g.RoutineOrder()
+	want := []routine.ID{1, 3, 4, 2, 5}
+	if len(got) != len(want) {
+		t.Fatalf("order %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("RoutineOrder = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPredecessorsSuccessorsAncestors(t *testing.T) {
+	g := NewGraph()
+	a, b, c, d := RoutineNode(1), RoutineNode(2), RoutineNode(3), RoutineNode(4)
+	mustEdge(t, g, a, b)
+	mustEdge(t, g, b, c)
+	mustEdge(t, g, a, d)
+	if got := g.Predecessors(c); len(got) != 1 || got[0] != b {
+		t.Fatalf("Predecessors(c) = %v", got)
+	}
+	if got := g.Successors(a); len(got) != 2 {
+		t.Fatalf("Successors(a) = %v", got)
+	}
+	anc := g.Ancestors(c)
+	if !anc[a] || !anc[b] || anc[d] {
+		t.Fatalf("Ancestors(c) = %v", anc)
+	}
+	desc := g.Descendants(a)
+	if !desc[b] || !desc[c] || !desc[d] {
+		t.Fatalf("Descendants(a) = %v", desc)
+	}
+	if len(g.Ancestors(Node{Kind: KindRoutine, Routine: 42})) != 0 {
+		t.Fatal("ancestors of unknown node should be empty")
+	}
+}
+
+func TestKendallTau(t *testing.T) {
+	a := []routine.ID{1, 2, 3, 4}
+	if d := KendallTau(a, a); d != 0 {
+		t.Fatalf("identical orders distance = %d", d)
+	}
+	rev := []routine.ID{4, 3, 2, 1}
+	if d := KendallTau(a, rev); d != 6 {
+		t.Fatalf("reverse distance = %d, want 6", d)
+	}
+	if d := KendallTau(a, []routine.ID{1, 2, 4, 3}); d != 1 {
+		t.Fatalf("one swap distance = %d", d)
+	}
+	// Elements missing from one order are ignored.
+	if d := KendallTau([]routine.ID{1, 2, 3}, []routine.ID{3, 1}); d != 1 {
+		t.Fatalf("partial overlap distance = %d", d)
+	}
+}
+
+func TestOrderMismatch(t *testing.T) {
+	sub := []routine.ID{1, 2, 3, 4}
+	if m := OrderMismatch(sub, sub); m != 0 {
+		t.Fatalf("mismatch of identical orders = %v", m)
+	}
+	if m := OrderMismatch(sub, []routine.ID{4, 3, 2, 1}); m != 1 {
+		t.Fatalf("mismatch of reversed orders = %v", m)
+	}
+	if m := OrderMismatch(sub, []routine.ID{2, 1, 3, 4}); m != 1.0/6.0 {
+		t.Fatalf("single swap mismatch = %v", m)
+	}
+	if m := OrderMismatch([]routine.ID{1}, []routine.ID{1}); m != 0 {
+		t.Fatal("single-element mismatch should be 0")
+	}
+	if m := OrderMismatch(nil, nil); m != 0 {
+		t.Fatal("empty mismatch should be 0")
+	}
+}
+
+// Property: Order() is always a valid topological order (every edge's tail
+// precedes its head), for random DAGs built by inserting edges from lower to
+// higher IDs.
+func TestOrderRespectsEdgesProperty(t *testing.T) {
+	f := func(pairs [][2]uint8) bool {
+		g := NewGraph()
+		type edge struct{ from, to Node }
+		var edges []edge
+		for _, p := range pairs {
+			lo, hi := p[0]%20, p[1]%20
+			if lo == hi {
+				continue
+			}
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			from, to := RoutineNode(routine.ID(lo)), RoutineNode(routine.ID(hi))
+			if err := g.AddEdge(from, to); err != nil {
+				return false // edges always go low->high, so no cycle possible
+			}
+			edges = append(edges, edge{from, to})
+		}
+		pos := make(map[Node]int)
+		for i, n := range g.Order() {
+			pos[n] = i
+		}
+		for _, e := range edges {
+			if pos[e.from] >= pos[e.to] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AddEdge never allows a cycle — after arbitrary random edge
+// insertions (some rejected), Order() must not panic and must include every
+// node exactly once.
+func TestNoCycleEverProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := stats.NewRNG(seed)
+		g := NewGraph()
+		nodes := int(n%15) + 2
+		for i := 0; i < 40; i++ {
+			a := RoutineNode(routine.ID(rng.Intn(nodes)))
+			b := RoutineNode(routine.ID(rng.Intn(nodes)))
+			_ = g.AddEdge(a, b) // errors are fine; graph must stay acyclic
+		}
+		ord := g.Order()
+		seen := make(map[Node]bool)
+		for _, nd := range ord {
+			if seen[nd] {
+				return false
+			}
+			seen[nd] = true
+		}
+		return len(ord) == g.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustEdge(t *testing.T, g *Graph, a, b Node) {
+	t.Helper()
+	if err := g.AddEdge(a, b); err != nil {
+		t.Fatalf("AddEdge(%v,%v): %v", a, b, err)
+	}
+}

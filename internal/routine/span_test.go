@@ -1,0 +1,49 @@
+package routine
+
+import (
+	"testing"
+	"time"
+
+	"safehome/internal/device"
+)
+
+func TestSpanEstimate(t *testing.T) {
+	short := 100 * time.Millisecond
+	r := New("interleaved",
+		Command{Device: "a", Target: device.On, Duration: time.Minute}, // first touch of a
+		Command{Device: "b", Target: device.On, Duration: 2 * time.Minute},
+		Command{Device: "a", Target: device.Off}, // last touch of a (short)
+		Command{Device: "c", Target: device.On},
+	)
+
+	// Span on a covers commands 0..2: 1m + 2m + 100ms.
+	if got, want := r.SpanEstimate("a", short), 3*time.Minute+short; got != want {
+		t.Errorf("SpanEstimate(a) = %v, want %v", got, want)
+	}
+	// Span on b is just its own command.
+	if got, want := r.SpanEstimate("b", short), 2*time.Minute; got != want {
+		t.Errorf("SpanEstimate(b) = %v, want %v", got, want)
+	}
+	// Span on c is the default short duration.
+	if got, want := r.SpanEstimate("c", short), short; got != want {
+		t.Errorf("SpanEstimate(c) = %v, want %v", got, want)
+	}
+	// Untouched devices have zero span.
+	if got := r.SpanEstimate("ghost", short); got != 0 {
+		t.Errorf("SpanEstimate(ghost) = %v, want 0", got)
+	}
+}
+
+func TestSpanEstimateAtLeastHoldEstimate(t *testing.T) {
+	short := 100 * time.Millisecond
+	r := New("mixed",
+		Command{Device: "x", Target: device.On, Duration: 5 * time.Second},
+		Command{Device: "y", Target: device.On},
+		Command{Device: "x", Target: device.Off, Duration: 3 * time.Second},
+	)
+	for _, d := range r.Devices() {
+		if r.SpanEstimate(d, short) < r.HoldEstimate(d, short) {
+			t.Errorf("SpanEstimate(%s) < HoldEstimate(%s)", d, d)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Package sim implements the discrete-event simulation (DES) timeline that
+// SafeHome's workload-driven experiments run on.
+//
+// The paper evaluates SafeHome "over an emulation" so that long commands
+// (e.g. a 40-minute dishwasher cycle) and millions of trials are practical.
+// This package provides the virtual clock for that emulation: callbacks are
+// scheduled at virtual timestamps and executed in timestamp order by Run.
+// All callbacks run on the caller's goroutine, so everything driven by a
+// Sim is single-threaded and deterministic.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Epoch is the conventional start-of-run instant used by simulations and
+// tests. Any time.Time works; using a fixed epoch keeps golden values stable.
+var Epoch = time.Date(2021, 4, 26, 8, 0, 0, 0, time.UTC)
+
+// event is a scheduled callback.
+type event struct {
+	at       time.Time
+	seq      uint64 // tie-breaker: FIFO among events at the same instant
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Sim is a discrete-event simulator with a virtual clock.
+//
+// Sim is not safe for concurrent use: schedule and run from one goroutine
+// only (typically the test or harness goroutine).
+type Sim struct {
+	now       time.Time
+	queue     eventHeap
+	seq       uint64
+	processed int
+	running   bool
+}
+
+// New returns a simulator whose clock starts at start.
+func New(start time.Time) *Sim {
+	return &Sim{now: start}
+}
+
+// NewAtEpoch returns a simulator starting at the conventional Epoch.
+func NewAtEpoch() *Sim { return New(Epoch) }
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Time { return s.now }
+
+// Pending reports the number of not-yet-run, not-canceled events.
+func (s *Sim) Pending() int {
+	n := 0
+	for _, ev := range s.queue {
+		if !ev.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// Processed reports how many events have been executed so far.
+func (s *Sim) Processed() int { return s.processed }
+
+// After schedules fn to run d after the current virtual time and returns a
+// cancellation function. Negative delays are treated as zero (the event
+// fires "now", after already-queued events for this instant).
+func (s *Sim) After(d time.Duration, fn func()) (cancel func()) {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// At schedules fn to run at virtual time t and returns a cancellation
+// function. Scheduling in the past is clamped to the current time.
+func (s *Sim) At(t time.Time, fn func()) (cancel func()) {
+	if fn == nil {
+		panic("sim: At called with nil callback")
+	}
+	if t.Before(s.now) {
+		t = s.now
+	}
+	s.seq++
+	ev := &event{at: t, seq: s.seq, fn: fn}
+	heap.Push(&s.queue, ev)
+	return func() { ev.canceled = true }
+}
+
+// Step runs the single earliest pending event, advancing the clock to its
+// timestamp. It returns false if no events remain.
+func (s *Sim) Step() bool {
+	for len(s.queue) > 0 {
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.canceled {
+			continue
+		}
+		if ev.at.After(s.now) {
+			s.now = ev.at
+		}
+		s.processed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events in timestamp order until the queue drains, and returns
+// the number of events processed. Callbacks may schedule further events.
+// Run panics if invoked re-entrantly from a callback.
+func (s *Sim) Run() int {
+	return s.RunUntil(time.Time{})
+}
+
+// RunUntil executes events whose timestamp is <= horizon (or all events if
+// horizon is the zero time) and returns the number processed. The clock is
+// left at the last executed event (it does not jump to the horizon).
+func (s *Sim) RunUntil(horizon time.Time) int {
+	if s.running {
+		panic("sim: Run called re-entrantly from a callback")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+
+	count := 0
+	for len(s.queue) > 0 {
+		next := s.queue[0]
+		if next.canceled {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if !horizon.IsZero() && next.at.After(horizon) {
+			break
+		}
+		if !s.Step() {
+			break
+		}
+		count++
+	}
+	return count
+}
+
+// Advance moves the clock forward by d without running events; it panics if
+// doing so would skip over pending events (that would violate causality).
+// It is mainly useful in tests that want to examine "idle time" behaviour.
+func (s *Sim) Advance(d time.Duration) {
+	target := s.now.Add(d)
+	for _, ev := range s.queue {
+		if !ev.canceled && ev.at.Before(target) {
+			panic(fmt.Sprintf("sim: Advance(%v) would skip event scheduled at %v", d, ev.at))
+		}
+	}
+	s.now = target
+}
+
+// Elapsed returns the virtual time elapsed since start.
+func (s *Sim) Elapsed(start time.Time) time.Duration { return s.now.Sub(start) }

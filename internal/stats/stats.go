@@ -1,0 +1,277 @@
+// Package stats provides the small statistics substrate SafeHome's
+// workload generators and experiment harness rely on: seeded random
+// streams, Zipf and truncated-normal samplers, percentile summaries and
+// empirical CDFs.
+//
+// Everything in this package is deterministic given a seed, which is what
+// makes the simulation experiments reproducible run-to-run.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// RNG is a seeded source of randomness. It wraps math/rand.Rand so that the
+// rest of the code base never reaches for the global rand functions (which
+// would make trials irreproducible).
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic random stream for the given seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Fork derives an independent stream from this one. Forked streams are used
+// to decouple, e.g., routine-content randomness from failure-injection
+// randomness so that toggling one does not perturb the other.
+func (g *RNG) Fork() *RNG {
+	return NewRNG(g.r.Int63())
+}
+
+// Intn returns a uniform int in [0, n). n must be > 0.
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Int63 returns a non-negative uniform int64.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
+// Float64 returns a uniform float64 in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Bool returns true with probability p.
+func (g *RNG) Bool(p float64) bool { return g.r.Float64() < p }
+
+// Perm returns a random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of elements using swap.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }
+
+// NormDuration samples a truncated normal distribution with the given mean
+// and standard deviation, clamped to [min, +inf). It is used for command
+// durations (Table 3 marks |L| and |S| as normally distributed).
+func (g *RNG) NormDuration(mean, stddev, min time.Duration) time.Duration {
+	v := g.r.NormFloat64()*float64(stddev) + float64(mean)
+	if v < float64(min) {
+		v = float64(min)
+	}
+	return time.Duration(v)
+}
+
+// NormInt samples round(N(mean, stddev)) clamped to [min, +inf).
+func (g *RNG) NormInt(mean, stddev float64, min int) int {
+	v := int(math.Round(g.r.NormFloat64()*stddev + mean))
+	if v < min {
+		v = min
+	}
+	return v
+}
+
+// ExpDuration samples an exponential distribution with the given mean,
+// clamped to [0, +inf). Used for inter-arrival times.
+func (g *RNG) ExpDuration(mean time.Duration) time.Duration {
+	return time.Duration(g.r.ExpFloat64() * float64(mean))
+}
+
+// UniformDuration samples uniformly from [lo, hi].
+func (g *RNG) UniformDuration(lo, hi time.Duration) time.Duration {
+	if hi <= lo {
+		return lo
+	}
+	return lo + time.Duration(g.r.Int63n(int64(hi-lo)+1))
+}
+
+// Zipf draws integers in [0, n) with a Zipf-like popularity skew controlled
+// by alpha (the paper's α, Table 3). alpha = 0 degenerates to the uniform
+// distribution; larger alpha concentrates probability mass on low ranks.
+//
+// The distribution is P(k) ∝ 1 / (k+1)^alpha, which matches the common
+// "Zipfian coefficient" parameterization used by YCSB-style generators and
+// by the paper (α = 0.05 default, swept up to ~2 in Fig 16d).
+type Zipf struct {
+	n      int
+	alpha  float64
+	cdf    []float64 // cumulative probabilities, len n
+	rng    *RNG
+	ranked []int // rank -> item id mapping (identity by default)
+}
+
+// NewZipf builds a Zipf sampler over n items with skew alpha.
+func NewZipf(rng *RNG, n int, alpha float64) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("stats: zipf requires n > 0, got %d", n)
+	}
+	if alpha < 0 {
+		return nil, fmt.Errorf("stats: zipf requires alpha >= 0, got %g", alpha)
+	}
+	z := &Zipf{n: n, alpha: alpha, rng: rng, ranked: make([]int, n)}
+	weights := make([]float64, n)
+	total := 0.0
+	for k := 0; k < n; k++ {
+		w := 1.0 / math.Pow(float64(k+1), alpha)
+		weights[k] = w
+		total += w
+		z.ranked[k] = k
+	}
+	z.cdf = make([]float64, n)
+	acc := 0.0
+	for k := 0; k < n; k++ {
+		acc += weights[k] / total
+		z.cdf[k] = acc
+	}
+	z.cdf[n-1] = 1.0
+	return z, nil
+}
+
+// ShuffleRanks randomizes which item gets which popularity rank, so that the
+// most popular device is not always device 0.
+func (z *Zipf) ShuffleRanks() {
+	z.rng.Shuffle(z.n, func(i, j int) { z.ranked[i], z.ranked[j] = z.ranked[j], z.ranked[i] })
+}
+
+// Next draws one item index in [0, n).
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	idx := sort.SearchFloat64s(z.cdf, u)
+	if idx >= z.n {
+		idx = z.n - 1
+	}
+	return z.ranked[idx]
+}
+
+// N returns the number of items the sampler draws from.
+func (z *Zipf) N() int { return z.n }
+
+// Summary captures the distributional statistics the paper reports:
+// median, p90, p95, mean, min and max.
+type Summary struct {
+	Count  int
+	Mean   float64
+	Min    float64
+	Max    float64
+	P50    float64
+	P90    float64
+	P95    float64
+	P99    float64
+	StdDev float64
+}
+
+// Summarize computes a Summary over the sample values.
+func Summarize(values []float64) Summary {
+	s := Summary{Count: len(values)}
+	if len(values) == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	s.Mean = sum / float64(len(sorted))
+	s.Min = sorted[0]
+	s.Max = sorted[len(sorted)-1]
+	s.P50 = Percentile(sorted, 50)
+	s.P90 = Percentile(sorted, 90)
+	s.P95 = Percentile(sorted, 95)
+	s.P99 = Percentile(sorted, 99)
+	varSum := 0.0
+	for _, v := range sorted {
+		d := v - s.Mean
+		varSum += d * d
+	}
+	s.StdDev = math.Sqrt(varSum / float64(len(sorted)))
+	return s
+}
+
+// SummarizeDurations converts durations to milliseconds and summarizes them.
+func SummarizeDurations(ds []time.Duration) Summary {
+	vals := make([]float64, len(ds))
+	for i, d := range ds {
+		vals[i] = float64(d) / float64(time.Millisecond)
+	}
+	return Summarize(vals)
+}
+
+// Percentile returns the p-th percentile (0..100) of an already sorted
+// slice using linear interpolation between closest ranks. The slice must be
+// sorted ascending and non-empty.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	Value    float64
+	Fraction float64 // fraction of samples <= Value
+}
+
+// CDF computes an empirical CDF with at most maxPoints points (downsampled
+// evenly). Used for Fig 15c (stretch-factor CDF).
+func CDF(values []float64, maxPoints int) []CDFPoint {
+	if len(values) == 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if maxPoints <= 0 || maxPoints > n {
+		maxPoints = n
+	}
+	points := make([]CDFPoint, 0, maxPoints)
+	for i := 0; i < maxPoints; i++ {
+		idx := (i + 1) * n / maxPoints
+		if idx > n {
+			idx = n
+		}
+		points = append(points, CDFPoint{
+			Value:    sorted[idx-1],
+			Fraction: float64(idx) / float64(n),
+		})
+	}
+	return points
+}
+
+// Mean returns the arithmetic mean of values (0 for an empty slice).
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}
+
+// Fraction returns hits/total as a float, 0 when total is 0.
+func Fraction(hits, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}

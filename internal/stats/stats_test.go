@@ -1,0 +1,268 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Intn(1000) != b.Intn(1000) {
+			t.Fatalf("same-seed RNGs diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	a := NewRNG(7)
+	f := a.Fork()
+	// The fork must not be the same stream as the parent going forward.
+	same := true
+	for i := 0; i < 20; i++ {
+		if a.Intn(1<<30) != f.Intn(1<<30) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("forked stream tracked parent stream exactly")
+	}
+}
+
+func TestNormDurationClamp(t *testing.T) {
+	g := NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		d := g.NormDuration(10*time.Millisecond, 100*time.Millisecond, time.Millisecond)
+		if d < time.Millisecond {
+			t.Fatalf("NormDuration returned %v below the minimum", d)
+		}
+	}
+}
+
+func TestNormDurationMean(t *testing.T) {
+	g := NewRNG(2)
+	var sum time.Duration
+	n := 20000
+	for i := 0; i < n; i++ {
+		sum += g.NormDuration(10*time.Second, time.Second, 0)
+	}
+	mean := sum / time.Duration(n)
+	if mean < 9500*time.Millisecond || mean > 10500*time.Millisecond {
+		t.Fatalf("sample mean %v too far from 10s", mean)
+	}
+}
+
+func TestNormIntClamp(t *testing.T) {
+	g := NewRNG(3)
+	for i := 0; i < 1000; i++ {
+		if v := g.NormInt(3, 5, 1); v < 1 {
+			t.Fatalf("NormInt returned %d below min", v)
+		}
+	}
+}
+
+func TestZipfUniformWhenAlphaZero(t *testing.T) {
+	g := NewRNG(4)
+	z, err := NewZipf(g, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 10)
+	n := 100000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / float64(n)
+		if frac < 0.08 || frac > 0.12 {
+			t.Fatalf("alpha=0 should be ~uniform; item %d has fraction %.3f", i, frac)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g := NewRNG(5)
+	z, err := NewZipf(g, 25, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 25)
+	for i := 0; i < 100000; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] <= counts[10] {
+		t.Fatalf("rank 0 (%d draws) should dominate rank 10 (%d draws) at alpha=1.5", counts[0], counts[10])
+	}
+	if counts[0] < 40000 {
+		t.Fatalf("rank 0 should receive a large share at alpha=1.5, got %d/100000", counts[0])
+	}
+}
+
+func TestZipfErrors(t *testing.T) {
+	g := NewRNG(6)
+	if _, err := NewZipf(g, 0, 1); err == nil {
+		t.Fatal("expected error for n=0")
+	}
+	if _, err := NewZipf(g, 5, -1); err == nil {
+		t.Fatal("expected error for negative alpha")
+	}
+}
+
+func TestZipfShuffleRanksKeepsSupport(t *testing.T) {
+	g := NewRNG(7)
+	z, _ := NewZipf(g, 8, 1.0)
+	z.ShuffleRanks()
+	seen := map[int]bool{}
+	for i := 0; i < 5000; i++ {
+		v := z.Next()
+		if v < 0 || v >= 8 {
+			t.Fatalf("draw %d out of range", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) < 6 {
+		t.Fatalf("expected most items to appear, saw %d distinct", len(seen))
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {100, 10}, {50, 5.5}, {90, 9.1},
+	}
+	for _, c := range cases {
+		got := Percentile(vals, c.p)
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("Percentile of empty slice should be NaN")
+	}
+	if Percentile([]float64{3}, 75) != 3 {
+		t.Error("Percentile of singleton should be the value")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 6, 8})
+	if s.Count != 4 || s.Mean != 5 || s.Min != 2 || s.Max != 8 {
+		t.Fatalf("unexpected summary %+v", s)
+	}
+	if s.P50 != 5 {
+		t.Fatalf("P50 = %v, want 5", s.P50)
+	}
+	empty := Summarize(nil)
+	if empty.Count != 0 {
+		t.Fatal("empty summary should have Count 0")
+	}
+}
+
+func TestSummarizeDurations(t *testing.T) {
+	s := SummarizeDurations([]time.Duration{time.Second, 3 * time.Second})
+	if s.Mean != 2000 {
+		t.Fatalf("mean should be 2000 ms, got %v", s.Mean)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	vals := []float64{1, 2, 3, 4}
+	pts := CDF(vals, 4)
+	if len(pts) != 4 {
+		t.Fatalf("expected 4 points, got %d", len(pts))
+	}
+	if pts[len(pts)-1].Fraction != 1.0 {
+		t.Fatalf("last CDF fraction should be 1.0, got %v", pts[len(pts)-1].Fraction)
+	}
+	if pts[0].Value > pts[len(pts)-1].Value {
+		t.Fatal("CDF values should be non-decreasing")
+	}
+	if CDF(nil, 10) != nil {
+		t.Fatal("CDF of empty slice should be nil")
+	}
+	down := CDF([]float64{5, 1, 4, 2, 3, 9, 8, 7, 6, 0}, 5)
+	if len(down) != 5 {
+		t.Fatalf("expected downsample to 5 points, got %d", len(down))
+	}
+}
+
+func TestMeanAndFraction(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) should be 0")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("Mean([1 2 3]) should be 2")
+	}
+	if Fraction(0, 0) != 0 {
+		t.Fatal("Fraction with zero total should be 0")
+	}
+	if Fraction(1, 4) != 0.25 {
+		t.Fatal("Fraction(1,4) should be 0.25")
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		sort.Float64s(vals)
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v := Percentile(vals, p)
+			if v < prev-1e-9 {
+				return false
+			}
+			if v < vals[0]-1e-9 || v > vals[len(vals)-1]+1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CDF fractions are non-decreasing and end at 1.
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, v)
+			}
+		}
+		pts := CDF(vals, 16)
+		if len(vals) == 0 {
+			return pts == nil
+		}
+		prevF, prevV := 0.0, math.Inf(-1)
+		for _, p := range pts {
+			if p.Fraction < prevF || p.Value < prevV {
+				return false
+			}
+			prevF, prevV = p.Fraction, p.Value
+		}
+		return math.Abs(pts[len(pts)-1].Fraction-1.0) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,455 @@
+// Eventual-Visibility scheduling policies (§5 of the paper): First Come
+// First Serve, Just-in-Time, and Timeline scheduling.
+package visibility
+
+import (
+	"fmt"
+	"time"
+
+	"safehome/internal/device"
+	"safehome/internal/lineage"
+	"safehome/internal/order"
+	"safehome/internal/routine"
+)
+
+// --- FCFS --------------------------------------------------------------------
+
+// fcfsScheduler serializes routines in arrival order: lock-accesses are
+// appended to every lineage at submission, pre-leases are never used (they
+// would contradict arrival order), and a routine starts once every device it
+// needs is acquirable. Post-leases (early release after a routine's last
+// touch) still apply, performed by the controller.
+type fcfsScheduler struct {
+	c *evController
+}
+
+func (s *fcfsScheduler) kind() SchedulerKind { return SchedFCFS }
+
+func (s *fcfsScheduler) onSubmit(run *evRun) {
+	s.c.placeAtEnd(run)
+	s.c.waitQ = append(s.c.waitQ, run)
+	s.tryStart()
+}
+
+func (s *fcfsScheduler) onFree(device.ID) { s.tryStart() }
+func (s *fcfsScheduler) onRoutineDone()   { s.tryStart() }
+
+// tryStart begins every waiting routine whose devices are all acquirable.
+// Because accesses were appended in arrival order, starting a later routine
+// early never violates the serialization order — it simply exploits
+// non-conflicting parallelism.
+func (s *fcfsScheduler) tryStart() {
+	for restart := true; restart; {
+		restart = false
+		for i, run := range s.c.waitQ {
+			if run.done {
+				s.c.waitQ = append(s.c.waitQ[:i], s.c.waitQ[i+1:]...)
+				restart = true
+				break
+			}
+			ready := true
+			for _, d := range run.r.Devices() {
+				if !s.c.table.CanAcquire(d, run.id) {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			s.c.waitQ = append(s.c.waitQ[:i], s.c.waitQ[i+1:]...)
+			s.c.startRun(run)
+			restart = true
+			break
+		}
+	}
+}
+
+// --- Just-in-Time -------------------------------------------------------------
+
+// jitScheduler greedily starts a routine at the earliest moment it can
+// acquire all its locks — right away, or via pre-leases and post-leases. The
+// eligibility test runs on every routine arrival and on every lock release.
+// A per-routine TTL prevents starvation: once it expires, the routine is
+// prioritized and other waiting routines are held back until it starts.
+type jitScheduler struct {
+	c *evController
+}
+
+func (s *jitScheduler) kind() SchedulerKind { return SchedJiT }
+
+func (s *jitScheduler) onSubmit(run *evRun) {
+	if s.hasPrioritizedWaiter() {
+		// A starved routine goes first; newcomers queue behind it.
+		s.enqueue(run)
+		return
+	}
+	if s.tryPlace(run) {
+		s.c.startRun(run)
+		return
+	}
+	s.enqueue(run)
+}
+
+func (s *jitScheduler) enqueue(run *evRun) {
+	s.c.waitQ = append(s.c.waitQ, run)
+	ttl := s.c.opts.JiTTTL
+	run.ttlCancel = s.c.env.After(ttl, func() {
+		if run.done || run.running {
+			return
+		}
+		run.prioritized = true
+		s.scan()
+	})
+}
+
+func (s *jitScheduler) onFree(device.ID) { s.scan() }
+func (s *jitScheduler) onRoutineDone()   { s.scan() }
+
+func (s *jitScheduler) hasPrioritizedWaiter() bool {
+	for _, run := range s.c.waitQ {
+		if run.prioritized && !run.done && !run.running {
+			return true
+		}
+	}
+	return false
+}
+
+// scan retries the eligibility test on waiting routines: prioritized routines
+// first (in arrival order), then the rest in arrival order. While any
+// prioritized routine is still waiting, non-prioritized routines are held
+// back so the starved routine gets the next available locks.
+func (s *jitScheduler) scan() {
+	for restart := true; restart; {
+		restart = false
+		prioritized := s.hasPrioritizedWaiter()
+		for i, run := range s.c.waitQ {
+			if run.done || run.running {
+				s.c.waitQ = append(s.c.waitQ[:i], s.c.waitQ[i+1:]...)
+				restart = true
+				break
+			}
+			if prioritized && !run.prioritized {
+				continue
+			}
+			if !s.tryPlace(run) {
+				continue
+			}
+			s.c.startRun(run)
+			restart = true
+			break
+		}
+	}
+}
+
+// jitPlacement is one device's placement decision during the eligibility test.
+type jitPlacement struct {
+	dev    device.ID
+	mode   int // 0 = append, 1 = post-lease (insert after anchor), 2 = pre-lease (insert before anchor)
+	anchor routine.ID
+	pre    []routine.ID
+	post   []routine.ID
+}
+
+// tryPlace runs the JiT eligibility test (§5): the routine is placed — and
+// may start — only if every device it needs can be obtained immediately,
+// either because the lock is free, or through a post-lease from a routine
+// that is done with the device, or through a pre-lease from a routine that
+// has not used it yet. Placement is rejected if the implied preSet and
+// postSet intersect or contradict the existing serialization order.
+func (s *jitScheduler) tryPlace(run *evRun) bool {
+	var plans []jitPlacement
+	preAll := make(map[routine.ID]bool)
+	postAll := make(map[routine.ID]bool)
+
+	for _, d := range run.r.Devices() {
+		l := s.c.table.Lineage(d)
+		fi := -1
+		nonReleased := 0
+		for i, a := range l.Accesses {
+			if a.Status != lineage.Released {
+				if fi == -1 {
+					fi = i
+				}
+				nonReleased++
+			}
+		}
+		switch {
+		case fi == -1:
+			// Lock free (possibly via earlier post-leases): take it at the end.
+			p := jitPlacement{dev: d, mode: 0, pre: accessRoutines(l.Accesses)}
+			plans = append(plans, p)
+			addAll(preAll, p.pre)
+
+		case nonReleased == 1:
+			owner := l.Accesses[fi]
+			ownerRun, ok := s.c.runs[owner.Routine]
+			if !ok {
+				return false
+			}
+			switch {
+			case s.c.opts.PostLease && ownerRun.lastTouchDone[d] && s.postLeaseOK(ownerRun, run, d):
+				p := jitPlacement{dev: d, mode: 1, anchor: owner.Routine, pre: accessRoutines(l.Accesses[:fi+1])}
+				plans = append(plans, p)
+				addAll(preAll, p.pre)
+			case s.c.opts.PreLease && owner.Status == lineage.Scheduled && !ownerRun.firstTouched[d] &&
+				!(ownerRun.inflight && ownerRun.inflightDev == d):
+				p := jitPlacement{dev: d, mode: 2, anchor: owner.Routine,
+					pre: accessRoutines(l.Accesses[:fi]), post: accessRoutines(l.Accesses[fi:])}
+				plans = append(plans, p)
+				addAll(preAll, p.pre)
+				addAll(postAll, p.post)
+			default:
+				return false
+			}
+
+		default:
+			// Two or more routines already queued for the device: the lock
+			// cannot be obtained right now.
+			return false
+		}
+	}
+
+	for id := range preAll {
+		if postAll[id] {
+			return false
+		}
+	}
+
+	// Verify against (and record in) the precedence graph; every new edge is
+	// incident to this routine, so removing its node undoes a failed attempt.
+	node := order.RoutineNode(run.id)
+	s.c.graph.AddNode(node)
+	if !addEdges(s.c.graph, preAll, node, postAll) {
+		s.c.graph.Remove(node)
+		return false
+	}
+
+	for _, p := range plans {
+		// JiT placements carry no time estimates: the routine starts using its
+		// devices immediately, so positional order alone defines the schedule.
+		acc := lineage.Access{Routine: run.id, Status: lineage.Scheduled}
+		var err error
+		switch p.mode {
+		case 0:
+			_, err = s.c.table.Append(p.dev, acc)
+		case 1:
+			_, _, err = s.c.table.InsertAfter(p.dev, acc, p.anchor)
+			if err == nil {
+				// The post-lease hand-off: the source's lock-access is released.
+				err = s.c.table.SetStatus(p.dev, p.anchor, lineage.Released)
+			}
+		case 2:
+			_, _, err = s.c.table.InsertBefore(p.dev, acc, p.anchor)
+			if err == nil {
+				run.preLeasedFrom[p.dev] = p.anchor
+			}
+		}
+		if err != nil {
+			panic(fmt.Sprintf("visibility: jit placement: %v", err))
+		}
+	}
+	run.placed = true
+	s.c.removeFromWaitQ(run)
+	return true
+}
+
+// postLeaseOK enforces the dirty-read restriction of §4.1 for an explicit
+// post-lease from src to dst on device d.
+func (s *jitScheduler) postLeaseOK(src, dst *evRun, d device.ID) bool {
+	if !src.firstTouched[d] {
+		return true
+	}
+	for _, rd := range dst.r.ReadDevices() {
+		if rd == d {
+			return false
+		}
+	}
+	return true
+}
+
+// --- Timeline -----------------------------------------------------------------
+
+// tlScheduler speculatively places every new routine into the lineage table
+// immediately, using estimated lock-hold durations to find gaps (Fig 9,
+// Algorithm 1). A placement is valid only if, across all of the routine's
+// devices, the union of routines placed before it and the union placed after
+// it do not intersect. If no gap placement is consistent, the routine is
+// appended at the end of every lineage.
+type tlScheduler struct {
+	c *evController
+}
+
+func (s *tlScheduler) kind() SchedulerKind { return SchedTL }
+
+func (s *tlScheduler) onSubmit(run *evRun) {
+	if placements, ok := s.search(run); ok {
+		s.apply(run, placements)
+	} else {
+		s.c.placeAtEnd(run)
+	}
+	s.c.startRun(run)
+}
+
+func (s *tlScheduler) onFree(device.ID) {}
+func (s *tlScheduler) onRoutineDone()   {}
+
+// tlPlacement is the chosen gap for one device of the routine being placed.
+type tlPlacement struct {
+	dev   device.ID
+	index int
+	start time.Time
+	dur   time.Duration
+	pre   []routine.ID
+	post  []routine.ID
+}
+
+// tlSearchBudget bounds Algorithm 1's backtracking. Realistic lineage tables
+// produce a handful of gaps per device and the search finishes in tens of
+// steps; the budget only exists to keep pathological workloads (very long
+// routines over crowded lineages) from exploding — when exhausted the routine
+// simply falls back to appending at the end of every lineage.
+const tlSearchBudget = 4096
+
+// search implements Algorithm 1: a backtracking walk over the routine's
+// devices in first-touch order, trying lineage gaps in temporal order and
+// validating the preSet/postSet disjointness at every step.
+func (s *tlScheduler) search(run *evRun) ([]tlPlacement, bool) {
+	devs := run.r.Devices()
+	now := s.c.env.Now()
+	out := make([]tlPlacement, 0, len(devs))
+	budget := tlSearchBudget
+
+	var rec func(i int, earliest time.Time, pre, post map[routine.ID]bool) bool
+	rec = func(i int, earliest time.Time, pre, post map[routine.ID]bool) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		if i == len(devs) {
+			return true
+		}
+		d := devs[i]
+		dur := run.r.HoldEstimate(d, s.c.opts.DefaultShort)
+		l := s.c.table.Lineage(d)
+		for _, gap := range s.c.table.Gaps(d, now) {
+			if !s.c.opts.PreLease && gap.Index < len(l.Accesses) {
+				// Placing ahead of an already-scheduled access is a pre-lease;
+				// with pre-leasing disabled only the tail gap is allowed.
+				continue
+			}
+			start, fits := gap.Fits(earliest, dur)
+			if !fits {
+				continue
+			}
+			gapPre := accessRoutines(l.Accesses[:gap.Index])
+			gapPost := accessRoutines(l.Accesses[gap.Index:])
+			newPre := unionSets(pre, gapPre)
+			newPost := unionSets(post, gapPost)
+			if setsIntersect(newPre, newPost) {
+				continue // try the next gap (the backtracking step of Algo 1)
+			}
+			out = append(out, tlPlacement{dev: d, index: gap.Index, start: start, dur: dur, pre: gapPre, post: gapPost})
+			if rec(i+1, start.Add(dur), newPre, newPost) {
+				return true
+			}
+			out = out[:len(out)-1]
+		}
+		return false
+	}
+
+	if rec(0, now, make(map[routine.ID]bool), make(map[routine.ID]bool)) {
+		return out, true
+	}
+	return nil, false
+}
+
+// apply inserts the chosen placements into the lineage table and the
+// precedence graph. If the graph rejects an edge (the placement would
+// contradict ordering constraints not visible in the lineages alone), the
+// routine falls back to appending at the end of every lineage.
+func (s *tlScheduler) apply(run *evRun, placements []tlPlacement) {
+	node := order.RoutineNode(run.id)
+	s.c.graph.AddNode(node)
+	pre := make(map[routine.ID]bool)
+	post := make(map[routine.ID]bool)
+	for _, p := range placements {
+		addAll(pre, p.pre)
+		addAll(post, p.post)
+	}
+	if !addEdges(s.c.graph, pre, node, post) {
+		s.c.graph.Remove(node)
+		s.c.placeAtEnd(run)
+		return
+	}
+	for _, p := range placements {
+		acc := lineage.Access{Routine: run.id, Status: lineage.Scheduled, Start: p.start, Duration: p.dur}
+		_, postRoutines, err := s.c.table.InsertAt(p.dev, p.index, acc)
+		if err != nil {
+			panic(fmt.Sprintf("visibility: timeline placement: %v", err))
+		}
+		if len(postRoutines) > 0 && s.c.opts.PreLease {
+			// Being placed ahead of an already-scheduled access is a pre-lease
+			// from that access's routine; the revocation clock is armed when
+			// this routine actually acquires the device.
+			run.preLeasedFrom[p.dev] = postRoutines[0]
+		}
+	}
+	run.placed = true
+}
+
+// --- shared helpers -----------------------------------------------------------
+
+func accessRoutines(accs []lineage.Access) []routine.ID {
+	out := make([]routine.ID, 0, len(accs))
+	for _, a := range accs {
+		out = append(out, a.Routine)
+	}
+	return out
+}
+
+func addAll(dst map[routine.ID]bool, ids []routine.ID) {
+	for _, id := range ids {
+		dst[id] = true
+	}
+}
+
+func unionSets(a map[routine.ID]bool, b []routine.ID) map[routine.ID]bool {
+	out := make(map[routine.ID]bool, len(a)+len(b))
+	for id := range a {
+		out[id] = true
+	}
+	for _, id := range b {
+		out[id] = true
+	}
+	return out
+}
+
+func setsIntersect(a, b map[routine.ID]bool) bool {
+	small, big := a, b
+	if len(b) < len(a) {
+		small, big = b, a
+	}
+	for id := range small {
+		if big[id] {
+			return true
+		}
+	}
+	return false
+}
+
+// addEdges adds pre→node and node→post edges, reporting whether every edge
+// was consistent with the existing order. Duplicate edges are fine.
+func addEdges(g *order.Graph, pre map[routine.ID]bool, node order.Node, post map[routine.ID]bool) bool {
+	for id := range pre {
+		if err := g.AddEdge(order.RoutineNode(id), node); err != nil {
+			return false
+		}
+	}
+	for id := range post {
+		if err := g.AddEdge(node, order.RoutineNode(id)); err != nil {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,336 @@
+package visibility
+
+// Scheduler tests: FCFS vs JiT vs Timeline (§5), lock-lease ablation
+// (§7.5.1), and randomized serial-equivalence properties.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"safehome/internal/congruence"
+	"safehome/internal/device"
+	"safehome/internal/routine"
+	"safehome/internal/stats"
+)
+
+// evOptions builds EV options for a scheduler with selectable leasing.
+func evOptions(k SchedulerKind, pre, post bool) Options {
+	o := DefaultOptions(EV)
+	o.Scheduler = k
+	o.PreLease = pre
+	o.PostLease = post
+	return o
+}
+
+// headOfLineWorkload reproduces the party-scenario pathology: one long
+// routine holding a device, then short routines on other devices that a good
+// scheduler should not block behind it.
+func headOfLineWorkload(h *testHome) {
+	long := routine.New("party-ambiance",
+		routine.Command{Device: "light-1", Target: device.On, Duration: 30 * time.Minute},
+		routine.Command{Device: "light-2", Target: device.On},
+	)
+	h.submitAt(0, long)
+	for i := 0; i < 4; i++ {
+		h.submitAt(time.Duration(i+1)*time.Second, routine.New(fmt.Sprintf("serve-%d", i),
+			routine.Command{Device: "coffee", Target: device.On},
+			routine.Command{Device: "coffee", Target: device.Off},
+		))
+	}
+}
+
+func TestSchedulersCompleteHeadOfLineWorkload(t *testing.T) {
+	for _, k := range []SchedulerKind{SchedFCFS, SchedJiT, SchedTL} {
+		t.Run(k.String(), func(t *testing.T) {
+			h := newTestHome(t, evOptions(k, true, true), homeDevices()...)
+			headOfLineWorkload(h)
+			h.run()
+			h.finishedAll()
+			for _, res := range h.ctrl.Results() {
+				if res.Status != StatusCommitted {
+					t.Errorf("routine %s: %v (%s)", res.Routine.Name, res.Status, res.AbortReason)
+				}
+			}
+		})
+	}
+}
+
+func TestSchedulerNameExposed(t *testing.T) {
+	h := newTestHome(t, evOptions(SchedJiT, true, true), homeDevices()...)
+	ev, ok := h.ctrl.(*evController)
+	if !ok {
+		t.Fatal("EV options should build an evController")
+	}
+	if ev.SchedulerName() != "JiT" {
+		t.Errorf("SchedulerName = %q, want JiT", ev.SchedulerName())
+	}
+}
+
+// pipelineLatency measures the mean committed-routine latency of the
+// two-breakfast pipeline under a given scheduler/lease configuration.
+func pipelineLatency(t *testing.T, k SchedulerKind, pre, post bool) time.Duration {
+	t.Helper()
+	h := newTestHome(t, evOptions(k, pre, post), homeDevices()...)
+	h.submitAt(0, breakfastRoutine("user-1"))
+	h.submitAt(time.Second, breakfastRoutine("user-2"))
+	h.submitAt(2*time.Second, routine.New("window-check",
+		routine.Command{Device: "window", Target: device.Closed}))
+	h.run()
+	h.finishedAll()
+	var total time.Duration
+	var n int
+	for _, res := range h.ctrl.Results() {
+		if res.Status != StatusCommitted {
+			t.Fatalf("routine %s not committed: %v (%s)", res.Routine.Name, res.Status, res.AbortReason)
+		}
+		total += res.Latency()
+		n++
+	}
+	return total / time.Duration(n)
+}
+
+func TestTimelineNoSlowerThanFCFS(t *testing.T) {
+	tl := pipelineLatency(t, SchedTL, true, true)
+	fcfs := pipelineLatency(t, SchedFCFS, true, true)
+	jit := pipelineLatency(t, SchedJiT, true, true)
+	if tl > fcfs {
+		t.Errorf("TL mean latency %v should be <= FCFS %v", tl, fcfs)
+	}
+	if tl > jit {
+		t.Errorf("TL mean latency %v should be <= JiT %v", tl, jit)
+	}
+}
+
+// TestFCFSPreservesArrivalOrder checks that under FCFS, conflicting routines
+// commit in submission order even when a later one is much shorter.
+func TestFCFSPreservesArrivalOrder(t *testing.T) {
+	h := newTestHome(t, evOptions(SchedFCFS, true, true), homeDevices()...)
+	h.submitAt(0, routine.New("long-coffee",
+		routine.Command{Device: "coffee", Target: device.On, Duration: 10 * time.Minute},
+		routine.Command{Device: "coffee", Target: device.Off}))
+	h.submitAt(time.Second, routine.New("quick-coffee",
+		routine.Command{Device: "coffee", Target: device.On},
+		routine.Command{Device: "coffee", Target: device.Off}))
+	h.run()
+	h.finishedAll()
+	r1, r2 := h.result(1), h.result(2)
+	if !r1.Finished.Before(r2.Finished) {
+		t.Errorf("FCFS: R1 should finish before R2 (R1 %v, R2 %v)", r1.Finished, r2.Finished)
+	}
+	if r2.Latency() < 9*time.Minute {
+		t.Errorf("FCFS: R2 latency %v should include waiting for R1 (~10m)", r2.Latency())
+	}
+}
+
+// TestTimelinePreLeasePlacesShortRoutineAhead demonstrates the pre-lease: a
+// short routine arriving later is slotted into a gap before a long routine's
+// not-yet-reached access.
+func TestTimelinePreLeasePlacesShortRoutineAhead(t *testing.T) {
+	newHome := func(k SchedulerKind, pre bool) (*testHome, *routine.Routine) {
+		h := newTestHome(t, evOptions(k, pre, true), homeDevices()...)
+		// R1 runs the dishwasher for 30 minutes, then switches on light-1.
+		h.submitAt(0, routine.New("chores",
+			routine.Command{Device: "dishwasher", Target: device.On, Duration: 30 * time.Minute},
+			routine.Command{Device: "dishwasher", Target: device.Off},
+			routine.Command{Device: "light-1", Target: device.On},
+		))
+		// R2 just toggles light-1; with pre-leasing it need not wait 30 minutes.
+		quick := routine.New("quick-light",
+			routine.Command{Device: "light-1", Target: device.On},
+			routine.Command{Device: "light-1", Target: device.Off},
+		)
+		h.submitAt(time.Second, quick)
+		return h, quick
+	}
+
+	h, _ := newHome(SchedTL, true)
+	h.run()
+	h.finishedAll()
+	withPre := h.result(2).Latency()
+
+	h2, _ := newHome(SchedTL, false)
+	h2.run()
+	h2.finishedAll()
+	withoutPre := h2.result(2).Latency()
+
+	if withPre > time.Minute {
+		t.Errorf("with pre-leasing the quick routine should finish fast, got %v", withPre)
+	}
+	if withoutPre < 29*time.Minute {
+		t.Errorf("without pre-leasing the quick routine should wait ~30m, got %v", withoutPre)
+	}
+	if withPre >= withoutPre {
+		t.Errorf("pre-leasing should reduce latency: with=%v without=%v", withPre, withoutPre)
+	}
+}
+
+// TestJiTPreLease verifies the JiT eligibility test grants pre-leases too.
+func TestJiTPreLease(t *testing.T) {
+	h := newTestHome(t, evOptions(SchedJiT, true, true), homeDevices()...)
+	h.submitAt(0, routine.New("chores",
+		routine.Command{Device: "dishwasher", Target: device.On, Duration: 30 * time.Minute},
+		routine.Command{Device: "dishwasher", Target: device.Off},
+		routine.Command{Device: "light-1", Target: device.On},
+	))
+	h.submitAt(time.Second, routine.New("quick-light",
+		routine.Command{Device: "light-1", Target: device.On},
+		routine.Command{Device: "light-1", Target: device.Off},
+	))
+	h.run()
+	h.finishedAll()
+	if got := h.result(2).Latency(); got > time.Minute {
+		t.Errorf("JiT pre-lease should let the quick routine finish fast, got %v", got)
+	}
+	// The pre-leased routine is serialized before the long routine.
+	ordered := h.ctrl.Serialization()
+	pos := map[string]int{}
+	for i, n := range ordered {
+		pos[n.String()] = i
+	}
+	if pos["R2"] > pos["R1"] {
+		t.Errorf("pre-leased R2 should be serialized before R1: %v", ordered)
+	}
+}
+
+// TestPostLeaseAblation verifies that disabling post-leases increases latency
+// for pipelined conflicting routines (Fig 15a).
+func TestPostLeaseAblation(t *testing.T) {
+	bothOn := pipelineLatency(t, SchedTL, true, true)
+	postOff := pipelineLatency(t, SchedTL, true, false)
+	bothOff := pipelineLatency(t, SchedTL, false, false)
+
+	if bothOn > postOff {
+		// With post-leases a pipelined routine's locks free earlier.
+		t.Errorf("latency with both leases (%v) should be <= post-lease off (%v)", bothOn, postOff)
+	}
+	if bothOn >= bothOff {
+		t.Errorf("latency with both leases (%v) should be < both off (%v)", bothOn, bothOff)
+	}
+}
+
+// TestJiTTTLPrioritizesStarvedRoutine exercises the anti-starvation TTL path.
+func TestJiTTTLPrioritizesStarvedRoutine(t *testing.T) {
+	opts := evOptions(SchedJiT, true, true)
+	opts.JiTTTL = 5 * time.Second
+	h := newTestHome(t, opts, homeDevices()...)
+	// A stream of long routines on the coffee maker; a conflicting waiter
+	// should eventually get prioritized rather than starve forever.
+	for i := 0; i < 3; i++ {
+		h.submitAt(time.Duration(i)*time.Second, routine.New(fmt.Sprintf("long-%d", i),
+			routine.Command{Device: "coffee", Target: device.On, Duration: 2 * time.Minute},
+			routine.Command{Device: "coffee", Target: device.Off}))
+	}
+	h.submitAt(1500*time.Millisecond, routine.New("starved",
+		routine.Command{Device: "coffee", Target: device.On},
+		routine.Command{Device: "coffee", Target: device.Off}))
+	h.run()
+	h.finishedAll()
+	for _, res := range h.ctrl.Results() {
+		if res.Status != StatusCommitted {
+			t.Errorf("routine %s = %v, want committed", res.Routine.Name, res.Status)
+		}
+	}
+}
+
+// --- randomized serial-equivalence property ------------------------------------
+
+// TestPropertyRandomWorkloadsAreSeriallyEquivalent submits randomized batches
+// of conflicting routines (no failures) under every model except WV and every
+// EV scheduler, and checks the end state is always serially equivalent and
+// every routine commits.
+func TestPropertyRandomWorkloadsAreSeriallyEquivalent(t *testing.T) {
+	type config struct {
+		name string
+		opts Options
+	}
+	configs := []config{
+		{"GSV", DefaultOptions(GSV)},
+		{"PSV", DefaultOptions(PSV)},
+		{"EV/TL", evOptions(SchedTL, true, true)},
+		{"EV/FCFS", evOptions(SchedFCFS, true, true)},
+		{"EV/JiT", evOptions(SchedJiT, true, true)},
+		{"EV/TL-no-leases", evOptions(SchedTL, false, false)},
+	}
+	const trials = 25
+	rng := stats.NewRNG(7)
+
+	for _, cfg := range configs {
+		t.Run(cfg.name, func(t *testing.T) {
+			for trial := 0; trial < trials; trial++ {
+				const nDev = 6
+				h := newTestHome(t, cfg.opts, plugDevices(nDev)...)
+				initial := h.fleet.Snapshot()
+				nRoutines := 2 + rng.Intn(5)
+				var all []*routine.Routine
+				for i := 0; i < nRoutines; i++ {
+					r := routine.New(fmt.Sprintf("r%d", i))
+					nCmds := 1 + rng.Intn(4)
+					for c := 0; c < nCmds; c++ {
+						target := device.On
+						if rng.Bool(0.5) {
+							target = device.Off
+						}
+						var dur time.Duration
+						if rng.Bool(0.2) {
+							dur = time.Duration(1+rng.Intn(10)) * time.Second
+						}
+						r.Commands = append(r.Commands, routine.Command{
+							Device:   device.ID(plugName(rng.Intn(nDev))),
+							Target:   target,
+							Duration: dur,
+						})
+					}
+					all = append(all, r)
+					h.submitAt(time.Duration(rng.Intn(2000))*time.Millisecond, r)
+				}
+				h.run()
+				h.finishedAll()
+
+				var committed []congruence.Writes
+				for _, res := range h.ctrl.Results() {
+					if res.Status != StatusCommitted {
+						t.Fatalf("trial %d: routine %s = %v (%s); no failures were injected",
+							trial, res.Routine.Name, res.Status, res.AbortReason)
+					}
+					committed = append(committed, congruence.FromRoutine(res.Routine))
+				}
+				check := congruence.Check(initial, committed, h.fleet.Snapshot())
+				if !check.Congruent {
+					t.Fatalf("trial %d (%s): end state not serially equivalent\nroutines: %v\nend: %v",
+						trial, cfg.name, all, h.fleet.Snapshot())
+				}
+			}
+		})
+	}
+}
+
+// TestPropertyLineageInvariantsUnderRandomWorkloads runs random workloads with
+// invariant checking enabled (the harness always enables it); reaching the end
+// without a panic is the assertion.
+func TestPropertyLineageInvariantsUnderRandomWorkloads(t *testing.T) {
+	rng := stats.NewRNG(99)
+	for _, k := range []SchedulerKind{SchedTL, SchedFCFS, SchedJiT} {
+		t.Run(k.String(), func(t *testing.T) {
+			for trial := 0; trial < 15; trial++ {
+				h := newTestHome(t, evOptions(k, true, true), plugDevices(5)...)
+				for i := 0; i < 6; i++ {
+					r := routine.New(fmt.Sprintf("r%d", i))
+					for c := 0; c < 1+rng.Intn(3); c++ {
+						r.Commands = append(r.Commands, routine.Command{
+							Device: device.ID(plugName(rng.Intn(5))),
+							Target: device.On,
+						})
+					}
+					h.submitAt(time.Duration(rng.Intn(500))*time.Millisecond, r)
+				}
+				// Sprinkle a failure/restart pair on a random device.
+				victim := device.ID(plugName(rng.Intn(5)))
+				h.failAt(time.Duration(rng.Intn(400))*time.Millisecond, victim)
+				h.restoreAt(time.Duration(500+rng.Intn(400))*time.Millisecond, victim)
+				h.run()
+				h.finishedAll()
+			}
+		})
+	}
+}

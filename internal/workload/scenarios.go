@@ -1,0 +1,324 @@
+// Trace-based scenarios (§7.2): Morning, Party and Factory. The paper built
+// these from Google Home traces of three real homes plus the SmartThings and
+// IoTBench public app datasets; this package regenerates them from the
+// published descriptions (routine counts, device counts, user counts, run
+// lengths, and access probabilities), randomized per seed while obeying the
+// real-life ordering constraints (e.g. wake-up before cook-breakfast).
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"safehome/internal/device"
+	"safehome/internal/routine"
+	"safehome/internal/stats"
+)
+
+// Morning generates the Morning scenario: 4 family members in a 3-bed 2-bath
+// home concurrently initiating 29 routines over 25 minutes touching 31
+// devices. Each user starts with a wake-up routine and ends with a
+// leave-home routine; in between are bedroom/bathroom use, breakfast cooking
+// and eating, and sporadic routines such as cleaning up spilled milk.
+func Morning(seed int64) Spec {
+	rng := stats.NewRNG(seed)
+	spec := Spec{Name: "morning", Devices: morningDevices()}
+
+	users := []string{"alice", "bob", "carol", "dan"}
+	bedroomOf := map[string]int{"alice": 1, "bob": 1, "carol": 2, "dan": 3}
+	bathroomOf := map[string]int{"alice": 1, "bob": 2, "carol": 1, "dan": 2}
+
+	// Per-user timeline within the 25-minute window, obeying the real-life
+	// ordering constraints: wake-up < bathroom < breakfast < leave-home.
+	for _, u := range users {
+		bed := bedroomOf[u]
+		bath := bathroomOf[u]
+		wake := rng.UniformDuration(0, 4*time.Minute)
+		bathAt := wake + rng.UniformDuration(time.Minute, 4*time.Minute)
+		cookAt := bathAt + rng.UniformDuration(2*time.Minute, 5*time.Minute)
+		eatAt := cookAt + rng.UniformDuration(2*time.Minute, 4*time.Minute)
+		leaveAt := 20*time.Minute + rng.UniformDuration(0, 4*time.Minute)
+
+		spec.add(wake, u, routine.New(u+"-wake-up",
+			cmd(fmt.Sprintf("bedroom-%d-light", bed), device.On),
+			cmd(fmt.Sprintf("bedroom-%d-shade", bed), device.Open),
+			cmdDur("water-heater", device.On, 10*time.Minute),
+		))
+		spec.add(bathAt, u, routine.New(u+"-bathroom",
+			cmd(fmt.Sprintf("bathroom-%d-light", bath), device.On),
+			cmdDur(fmt.Sprintf("bathroom-%d-fan", bath), device.On, 5*time.Minute),
+			cmd(fmt.Sprintf("bathroom-%d-fan", bath), device.Off),
+			cmd(fmt.Sprintf("bathroom-%d-light", bath), device.Off),
+		))
+		spec.add(cookAt, u, routine.New(u+"-cook-breakfast",
+			cmd("kitchen-light", device.On),
+			cmdDur("coffee-maker", device.State("BREW"), 4*time.Minute),
+			cmdDur("toaster", device.On, 3*time.Minute),
+			cmd("coffee-maker", device.Off),
+			cmd("toaster", device.Off),
+		))
+		spec.add(eatAt, u, routine.New(u+"-eat-breakfast",
+			cmd("tv", device.On),
+			cmd("speaker", device.State("NEWS")),
+			cmd(fmt.Sprintf("bedroom-%d-light", bed), device.Off),
+		))
+		spec.add(leaveAt, u, routine.New(u+"-leave-home",
+			bestEffort("living-light", device.Off),
+			bestEffort("kitchen-light", device.Off),
+			cmd("front-door", device.Locked),
+			cmd("security", device.State("ARMED")),
+		))
+	}
+
+	// Shared / sporadic routines to reach the scenario's 29 routines.
+	sporadic := []struct {
+		name string
+		at   time.Duration
+		r    *routine.Routine
+	}{
+		{"thermostat-morning", rng.UniformDuration(0, 2*time.Minute), routine.New("thermostat-morning",
+			cmd("thermostat", device.State("HEAT:70F")), cmd("ac", device.Off))},
+		{"open-shades", rng.UniformDuration(2*time.Minute, 6*time.Minute), routine.New("open-shades",
+			cmd("living-shade", device.Open), cmd("kitchen-light", device.On))},
+		{"milk-spill-cleanup", rng.UniformDuration(10*time.Minute, 15*time.Minute), routine.New("milk-spill-cleanup",
+			cmdDur("mop", device.On, 3*time.Minute), cmd("mop", device.Off))},
+		{"start-dishwasher", rng.UniformDuration(15*time.Minute, 20*time.Minute), routine.New("start-dishwasher",
+			cmdDur("dishwasher", device.On, 40*time.Minute))},
+		{"morning-vacuum", rng.UniformDuration(12*time.Minute, 18*time.Minute), routine.New("morning-vacuum",
+			cmdDur("vacuum", device.On, 8*time.Minute), cmd("vacuum", device.Off))},
+		{"pancake-treat", rng.UniformDuration(8*time.Minute, 14*time.Minute), routine.New("pancake-treat",
+			cmdDur("pancake-maker", device.On, 5*time.Minute), cmd("pancake-maker", device.Off))},
+		{"garage-warmup", rng.UniformDuration(16*time.Minute, 22*time.Minute), routine.New("garage-warmup",
+			cmd("garage", device.Open), cmd("hallway-light", device.On))},
+		{"close-garage", rng.UniformDuration(22*time.Minute, 25*time.Minute), routine.New("close-garage",
+			cmd("garage", device.Closed), cmd("hallway-light", device.Off))},
+		{"stove-preheat", rng.UniformDuration(6*time.Minute, 12*time.Minute), routine.New("stove-preheat",
+			cmdDur("stove", device.State("HEAT:400F"), 10*time.Minute), cmd("stove", device.Off))},
+	}
+	for _, s := range sporadic {
+		spec.add(s.at, "family", s.r)
+	}
+	return spec
+}
+
+// morningDevices returns the 31-device inventory of the Morning scenario.
+func morningDevices() []device.Info {
+	var out []device.Info
+	add := func(id string, k device.Kind, initial device.State) {
+		out = append(out, device.Info{ID: device.ID(id), Kind: k, Room: "home", Initial: initial})
+	}
+	for i := 1; i <= 3; i++ {
+		add(fmt.Sprintf("bedroom-%d-light", i), device.KindLight, device.Off)
+		add(fmt.Sprintf("bedroom-%d-shade", i), device.KindShade, device.Closed)
+	}
+	for i := 1; i <= 2; i++ {
+		add(fmt.Sprintf("bathroom-%d-light", i), device.KindLight, device.Off)
+		add(fmt.Sprintf("bathroom-%d-fan", i), device.KindSwitch, device.Off)
+		add(fmt.Sprintf("bathroom-%d-heater", i), device.KindThermostat, device.Off)
+	}
+	for _, kitchen := range []struct {
+		id string
+		k  device.Kind
+	}{
+		{"coffee-maker", device.KindCoffeeMaker}, {"toaster", device.KindToaster},
+		{"pancake-maker", device.KindPancake}, {"stove", device.KindOven},
+		{"kitchen-light", device.KindLight}, {"dishwasher", device.KindDishwasher},
+	} {
+		add(kitchen.id, kitchen.k, device.Off)
+	}
+	add("living-light", device.KindLight, device.Off)
+	add("living-shade", device.KindShade, device.Closed)
+	add("tv", device.KindSwitch, device.Off)
+	add("speaker", device.KindSpeaker, device.Off)
+	add("thermostat", device.KindThermostat, device.Off)
+	add("ac", device.KindAC, device.Off)
+	add("front-door", device.KindDoorLock, device.Unlocked)
+	add("garage", device.KindGarage, device.Closed)
+	add("hallway-light", device.KindLight, device.Off)
+	add("vacuum", device.KindVacuum, device.Off)
+	add("mop", device.KindMop, device.Off)
+	add("water-heater", device.KindThermostat, device.Off)
+	add("security", device.KindAlarm, device.Off)
+	return out
+}
+
+// Party generates the Party scenario: one long routine controls the party
+// atmosphere for the whole run while 11 short routines cover spontaneous
+// events (singing time, announcements, serving food and drinks, ...). The
+// long routine steps through the ambiance devices one after another, so
+// EV's pre-/post-leasing can slot short routines around it while PSV and GSV
+// suffer head-of-line blocking (§7.2).
+func Party(seed int64) Spec {
+	rng := stats.NewRNG(seed)
+	spec := Spec{Name: "party", Devices: partyDevices()}
+
+	ambiance := routine.New("party-ambiance",
+		cmdDur("party-light-1", device.State("COLOR:WARM"), 10*time.Minute),
+		cmdDur("party-light-2", device.State("COLOR:BLUE"), 10*time.Minute),
+		cmdDur("disco-ball", device.On, 10*time.Minute),
+		cmdDur("speaker", device.State("PLAYLIST:POP"), 10*time.Minute),
+		cmdDur("projector", device.On, 10*time.Minute),
+	)
+	spec.add(0, "host", ambiance)
+
+	shorts := []*routine.Routine{
+		routine.New("welcome-guests", cmd("front-door", device.Unlocked), cmd("hallway-light", device.On)),
+		routine.New("serve-drinks", cmd("drink-fridge", device.Open), cmd("drink-fridge", device.Closed)),
+		routine.New("serve-food", cmdDur("snack-warmer", device.On, 3*time.Minute), cmd("snack-warmer", device.Off)),
+		routine.New("singing-time", cmd("speaker", device.State("KARAOKE")), cmd("mic", device.On)),
+		routine.New("announcement", cmd("speaker", device.State("ANNOUNCE")), cmd("party-light-1", device.State("BLINK"))),
+		routine.New("coffee-round", cmdDur("coffee-maker", device.On, 4*time.Minute), cmd("coffee-maker", device.Off)),
+		routine.New("cool-down-room", cmd("thermostat", device.State("COOL:68F")), cmd("balcony-door", device.Open)),
+		routine.New("balcony-time", cmd("balcony-light", device.On), cmd("balcony-door", device.Open)),
+		routine.New("cake-moment", cmd("party-light-2", device.State("DIM")), cmd("speaker", device.State("BIRTHDAY"))),
+		routine.New("cleanup-spill", cmdDur("mop", device.On, 2*time.Minute), cmd("mop", device.Off)),
+		routine.New("wind-down", cmd("disco-ball", device.Off), cmd("projector", device.Off), cmd("party-light-1", device.State("DIM"))),
+	}
+	horizon := 50 * time.Minute
+	for i, r := range shorts {
+		// Spread the spontaneous events across the party, in a loosely
+		// increasing order so e.g. wind-down lands late.
+		lo := time.Duration(i) * horizon / time.Duration(len(shorts)+1)
+		spec.add(lo+rng.UniformDuration(0, horizon/time.Duration(len(shorts)+1)), "guest", r)
+	}
+	return spec
+}
+
+func partyDevices() []device.Info {
+	names := []struct {
+		id string
+		k  device.Kind
+	}{
+		{"party-light-1", device.KindLight}, {"party-light-2", device.KindLight},
+		{"disco-ball", device.KindSwitch}, {"speaker", device.KindSpeaker},
+		{"mic", device.KindSwitch}, {"projector", device.KindSwitch},
+		{"snack-warmer", device.KindOven}, {"drink-fridge", device.KindSwitch},
+		{"coffee-maker", device.KindCoffeeMaker}, {"thermostat", device.KindThermostat},
+		{"balcony-door", device.KindWindow}, {"balcony-light", device.KindLight},
+		{"front-door", device.KindDoorLock}, {"hallway-light", device.KindLight},
+		{"mop", device.KindMop},
+	}
+	out := make([]device.Info, 0, len(names))
+	for _, n := range names {
+		initial := device.Off
+		switch n.k {
+		case device.KindDoorLock:
+			initial = device.Locked
+		case device.KindWindow:
+			initial = device.Closed
+		}
+		out = append(out, device.Info{ID: device.ID(n.id), Kind: n.k, Room: "party", Initial: initial})
+	}
+	return out
+}
+
+// FactoryParams configures the Factory scenario.
+type FactoryParams struct {
+	// Stages is the number of assembly-line stages/workers (paper: 50).
+	Stages int
+	// RoutinesPerStage is how many routines each stage runs back to back.
+	RoutinesPerStage int
+	// CommandDuration is the mean duration of a stage command.
+	CommandDuration time.Duration
+	Seed            int64
+}
+
+// DefaultFactoryParams mirrors §7.2: 50 workers at 50 stages.
+func DefaultFactoryParams() FactoryParams {
+	return FactoryParams{Stages: 50, RoutinesPerStage: 2, CommandDuration: 10 * time.Second, Seed: 1}
+}
+
+// Factory generates the Factory scenario: an assembly line where each stage
+// has local devices, devices shared with the neighbouring stages, and 5
+// global devices, accessed with probabilities 0.6 / 0.3 / 0.1 respectively.
+// Routines are generated back to back to keep every worker occupied.
+func Factory(p FactoryParams) Spec {
+	if p.Stages <= 0 {
+		p = DefaultFactoryParams()
+	}
+	if p.RoutinesPerStage <= 0 {
+		p.RoutinesPerStage = 2
+	}
+	if p.CommandDuration <= 0 {
+		p.CommandDuration = 10 * time.Second
+	}
+	rng := stats.NewRNG(p.Seed)
+	spec := Spec{Name: "factory", Devices: factoryDevices(p.Stages)}
+
+	globals := []string{"power-bus", "compressor", "crane", "qa-scanner", "labeler"}
+	// Estimated routine length, used to space each worker's routines so the
+	// worker is continuously occupied (no idle time).
+	routineSpan := 3 * p.CommandDuration
+
+	for stage := 0; stage < p.Stages; stage++ {
+		for round := 0; round < p.RoutinesPerStage; round++ {
+			at := time.Duration(round)*routineSpan + rng.UniformDuration(0, p.CommandDuration)
+			r := routine.New(fmt.Sprintf("stage-%02d-round-%d", stage, round))
+			nCmds := 2 + rng.Intn(3)
+			for c := 0; c < nCmds; c++ {
+				var dev string
+				roll := rng.Float64()
+				switch {
+				case roll < 0.6: // local device
+					dev = fmt.Sprintf("station-%02d-%s", stage, []string{"tool", "conveyor"}[rng.Intn(2)])
+				case roll < 0.9: // shared with a neighbouring stage
+					if stage == 0 || (stage < p.Stages-1 && rng.Bool(0.5)) {
+						dev = fmt.Sprintf("belt-%02d", stage) // belt to the next stage
+					} else {
+						dev = fmt.Sprintf("belt-%02d", stage-1) // belt from the previous stage
+					}
+				default: // global device
+					dev = globals[rng.Intn(len(globals))]
+				}
+				target := device.On
+				if rng.Bool(0.4) {
+					target = device.Off
+				}
+				r.Commands = append(r.Commands, routine.Command{
+					Device:   device.ID(dev),
+					Target:   target,
+					Duration: rng.NormDuration(p.CommandDuration, p.CommandDuration/4, time.Second),
+				})
+			}
+			spec.add(at, fmt.Sprintf("worker-%02d", stage), r)
+		}
+	}
+	return spec
+}
+
+func factoryDevices(stages int) []device.Info {
+	var out []device.Info
+	add := func(id string, k device.Kind) {
+		out = append(out, device.Info{ID: device.ID(id), Kind: k, Room: "factory", Initial: device.Off})
+	}
+	for i := 0; i < stages; i++ {
+		add(fmt.Sprintf("station-%02d-tool", i), device.KindStation)
+		add(fmt.Sprintf("station-%02d-conveyor", i), device.KindStation)
+		if i < stages-1 {
+			add(fmt.Sprintf("belt-%02d", i), device.KindStation)
+		}
+	}
+	for _, g := range []string{"power-bus", "compressor", "crane", "qa-scanner", "labeler"} {
+		add(g, device.KindStation)
+	}
+	return out
+}
+
+// --- small builders ---------------------------------------------------------
+
+func (s *Spec) add(at time.Duration, user string, r *routine.Routine) {
+	r.User = user
+	s.Submissions = append(s.Submissions, Submission{At: at, Routine: r, User: user})
+}
+
+func cmd(dev string, target device.State) routine.Command {
+	return routine.Command{Device: device.ID(dev), Target: target}
+}
+
+func cmdDur(dev string, target device.State, d time.Duration) routine.Command {
+	return routine.Command{Device: device.ID(dev), Target: target, Duration: d}
+}
+
+func bestEffort(dev string, target device.State) routine.Command {
+	return routine.Command{Device: device.ID(dev), Target: target, BestEffort: true}
+}

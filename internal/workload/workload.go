@@ -1,0 +1,300 @@
+// Package workload generates the routine workloads the paper evaluates
+// SafeHome on: the parameterized microbenchmark of Table 3 (§7.3), the
+// concurrency workload behind Fig 1, the five-routine example of Fig 2, and
+// the three trace-based scenarios of §7.2 (Morning, Party, Factory).
+//
+// A workload is described by a Spec — a device inventory plus timed routine
+// submissions and failure/restart injections — which the harness package
+// replays against any visibility model. All generation is deterministic given
+// a seed.
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"safehome/internal/device"
+	"safehome/internal/routine"
+	"safehome/internal/stats"
+)
+
+// Submission is one routine injected at a virtual-time offset from run start.
+type Submission struct {
+	At      time.Duration
+	Routine *routine.Routine
+	// User optionally names who triggered it (trace scenarios).
+	User string
+}
+
+// FailureEvent is a fail-stop (or restart) injection at a virtual-time offset.
+type FailureEvent struct {
+	At      time.Duration
+	Device  device.ID
+	Restart bool // false = fail-stop, true = restart
+}
+
+// Spec is a complete, replayable workload.
+type Spec struct {
+	Name        string
+	Devices     []device.Info
+	Submissions []Submission
+	Failures    []FailureEvent
+	// JitterMax, when non-zero, asks the harness to add a uniform random
+	// per-command latency in [0, JitterMax], modelling real device variance.
+	JitterMax time.Duration
+}
+
+// Registry builds a device registry for the spec.
+func (s Spec) Registry() *device.Registry { return device.NewRegistry(s.Devices...) }
+
+// RoutineCount returns the number of submissions.
+func (s Spec) RoutineCount() int { return len(s.Submissions) }
+
+// Horizon returns the latest submission or failure offset — a lower bound on
+// the run's duration, useful for scheduling failure injections.
+func (s Spec) Horizon() time.Duration {
+	var h time.Duration
+	for _, sub := range s.Submissions {
+		if sub.At > h {
+			h = sub.At
+		}
+	}
+	for _, f := range s.Failures {
+		if f.At > h {
+			h = f.At
+		}
+	}
+	return h
+}
+
+// --- Table 3: parameterized microbenchmark ------------------------------------
+
+// MicroParams mirrors Table 3 of the paper.
+type MicroParams struct {
+	// Routines is R, the total number of routines (default 100).
+	Routines int
+	// Concurrency is ρ, the number of concurrent routines injected per wave
+	// (default 4).
+	Concurrency int
+	// CommandsPerRoutine is C, the average commands per routine, normally
+	// distributed (default 3).
+	CommandsPerRoutine float64
+	// Alpha is α, the Zipfian coefficient of device popularity (default 0.05).
+	Alpha float64
+	// LongPct is L%, the percentage of long-running routines (default 10).
+	LongPct float64
+	// LongMean is |L|, the mean duration of a long command (default 20 min, ND).
+	LongMean time.Duration
+	// ShortMean is |S|, the mean duration of a short command (default 10 s, ND).
+	ShortMean time.Duration
+	// MustPct is M, the percentage of must commands per routine (default 100).
+	MustPct float64
+	// FailedPct is F, the percentage of devices that fail during the run
+	// (default 0).
+	FailedPct float64
+	// Devices is the size of the device fleet (default 25, §7.3).
+	Devices int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// DefaultMicroParams returns Table 3's default values.
+func DefaultMicroParams() MicroParams {
+	return MicroParams{
+		Routines:           100,
+		Concurrency:        4,
+		CommandsPerRoutine: 3,
+		Alpha:              0.05,
+		LongPct:            10,
+		LongMean:           20 * time.Minute,
+		ShortMean:          10 * time.Second,
+		MustPct:            100,
+		FailedPct:          0,
+		Devices:            25,
+		Seed:               1,
+	}
+}
+
+// normalized fills in zero fields with defaults so partially-specified
+// parameter structs behave sensibly.
+func (p MicroParams) normalized() MicroParams {
+	d := DefaultMicroParams()
+	if p.Routines <= 0 {
+		p.Routines = d.Routines
+	}
+	if p.Concurrency <= 0 {
+		p.Concurrency = d.Concurrency
+	}
+	if p.CommandsPerRoutine <= 0 {
+		p.CommandsPerRoutine = d.CommandsPerRoutine
+	}
+	if p.Alpha < 0 {
+		p.Alpha = d.Alpha
+	}
+	if p.LongMean <= 0 {
+		p.LongMean = d.LongMean
+	}
+	if p.ShortMean <= 0 {
+		p.ShortMean = d.ShortMean
+	}
+	// MustPct is honoured as-is: 0 legitimately means "every command is
+	// best-effort" (the left edge of Fig 13a/c).
+	if p.Devices <= 0 {
+		p.Devices = d.Devices
+	}
+	return p
+}
+
+// Micro generates a Table-3 microbenchmark workload.
+//
+// Routines are injected in waves of ρ: each wave's routines arrive together
+// (small per-routine offsets) and waves are separated by the expected routine
+// duration, which keeps roughly ρ routines in flight — the open-loop
+// approximation of the paper's closed-loop injector.
+func Micro(p MicroParams) Spec {
+	p = p.normalized()
+	rng := stats.NewRNG(p.Seed)
+	contentRNG := rng.Fork()
+	failRNG := rng.Fork()
+
+	spec := Spec{Name: "micro", Devices: plugFleet(p.Devices)}
+
+	zipf, err := stats.NewZipf(contentRNG, p.Devices, p.Alpha)
+	if err != nil {
+		panic(fmt.Sprintf("workload: zipf: %v", err))
+	}
+
+	// Expected single-routine duration, for spacing waves.
+	longFrac := p.LongPct / 100
+	expCmd := time.Duration(float64(p.ShortMean)*(1-longFrac) + float64(p.LongMean)*longFrac)
+	waveGap := time.Duration(p.CommandsPerRoutine * float64(expCmd))
+
+	for i := 0; i < p.Routines; i++ {
+		wave := i / p.Concurrency
+		offsetInWave := time.Duration(contentRNG.Intn(1000)) * time.Millisecond
+		at := time.Duration(wave)*waveGap + offsetInWave
+
+		r := routine.New(fmt.Sprintf("micro-%03d", i))
+		long := contentRNG.Bool(longFrac)
+		nCmds := contentRNG.NormInt(p.CommandsPerRoutine, p.CommandsPerRoutine/3, 1)
+		used := make(map[int]bool)
+		for c := 0; c < nCmds; c++ {
+			dev := zipf.Next()
+			// Avoid trivially repeated commands on the same device back to back.
+			for attempts := 0; used[dev] && attempts < 3; attempts++ {
+				dev = zipf.Next()
+			}
+			used[dev] = true
+
+			var dur time.Duration
+			if long && c == 0 {
+				dur = contentRNG.NormDuration(p.LongMean, p.LongMean/4, time.Minute)
+			} else {
+				dur = contentRNG.NormDuration(p.ShortMean, p.ShortMean/4, time.Second)
+			}
+			target := device.On
+			if contentRNG.Bool(0.5) {
+				target = device.Off
+			}
+			r.Commands = append(r.Commands, routine.Command{
+				Device:     device.ID(plugID(dev)),
+				Target:     target,
+				Duration:   dur,
+				BestEffort: !contentRNG.Bool(p.MustPct / 100),
+			})
+		}
+		spec.Submissions = append(spec.Submissions, Submission{At: at, Routine: r})
+	}
+
+	// F% of devices fail at a uniformly random instant during the run.
+	if p.FailedPct > 0 {
+		horizon := time.Duration(p.Routines/p.Concurrency+1) * waveGap
+		perm := failRNG.Perm(p.Devices)
+		nFail := int(float64(p.Devices) * p.FailedPct / 100)
+		for i := 0; i < nFail && i < len(perm); i++ {
+			spec.Failures = append(spec.Failures, FailureEvent{
+				At:     failRNG.UniformDuration(0, horizon),
+				Device: device.ID(plugID(perm[i])),
+			})
+		}
+	}
+	return spec
+}
+
+// --- Fig 1: two conflicting routines over N devices -----------------------------
+
+// Figure1 is the workload of Fig 1: routine R1 turns ON every device, routine
+// R2 turns them all OFF, starting `offset` after R1. Real smart plugs have
+// variable latencies, which the jitter models.
+func Figure1(devices int, offset, jitter time.Duration) Spec {
+	spec := Spec{
+		Name:      fmt.Sprintf("figure1-d%d-o%s", devices, offset),
+		Devices:   plugFleet(devices),
+		JitterMax: jitter,
+	}
+	on := routine.New("all-on")
+	off := routine.New("all-off")
+	for i := 0; i < devices; i++ {
+		on.Commands = append(on.Commands, routine.Command{Device: device.ID(plugID(i)), Target: device.On})
+		off.Commands = append(off.Commands, routine.Command{Device: device.ID(plugID(i)), Target: device.Off})
+	}
+	spec.Submissions = []Submission{
+		{At: 0, Routine: on},
+		{At: offset, Routine: off},
+	}
+	return spec
+}
+
+// --- Fig 2: the five-routine breakfast / cleaning example ------------------------
+
+// Figure2 reproduces the example of Fig 2: five routines over five devices
+// (coffee maker, pancake maker, Roomba, mop, kitchen mop), submitted together.
+func Figure2() Spec {
+	unit := time.Minute // one "time unit" of the figure
+	coffee := func(flavor string) routine.Command {
+		return routine.Command{Device: "coffee-maker", Target: device.State("BREW:" + flavor), Duration: unit}
+	}
+	pancake := func(flavor string) routine.Command {
+		return routine.Command{Device: "pancake-maker", Target: device.State("COOK:" + flavor), Duration: unit}
+	}
+	spec := Spec{
+		Name: "figure2",
+		Devices: []device.Info{
+			{ID: "coffee-maker", Kind: device.KindCoffeeMaker, Initial: device.Off},
+			{ID: "pancake-maker", Kind: device.KindPancake, Initial: device.Off},
+			{ID: "roomba", Kind: device.KindVacuum, Initial: device.Off},
+			{ID: "mop-living", Kind: device.KindMop, Initial: device.Off},
+			{ID: "mop-kitchen", Kind: device.KindMop, Initial: device.Off},
+		},
+	}
+	r1 := routine.New("R1-breakfast-espresso", coffee("espresso"), pancake("vanilla"))
+	r2 := routine.New("R2-breakfast-americano", coffee("americano"), pancake("strawberry"))
+	r3 := routine.New("R3-pancake-regular", pancake("regular"))
+	r4 := routine.New("R4-clean-living",
+		routine.Command{Device: "roomba", Target: device.On, Duration: unit},
+		routine.Command{Device: "mop-living", Target: device.On, Duration: unit})
+	r5 := routine.New("R5-mop-kitchen",
+		routine.Command{Device: "mop-kitchen", Target: device.On, Duration: unit})
+	for _, r := range []*routine.Routine{r1, r2, r3, r4, r5} {
+		spec.Submissions = append(spec.Submissions, Submission{At: 0, Routine: r})
+	}
+	return spec
+}
+
+// --- helpers ---------------------------------------------------------------------
+
+func plugID(i int) string { return fmt.Sprintf("plug-%02d", i) }
+
+func plugFleet(n int) []device.Info {
+	out := make([]device.Info, n)
+	for i := 0; i < n; i++ {
+		out[i] = device.Info{
+			ID:      device.ID(plugID(i)),
+			Name:    fmt.Sprintf("Smart Plug %d", i),
+			Kind:    device.KindPlug,
+			Room:    "home",
+			Initial: device.Off,
+		}
+	}
+	return out
+}

@@ -1,0 +1,334 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"safehome/internal/device"
+	"safehome/internal/routine"
+)
+
+// validateSpec checks every submission against the spec's device registry.
+func validateSpec(t *testing.T, s Spec) {
+	t.Helper()
+	reg := s.Registry()
+	if reg.Len() != len(s.Devices) {
+		t.Fatalf("%s: registry has %d devices, spec lists %d", s.Name, reg.Len(), len(s.Devices))
+	}
+	for i, sub := range s.Submissions {
+		if sub.Routine == nil {
+			t.Fatalf("%s: submission %d has nil routine", s.Name, i)
+		}
+		if err := sub.Routine.Validate(reg); err != nil {
+			t.Errorf("%s: submission %d (%s): %v", s.Name, i, sub.Routine.Name, err)
+		}
+		if sub.At < 0 {
+			t.Errorf("%s: submission %d has negative offset %v", s.Name, i, sub.At)
+		}
+	}
+	for _, f := range s.Failures {
+		if _, ok := reg.Get(f.Device); !ok {
+			t.Errorf("%s: failure injection targets unknown device %s", s.Name, f.Device)
+		}
+	}
+}
+
+func TestDefaultMicroParamsMatchTable3(t *testing.T) {
+	p := DefaultMicroParams()
+	if p.Routines != 100 {
+		t.Errorf("R = %d, want 100", p.Routines)
+	}
+	if p.Concurrency != 4 {
+		t.Errorf("rho = %d, want 4", p.Concurrency)
+	}
+	if p.CommandsPerRoutine != 3 {
+		t.Errorf("C = %v, want 3", p.CommandsPerRoutine)
+	}
+	if p.Alpha != 0.05 {
+		t.Errorf("alpha = %v, want 0.05", p.Alpha)
+	}
+	if p.LongPct != 10 {
+		t.Errorf("L%% = %v, want 10", p.LongPct)
+	}
+	if p.LongMean != 20*time.Minute {
+		t.Errorf("|L| = %v, want 20m", p.LongMean)
+	}
+	if p.ShortMean != 10*time.Second {
+		t.Errorf("|S| = %v, want 10s", p.ShortMean)
+	}
+	if p.MustPct != 100 {
+		t.Errorf("M = %v, want 100", p.MustPct)
+	}
+	if p.FailedPct != 0 {
+		t.Errorf("F = %v, want 0", p.FailedPct)
+	}
+	if p.Devices != 25 {
+		t.Errorf("devices = %d, want 25", p.Devices)
+	}
+}
+
+func TestMicroGeneratesRequestedRoutines(t *testing.T) {
+	p := DefaultMicroParams()
+	p.Routines = 40
+	p.Seed = 7
+	spec := Micro(p)
+	validateSpec(t, spec)
+	if got := spec.RoutineCount(); got != 40 {
+		t.Fatalf("routines = %d, want 40", got)
+	}
+	if len(spec.Devices) != 25 {
+		t.Fatalf("devices = %d, want 25", len(spec.Devices))
+	}
+	// All must commands by default (M = 100%).
+	for _, sub := range spec.Submissions {
+		for _, c := range sub.Routine.Commands {
+			if c.BestEffort {
+				t.Fatalf("routine %s has best-effort command with M=100%%", sub.Routine.Name)
+			}
+		}
+	}
+}
+
+func TestMicroLongRoutinesFraction(t *testing.T) {
+	p := DefaultMicroParams()
+	p.Routines = 400
+	p.LongPct = 25
+	p.Seed = 3
+	spec := Micro(p)
+	long := 0
+	for _, sub := range spec.Submissions {
+		if sub.Routine.IsLong(time.Minute) {
+			long++
+		}
+	}
+	frac := float64(long) / float64(len(spec.Submissions))
+	if frac < 0.15 || frac > 0.35 {
+		t.Errorf("long routine fraction = %.2f, want ~0.25", frac)
+	}
+}
+
+func TestMicroFailureInjection(t *testing.T) {
+	p := DefaultMicroParams()
+	p.FailedPct = 25
+	p.Seed = 5
+	spec := Micro(p)
+	want := 25 * p.Devices / 100
+	if len(spec.Failures) != want {
+		t.Errorf("failure injections = %d, want %d", len(spec.Failures), want)
+	}
+	seen := map[device.ID]bool{}
+	for _, f := range spec.Failures {
+		if f.Restart {
+			t.Errorf("fail-stop scenario should not inject restarts")
+		}
+		if seen[f.Device] {
+			t.Errorf("device %s injected twice", f.Device)
+		}
+		seen[f.Device] = true
+	}
+}
+
+func TestMicroDeterministicPerSeed(t *testing.T) {
+	p := DefaultMicroParams()
+	p.Routines = 20
+	a, b := Micro(p), Micro(p)
+	if len(a.Submissions) != len(b.Submissions) {
+		t.Fatal("same seed produced different submission counts")
+	}
+	for i := range a.Submissions {
+		if a.Submissions[i].At != b.Submissions[i].At ||
+			a.Submissions[i].Routine.String() != b.Submissions[i].Routine.String() {
+			t.Fatalf("same seed produced different routine %d:\n%v\n%v",
+				i, a.Submissions[i].Routine, b.Submissions[i].Routine)
+		}
+	}
+	p2 := p
+	p2.Seed = 99
+	c := Micro(p2)
+	same := true
+	for i := range a.Submissions {
+		if a.Submissions[i].Routine.String() != c.Submissions[i].Routine.String() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical workloads")
+	}
+}
+
+func TestMicroMustPctZeroMeansAllBestEffort(t *testing.T) {
+	p := DefaultMicroParams()
+	p.Routines = 20
+	p.MustPct = 0
+	spec := Micro(p)
+	for _, sub := range spec.Submissions {
+		for _, c := range sub.Routine.Commands {
+			if !c.BestEffort {
+				t.Fatalf("routine %s has a must command with M=0%%", sub.Routine.Name)
+			}
+		}
+	}
+}
+
+func TestMicroZeroValueNormalizes(t *testing.T) {
+	spec := Micro(MicroParams{Routines: 5})
+	validateSpec(t, spec)
+	if len(spec.Devices) != 25 {
+		t.Errorf("normalized devices = %d, want default 25", len(spec.Devices))
+	}
+}
+
+func TestFigure1Workload(t *testing.T) {
+	spec := Figure1(6, 100*time.Millisecond, 50*time.Millisecond)
+	validateSpec(t, spec)
+	if len(spec.Devices) != 6 {
+		t.Fatalf("devices = %d, want 6", len(spec.Devices))
+	}
+	if spec.RoutineCount() != 2 {
+		t.Fatalf("routines = %d, want 2", spec.RoutineCount())
+	}
+	if spec.Submissions[1].At != 100*time.Millisecond {
+		t.Errorf("R2 offset = %v, want 100ms", spec.Submissions[1].At)
+	}
+	if spec.JitterMax != 50*time.Millisecond {
+		t.Errorf("jitter = %v, want 50ms", spec.JitterMax)
+	}
+	for _, sub := range spec.Submissions {
+		if len(sub.Routine.Commands) != 6 {
+			t.Errorf("routine %s has %d commands, want 6", sub.Routine.Name, len(sub.Routine.Commands))
+		}
+	}
+}
+
+func TestFigure2Workload(t *testing.T) {
+	spec := Figure2()
+	validateSpec(t, spec)
+	if spec.RoutineCount() != 5 {
+		t.Fatalf("routines = %d, want 5", spec.RoutineCount())
+	}
+	if len(spec.Devices) != 5 {
+		t.Fatalf("devices = %d, want 5", len(spec.Devices))
+	}
+	for _, sub := range spec.Submissions {
+		if sub.At != 0 {
+			t.Errorf("Fig 2 routines are all submitted at t=0, got %v", sub.At)
+		}
+	}
+}
+
+func TestMorningScenarioShape(t *testing.T) {
+	spec := Morning(1)
+	validateSpec(t, spec)
+	if got := spec.RoutineCount(); got != 29 {
+		t.Errorf("morning routines = %d, want 29", got)
+	}
+	if got := len(spec.Devices); got != 31 {
+		t.Errorf("morning devices = %d, want 31", got)
+	}
+	if h := spec.Horizon(); h > 25*time.Minute {
+		t.Errorf("morning horizon = %v, want <= 25m", h)
+	}
+	// Ordering constraints: every user's wake-up precedes their leave-home.
+	at := map[string]time.Duration{}
+	for _, sub := range spec.Submissions {
+		at[sub.Routine.Name] = sub.At
+	}
+	for _, u := range []string{"alice", "bob", "carol", "dan"} {
+		if at[u+"-wake-up"] >= at[u+"-leave-home"] {
+			t.Errorf("%s wakes up at %v but leaves at %v", u, at[u+"-wake-up"], at[u+"-leave-home"])
+		}
+		if at[u+"-wake-up"] >= at[u+"-cook-breakfast"] {
+			t.Errorf("%s cooks breakfast before waking up", u)
+		}
+	}
+}
+
+func TestPartyScenarioShape(t *testing.T) {
+	spec := Party(1)
+	validateSpec(t, spec)
+	if got := spec.RoutineCount(); got != 12 {
+		t.Errorf("party routines = %d, want 12 (1 long + 11 short)", got)
+	}
+	long := 0
+	for _, sub := range spec.Submissions {
+		if sub.Routine.IsLong(5 * time.Minute) {
+			long++
+		}
+	}
+	if long != 1 {
+		t.Errorf("party long routines = %d, want exactly 1", long)
+	}
+	// The ambiance routine runs from the very start.
+	if spec.Submissions[0].Routine.Name != "party-ambiance" || spec.Submissions[0].At != 0 {
+		t.Errorf("first submission should be the ambiance routine at t=0, got %s at %v",
+			spec.Submissions[0].Routine.Name, spec.Submissions[0].At)
+	}
+}
+
+func TestFactoryScenarioShape(t *testing.T) {
+	p := DefaultFactoryParams()
+	if p.Stages != 50 {
+		t.Errorf("default stages = %d, want 50", p.Stages)
+	}
+	p.Stages = 10
+	p.RoutinesPerStage = 3
+	spec := Factory(p)
+	validateSpec(t, spec)
+	if got := spec.RoutineCount(); got != 30 {
+		t.Errorf("factory routines = %d, want 30", got)
+	}
+	// 2 local devices per stage + a belt between consecutive stages + 5 globals.
+	wantDevices := 10*2 + 9 + 5
+	if got := len(spec.Devices); got != wantDevices {
+		t.Errorf("factory devices = %d, want %d", got, wantDevices)
+	}
+}
+
+func TestFactoryZeroValueUsesDefaults(t *testing.T) {
+	spec := Factory(FactoryParams{})
+	validateSpec(t, spec)
+	if got := spec.RoutineCount(); got != 100 {
+		t.Errorf("default factory routines = %d, want 100 (50 stages x 2)", got)
+	}
+}
+
+func TestScenariosVaryWithSeed(t *testing.T) {
+	a, b := Morning(1), Morning(2)
+	differ := false
+	for i := range a.Submissions {
+		if a.Submissions[i].At != b.Submissions[i].At {
+			differ = true
+			break
+		}
+	}
+	if !differ {
+		t.Error("different seeds should shift submission times")
+	}
+}
+
+func TestSpecHorizonEmpty(t *testing.T) {
+	var s Spec
+	if s.Horizon() != 0 {
+		t.Errorf("empty spec horizon = %v, want 0", s.Horizon())
+	}
+}
+
+func TestCommandBuilders(t *testing.T) {
+	c := cmd("x", device.On)
+	if c.Device != "x" || c.Target != device.On || c.BestEffort || c.Duration != 0 {
+		t.Errorf("cmd builder wrong: %+v", c)
+	}
+	cd := cmdDur("y", device.Off, time.Minute)
+	if cd.Duration != time.Minute {
+		t.Errorf("cmdDur builder wrong: %+v", cd)
+	}
+	be := bestEffort("z", device.On)
+	if !be.BestEffort {
+		t.Errorf("bestEffort builder wrong: %+v", be)
+	}
+	r := routine.New("t", c, cd, be)
+	if r.MustCount() != 2 {
+		t.Errorf("MustCount = %d, want 2", r.MustCount())
+	}
+}

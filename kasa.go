@@ -1,0 +1,34 @@
+package safehome
+
+import (
+	"safehome/internal/device"
+	"safehome/internal/kasa"
+)
+
+// KasaDriver drives TP-Link Kasa-style smart plugs (HS100/HS105/HS110 and the
+// bundled emulator) over TCP and implements Actuator.
+type KasaDriver = kasa.Driver
+
+// KasaEmulator serves a fleet of virtual Kasa smart plugs over TCP, so a
+// LiveHome (or the safehome-hub binary) can be exercised end to end without
+// physical hardware.
+type KasaEmulator = kasa.Emulator
+
+// NewKasaDriver builds a driver from a device → "host:port" address map: one
+// address per physical plug, or the same address for every device when
+// talking to an emulator.
+func NewKasaDriver(addrs map[DeviceID]string) *KasaDriver {
+	return kasa.NewDriver(addrs)
+}
+
+// NewKasaEmulatorDriver maps every listed device to a single emulator address.
+func NewKasaEmulatorDriver(addr string, ids []DeviceID) *KasaDriver {
+	return kasa.NewSingleEndpointDriver(addr, ids)
+}
+
+// NewKasaEmulator builds an emulator that exposes the given devices over the
+// Kasa protocol, backed by an in-memory fleet (returned by its Fleet method)
+// that supports failure injection. Call Start("127.0.0.1:0") to serve.
+func NewKasaEmulator(devices ...DeviceInfo) *KasaEmulator {
+	return kasa.NewEmulator(device.NewFleet(device.NewRegistry(devices...)))
+}

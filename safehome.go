@@ -1,0 +1,137 @@
+// Package safehome is the public API of the SafeHome library: a smart-home
+// management layer providing atomicity and serial-equivalence (visibility)
+// guarantees for concurrently executing routines, in the presence of device
+// failures and restarts — a from-scratch Go implementation of "Home,
+// SafeHome: Smart Home Reliability with Visibility and Atomicity"
+// (EuroSys 2021).
+//
+// The package exposes two ways to run SafeHome:
+//
+//   - SimulatedHome executes routines against an in-memory device fleet on a
+//     virtual clock — a 40-minute dishwasher cycle takes microseconds of real
+//     time. This is the mode the paper's evaluation (and this repository's
+//     benchmark harness) uses, and the easiest way to explore the visibility
+//     models.
+//
+//   - LiveHome executes routines in real time against any device Actuator —
+//     the bundled Kasa TCP driver (NewKasaDriver) for networked smart plugs,
+//     the in-memory fleet (NewFleet) for demos, or your own implementation.
+//
+// Lower-level building blocks (the lineage table, schedulers, workload
+// generators and experiment harness) live under internal/ and are exercised
+// through the cmd/ binaries.
+package safehome
+
+import (
+	"safehome/internal/device"
+	"safehome/internal/routine"
+	"safehome/internal/visibility"
+)
+
+// Re-exported core types. These are aliases, so values returned by the
+// library interoperate directly with the documented fields of each type.
+type (
+	// DeviceID identifies a device.
+	DeviceID = device.ID
+	// DeviceState is a device's externally visible state ("ON", "BREW", ...).
+	DeviceState = device.State
+	// DeviceInfo is a device's static metadata.
+	DeviceInfo = device.Info
+	// DeviceKind is a coarse device category.
+	DeviceKind = device.Kind
+	// Actuator is the device-facing API SafeHome drives devices through.
+	Actuator = device.Actuator
+	// Fleet is the in-memory simulated device fleet (with failure injection).
+	Fleet = device.Fleet
+
+	// Command is one step of a routine.
+	Command = routine.Command
+	// Condition optionally guards a command on another device's state.
+	Condition = routine.Condition
+	// Routine is a named sequence of commands.
+	Routine = routine.Routine
+	// RoutineID identifies a submitted routine instance.
+	RoutineID = routine.ID
+	// Bank stores named routine definitions.
+	Bank = routine.Bank
+
+	// Model selects a visibility model (WV, GSV, SGSV, PSV, EV).
+	Model = visibility.Model
+	// SchedulerKind selects the EV scheduling policy (FCFS, JiT, Timeline).
+	SchedulerKind = visibility.SchedulerKind
+	// Result is a routine's outcome.
+	Result = visibility.Result
+	// RoutineStatus is a routine's lifecycle state.
+	RoutineStatus = visibility.RoutineStatus
+	// Event is an observable controller event.
+	Event = visibility.Event
+	// Observer receives controller events.
+	Observer = visibility.Observer
+)
+
+// Conventional device states.
+const (
+	On       = device.On
+	Off      = device.Off
+	Open     = device.Open
+	Closed   = device.Closed
+	Locked   = device.Locked
+	Unlocked = device.Unlocked
+)
+
+// Visibility models (§2.1 of the paper).
+const (
+	// WV is Weak Visibility: today's best-effort status quo.
+	WV = visibility.WV
+	// GSV is Global Strict Visibility: at most one routine at a time.
+	GSV = visibility.GSV
+	// SGSV is Strong GSV: any device failure aborts the running routine.
+	SGSV = visibility.SGSV
+	// PSV is Partitioned Strict Visibility: conflicting routines serialize.
+	PSV = visibility.PSV
+	// EV is Eventual Visibility: the paper's main contribution.
+	EV = visibility.EV
+)
+
+// Eventual-Visibility scheduling policies (§5 of the paper).
+const (
+	SchedulerTimeline = visibility.SchedTL
+	SchedulerFCFS     = visibility.SchedFCFS
+	SchedulerJiT      = visibility.SchedJiT
+)
+
+// Routine lifecycle states.
+const (
+	StatusWaiting   = visibility.StatusWaiting
+	StatusRunning   = visibility.StatusRunning
+	StatusCommitted = visibility.StatusCommitted
+	StatusAborted   = visibility.StatusAborted
+)
+
+// NewRoutine builds a routine from commands.
+func NewRoutine(name string, cmds ...Command) *Routine { return routine.New(name, cmds...) }
+
+// NewRoutineBank returns an empty routine bank.
+func NewRoutineBank() *Bank { return routine.NewBank() }
+
+// ParseRoutineSpec decodes a JSON routine document (the Fig 10-style wire
+// format used by the hub's HTTP API).
+func ParseRoutineSpec(data []byte) (*Routine, error) { return routine.ParseSpec(data) }
+
+// MarshalRoutineSpec encodes a routine into the JSON wire format.
+func MarshalRoutineSpec(r *Routine) ([]byte, error) { return routine.MarshalSpec(r) }
+
+// NewRegistry builds a device registry from device metadata.
+func NewRegistry(devices ...DeviceInfo) *device.Registry { return device.NewRegistry(devices...) }
+
+// NewFleet builds an in-memory simulated device fleet for the given devices.
+// The fleet implements Actuator and supports Fail/Restore for fault drills.
+func NewFleet(devices ...DeviceInfo) *Fleet {
+	return device.NewFleet(device.NewRegistry(devices...))
+}
+
+// ParseModel parses a visibility-model name ("EV", "GSV", "s-gsv", ...).
+func ParseModel(s string) (Model, error) { return visibility.ParseModel(s) }
+
+// ParseScheduler parses a scheduler name ("TL", "FCFS", "JiT").
+func ParseScheduler(s string) (SchedulerKind, error) { return visibility.ParseScheduler(s) }
