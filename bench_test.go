@@ -12,6 +12,7 @@ package safehome
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -20,6 +21,7 @@ import (
 	"safehome/internal/harness"
 	"safehome/internal/kasa"
 	"safehome/internal/lineage"
+	"safehome/internal/manager"
 	"safehome/internal/routine"
 	"safehome/internal/sim"
 	"safehome/internal/visibility"
@@ -140,6 +142,46 @@ func benchRoutine(name string, nCmds, devices int, seed int64) *routine.Routine 
 		})
 	}
 	return r
+}
+
+// --- multi-tenant manager throughput ----------------------------------------------
+
+// BenchmarkManagerThroughput measures the sharded HomeManager's end-to-end
+// routine throughput — submit, EV-schedule, execute on the virtual clock,
+// commit — across worker-shard counts. Each parallel bench goroutine plays an
+// API client submitting to homes spread over every shard; the routines/s
+// metric is the headline scale-out number (expect it to grow with shards up
+// to the core count).
+func BenchmarkManagerThroughput(b *testing.B) {
+	const homes = 64
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			m := manager.New(manager.Config{
+				Shards: shards,
+				Home:   manager.HomeConfig{Model: visibility.EV},
+			})
+			defer m.Close()
+			if _, err := m.AddHomes("home", homes, 8); err != nil {
+				b.Fatal(err)
+			}
+			var next atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := next.Add(1)
+					id := manager.HomeID(fmt.Sprintf("home-%d", i%homes))
+					r := benchRoutine("bench", 3, 8, i)
+					if _, err := m.Submit(id, r); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "routines/s")
+		})
+	}
 }
 
 // --- mechanism micro-benchmarks ---------------------------------------------------

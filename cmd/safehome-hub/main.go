@@ -6,10 +6,16 @@
 // at a safehome-devices emulator or at real plugs) or, with -fleet, through
 // an in-process simulated fleet — handy for a single-binary demo.
 //
+// With -homes N the binary instead runs the multi-tenant HomeManager: N
+// independent simulated homes partitioned across -shards worker shards, each
+// with its own visibility controller and fleet, served through the
+// home-scoped API (`/homes/{id}/...`).
+//
 // Usage:
 //
 //	safehome-hub -listen :8123 -model EV -scheduler TL -devices 127.0.0.1:9999 -plugs 10
 //	safehome-hub -listen :8123 -fleet -plugs 5
+//	safehome-hub -listen :8123 -homes 1000 -shards 8 -plugs 5
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"safehome/internal/device"
 	"safehome/internal/hub"
 	"safehome/internal/kasa"
+	"safehome/internal/manager"
 	"safehome/internal/visibility"
 )
 
@@ -32,8 +39,10 @@ func main() {
 		schedName = flag.String("scheduler", "TL", "EV scheduling policy: FCFS, JiT or TL")
 		devices   = flag.String("devices", "", "address of a Kasa endpoint (safehome-devices or a real plug)")
 		useFleet  = flag.Bool("fleet", false, "use an in-process simulated fleet instead of networked devices")
-		plugs     = flag.Int("plugs", 10, "number of plug devices to manage (plug-0..plug-N-1)")
+		plugs     = flag.Int("plugs", 10, "number of plug devices per home (plug-0..plug-N-1)")
 		probe     = flag.Duration("probe", time.Second, "failure detector probe period")
+		homes     = flag.Int("homes", 0, "multi-tenant mode: number of homes to manage (0 = single-home hub)")
+		shards    = flag.Int("shards", 4, "multi-tenant mode: number of worker shards")
 	)
 	flag.Parse()
 
@@ -44,6 +53,16 @@ func main() {
 	sched, err := visibility.ParseScheduler(*schedName)
 	if err != nil {
 		log.Fatalf("safehome-hub: %v", err)
+	}
+
+	if *homes > 0 {
+		// Manager mode runs simulated per-home fleets on live clocks; the
+		// single-home device wiring does not apply.
+		if *devices != "" || *useFleet {
+			log.Fatal("safehome-hub: -devices/-fleet apply to single-home mode only; -homes manages in-process simulated fleets")
+		}
+		serveManager(*listen, *homes, *shards, *plugs, model, sched)
+		return
 	}
 
 	reg := device.Plugs(*plugs)
@@ -69,4 +88,25 @@ func main() {
 	fmt.Printf("SafeHome hub: model=%s scheduler=%s devices=%d\n", model, sched, reg.Len())
 	fmt.Printf("HTTP API on http://%s/api/status\n", *listen)
 	log.Fatal(http.ListenAndServe(*listen, h.Handler()))
+}
+
+// serveManager runs the multi-tenant HomeManager: homes home-0..home-(N-1)
+// on live clocks, partitioned across worker shards, behind the /homes API.
+func serveManager(listen string, homes, shards, plugs int, model visibility.Model, sched visibility.SchedulerKind) {
+	m := manager.New(manager.Config{
+		Shards: shards,
+		Clock:  manager.ClockLive,
+		Home: manager.HomeConfig{
+			Model:      model,
+			ExplicitWV: model == visibility.WV,
+			Scheduler:  sched,
+		},
+	})
+	if _, err := m.AddHomes("home", homes, plugs); err != nil {
+		log.Fatalf("safehome-hub: creating homes: %v", err)
+	}
+	fmt.Printf("SafeHome multi-tenant hub: model=%s scheduler=%s homes=%d shards=%d plugs/home=%d\n",
+		model, sched, homes, shards, plugs)
+	fmt.Printf("HTTP API on http://%s/api/status (home-scoped: /homes/home-0/...)\n", listen)
+	log.Fatal(http.ListenAndServe(listen, hub.ManagerHandler(m, plugs)))
 }

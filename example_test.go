@@ -1,0 +1,91 @@
+package safehome_test
+
+import (
+	"fmt"
+	"time"
+
+	"safehome"
+)
+
+// ExampleSimulatedHome runs two conflicting routines under Eventual
+// Visibility on the virtual clock: the whole evening — a 40-minute
+// dishwasher cycle included — takes microseconds of real time, and the end
+// state matches some serial order of the two routines.
+func ExampleSimulatedHome() {
+	home, err := safehome.NewSimulatedHome(safehome.Config{Model: safehome.EV},
+		safehome.DeviceInfo{ID: "dishwasher", Kind: "dishwasher", Initial: safehome.Off},
+		safehome.DeviceInfo{ID: "water-heater", Kind: "heater", Initial: safehome.Off},
+	)
+	if err != nil {
+		panic(err)
+	}
+
+	dishes := safehome.NewRoutine("dishes",
+		safehome.Command{Device: "water-heater", Target: safehome.On},
+		safehome.Command{Device: "dishwasher", Target: "WASH", Duration: 40 * time.Minute},
+		safehome.Command{Device: "dishwasher", Target: safehome.Off},
+		safehome.Command{Device: "water-heater", Target: safehome.Off},
+	)
+	shower := safehome.NewRoutine("shower",
+		safehome.Command{Device: "water-heater", Target: safehome.On, Duration: 15 * time.Minute},
+	)
+
+	if _, err := home.Submit(dishes); err != nil {
+		panic(err)
+	}
+	if err := home.SubmitAfter(5*time.Minute, shower); err != nil {
+		panic(err)
+	}
+	elapsed := home.Run()
+
+	for _, res := range home.Results() {
+		fmt.Printf("%s: %s\n", res.Routine.Name, res.Status)
+	}
+	fmt.Printf("virtual time: %v\n", elapsed.Round(time.Minute))
+	fmt.Printf("dishwasher=%s water-heater=%s\n",
+		home.DeviceState("dishwasher"), home.DeviceState("water-heater"))
+	// Output:
+	// dishes: committed
+	// shower: committed
+	// virtual time: 55m0s
+	// dishwasher=OFF water-heater=ON
+}
+
+// ExampleLiveHome drives an in-memory device fleet in real time: commands
+// hold their devices for their real duration, so the example keeps them at
+// the default (instantaneous) length and waits for the routine to finish.
+func ExampleLiveHome() {
+	devices := safehome.Plugs(2)
+	fleet := safehome.NewFleet(devices...)
+	home, err := safehome.NewLiveHome(safehome.Config{
+		Model:               safehome.EV,
+		DefaultShortCommand: time.Millisecond,
+	}, fleet, devices...)
+	if err != nil {
+		panic(err)
+	}
+	home.Start()
+	defer home.Close()
+
+	lights := safehome.NewRoutine("lights-on",
+		safehome.Command{Device: "plug-0", Target: safehome.On},
+		safehome.Command{Device: "plug-1", Target: safehome.On},
+	)
+	id, err := home.Submit(lights)
+	if err != nil {
+		panic(err)
+	}
+	if err := home.WaitIdle(5 * time.Second); err != nil {
+		panic(err)
+	}
+
+	res, _ := home.Result(id)
+	fmt.Printf("%s: %s\n", res.Routine.Name, res.Status)
+	for _, d := range home.Devices() {
+		fmt.Printf("%s=%s up=%v\n", d.Info.ID, d.State, d.Up)
+	}
+	// Output:
+	// lights-on: committed
+	// plug-0=ON up=true
+	// plug-1=ON up=true
+}

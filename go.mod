@@ -1,0 +1,3 @@
+module safehome
+
+go 1.24

@@ -122,6 +122,7 @@ func All() []Experiment {
 		{ID: "fig16", Paper: "Figure 16", Description: "Impact of routine size and device popularity", Run: Figure16},
 		{ID: "fig17", Paper: "Figure 17", Description: "Impact of long-running routine duration and fraction", Run: Figure17},
 		{ID: "table3", Paper: "Table 3", Description: "Microbenchmark parameter defaults", Run: Table3},
+		{ID: "mt-scale", Paper: "(beyond the paper)", Description: "Multi-tenant HomeManager throughput vs worker-shard count", Run: MultiTenant},
 	}
 }
 

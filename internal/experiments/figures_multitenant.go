@@ -1,0 +1,132 @@
+// Multi-tenant scale-out scenario: not a paper artifact but the ROADMAP's
+// production-scale direction — one hub process serving many independent
+// homes through the sharded HomeManager (internal/manager).
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"safehome/internal/device"
+	"safehome/internal/manager"
+	"safehome/internal/routine"
+	"safehome/internal/stats"
+	"safehome/internal/visibility"
+)
+
+// MultiTenant drives a fixed fleet of homes (each running EV with its own
+// controller and device fleet) through the sharded HomeManager at increasing
+// shard counts, and reports wall-clock throughput (routines/sec) and the
+// speedup over one shard. Routine content is seeded and identical across
+// shard counts; only the wall-clock timings vary with the hardware.
+func MultiTenant(o Options) []Table {
+	o = o.normalized(1)
+	homes, perHome, plugs := 48, 24, 8
+	submitters := 16
+	shardCounts := []int{1, 2, 4, 8}
+	if o.Quick {
+		homes, perHome, plugs = 12, 6, 4
+		submitters = 4
+		shardCounts = []int{1, 4}
+	}
+
+	// Pre-generate every home's routines once so each shard count replays the
+	// identical workload.
+	rng := stats.NewRNG(o.Seed)
+	work := make([][]*routine.Routine, homes)
+	for h := range work {
+		work[h] = make([]*routine.Routine, perHome)
+		for i := range work[h] {
+			r := routine.New(fmt.Sprintf("mt-%d-%d", h, i))
+			nCmds := 2 + rng.Intn(3)
+			for c := 0; c < nCmds; c++ {
+				target := device.On
+				if rng.Bool(0.5) {
+					target = device.Off
+				}
+				r.Commands = append(r.Commands, routine.Command{
+					Device:   device.ID(fmt.Sprintf("plug-%d", rng.Intn(plugs))),
+					Target:   target,
+					Duration: time.Duration(1+rng.Intn(10)) * time.Minute,
+				})
+			}
+			work[h][i] = r
+		}
+	}
+
+	type point struct {
+		shards    int
+		wall      time.Duration
+		perSec    float64
+		committed int64
+	}
+	var points []point
+	for _, shards := range shardCounts {
+		m := manager.New(manager.Config{
+			Shards: shards,
+			Home:   manager.HomeConfig{Model: visibility.EV},
+		})
+		if _, err := m.AddHomes("home", homes, plugs); err != nil {
+			panic(fmt.Sprintf("experiments: multi-tenant setup: %v", err))
+		}
+
+		// Fan the per-home workload out over a fixed pool of submitters, as
+		// concurrent API clients would.
+		jobs := make(chan int, homes)
+		start := time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < submitters; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for h := range jobs {
+					id := manager.HomeID(fmt.Sprintf("home-%d", h))
+					for _, r := range work[h] {
+						if _, err := m.Submit(id, r); err != nil {
+							panic(fmt.Sprintf("experiments: multi-tenant submit: %v", err))
+						}
+					}
+				}
+			}()
+		}
+		for h := 0; h < homes; h++ {
+			jobs <- h
+		}
+		close(jobs)
+		wg.Wait()
+		m.Close()
+		wall := time.Since(start)
+
+		st := m.Status()
+		total := homes * perHome
+		if st.Committed != int64(total) {
+			panic(fmt.Sprintf("experiments: multi-tenant: %d committed, want %d", st.Committed, total))
+		}
+		points = append(points, point{
+			shards:    shards,
+			wall:      wall,
+			perSec:    float64(total) / wall.Seconds(),
+			committed: st.Committed,
+		})
+	}
+
+	tab := Table{
+		ID:    "mt-scale",
+		Title: fmt.Sprintf("Manager throughput: %d homes x %d routines, EV/TL, %d submitters", homes, perHome, submitters),
+		Columns: []string{"shards", "homes", "routines", "wall", "routines/s", "speedup"},
+		Notes: "wall-clock timings are hardware-dependent; the reproduction target is the upward throughput trend with shard count",
+	}
+	base := points[0].perSec
+	for _, p := range points {
+		tab.Rows = append(tab.Rows, []string{
+			fmt.Sprintf("%d", p.shards),
+			fmt.Sprintf("%d", homes),
+			fmt.Sprintf("%d", p.committed),
+			fmtDur(p.wall),
+			fmt.Sprintf("%.0f", p.perSec),
+			fmt.Sprintf("%.2fx", p.perSec/base),
+		})
+	}
+	return []Table{tab}
+}

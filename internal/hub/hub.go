@@ -5,7 +5,12 @@
 //
 // The hub serializes all controller access with one mutex; the live
 // environment delivers command completions and timer callbacks under the same
-// mutex, so the controller keeps its single-threaded execution model.
+// mutex, so the controller keeps its single-threaded execution model. The hub
+// also hosts the multi-tenant HTTP surface (ManagerHandler) that routes
+// home-scoped requests through internal/manager.
+//
+// See ARCHITECTURE.md at the repository root for how the hub layers between
+// the public API, the manager and the visibility controllers.
 package hub
 
 import (

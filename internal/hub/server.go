@@ -2,12 +2,15 @@ package hub
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
 	"time"
 
+	"safehome/internal/device"
+	"safehome/internal/manager"
 	"safehome/internal/routine"
 	"safehome/internal/visibility"
 )
@@ -147,6 +150,147 @@ func (h *Hub) handleTrigger(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, map[string]any{"id": id})
+}
+
+// --- multi-tenant API ---------------------------------------------------------
+
+// ManagerHandler returns the multi-tenant HTTP API served when the hub runs
+// in manager mode (`safehome-hub -homes N -shards S`). Every home-scoped
+// route is dispatched through the manager, which serializes it on the home's
+// shard:
+//
+//	GET  /api/status                      manager summary (shards, totals)
+//	GET  /homes                           every home's summary
+//	PUT  /homes/{id}?plugs=N              create a home with N plug devices
+//	GET  /homes/{id}/status               one home's summary
+//	GET  /homes/{id}/devices              ground-truth device states
+//	GET  /homes/{id}/routines             the home's routine results
+//	POST /homes/{id}/routines             submit a routine (Fig 10-style JSON)
+//	GET  /homes/{id}/routines/{rid}       one routine result
+//	POST /homes/{id}/devices/{dev}/fail   inject a fail-stop device failure
+//	POST /homes/{id}/devices/{dev}/restore inject the matching restart
+//
+// defaultPlugs is the fleet size given to homes created without an explicit
+// ?plugs= (values < 1 fall back to 5); the hub passes its -plugs flag so
+// API-created homes match the startup homes.
+func ManagerHandler(m *manager.Manager, defaultPlugs int) http.Handler {
+	if defaultPlugs < 1 {
+		defaultPlugs = 5
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Status())
+	})
+	mux.HandleFunc("GET /homes", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Homes())
+	})
+	mux.HandleFunc("PUT /homes/{id}", func(w http.ResponseWriter, r *http.Request) {
+		plugs := defaultPlugs
+		if q := r.URL.Query().Get("plugs"); q != "" {
+			n, err := strconv.Atoi(q)
+			if err != nil || n < 1 {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("bad plugs count %q", q))
+				return
+			}
+			plugs = n
+		}
+		id := manager.HomeID(r.PathValue("id"))
+		if err := m.AddHome(id, plugDevices(plugs)...); err != nil {
+			writeManagerError(w, err)
+			return
+		}
+		st, err := m.HomeStatus(id)
+		if err != nil {
+			writeManagerError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, st)
+	})
+	mux.HandleFunc("GET /homes/{id}/status", func(w http.ResponseWriter, r *http.Request) {
+		st, err := m.HomeStatus(manager.HomeID(r.PathValue("id")))
+		if err != nil {
+			writeManagerError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /homes/{id}/devices", func(w http.ResponseWriter, r *http.Request) {
+		states, err := m.DeviceStates(manager.HomeID(r.PathValue("id")))
+		if err != nil {
+			writeManagerError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, states)
+	})
+	mux.HandleFunc("GET /homes/{id}/routines", func(w http.ResponseWriter, r *http.Request) {
+		results, err := m.Results(manager.HomeID(r.PathValue("id")))
+		if err != nil {
+			writeManagerError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resultsJSON(results))
+	})
+	mux.HandleFunc("POST /homes/{id}/routines", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+			return
+		}
+		rid, err := m.SubmitSpec(manager.HomeID(r.PathValue("id")), body)
+		if err != nil {
+			writeManagerError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, map[string]any{"id": rid})
+	})
+	mux.HandleFunc("GET /homes/{id}/routines/{rid}", func(w http.ResponseWriter, r *http.Request) {
+		rid, err := strconv.ParseInt(r.PathValue("rid"), 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad routine id: %w", err))
+			return
+		}
+		res, ok, err := m.Result(manager.HomeID(r.PathValue("id")), routine.ID(rid))
+		if err != nil {
+			writeManagerError(w, err)
+			return
+		}
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no routine %d", rid))
+			return
+		}
+		writeJSON(w, http.StatusOK, resultJSON(res))
+	})
+	mux.HandleFunc("POST /homes/{id}/devices/{dev}/fail", func(w http.ResponseWriter, r *http.Request) {
+		if err := m.FailDevice(manager.HomeID(r.PathValue("id")), device.ID(r.PathValue("dev"))); err != nil {
+			writeManagerError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"failed": r.PathValue("dev")})
+	})
+	mux.HandleFunc("POST /homes/{id}/devices/{dev}/restore", func(w http.ResponseWriter, r *http.Request) {
+		if err := m.RestoreDevice(manager.HomeID(r.PathValue("id")), device.ID(r.PathValue("dev"))); err != nil {
+			writeManagerError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"restored": r.PathValue("dev")})
+	})
+	return mux
+}
+
+func plugDevices(n int) []device.Info { return device.Plugs(n).All() }
+
+// writeManagerError maps manager errors onto HTTP statuses.
+func writeManagerError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, manager.ErrUnknownHome):
+		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, manager.ErrDuplicateHome):
+		writeError(w, http.StatusConflict, err)
+	case errors.Is(err, manager.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
 }
 
 // --- JSON views ---------------------------------------------------------------

@@ -1,0 +1,501 @@
+// Package manager scales SafeHome from one home to many: a sharded,
+// multi-tenant HomeManager that owns N independent homes, each with its own
+// visibility controller, device fleet and clock, partitioned across worker
+// shards.
+//
+// Every home is hashed to one shard (FNV-1a of the home ID modulo the shard
+// count) and every operation on that home — creating it, submitting a
+// routine, injecting a failure, reading results — executes on that shard's
+// single goroutine. This preserves the visibility controllers'
+// single-threaded execution contract (see internal/visibility) without any
+// per-home locking: homes on different shards make progress fully in
+// parallel, homes on the same shard serialize behind one another, and no home
+// ever observes another home's state.
+//
+// Cross-shard statistics (routines submitted/committed/aborted, simulator
+// events processed) are aggregated lock-free through internal/stats sharded
+// counters: each shard increments its own cache-line-padded lane and readers
+// sum the lanes.
+//
+// Homes run on either a virtual or a live clock:
+//
+//   - ClockVirtual: each operation drains the home's discrete-event simulator,
+//     so a 40-minute routine finishes in microseconds of real time. This is
+//     the mode the multi-tenant experiments and benchmarks use.
+//   - ClockLive: each shard pumps its homes' simulators up to the wall clock
+//     on a fixed interval, so a routine scheduled 5 s out fires 5 s later in
+//     real time. This is the mode the multi-tenant hub serves.
+//
+// See ARCHITECTURE.md at the repository root for how the manager layers
+// between the public API and the per-home hub/visibility machinery.
+package manager
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"safehome/internal/device"
+	"safehome/internal/routine"
+	"safehome/internal/sim"
+	"safehome/internal/stats"
+	"safehome/internal/visibility"
+)
+
+// HomeID identifies one tenant home within a manager.
+type HomeID string
+
+// Clock selects how a manager's homes experience time.
+type Clock int
+
+const (
+	// ClockVirtual drains each home's simulator after every operation:
+	// routines run to completion at virtual speed. Best for experiments,
+	// benchmarks and tests.
+	ClockVirtual Clock = iota
+	// ClockLive advances each home's simulator to the wall clock on a pump
+	// interval: routines take real time. Best for serving the HTTP API.
+	ClockLive
+)
+
+func (c Clock) String() string {
+	switch c {
+	case ClockVirtual:
+		return "virtual"
+	case ClockLive:
+		return "live"
+	default:
+		return fmt.Sprintf("clock(%d)", int(c))
+	}
+}
+
+// Errors returned by manager operations.
+var (
+	// ErrClosed is returned by mutating calls after Close.
+	ErrClosed = errors.New("manager: closed")
+	// ErrUnknownHome is returned (wrapped, with the ID) for missing homes.
+	ErrUnknownHome = errors.New("manager: unknown home")
+	// ErrDuplicateHome is returned (wrapped) when re-adding an existing home.
+	ErrDuplicateHome = errors.New("manager: home already exists")
+)
+
+// HomeConfig selects the visibility model and tuning knobs applied to every
+// home the manager creates.
+type HomeConfig struct {
+	// Model is the visibility model (default EV; zero value WV is remapped —
+	// a multi-tenant deployment that wants WV must say so via ExplicitWV).
+	Model visibility.Model
+	// ExplicitWV keeps Model = WV instead of defaulting it to EV.
+	ExplicitWV bool
+	// Scheduler is the EV scheduling policy (default Timeline).
+	Scheduler visibility.SchedulerKind
+	// DefaultShort is the assumed hold of zero-duration commands.
+	DefaultShort time.Duration
+	// ActuationLatency adds a fixed per-command latency, modelling
+	// device/network round trips.
+	ActuationLatency time.Duration
+}
+
+// Config configures a Manager.
+type Config struct {
+	// Shards is the number of worker shards (default 4, minimum 1).
+	Shards int
+	// QueueDepth is each shard's operation buffer (default 128).
+	QueueDepth int
+	// Clock selects virtual or live time (default ClockVirtual).
+	Clock Clock
+	// PumpInterval is the live-clock advance period (default 10 ms).
+	PumpInterval time.Duration
+	// Home configures every home the manager creates.
+	Home HomeConfig
+}
+
+func (c Config) normalized() Config {
+	if c.Shards < 1 {
+		c.Shards = 4
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 128
+	}
+	if c.PumpInterval <= 0 {
+		c.PumpInterval = 10 * time.Millisecond
+	}
+	if c.Home.Model == visibility.WV && !c.Home.ExplicitWV {
+		c.Home.Model = visibility.EV
+	}
+	return c
+}
+
+func (c HomeConfig) options() visibility.Options {
+	opts := visibility.DefaultOptions(c.Model)
+	opts.Scheduler = c.Scheduler
+	if c.DefaultShort > 0 {
+		opts.DefaultShort = c.DefaultShort
+	}
+	return opts
+}
+
+// home is one tenant: its own simulator, fleet and controller, owned
+// exclusively by a shard goroutine (and readable inline once the manager is
+// closed and quiescent).
+type home struct {
+	id      HomeID
+	shard   int
+	sim     *sim.Sim
+	reg     *device.Registry
+	fleet   *device.Fleet
+	ctrl    visibility.Controller
+	created time.Time
+	// drained tracks sim.Processed at the last counter flush, so the shard
+	// reports only the delta to the manager-wide event counter.
+	drained int
+}
+
+func (h *home) status() HomeStatus {
+	return HomeStatus{
+		ID:       h.id,
+		Shard:    h.shard,
+		Model:    h.ctrl.Model().String(),
+		Devices:  h.reg.Len(),
+		Routines: h.ctrl.RoutineCount(),
+		Pending:  h.ctrl.PendingCount(),
+		Active:   h.ctrl.ActiveCount(),
+		Now:      h.sim.Now(),
+		Created:  h.created,
+	}
+}
+
+// Manager owns and schedules many independent homes across worker shards.
+// All methods are safe for concurrent use. After Close, mutating methods
+// return ErrClosed and read-only methods answer from the quiesced state.
+type Manager struct {
+	cfg    Config
+	shards []*shard
+	wg     sync.WaitGroup
+
+	mu     sync.RWMutex // guards closed vs. enqueue
+	closed bool
+
+	since time.Time
+
+	// Lock-free cross-shard totals; one lane per shard.
+	submitted *stats.ShardedCounter
+	committed *stats.ShardedCounter
+	aborted   *stats.ShardedCounter
+	simEvents *stats.ShardedCounter
+}
+
+// New builds and starts a manager. The returned manager has no homes; add
+// them with AddHome or AddHomes.
+func New(cfg Config) *Manager {
+	cfg = cfg.normalized()
+	m := &Manager{
+		cfg:       cfg,
+		since:     time.Now(),
+		submitted: stats.NewShardedCounter(cfg.Shards),
+		committed: stats.NewShardedCounter(cfg.Shards),
+		aborted:   stats.NewShardedCounter(cfg.Shards),
+		simEvents: stats.NewShardedCounter(cfg.Shards),
+	}
+	m.shards = make([]*shard, cfg.Shards)
+	for i := range m.shards {
+		m.shards[i] = newShard(m, i)
+		m.wg.Add(1)
+		go m.shards[i].run()
+	}
+	return m
+}
+
+// NumShards returns the shard count.
+func (m *Manager) NumShards() int { return m.cfg.Shards }
+
+// Clock returns the manager's clock mode.
+func (m *Manager) Clock() Clock { return m.cfg.Clock }
+
+// ShardOf returns the shard a home ID deterministically routes to.
+func (m *Manager) ShardOf(id HomeID) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(id))
+	return int(h.Sum32() % uint32(m.cfg.Shards))
+}
+
+// AddHome creates a home with the given devices on the home's shard.
+func (m *Manager) AddHome(id HomeID, devices ...device.Info) error {
+	if id == "" {
+		return errors.New("manager: empty home ID")
+	}
+	if len(devices) == 0 {
+		return fmt.Errorf("manager: home %q needs at least one device", id)
+	}
+	sh := m.shards[m.ShardOf(id)]
+	reply := make(chan error, 1)
+	if !m.enqueue(sh, func() { reply <- sh.addHome(id, devices) }) {
+		return ErrClosed
+	}
+	return <-reply
+}
+
+// AddHomes creates n homes named <prefix>-0 .. <prefix>-(n-1), each with the
+// given number of generic plug devices, and returns their IDs.
+func (m *Manager) AddHomes(prefix string, n, plugs int) ([]HomeID, error) {
+	ids := make([]HomeID, 0, n)
+	for i := 0; i < n; i++ {
+		id := HomeID(fmt.Sprintf("%s-%d", prefix, i))
+		if err := m.AddHome(id, device.Plugs(plugs).All()...); err != nil {
+			return ids, err
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// Submit validates the routine against the home's device registry and
+// submits it, returning its assigned routine ID. Under ClockVirtual the
+// routine has finished by the time Submit returns; under ClockLive it
+// executes in real time.
+func (m *Manager) Submit(id HomeID, r *routine.Routine) (routine.ID, error) {
+	var rid routine.ID
+	err := m.mutate(id, func(h *home) error {
+		if err := r.Validate(h.reg); err != nil {
+			return err
+		}
+		rid = h.ctrl.Submit(r)
+		return nil
+	})
+	return rid, err
+}
+
+// SubmitSpec parses a Fig 10-style JSON routine document and submits it.
+func (m *Manager) SubmitSpec(id HomeID, spec []byte) (routine.ID, error) {
+	r, err := routine.ParseSpec(spec)
+	if err != nil {
+		return routine.None, err
+	}
+	return m.Submit(id, r)
+}
+
+// SubmitAfter schedules a routine submission after the given delay on the
+// home's clock. Under ClockLive the delay is real time.
+func (m *Manager) SubmitAfter(id HomeID, d time.Duration, r *routine.Routine) error {
+	return m.mutate(id, func(h *home) error {
+		if err := r.Validate(h.reg); err != nil {
+			return err
+		}
+		h.sim.After(d, func() { h.ctrl.Submit(r) })
+		return nil
+	})
+}
+
+// FailDevice injects a fail-stop failure of the device in the home.
+func (m *Manager) FailDevice(id HomeID, dev device.ID) error {
+	return m.mutate(id, func(h *home) error {
+		if err := h.fleet.Fail(dev); err != nil {
+			return err
+		}
+		h.ctrl.NotifyFailure(dev)
+		return nil
+	})
+}
+
+// RestoreDevice injects a restart of a previously failed device.
+func (m *Manager) RestoreDevice(id HomeID, dev device.ID) error {
+	return m.mutate(id, func(h *home) error {
+		if err := h.fleet.Restore(dev); err != nil {
+			return err
+		}
+		h.ctrl.NotifyRestart(dev)
+		return nil
+	})
+}
+
+// Results returns the home's per-routine outcomes in submission order.
+func (m *Manager) Results(id HomeID) ([]visibility.Result, error) {
+	var out []visibility.Result
+	err := m.query(id, func(h *home) error {
+		out = h.ctrl.Results()
+		return nil
+	})
+	return out, err
+}
+
+// Result returns one routine's outcome in the home.
+func (m *Manager) Result(id HomeID, rid routine.ID) (visibility.Result, bool, error) {
+	var (
+		res visibility.Result
+		ok  bool
+	)
+	err := m.query(id, func(h *home) error {
+		res, ok = h.ctrl.Result(rid)
+		return nil
+	})
+	return res, ok, err
+}
+
+// DeviceStates returns the ground-truth state of every device in the home.
+func (m *Manager) DeviceStates(id HomeID) (map[device.ID]device.State, error) {
+	var out map[device.ID]device.State
+	err := m.query(id, func(h *home) error {
+		out = h.fleet.Snapshot()
+		return nil
+	})
+	return out, err
+}
+
+// HomeStatus summarizes one home.
+type HomeStatus struct {
+	ID       HomeID    `json:"id"`
+	Shard    int       `json:"shard"`
+	Model    string    `json:"model"`
+	Devices  int       `json:"devices"`
+	Routines int       `json:"routines"`
+	Pending  int       `json:"pending"`
+	Active   int       `json:"active"`
+	Now      time.Time `json:"now"`
+	Created  time.Time `json:"created"`
+}
+
+// HomeStatus returns one home's summary.
+func (m *Manager) HomeStatus(id HomeID) (HomeStatus, error) {
+	var st HomeStatus
+	err := m.query(id, func(h *home) error {
+		st = h.status()
+		return nil
+	})
+	return st, err
+}
+
+// Homes lists every home's summary, sorted by ID.
+func (m *Manager) Homes() []HomeStatus {
+	var (
+		mu  sync.Mutex
+		out []HomeStatus
+		wg  sync.WaitGroup
+	)
+	for _, sh := range m.shards {
+		sh := sh
+		wg.Add(1)
+		collect := func() {
+			defer wg.Done()
+			local := sh.statuses()
+			mu.Lock()
+			out = append(out, local...)
+			mu.Unlock()
+		}
+		if !m.enqueue(sh, collect) {
+			collect() // manager closed and quiescent: read inline
+		}
+	}
+	wg.Wait()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Status summarizes the whole manager.
+type Status struct {
+	Shards    int       `json:"shards"`
+	Homes     int       `json:"homes"`
+	Clock     string    `json:"clock"`
+	Model     string    `json:"model"`
+	Submitted int64     `json:"submitted"`
+	Committed int64     `json:"committed"`
+	Aborted   int64     `json:"aborted"`
+	SimEvents int64     `json:"sim_events"`
+	Since     time.Time `json:"since"`
+}
+
+// Status returns manager-wide totals. The counters are read lock-free and
+// monotonic, not a point-in-time snapshot.
+func (m *Manager) Status() Status {
+	homes := 0
+	for _, sh := range m.shards {
+		homes += int(sh.homeCount.Load())
+	}
+	return Status{
+		Shards:    m.cfg.Shards,
+		Homes:     homes,
+		Clock:     m.cfg.Clock.String(),
+		Model:     m.cfg.Home.Model.String(),
+		Submitted: m.submitted.Total(),
+		Committed: m.committed.Total(),
+		Aborted:   m.aborted.Total(),
+		SimEvents: m.simEvents.Total(),
+		Since:     m.since,
+	}
+}
+
+// Close stops accepting mutations, drains every shard — queued operations run
+// and every home's in-flight routines finish — and waits for the shard
+// goroutines to exit. Close is idempotent; read-only methods keep working on
+// the quiesced state afterwards.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	for _, sh := range m.shards {
+		close(sh.ops)
+	}
+	m.wg.Wait()
+	m.mu.Unlock()
+}
+
+// enqueue hands an operation to a shard goroutine; it returns false if the
+// manager is closed (shards quiescent, nothing will run the op).
+func (m *Manager) enqueue(sh *shard, op func()) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		return false
+	}
+	sh.ops <- op
+	return true
+}
+
+// mutate runs fn against the home on its shard goroutine; ErrClosed after
+// Close.
+func (m *Manager) mutate(id HomeID, fn func(*home) error) error {
+	sh := m.shards[m.ShardOf(id)]
+	reply := make(chan error, 1)
+	ok := m.enqueue(sh, func() {
+		h, found := sh.homes[id]
+		if !found {
+			reply <- fmt.Errorf("%w: %q", ErrUnknownHome, id)
+			return
+		}
+		err := fn(h)
+		sh.pump(h)
+		reply <- err
+	})
+	if !ok {
+		return ErrClosed
+	}
+	return <-reply
+}
+
+// query runs fn against the home; after Close it executes inline, which is
+// safe because Close returns only once every shard goroutine has exited.
+func (m *Manager) query(id HomeID, fn func(*home) error) error {
+	sh := m.shards[m.ShardOf(id)]
+	reply := make(chan error, 1)
+	ok := m.enqueue(sh, func() {
+		h, found := sh.homes[id]
+		if !found {
+			reply <- fmt.Errorf("%w: %q", ErrUnknownHome, id)
+			return
+		}
+		reply <- fn(h)
+	})
+	if !ok {
+		h, found := sh.homes[id]
+		if !found {
+			return fmt.Errorf("%w: %q", ErrUnknownHome, id)
+		}
+		return fn(h)
+	}
+	return <-reply
+}

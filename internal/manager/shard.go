@@ -1,0 +1,142 @@
+package manager
+
+import (
+	"fmt"
+	"time"
+
+	"safehome/internal/device"
+	"safehome/internal/sim"
+	"safehome/internal/stats"
+	"safehome/internal/visibility"
+)
+
+// shard owns a disjoint subset of the manager's homes. Its run goroutine is
+// the only writer of the homes map and of every home's simulator, fleet and
+// controller while the manager is open; once Close has drained the shard the
+// manager may read the same state inline.
+type shard struct {
+	m     *Manager
+	index int
+	ops   chan func()
+	homes map[HomeID]*home
+
+	// homeCount mirrors len(homes) for lock-free Status reads.
+	homeCount stats.Counter
+}
+
+func newShard(m *Manager, index int) *shard {
+	return &shard{
+		m:     m,
+		index: index,
+		ops:   make(chan func(), m.cfg.QueueDepth),
+		homes: make(map[HomeID]*home),
+	}
+}
+
+// run is the shard's event loop: execute operations in arrival order and,
+// under ClockLive, pump every home's simulator up to the wall clock. When the
+// ops channel closes the shard drains every home to quiescence and exits.
+func (s *shard) run() {
+	defer s.m.wg.Done()
+	if s.m.cfg.Clock == ClockLive {
+		ticker := time.NewTicker(s.m.cfg.PumpInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case op, ok := <-s.ops:
+				if !ok {
+					s.drainAll()
+					return
+				}
+				op()
+			case <-ticker.C:
+				now := time.Now()
+				for _, h := range s.homes {
+					h.sim.RunUntil(now)
+					s.flushEvents(h)
+				}
+			}
+		}
+	}
+	for op := range s.ops {
+		op()
+	}
+	s.drainAll()
+}
+
+// addHome builds a home on this shard. Runs on the shard goroutine.
+func (s *shard) addHome(id HomeID, devices []device.Info) error {
+	if _, exists := s.homes[id]; exists {
+		return fmt.Errorf("%w: %q", ErrDuplicateHome, id)
+	}
+	reg := device.NewRegistry(devices...)
+	fleet := device.NewFleet(reg)
+	var clock *sim.Sim
+	if s.m.cfg.Clock == ClockLive {
+		clock = sim.New(time.Now())
+	} else {
+		clock = sim.NewAtEpoch()
+	}
+	env := visibility.NewSimEnv(clock, fleet)
+	env.ActuationLatency = s.m.cfg.Home.ActuationLatency
+
+	h := &home{
+		id:      id,
+		shard:   s.index,
+		sim:     clock,
+		reg:     reg,
+		fleet:   fleet,
+		created: time.Now(),
+	}
+	opts := s.m.cfg.Home.options()
+	opts.Observer = func(e visibility.Event) {
+		switch e.Kind {
+		case visibility.EvSubmitted:
+			s.m.submitted.Add(s.index, 1)
+		case visibility.EvCommitted:
+			s.m.committed.Add(s.index, 1)
+		case visibility.EvAborted:
+			s.m.aborted.Add(s.index, 1)
+		}
+	}
+	h.ctrl = visibility.New(env, fleet.Snapshot(), opts)
+	s.homes[id] = h
+	s.homeCount.Inc()
+	return nil
+}
+
+// pump advances a home after a mutating operation: under the virtual clock it
+// drains the home's simulator (the operation's routines run to completion at
+// virtual speed); under the live clock the ticker advances time instead.
+func (s *shard) pump(h *home) {
+	if s.m.cfg.Clock == ClockVirtual {
+		h.sim.Run()
+		s.flushEvents(h)
+	}
+}
+
+// flushEvents folds the home's newly processed simulator events into the
+// manager-wide counter.
+func (s *shard) flushEvents(h *home) {
+	if p := h.sim.Processed(); p > h.drained {
+		s.m.simEvents.Add(s.index, int64(p-h.drained))
+		h.drained = p
+	}
+}
+
+// drainAll finishes every home's in-flight work (graceful shutdown).
+func (s *shard) drainAll() {
+	for _, h := range s.homes {
+		h.sim.Run()
+		s.flushEvents(h)
+	}
+}
+
+// statuses summarizes every home on this shard.
+func (s *shard) statuses() []HomeStatus {
+	out := make([]HomeStatus, 0, len(s.homes))
+	for _, h := range s.homes {
+		out = append(out, h.status())
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+package stats
+
+import "sync/atomic"
+
+// Counter is a lock-free monotonic counter safe for concurrent use. It is
+// padded to a cache line so that adjacent counters written by different
+// goroutines (e.g. one per manager shard) never false-share.
+type Counter struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// ShardedCounter is a counter split across independent lanes so that
+// concurrent writers that each own a lane (a worker shard, a goroutine)
+// increment without any cross-writer contention. Reads sum the lanes and are
+// monotonic but not a point-in-time snapshot — exactly the semantics
+// operational metrics need.
+type ShardedCounter struct {
+	lanes []Counter
+}
+
+// NewShardedCounter returns a counter with n lanes (n < 1 is clamped to 1).
+func NewShardedCounter(n int) *ShardedCounter {
+	if n < 1 {
+		n = 1
+	}
+	return &ShardedCounter{lanes: make([]Counter, n)}
+}
+
+// Lanes returns the number of lanes.
+func (s *ShardedCounter) Lanes() int { return len(s.lanes) }
+
+// Lane returns lane i's counter; the caller must stay within [0, Lanes()).
+func (s *ShardedCounter) Lane(i int) *Counter { return &s.lanes[i] }
+
+// Add increments lane i by delta.
+func (s *ShardedCounter) Add(i int, delta int64) { s.lanes[i].Add(delta) }
+
+// Total sums every lane.
+func (s *ShardedCounter) Total() int64 {
+	var sum int64
+	for i := range s.lanes {
+		sum += s.lanes[i].Load()
+	}
+	return sum
+}

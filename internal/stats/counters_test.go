@@ -1,0 +1,59 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 8000 {
+		t.Fatalf("Counter = %d, want 8000", got)
+	}
+}
+
+func TestShardedCounterLanes(t *testing.T) {
+	s := NewShardedCounter(4)
+	if s.Lanes() != 4 {
+		t.Fatalf("Lanes = %d, want 4", s.Lanes())
+	}
+	var wg sync.WaitGroup
+	for lane := 0; lane < s.Lanes(); lane++ {
+		wg.Add(1)
+		go func(lane int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				s.Add(lane, 2)
+			}
+		}(lane)
+	}
+	wg.Wait()
+	if got := s.Total(); got != 4*500*2 {
+		t.Fatalf("Total = %d, want %d", got, 4*500*2)
+	}
+	if got := s.Lane(1).Load(); got != 1000 {
+		t.Fatalf("Lane(1) = %d, want 1000", got)
+	}
+}
+
+func TestShardedCounterClampsLanes(t *testing.T) {
+	s := NewShardedCounter(0)
+	if s.Lanes() != 1 {
+		t.Fatalf("Lanes = %d, want clamp to 1", s.Lanes())
+	}
+	s.Add(0, 7)
+	if s.Total() != 7 {
+		t.Fatalf("Total = %d, want 7", s.Total())
+	}
+}

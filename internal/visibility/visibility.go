@@ -20,7 +20,12 @@
 // Controllers are single-threaded state machines: all entry points (Submit,
 // NotifyFailure, NotifyRestart and the callbacks delivered by the Env) must
 // be invoked from one goroutine or otherwise serialized. The discrete-event
-// SimEnv serializes naturally; the live hub serializes with a mutex.
+// SimEnv serializes naturally; the live hub serializes with a mutex; the
+// multi-tenant manager (internal/manager) serializes by running each home on
+// exactly one worker-shard goroutine.
+//
+// See ARCHITECTURE.md at the repository root for how the controllers sit
+// between the hub/manager layer and the lineage/sim/device machinery.
 package visibility
 
 import (
@@ -348,6 +353,9 @@ type Controller interface {
 	NotifyRestart(d device.ID)
 	// Results returns per-routine outcomes in submission order.
 	Results() []Result
+	// RoutineCount returns the number of routines ever submitted (cheaper
+	// than len(Results()) — no per-result copying).
+	RoutineCount() int
 	// Result returns the outcome of one routine.
 	Result(id routine.ID) (Result, bool)
 	// Serialization returns the serially-equivalent order of committed
@@ -523,6 +531,8 @@ func (b *base) Result(id routine.ID) (Result, bool) {
 	}
 	return *res, true
 }
+
+func (b *base) RoutineCount() int { return len(b.submitted) }
 
 func (b *base) ActiveCount() int { return b.active }
 
