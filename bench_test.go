@@ -12,18 +12,15 @@ package safehome
 
 import (
 	"fmt"
-	"sync/atomic"
 	"testing"
-	"time"
 
 	"safehome/internal/device"
 	"safehome/internal/experiments"
 	"safehome/internal/harness"
 	"safehome/internal/kasa"
 	"safehome/internal/lineage"
-	"safehome/internal/manager"
 	"safehome/internal/routine"
-	"safehome/internal/sim"
+	"safehome/internal/schedbench"
 	"safehome/internal/visibility"
 	"safehome/internal/workload"
 )
@@ -104,44 +101,13 @@ func BenchmarkFactoryScenario(b *testing.B) {
 
 // BenchmarkTimelineInsertion measures Algorithm 1's cost of placing one new
 // routine into a lineage table already occupied by 30 routines over 15
-// devices (the paper's Raspberry Pi configuration, Fig 15d).
+// devices (the paper's Raspberry Pi configuration, Fig 15d). The workload
+// lives in internal/schedbench so `safehome-bench -out` records the exact
+// same numbers into BENCH_schedhot.json.
 func BenchmarkTimelineInsertion(b *testing.B) {
 	for _, nCmds := range []int{2, 5, 10} {
-		b.Run(fmt.Sprintf("commands=%d", nCmds), func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				b.StopTimer()
-				ctrl := newOccupiedController(15, 30)
-				probe := benchRoutine("probe", nCmds, 15, int64(i))
-				b.StartTimer()
-				ctrl.Submit(probe)
-			}
-		})
+		b.Run(fmt.Sprintf("commands=%d", nCmds), schedbench.TimelineInsertion(nCmds))
 	}
-}
-
-// newOccupiedController builds an EV/TL controller with busy lineages.
-func newOccupiedController(devices, routines int) visibility.Controller {
-	reg := device.Plugs(devices)
-	fleet := device.NewFleet(reg)
-	env := visibility.NewSimEnv(sim.NewAtEpoch(), fleet)
-	ctrl := visibility.New(env, fleet.Snapshot(), visibility.DefaultOptions(visibility.EV))
-	for i := 0; i < routines; i++ {
-		ctrl.Submit(benchRoutine(fmt.Sprintf("bg-%d", i), 3, devices, int64(i)))
-	}
-	return ctrl
-}
-
-func benchRoutine(name string, nCmds, devices int, seed int64) *routine.Routine {
-	r := routine.New(name)
-	for c := 0; c < nCmds; c++ {
-		r.Commands = append(r.Commands, routine.Command{
-			Device:   device.ID(fmt.Sprintf("plug-%d", int(seed+int64(c*7))%devices)),
-			Target:   device.On,
-			Duration: time.Duration(1+(c%5)) * time.Minute,
-		})
-	}
-	return r
 }
 
 // --- multi-tenant manager throughput ----------------------------------------------
@@ -151,36 +117,11 @@ func benchRoutine(name string, nCmds, devices int, seed int64) *routine.Routine 
 // commit — across worker-shard counts. Each parallel bench goroutine plays an
 // API client submitting to homes spread over every shard; the routines/s
 // metric is the headline scale-out number (expect it to grow with shards up
-// to the core count).
+// to the core count). Shared with safehome-bench via internal/schedbench.
 func BenchmarkManagerThroughput(b *testing.B) {
 	const homes = 64
 	for _, shards := range []int{1, 2, 4, 8} {
-		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
-			m := manager.New(manager.Config{
-				Shards: shards,
-				Home:   manager.HomeConfig{Model: visibility.EV},
-			})
-			defer m.Close()
-			if _, err := m.AddHomes("home", homes, 8); err != nil {
-				b.Fatal(err)
-			}
-			var next atomic.Int64
-			b.ReportAllocs()
-			b.ResetTimer()
-			b.RunParallel(func(pb *testing.PB) {
-				for pb.Next() {
-					i := next.Add(1)
-					id := manager.HomeID(fmt.Sprintf("home-%d", i%homes))
-					r := benchRoutine("bench", 3, 8, i)
-					if _, err := m.Submit(id, r); err != nil {
-						b.Error(err)
-						return
-					}
-				}
-			})
-			b.StopTimer()
-			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "routines/s")
-		})
+		b.Run(fmt.Sprintf("shards=%d", shards), schedbench.ManagerThroughput(shards, homes))
 	}
 }
 

@@ -1,22 +1,32 @@
 // Command safehome-bench regenerates the paper's evaluation figures and
 // tables (§7) from the workload-driven emulation and prints them as plain
-// text.
+// text. It also records the scheduling-hot-path micro-benchmark suite
+// (internal/schedbench) to a JSON trajectory file, so the repository keeps a
+// perf history alongside the code.
 //
 // Usage:
 //
 //	safehome-bench -list
 //	safehome-bench -experiment fig12a -trials 20
 //	safehome-bench -experiment all -quick
+//	safehome-bench -out BENCH_schedhot.json            # record ns/op + allocs/op
+//	safehome-bench -out BENCH_schedhot.json -benchtime 2s
+//	safehome-bench -experiment fig15d -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"testing"
 	"time"
 
 	"safehome/internal/experiments"
+	"safehome/internal/schedbench"
 )
 
 func main() {
@@ -26,6 +36,10 @@ func main() {
 		seed       = flag.Int64("seed", 1, "base random seed")
 		quick      = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
 		list       = flag.Bool("list", false, "list available experiments and exit")
+		out        = flag.String("out", "", "run the scheduling-hot-path benchmarks and write ns/op + allocs/op JSON to this file (skips experiments)")
+		benchtime  = flag.Duration("benchtime", time.Second, "target run time per benchmark in -out mode")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 
@@ -33,6 +47,39 @@ func main() {
 		fmt.Println("available experiments:")
 		for _, e := range experiments.All() {
 			fmt.Printf("  %-8s %-18s %s\n", e.ID, e.Paper, e.Description)
+		}
+		return
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatalf("memprofile: %v", err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatalf("memprofile: %v", err)
+		}
+	}()
+
+	if *out != "" {
+		if err := runBenchSuite(*out, *benchtime); err != nil {
+			fatalf("bench: %v", err)
 		}
 		return
 	}
@@ -58,4 +105,74 @@ func main() {
 		}
 		fmt.Printf("(%s regenerated in %v)\n\n", exp.ID, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// benchRecord is one benchmark's stats in the JSON trajectory file.
+type benchRecord struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// benchFile is the schema of BENCH_schedhot.json.
+type benchFile struct {
+	Schema     string        `json:"schema"`
+	Generated  string        `json:"generated"`
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Benchmarks []benchRecord `json:"benchmarks"`
+}
+
+// runBenchSuite executes the scheduling-hot-path suite via testing.Benchmark
+// and writes the JSON trajectory file.
+func runBenchSuite(path string, benchtime time.Duration) error {
+	// testing.Benchmark honours the -test.benchtime flag; register the
+	// testing flags and set it explicitly so the suite is usable from a
+	// plain binary.
+	testing.Init()
+	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
+		return err
+	}
+	file := benchFile{
+		Schema:     "safehome-bench/v1",
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, c := range schedbench.Cases() {
+		fmt.Fprintf(os.Stderr, "running %-36s ", c.Name)
+		res := testing.Benchmark(c.Fn)
+		rec := benchRecord{
+			Name:        c.Name,
+			Iterations:  res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		}
+		for name, v := range res.Extra {
+			if rec.Extra == nil {
+				rec.Extra = make(map[string]float64)
+			}
+			rec.Extra[name] = v
+		}
+		fmt.Fprintf(os.Stderr, "%12.0f ns/op %6d allocs/op\n", rec.NsPerOp, rec.AllocsPerOp)
+		file.Benchmarks = append(file.Benchmarks, rec)
+	}
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d benchmark records to %s\n", len(file.Benchmarks), path)
+	return nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
 }

@@ -165,18 +165,33 @@ func (t *Table) Append(d device.ID, a Access) ([]routine.ID, error) {
 // position.
 func (t *Table) InsertAt(d device.ID, idx int, a Access) (pre, post []routine.ID, err error) {
 	l := t.ensure(d)
+	if idx >= 0 && idx <= len(l.Accesses) && t.Find(d, a.Routine) < 0 {
+		pre = routinesOf(l.Accesses[:idx])
+		post = routinesOf(l.Accesses[idx:])
+	}
+	if err := t.PlaceAt(d, idx, a); err != nil {
+		return nil, nil, err
+	}
+	return pre, post, nil
+}
+
+// PlaceAt is the allocation-free core of InsertAt: it inserts the access at
+// position idx of d's lineage without materializing the pre/post routine
+// sets. The schedulers use it on the hot path (they track pre/post in
+// reusable scratch sets of their own); InsertAt stays as the convenience
+// wrapper.
+func (t *Table) PlaceAt(d device.ID, idx int, a Access) error {
+	l := t.ensure(d)
 	if t.Find(d, a.Routine) >= 0 {
-		return nil, nil, fmt.Errorf("%w: R%d on %s", ErrHasAccess, a.Routine, d)
+		return fmt.Errorf("%w: R%d on %s", ErrHasAccess, a.Routine, d)
 	}
 	if idx < 0 || idx > len(l.Accesses) {
-		return nil, nil, fmt.Errorf("%w: index %d out of range [0,%d]", ErrNoSuchSlot, idx, len(l.Accesses))
+		return fmt.Errorf("%w: index %d out of range [0,%d]", ErrNoSuchSlot, idx, len(l.Accesses))
 	}
-	pre = routinesOf(l.Accesses[:idx])
-	post = routinesOf(l.Accesses[idx:])
 	l.Accesses = append(l.Accesses, Access{})
 	copy(l.Accesses[idx+1:], l.Accesses[idx:])
 	l.Accesses[idx] = a
-	return pre, post, nil
+	return nil
 }
 
 // InsertBefore inserts an access immediately before the access of routine
@@ -423,19 +438,40 @@ func (g Gap) Fits(earliest time.Time, dur time.Duration) (time.Time, bool) {
 // The final gap (after the last access) is unbounded. Used by the Timeline
 // scheduler's placement search (Fig 9, Algorithm 1).
 func (t *Table) Gaps(d device.ID, from time.Time) []Gap {
+	return t.GapsInto(nil, d, from)
+}
+
+// GapsInto is Gaps writing into a caller-provided buffer: the gaps are
+// appended to buf and the extended slice returned, so a caller that reuses
+// its buffer (the Timeline scheduler keeps one per search depth) enumerates
+// gaps without allocating.
+func (t *Table) GapsInto(buf []Gap, d device.ID, from time.Time) []Gap {
 	l := t.ensure(d)
-	var gaps []Gap
 	cursor := from
 	for i, a := range l.Accesses {
 		if a.Start.After(cursor) {
-			gaps = append(gaps, Gap{Index: i, Start: cursor, End: a.Start})
+			buf = append(buf, Gap{Index: i, Start: cursor, End: a.Start})
 		}
-		if a.End().After(cursor) {
-			cursor = a.End()
+		if e := a.End(); e.After(cursor) {
+			cursor = e
 		}
 	}
-	gaps = append(gaps, Gap{Index: len(l.Accesses), Start: cursor})
-	return gaps
+	return append(buf, Gap{Index: len(l.Accesses), Start: cursor})
+}
+
+// TailStart returns the start of the unbounded gap after the last access of
+// d's lineage, i.e. the earliest time a new tail access could begin: the
+// later of `from` and the latest estimated access end. It is the
+// allocation-free equivalent of Gaps(d, from)[last].Start, used by the
+// append-at-end placement path.
+func (t *Table) TailStart(d device.ID, from time.Time) time.Time {
+	cursor := from
+	for _, a := range t.ensure(d).Accesses {
+		if e := a.End(); e.After(cursor) {
+			cursor = e
+		}
+	}
+	return cursor
 }
 
 // --- invariants (§4.3) -----------------------------------------------------
@@ -528,9 +564,18 @@ func (t *Table) String() string {
 }
 
 func routinesOf(accs []Access) []routine.ID {
-	out := make([]routine.ID, 0, len(accs))
+	return AccessRoutinesInto(make([]routine.ID, 0, len(accs)), accs)
+}
+
+// AccessRoutinesInto appends the routine IDs of the given accesses to dst
+// and returns the extended slice — the append-style, allocation-free
+// counterpart of the package-private routinesOf (which backs PreSet/PostSet
+// and friends). Hot-path callers that need the IDs as a slice can reuse a
+// buffer; the EV schedulers go one step further and accumulate IDs straight
+// into their scratch sets without materializing a slice at all.
+func AccessRoutinesInto(dst []routine.ID, accs []Access) []routine.ID {
 	for _, a := range accs {
-		out = append(out, a.Routine)
+		dst = append(dst, a.Routine)
 	}
-	return out
+	return dst
 }

@@ -453,3 +453,99 @@ func mustStatus(t *testing.T, tab *Table, d device.ID, rid routine.ID, s Status)
 		t.Fatalf("SetStatus(%s, R%d, %v): %v", d, rid, s, err)
 	}
 }
+
+// --- allocation-free hot-path helpers ----------------------------------------
+
+func TestPlaceAtMatchesInsertAt(t *testing.T) {
+	mk := func() *Table {
+		tab := newTestTable()
+		mustAppend(t, tab, devA, Access{Routine: 1, Status: Scheduled, Start: t0, Duration: 10 * time.Minute})
+		mustAppend(t, tab, devA, Access{Routine: 2, Status: Scheduled, Start: t0.Add(30 * time.Minute), Duration: 10 * time.Minute})
+		return tab
+	}
+	probe := Access{Routine: 7, Status: Scheduled, Start: t0.Add(15 * time.Minute), Duration: time.Minute}
+
+	for idx := 0; idx <= 2; idx++ {
+		a, b := mk(), mk()
+		if _, _, err := a.InsertAt(devA, idx, probe); err != nil {
+			t.Fatalf("InsertAt(%d): %v", idx, err)
+		}
+		if err := b.PlaceAt(devA, idx, probe); err != nil {
+			t.Fatalf("PlaceAt(%d): %v", idx, err)
+		}
+		if got, want := b.String(), a.String(); got != want {
+			t.Fatalf("PlaceAt(%d) diverged from InsertAt:\n got: %s\nwant: %s", idx, got, want)
+		}
+	}
+
+	tab := mk()
+	if err := tab.PlaceAt(devA, 5, probe); !errors.Is(err, ErrNoSuchSlot) {
+		t.Fatalf("out-of-range PlaceAt err = %v, want ErrNoSuchSlot", err)
+	}
+	if err := tab.PlaceAt(devA, 0, Access{Routine: 1}); !errors.Is(err, ErrHasAccess) {
+		t.Fatalf("duplicate PlaceAt err = %v, want ErrHasAccess", err)
+	}
+	if len(tab.Lineage(devA).Accesses) != 2 {
+		t.Fatal("failed PlaceAt mutated the lineage")
+	}
+}
+
+func TestGapsIntoReusesBuffer(t *testing.T) {
+	tab := newTestTable()
+	mustAppend(t, tab, devA, Access{Routine: 1, Status: Scheduled, Start: t0.Add(10 * time.Minute), Duration: 10 * time.Minute})
+
+	buf := make([]Gap, 0, 8)
+	got := tab.GapsInto(buf[:0], devA, t0)
+	want := tab.Gaps(devA, t0)
+	if len(got) != len(want) {
+		t.Fatalf("GapsInto = %+v, Gaps = %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("GapsInto[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("GapsInto did not write into the caller's buffer")
+	}
+	// Appending into a reused buffer must not allocate.
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = tab.GapsInto(buf[:0], devA, t0)
+	})
+	if allocs != 0 {
+		t.Fatalf("GapsInto with reused buffer allocated %v times per run", allocs)
+	}
+}
+
+func TestTailStart(t *testing.T) {
+	tab := newTestTable()
+	if got := tab.TailStart(devA, t0); !got.Equal(t0) {
+		t.Fatalf("empty lineage TailStart = %v, want %v", got, t0)
+	}
+	mustAppend(t, tab, devA, Access{Routine: 1, Status: Scheduled, Start: t0, Duration: 10 * time.Minute})
+	mustAppend(t, tab, devA, Access{Routine: 2, Status: Scheduled, Start: t0.Add(30 * time.Minute), Duration: 10 * time.Minute})
+	gaps := tab.Gaps(devA, t0)
+	if got, want := tab.TailStart(devA, t0), gaps[len(gaps)-1].Start; !got.Equal(want) {
+		t.Fatalf("TailStart = %v, want last gap start %v", got, want)
+	}
+	late := t0.Add(2 * time.Hour)
+	if got := tab.TailStart(devA, late); !got.Equal(late) {
+		t.Fatalf("TailStart(from late) = %v, want %v", got, late)
+	}
+}
+
+func TestAccessRoutinesInto(t *testing.T) {
+	accs := []Access{{Routine: 3}, {Routine: 1}, {Routine: 2}}
+	got := AccessRoutinesInto(nil, accs)
+	if len(got) != 3 || got[0] != 3 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("AccessRoutinesInto = %v", got)
+	}
+	// Appends after existing content.
+	got = AccessRoutinesInto([]routine.ID{9}, accs[:1])
+	if len(got) != 2 || got[0] != 9 || got[1] != 3 {
+		t.Fatalf("AccessRoutinesInto(prefixed) = %v", got)
+	}
+	if AccessRoutinesInto(nil, nil) != nil {
+		t.Fatal("empty input should return nil dst unchanged")
+	}
+}

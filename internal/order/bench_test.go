@@ -1,0 +1,109 @@
+package order
+
+// Micro-benchmarks for the precedence-graph hot path. Every Timeline gap
+// trial and every JiT eligibility test ends in AddEdge (which embeds a
+// cycle-check DFS), so this is the inner loop the interned representation
+// exists for. Run with -benchmem to see that steady-state AddEdge and
+// HasPath perform no per-call map allocation.
+
+import (
+	"fmt"
+	"testing"
+
+	"safehome/internal/routine"
+)
+
+// buildLayeredGraph links n routine nodes into `layers` sequential layers
+// (every node of layer i precedes every node of layer i+1), the shape the EV
+// controllers produce for batches of conflicting routines.
+func buildLayeredGraph(n, layers int) *Graph {
+	g := NewGraph()
+	per := n / layers
+	if per == 0 {
+		per = 1
+	}
+	for i := 0; i < n-per; i++ {
+		next := (i/per + 1) * per
+		for j := next; j < next+per && j < n; j++ {
+			if err := g.AddEdge(RoutineNode(routine.ID(i+1)), RoutineNode(routine.ID(j+1))); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return g
+}
+
+// BenchmarkGraphAddEdge measures adding one more constraint (including its
+// cycle-check DFS) to an already-populated graph, plus the matching Remove
+// so the graph does not grow across iterations.
+func BenchmarkGraphAddEdge(b *testing.B) {
+	for _, size := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("nodes=%d", size), func(b *testing.B) {
+			g := buildLayeredGraph(size, 8)
+			probe := RoutineNode(routine.ID(size + 1))
+			first := RoutineNode(1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := g.AddEdge(first, probe); err != nil {
+					b.Fatal(err)
+				}
+				g.Remove(probe)
+			}
+		})
+	}
+}
+
+// BenchmarkGraphHasPath measures the epoch-stamped DFS on its own, probing
+// the longest path in the layered graph (worst-case traversal).
+func BenchmarkGraphHasPath(b *testing.B) {
+	for _, size := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("nodes=%d", size), func(b *testing.B) {
+			g := buildLayeredGraph(size, 8)
+			from, to := RoutineNode(1), RoutineNode(routine.ID(size))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !g.HasPath(from, to) {
+					b.Fatal("expected path")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGraphRejectedEdge measures the cost of a rejected (cycle-forming)
+// edge — the common case during Timeline backtracking, where placements are
+// probed and discarded.
+func BenchmarkGraphRejectedEdge(b *testing.B) {
+	g := buildLayeredGraph(64, 8)
+	last, first := RoutineNode(64), RoutineNode(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := g.AddEdge(last, first); err == nil {
+			b.Fatal("expected cycle rejection")
+		}
+	}
+}
+
+func BenchmarkKendallTau(b *testing.B) {
+	for _, n := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			a := make([]routine.ID, n)
+			rev := make([]routine.ID, n)
+			for i := 0; i < n; i++ {
+				a[i] = routine.ID(i + 1)
+				rev[i] = routine.ID(n - i)
+			}
+			want := n * (n - 1) / 2
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := KendallTau(a, rev); got != want {
+					b.Fatalf("KendallTau = %d, want %d", got, want)
+				}
+			}
+		})
+	}
+}

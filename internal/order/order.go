@@ -6,6 +6,14 @@
 // contradict an already-established order (the preSet/postSet test of
 // Algorithm 1 and §4.1), and (c) extract the final serially-equivalent order
 // and the order-mismatch metric (§7.6).
+//
+// The graph sits on the scheduling hot path (every Timeline gap trial and
+// every JiT eligibility test ends in AddEdge/HasPath calls), so nodes are
+// interned to dense int32 slots and adjacency is kept in index-keyed slices.
+// Cycle checks reuse an epoch-stamped visited array instead of allocating a
+// map per query; in steady state AddEdge, CanOrder and HasPath perform no
+// allocation at all. The Node-based API is a thin veneer over the interned
+// representation.
 package order
 
 import (
@@ -82,44 +90,92 @@ func (n Node) String() string {
 // i.e. contradict the already-established serialization order.
 var ErrCycle = errors.New("order: edge would create a cycle")
 
+// freeSeq marks a slot whose node has been removed; the slot is recycled by
+// the next interning.
+const freeSeq = -1
+
 // Graph is a precedence DAG over serialization-order nodes. The zero value
 // is not usable; call NewGraph. Graph is not safe for concurrent use (the
 // controllers are single-threaded).
+//
+// Internally every node is interned to a dense int32 slot. Removed nodes
+// leave free slots that are recycled, so long-lived graphs under
+// submit/commit churn stay compact.
 type Graph struct {
-	nodes   map[Node]int // node -> insertion sequence (tie-break for Order)
-	nextSeq int
-	succ    map[Node]map[Node]bool
-	pred    map[Node]map[Node]bool
+	index map[Node]int32 // node -> slot
+	nodes []Node         // slot -> node
+	seq   []int          // slot -> insertion sequence (freeSeq when vacant)
+	succ  [][]int32      // slot -> successor slots
+	pred  [][]int32      // slot -> predecessor slots
+	free  []int32        // recycled slots
+	live  int
+	next  int // next insertion sequence
+
+	// Reusable scratch for traversals; visited[i] == epoch means slot i was
+	// seen by the current query.
+	visited []uint32
+	epoch   uint32
+	stack   []int32
+	indeg   []int32
+	ready   []int32
+	keys    []int
+	rslots  []int32
+	rseqs   []int
 }
+
+// graphSlab is the node capacity pre-allocated by NewGraph, sized for a
+// typical busy home (tens of in-flight routines plus failure events) so
+// steady-state interning never grows the slot arrays.
+const graphSlab = 64
 
 // NewGraph returns an empty precedence graph.
 func NewGraph() *Graph {
 	return &Graph{
-		nodes: make(map[Node]int),
-		succ:  make(map[Node]map[Node]bool),
-		pred:  make(map[Node]map[Node]bool),
+		index:   make(map[Node]int32, graphSlab),
+		nodes:   make([]Node, 0, graphSlab),
+		seq:     make([]int, 0, graphSlab),
+		succ:    make([][]int32, 0, graphSlab),
+		pred:    make([][]int32, 0, graphSlab),
+		visited: make([]uint32, 0, graphSlab),
 	}
+}
+
+// intern returns the slot for n, allocating (or recycling) one if needed.
+func (g *Graph) intern(n Node) int32 {
+	if i, ok := g.index[n]; ok {
+		return i
+	}
+	var i int32
+	if len(g.free) > 0 {
+		i = g.free[len(g.free)-1]
+		g.free = g.free[:len(g.free)-1]
+		g.nodes[i] = n
+	} else {
+		i = int32(len(g.nodes))
+		g.nodes = append(g.nodes, n)
+		g.seq = append(g.seq, 0)
+		g.succ = append(g.succ, nil)
+		g.pred = append(g.pred, nil)
+		g.visited = append(g.visited, 0)
+	}
+	g.seq[i] = g.next
+	g.next++
+	g.index[n] = i
+	g.live++
+	return i
 }
 
 // AddNode registers a node (idempotent).
-func (g *Graph) AddNode(n Node) {
-	if _, ok := g.nodes[n]; ok {
-		return
-	}
-	g.nodes[n] = g.nextSeq
-	g.nextSeq++
-	g.succ[n] = make(map[Node]bool)
-	g.pred[n] = make(map[Node]bool)
-}
+func (g *Graph) AddNode(n Node) { g.intern(n) }
 
 // Has reports whether the node is registered.
 func (g *Graph) Has(n Node) bool {
-	_, ok := g.nodes[n]
+	_, ok := g.index[n]
 	return ok
 }
 
 // Len returns the number of registered nodes.
-func (g *Graph) Len() int { return len(g.nodes) }
+func (g *Graph) Len() int { return g.live }
 
 // AddEdge records that `before` is serialized before `after`. Both nodes are
 // registered if needed. It returns ErrCycle (and leaves the graph unchanged)
@@ -129,17 +185,29 @@ func (g *Graph) AddEdge(before, after Node) error {
 	if before == after {
 		return fmt.Errorf("%w: self edge %v", ErrCycle, before)
 	}
-	g.AddNode(before)
-	g.AddNode(after)
-	if g.succ[before][after] {
-		return nil
+	bi := g.intern(before)
+	ai := g.intern(after)
+	for _, s := range g.succ[bi] {
+		if s == ai {
+			return nil
+		}
 	}
-	if g.HasPath(after, before) {
+	if g.hasPath(ai, bi) {
 		return fmt.Errorf("%w: %v -> %v contradicts existing order", ErrCycle, before, after)
 	}
-	g.succ[before][after] = true
-	g.pred[after][before] = true
+	g.succ[bi] = appendEdge(g.succ[bi], ai)
+	g.pred[ai] = appendEdge(g.pred[ai], bi)
 	return nil
+}
+
+// appendEdge appends to an adjacency list, seeding a small capacity on first
+// use so typical fan-outs (a handful of serialize-before constraints per
+// node) settle after one allocation; recycled slots keep their capacity.
+func appendEdge(list []int32, v int32) []int32 {
+	if list == nil {
+		list = make([]int32, 0, 8)
+	}
+	return append(list, v)
 }
 
 // CanOrder reports whether an edge before→after could be added without
@@ -148,74 +216,116 @@ func (g *Graph) CanOrder(before, after Node) bool {
 	if before == after {
 		return false
 	}
-	if !g.Has(before) || !g.Has(after) {
+	bi, okB := g.index[before]
+	ai, okA := g.index[after]
+	if !okB || !okA {
 		return true
 	}
-	return !g.HasPath(after, before)
+	return !g.hasPath(ai, bi)
 }
 
 // HasPath reports whether `from` reaches `to` through precedence edges
 // (i.e. from is serialized before to, transitively).
 func (g *Graph) HasPath(from, to Node) bool {
-	if !g.Has(from) || !g.Has(to) {
+	fi, okF := g.index[from]
+	ti, okT := g.index[to]
+	if !okF || !okT {
 		return false
 	}
+	return g.hasPath(fi, ti)
+}
+
+// nextEpoch advances the visited stamp, clearing the array on the (rare)
+// wrap-around so stale stamps can never collide with the current epoch.
+func (g *Graph) nextEpoch() uint32 {
+	g.epoch++
+	if g.epoch == 0 {
+		for i := range g.visited {
+			g.visited[i] = 0
+		}
+		g.epoch = 1
+	}
+	return g.epoch
+}
+
+// hasPath runs an iterative DFS over interned slots using the epoch-stamped
+// visited array; no per-call allocation in steady state.
+func (g *Graph) hasPath(from, to int32) bool {
 	if from == to {
 		return false
 	}
-	// Iterative DFS; graphs are small (tens of nodes).
-	stack := []Node{from}
-	visited := map[Node]bool{from: true}
-	for len(stack) > 0 {
-		n := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for next := range g.succ[n] {
+	epoch := g.nextEpoch()
+	g.stack = append(g.stack[:0], from)
+	g.visited[from] = epoch
+	for len(g.stack) > 0 {
+		n := g.stack[len(g.stack)-1]
+		g.stack = g.stack[:len(g.stack)-1]
+		for _, next := range g.succ[n] {
 			if next == to {
 				return true
 			}
-			if !visited[next] {
-				visited[next] = true
-				stack = append(stack, next)
+			if g.visited[next] != epoch {
+				g.visited[next] = epoch
+				g.stack = append(g.stack, next)
 			}
 		}
 	}
 	return false
 }
 
+// dropIdx removes value v from slice (order-insensitive swap-remove;
+// adjacency order is never observable through the API).
+func dropIdx(slice []int32, v int32) []int32 {
+	for i, x := range slice {
+		if x == v {
+			slice[i] = slice[len(slice)-1]
+			return slice[:len(slice)-1]
+		}
+	}
+	return slice
+}
+
 // Remove deletes a node and all its edges, e.g. when a routine aborts and
 // therefore does not appear in the final serialization order.
 func (g *Graph) Remove(n Node) {
-	if !g.Has(n) {
+	i, ok := g.index[n]
+	if !ok {
 		return
 	}
-	for p := range g.pred[n] {
-		delete(g.succ[p], n)
+	for _, p := range g.pred[i] {
+		g.succ[p] = dropIdx(g.succ[p], i)
 	}
-	for s := range g.succ[n] {
-		delete(g.pred[s], n)
+	for _, s := range g.succ[i] {
+		g.pred[s] = dropIdx(g.pred[s], i)
 	}
-	delete(g.succ, n)
-	delete(g.pred, n)
-	delete(g.nodes, n)
+	g.succ[i] = g.succ[i][:0]
+	g.pred[i] = g.pred[i][:0]
+	g.seq[i] = freeSeq
+	delete(g.index, n)
+	g.free = append(g.free, i)
+	g.live--
 }
 
 // Predecessors returns the direct predecessors of n.
 func (g *Graph) Predecessors(n Node) []Node {
-	var out []Node
-	for p := range g.pred[n] {
-		out = append(out, p)
-	}
-	sortNodes(g, out)
-	return out
+	return g.neighbors(n, g.pred)
 }
 
 // Successors returns the direct successors of n.
 func (g *Graph) Successors(n Node) []Node {
-	var out []Node
-	for s := range g.succ[n] {
-		out = append(out, s)
+	return g.neighbors(n, g.succ)
+}
+
+func (g *Graph) neighbors(n Node, adj [][]int32) []Node {
+	i, ok := g.index[n]
+	if !ok {
+		return nil
 	}
-	sortNodes(g, out)
+	out := make([]Node, 0, len(adj[i]))
+	for _, x := range adj[i] {
+		out = append(out, g.nodes[x])
+	}
+	sort.Slice(out, func(a, b int) bool { return g.seq[g.index[out[a]]] < g.seq[g.index[out[b]]] })
 	return out
 }
 
@@ -231,64 +341,105 @@ func (g *Graph) Descendants(n Node) map[Node]bool {
 	return g.reach(n, g.succ)
 }
 
-func (g *Graph) reach(start Node, adj map[Node]map[Node]bool) map[Node]bool {
+func (g *Graph) reach(start Node, adj [][]int32) map[Node]bool {
 	out := make(map[Node]bool)
-	if !g.Has(start) {
+	si, ok := g.index[start]
+	if !ok {
 		return out
 	}
-	stack := []Node{start}
-	for len(stack) > 0 {
-		n := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for next := range adj[n] {
-			if !out[next] {
-				out[next] = true
-				stack = append(stack, next)
+	epoch := g.nextEpoch()
+	g.stack = append(g.stack[:0], si)
+	g.visited[si] = epoch
+	for len(g.stack) > 0 {
+		n := g.stack[len(g.stack)-1]
+		g.stack = g.stack[:len(g.stack)-1]
+		for _, next := range adj[n] {
+			if g.visited[next] != epoch {
+				g.visited[next] = epoch
+				out[g.nodes[next]] = true
+				g.stack = append(g.stack, next)
 			}
 		}
 	}
 	return out
 }
 
-func sortNodes(g *Graph, ns []Node) {
-	sort.Slice(ns, func(i, j int) bool { return g.nodes[ns[i]] < g.nodes[ns[j]] })
+// tieKeys computes a total tie-break key per live slot: every node's key is
+// its insertion sequence, except that the routine nodes' sequences are
+// reassigned among themselves in routine-ID order. Routines therefore
+// tie-break by ID (i.e. submission order) and events by insertion sequence —
+// the documented contract — through one totally-ordered numeric key.
+//
+// (The previous implementation compared routine pairs by ID but mixed pairs
+// by insertion sequence, which is an intransitive relation whenever routine
+// registration order disagrees with ID order; sort results then depended on
+// map iteration order. In controller usage routines are registered in ID
+// order, so this key is identical to the old behaviour wherever the old
+// behaviour was well-defined.)
+func (g *Graph) tieKeys() []int {
+	if cap(g.keys) < len(g.nodes) {
+		g.keys = make([]int, len(g.nodes))
+	}
+	g.keys = g.keys[:len(g.nodes)]
+	g.rslots = g.rslots[:0]
+	g.rseqs = g.rseqs[:0]
+	for i := range g.nodes {
+		if g.seq[i] == freeSeq {
+			continue
+		}
+		g.keys[i] = g.seq[i]
+		if g.nodes[i].Kind == KindRoutine {
+			g.rslots = append(g.rslots, int32(i))
+			g.rseqs = append(g.rseqs, g.seq[i])
+		}
+	}
+	sort.Ints(g.rseqs)
+	sort.Slice(g.rslots, func(a, b int) bool {
+		return g.nodes[g.rslots[a]].Routine < g.nodes[g.rslots[b]].Routine
+	})
+	for k, slot := range g.rslots {
+		g.keys[slot] = g.rseqs[k]
+	}
+	return g.keys
 }
 
 // Order returns a topological order of all registered nodes consistent with
 // the precedence edges. Ties are broken by routine ID (i.e. submission
-// order) and then by insertion sequence, which yields the
-// minimum-order-mismatch serialization among valid ones for the common case.
+// order) for routines and by insertion sequence for failure/restart events
+// (see tieKeys), which yields the minimum-order-mismatch serialization among
+// valid ones for the common case.
 func (g *Graph) Order() []Node {
-	indeg := make(map[Node]int, len(g.nodes))
-	for n := range g.nodes {
-		indeg[n] = len(g.pred[n])
+	if cap(g.indeg) < len(g.nodes) {
+		g.indeg = make([]int32, len(g.nodes))
 	}
-	ready := make([]Node, 0, len(g.nodes))
-	for n, d := range indeg {
-		if d == 0 {
-			ready = append(ready, n)
+	g.indeg = g.indeg[:len(g.nodes)]
+	g.ready = g.ready[:0]
+	for i := range g.nodes {
+		if g.seq[i] == freeSeq {
+			continue
+		}
+		g.indeg[i] = int32(len(g.pred[i]))
+		if g.indeg[i] == 0 {
+			g.ready = append(g.ready, int32(i))
 		}
 	}
-	less := func(a, b Node) bool {
-		if a.Kind == KindRoutine && b.Kind == KindRoutine {
-			return a.Routine < b.Routine
-		}
-		return g.nodes[a] < g.nodes[b]
-	}
-	var out []Node
+	keys := g.tieKeys()
+	less := func(a, b int32) bool { return keys[a] < keys[b] }
+	out := make([]Node, 0, g.live)
+	ready := g.ready
 	for len(ready) > 0 {
 		sort.Slice(ready, func(i, j int) bool { return less(ready[i], ready[j]) })
 		n := ready[0]
 		ready = ready[1:]
-		out = append(out, n)
-		for s := range g.succ[n] {
-			indeg[s]--
-			if indeg[s] == 0 {
+		out = append(out, g.nodes[n])
+		for _, s := range g.succ[n] {
+			g.indeg[s]--
+			if g.indeg[s] == 0 {
 				ready = append(ready, s)
 			}
 		}
 	}
-	if len(out) != len(g.nodes) {
+	if len(out) != g.live {
 		// Should be impossible: AddEdge prevents cycles.
 		panic("order: graph contains a cycle")
 	}
@@ -312,26 +463,55 @@ func (g *Graph) RoutineOrder() []routine.ID {
 // KendallTau returns the swap distance between two orderings of the same
 // routine set: the number of pairs whose relative order differs. Elements
 // present in only one of the slices are ignored.
+//
+// The count is computed as the number of inversions of b-positions taken in
+// a-order, via a merge-sort inversion count — O(n log n), versus the naive
+// O(n²) pair loop it replaced (kept as the oracle in the package tests). It
+// runs once per experiment trial over full routine sets, which at
+// multi-tenant scale made the quadratic loop measurable.
 func KendallTau(a, b []routine.ID) int {
 	posB := make(map[routine.ID]int, len(b))
 	for i, id := range b {
 		posB[id] = i
 	}
-	var common []routine.ID
+	seq := make([]int, 0, len(a))
 	for _, id := range a {
-		if _, ok := posB[id]; ok {
-			common = append(common, id)
+		if p, ok := posB[id]; ok {
+			seq = append(seq, p)
 		}
 	}
-	inversions := 0
-	for i := 0; i < len(common); i++ {
-		for j := i + 1; j < len(common); j++ {
-			if posB[common[i]] > posB[common[j]] {
-				inversions++
-			}
-		}
+	buf := make([]int, len(seq))
+	return countInversions(seq, buf)
+}
+
+// countInversions counts pairs i<j with seq[i] > seq[j] by merge sort,
+// mutating seq and using buf as merge scratch.
+func countInversions(seq, buf []int) int {
+	n := len(seq)
+	if n < 2 {
+		return 0
 	}
-	return inversions
+	mid := n / 2
+	inv := countInversions(seq[:mid], buf[:mid]) + countInversions(seq[mid:], buf[mid:])
+	// Merge the two sorted halves, counting cross-half inversions: when an
+	// element of the right half is placed before remaining left elements,
+	// each remaining left element forms one discordant pair with it.
+	i, j, k := 0, mid, 0
+	for i < mid && j < n {
+		if seq[i] <= seq[j] {
+			buf[k] = seq[i]
+			i++
+		} else {
+			buf[k] = seq[j]
+			j++
+			inv += mid - i
+		}
+		k++
+	}
+	copy(buf[k:], seq[i:mid])
+	copy(buf[k+mid-i:], seq[j:])
+	copy(seq, buf)
+	return inv
 }
 
 // OrderMismatch returns the normalized swap distance in [0,1]: KendallTau

@@ -82,6 +82,11 @@ type Routine struct {
 	Submitted time.Time `json:"submitted,omitempty"`
 	// User optionally records which member of the household initiated it.
 	User string `json:"user,omitempty"`
+
+	// devices caches Devices() for cloned instances. Routines are immutable
+	// once submitted, and the controllers call Devices() on every scheduling
+	// decision, so the submission-time Clone precomputes the set once.
+	devices []device.ID
 }
 
 // New constructs a routine from commands.
@@ -127,13 +132,26 @@ func (r *Routine) Validate(reg *device.Registry) error {
 }
 
 // Devices returns the set of devices the routine touches (writes), in
-// first-touch order.
+// first-touch order. For cloned (submitted) routines the set is precomputed;
+// callers must treat the result as read-only.
 func (r *Routine) Devices() []device.ID {
-	seen := make(map[device.ID]bool)
-	var out []device.ID
+	if r.devices != nil {
+		return r.devices
+	}
+	return r.computeDevices()
+}
+
+func (r *Routine) computeDevices() []device.ID {
+	out := make([]device.ID, 0, len(r.Commands))
 	for _, c := range r.Commands {
-		if !seen[c.Device] {
-			seen[c.Device] = true
+		seen := false
+		for _, d := range out {
+			if d == c.Device {
+				seen = true
+				break
+			}
+		}
+		if !seen {
 			out = append(out, c.Device)
 		}
 	}
@@ -287,6 +305,7 @@ func (r *Routine) Clone() *Routine {
 			cp.Commands[i].Condition = &cond
 		}
 	}
+	cp.devices = cp.computeDevices()
 	return &cp
 }
 

@@ -1,0 +1,154 @@
+// Package schedbench holds the scheduling-hot-path micro-benchmarks in
+// library form, so the same workloads back both `go test -bench` (the
+// repo-root bench_test.go) and the safehome-bench binary's `-out` mode,
+// which records ns/op and allocs/op to a BENCH_*.json trajectory file.
+//
+// The headline case is TimelineInsertion — Algorithm 1's cost of placing one
+// routine into an occupied lineage table (the paper's Fig 15d mechanism
+// cost) — plus the sharded-manager end-to-end throughput and the precedence
+// graph's AddEdge inner loop.
+package schedbench
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"safehome/internal/device"
+	"safehome/internal/manager"
+	"safehome/internal/order"
+	"safehome/internal/routine"
+	"safehome/internal/sim"
+	"safehome/internal/visibility"
+)
+
+// Routine builds a deterministic pseudo-random bench routine with nCmds
+// commands spread over a plug fleet of the given size.
+func Routine(name string, nCmds, devices int, seed int64) *routine.Routine {
+	r := routine.New(name)
+	for c := 0; c < nCmds; c++ {
+		r.Commands = append(r.Commands, routine.Command{
+			Device:   device.ID(fmt.Sprintf("plug-%d", int(seed+int64(c*7))%devices)),
+			Target:   device.On,
+			Duration: time.Duration(1+(c%5)) * time.Minute,
+		})
+	}
+	return r
+}
+
+// OccupiedController builds an EV/TL controller whose lineages are already
+// busy with `routines` background routines over `devices` devices (the
+// paper's Raspberry Pi configuration for Fig 15d).
+func OccupiedController(devices, routines int) visibility.Controller {
+	reg := device.Plugs(devices)
+	fleet := device.NewFleet(reg)
+	env := visibility.NewSimEnv(sim.NewAtEpoch(), fleet)
+	ctrl := visibility.New(env, fleet.Snapshot(), visibility.DefaultOptions(visibility.EV))
+	for i := 0; i < routines; i++ {
+		ctrl.Submit(Routine(fmt.Sprintf("bg-%d", i), 3, devices, int64(i)))
+	}
+	return ctrl
+}
+
+// TimelineInsertion measures Algorithm 1's cost of placing one new routine
+// with nCmds commands into a lineage table already occupied by 30 routines
+// over 15 devices (Fig 15d).
+func TimelineInsertion(nCmds int) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			ctrl := OccupiedController(15, 30)
+			probe := Routine("probe", nCmds, 15, int64(i))
+			b.StartTimer()
+			ctrl.Submit(probe)
+		}
+	}
+}
+
+// ManagerThroughput measures the sharded HomeManager's end-to-end routine
+// throughput — submit, EV-schedule, execute on the virtual clock, commit —
+// with parallel API clients submitting to homes spread over every shard. It
+// reports a routines/s extra metric.
+func ManagerThroughput(shards, homes int) func(b *testing.B) {
+	return func(b *testing.B) {
+		m := manager.New(manager.Config{
+			Shards: shards,
+			Home:   manager.HomeConfig{Model: visibility.EV},
+		})
+		defer m.Close()
+		if _, err := m.AddHomes("home", homes, 8); err != nil {
+			b.Fatal(err)
+		}
+		var next atomic.Int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				i := next.Add(1)
+				id := manager.HomeID(fmt.Sprintf("home-%d", i%int64(homes)))
+				r := Routine("bench", 3, 8, i)
+				if _, err := m.Submit(id, r); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "routines/s")
+	}
+}
+
+// GraphAddEdge measures adding (and removing again) one precedence
+// constraint — including the cycle-check DFS — on a layered graph of the
+// given node count, the inner loop of every placement decision.
+func GraphAddEdge(nodes int) func(b *testing.B) {
+	return func(b *testing.B) {
+		g := order.NewGraph()
+		const layers = 8
+		per := nodes / layers
+		if per == 0 {
+			per = 1
+		}
+		for i := 0; i < nodes-per; i++ {
+			next := (i/per + 1) * per
+			for j := next; j < next+per && j < nodes; j++ {
+				if err := g.AddEdge(order.RoutineNode(routine.ID(i+1)), order.RoutineNode(routine.ID(j+1))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		probe := order.RoutineNode(routine.ID(nodes + 1))
+		first := order.RoutineNode(1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := g.AddEdge(first, probe); err != nil {
+				b.Fatal(err)
+			}
+			g.Remove(probe)
+		}
+	}
+}
+
+// Case is one named benchmark the safehome-bench binary can run.
+type Case struct {
+	Name string
+	Fn   func(b *testing.B)
+}
+
+// Cases returns the scheduler-hot-path suite recorded in BENCH_schedhot.json.
+func Cases() []Case {
+	var out []Case
+	for _, n := range []int{2, 5, 10} {
+		out = append(out, Case{Name: fmt.Sprintf("TimelineInsertion/commands=%d", n), Fn: TimelineInsertion(n)})
+	}
+	for _, n := range []int{16, 64, 256} {
+		out = append(out, Case{Name: fmt.Sprintf("GraphAddEdge/nodes=%d", n), Fn: GraphAddEdge(n)})
+	}
+	for _, s := range []int{1, 2, 4, 8} {
+		out = append(out, Case{Name: fmt.Sprintf("ManagerThroughput/shards=%d", s), Fn: ManagerThroughput(s, 64)})
+	}
+	return out
+}

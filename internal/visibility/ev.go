@@ -21,7 +21,11 @@ type evController struct {
 	graph *order.Graph
 	sched evScheduler
 
-	runs    map[routine.ID]*evRun
+	runs map[routine.ID]*evRun
+	// waitQ is the scheduler wait queue. Entries are dequeued by clearing
+	// their queued flag (no splicing); the schedulers compact cleared and
+	// finished entries out in a single pass during their scans, so queue
+	// maintenance is O(n) per scan instead of one O(n) splice per removal.
 	waitQ   []*evRun
 	waiters map[device.ID][]*evRun
 }
@@ -35,12 +39,18 @@ type evRun struct {
 	placed  bool // accesses are in the lineage table
 	running bool // released to execute (scheduler decision)
 	done    bool
+	queued  bool // live entry in the controller's wait queue
 
 	idx         int
 	inflight    bool
 	inflightDev device.ID
 
-	executed      []cmdRecord
+	executed []cmdRecord
+
+	// The per-device maps below are allocated lazily (reads of a nil map are
+	// fine; the mark/set helpers initialize on first write), so submitting a
+	// routine allocates no maps — many routines finish without ever
+	// pre-leasing or arming a timer.
 	firstTouched  map[device.ID]bool
 	lastTouchDone map[device.ID]bool
 
@@ -59,15 +69,35 @@ type evRun struct {
 }
 
 func newEVRun(res *Result, r *routine.Routine) *evRun {
-	return &evRun{
-		res:           res,
-		r:             r,
-		id:            res.ID,
-		firstTouched:  make(map[device.ID]bool),
-		lastTouchDone: make(map[device.ID]bool),
-		preLeasedFrom: make(map[device.ID]routine.ID),
-		leaseTimers:   make(map[device.ID]func()),
+	return &evRun{res: res, r: r, id: res.ID}
+}
+
+func (run *evRun) markFirstTouched(d device.ID) {
+	if run.firstTouched == nil {
+		run.firstTouched = make(map[device.ID]bool, 4)
 	}
+	run.firstTouched[d] = true
+}
+
+func (run *evRun) markLastTouchDone(d device.ID) {
+	if run.lastTouchDone == nil {
+		run.lastTouchDone = make(map[device.ID]bool, 4)
+	}
+	run.lastTouchDone[d] = true
+}
+
+func (run *evRun) setPreLeasedFrom(d device.ID, src routine.ID) {
+	if run.preLeasedFrom == nil {
+		run.preLeasedFrom = make(map[device.ID]routine.ID, 2)
+	}
+	run.preLeasedFrom[d] = src
+}
+
+func (run *evRun) setLeaseTimer(d device.ID, cancel func()) {
+	if run.leaseTimers == nil {
+		run.leaseTimers = make(map[device.ID]func(), 2)
+	}
+	run.leaseTimers[d] = cancel
 }
 
 func newEV(env Env, initial map[device.ID]device.State, opts Options) *evController {
@@ -130,13 +160,16 @@ type evScheduler interface {
 // (the routine becomes a sink of the precedence graph).
 func (c *evController) placeAtEnd(run *evRun) {
 	now := c.env.Now()
-	c.graph.AddNode(order.RoutineNode(run.id))
+	node := order.RoutineNode(run.id)
+	c.graph.AddNode(node)
 	for _, d := range run.r.Devices() {
-		start := now
-		if gaps := c.table.Gaps(d, now); len(gaps) > 0 {
-			start = gaps[len(gaps)-1].Start
+		l := c.table.Lineage(d)
+		start := c.table.TailStart(d, now)
+		for _, a := range l.Accesses {
+			// Ignore duplicate-edge errors; appending cannot create cycles.
+			_ = c.graph.AddEdge(order.RoutineNode(a.Routine), node)
 		}
-		pre, err := c.table.Append(d, lineage.Access{
+		err := c.table.PlaceAt(d, len(l.Accesses), lineage.Access{
 			Routine:  run.id,
 			Status:   lineage.Scheduled,
 			Start:    start,
@@ -144,10 +177,6 @@ func (c *evController) placeAtEnd(run *evRun) {
 		})
 		if err != nil {
 			panic(fmt.Sprintf("visibility: placeAtEnd: %v", err))
-		}
-		for _, p := range pre {
-			// Ignore duplicate-edge errors; appending cannot create cycles.
-			_ = c.graph.AddEdge(order.RoutineNode(p), order.RoutineNode(run.id))
 		}
 	}
 	run.placed = true
@@ -243,7 +272,7 @@ func (c *evController) onCommandDone(run *evRun, idx int, err error) {
 	} else {
 		run.res.Executed++
 		run.executed = append(run.executed, cmdRecord{idx: idx, dev: d, target: cmd.Target})
-		run.firstTouched[d] = true
+		run.markFirstTouched(d)
 		if err := c.table.SetTarget(d, run.id, cmd.Target); err == nil {
 			c.emit(Event{Time: c.env.Now(), Kind: EvCommandExecuted, Routine: run.id, Device: d, State: cmd.Target})
 		}
@@ -261,7 +290,7 @@ func (c *evController) afterCommandOn(run *evRun, idx int) {
 	if idx != run.r.LastIndexOn(d) {
 		return
 	}
-	run.lastTouchDone[d] = true
+	run.markLastTouchDone(d)
 	if timer, ok := run.leaseTimers[d]; ok {
 		timer()
 		delete(run.leaseTimers, d)
@@ -312,9 +341,19 @@ func (c *evController) releaseAccess(run *evRun, d device.ID) {
 func (c *evController) onFree(d device.ID) {
 	blocked := c.waiters[d]
 	if len(blocked) > 0 {
+		// Detach the list before waking anyone: advance() may block runs on d
+		// again, which must land in a fresh list, not the one being iterated.
 		c.waiters[d] = nil
 		for _, run := range blocked {
 			c.advance(run)
+		}
+		if len(c.waiters[d]) == 0 {
+			// Nobody re-blocked: hand the emptied backing array back so the
+			// next block on d appends without allocating.
+			for i := range blocked {
+				blocked[i] = nil
+			}
+			c.waiters[d] = blocked[:0]
 		}
 	}
 	c.sched.onFree(d)
@@ -417,13 +456,25 @@ func (c *evController) abortRun(run *evRun) {
 	c.checkInvariants("abort")
 }
 
-func (c *evController) removeFromWaitQ(run *evRun) {
-	for i, r := range c.waitQ {
-		if r == run {
-			c.waitQ = append(c.waitQ[:i], c.waitQ[i+1:]...)
-			return
-		}
+// enqueueWait adds a run to the scheduler wait queue (idempotent).
+//
+// Invariant: enqueueWait is only reachable from Submit (via the schedulers'
+// onSubmit), never from the controller's internal callbacks, so it cannot
+// run while a scheduler scan is compacting the queue. The scans rely on
+// this: they rewrite c.waitQ in place and would silently drop an entry
+// appended mid-scan.
+func (c *evController) enqueueWait(run *evRun) {
+	if run.queued {
+		return
 	}
+	run.queued = true
+	c.waitQ = append(c.waitQ, run)
+}
+
+// removeFromWaitQ dequeues a run by clearing its queued flag; the stale
+// slice entry is compacted out by the next scheduler scan.
+func (c *evController) removeFromWaitQ(run *evRun) {
+	run.queued = false
 }
 
 func (c *evController) cancelTimers(run *evRun) {
@@ -460,7 +511,7 @@ func (c *evController) armPreLeaseRevocation(run *evRun, d device.ID, src routin
 		}
 		if len(c.waiters[d]) == 0 {
 			// No routine is blocked on the device: extend the lease.
-			run.leaseTimers[d] = c.env.After(timeout, fire)
+			run.setLeaseTimer(d, c.env.After(timeout, fire))
 			return
 		}
 		c.doom(run, fmt.Sprintf("pre-lease of %s from R%d revoked after %v", d, src, timeout))
@@ -468,7 +519,7 @@ func (c *evController) armPreLeaseRevocation(run *evRun, d device.ID, src routin
 			c.abortRun(run)
 		}
 	}
-	run.leaseTimers[d] = c.env.After(timeout, fire)
+	run.setLeaseTimer(d, c.env.After(timeout, fire))
 }
 
 // --- failure / restart serialization (§3) -----------------------------------

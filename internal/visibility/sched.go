@@ -1,5 +1,12 @@
 // Eventual-Visibility scheduling policies (§5 of the paper): First Come
 // First Serve, Just-in-Time, and Timeline scheduling.
+//
+// The schedulers sit on the controller's hot path — every submission runs a
+// placement search and every lock release a wake-up scan — so they keep all
+// search state in reusable scratch structures: epoch-stamped routine-ID sets
+// for the preSet/postSet disjointness tests, pooled placement and gap
+// buffers, and a mark-dequeue wait queue compacted in a single pass. In
+// steady state a placement attempt performs no map or slice allocation.
 package visibility
 
 import (
@@ -12,6 +19,80 @@ import (
 	"safehome/internal/routine"
 )
 
+// --- scratch routine-ID sets -------------------------------------------------
+
+// idSet is a reusable set of routine IDs. Routine IDs are dense (assigned
+// sequentially per controller), so membership is an epoch-stamped slice
+// indexed by ID: reset is O(1), and steady-state add/has/membership walks
+// allocate nothing. The members are also kept in insertion order so the set
+// can be iterated deterministically (maps would randomize edge-insertion
+// order).
+type idSet struct {
+	stamp []uint32
+	epoch uint32
+	ids   []routine.ID
+}
+
+// reset empties the set in O(1) by advancing the epoch.
+func (s *idSet) reset() {
+	s.epoch++
+	if s.epoch == 0 { // wrap: clear stamps so stale epochs cannot collide
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.epoch = 1
+	}
+	s.ids = s.ids[:0]
+}
+
+func (s *idSet) has(id routine.ID) bool {
+	return int(id) < len(s.stamp) && s.stamp[id] == s.epoch
+}
+
+// add inserts id, reporting whether it was newly added.
+func (s *idSet) add(id routine.ID) bool {
+	if int(id) >= len(s.stamp) {
+		grown := make([]uint32, int(id)+16)
+		copy(grown, s.stamp)
+		s.stamp = grown
+	}
+	if s.stamp[id] == s.epoch {
+		return false
+	}
+	s.stamp[id] = s.epoch
+	s.ids = append(s.ids, id)
+	return true
+}
+
+// truncate undoes every add after the ids slice had length mark (the
+// Timeline search's backtracking step).
+func (s *idSet) truncate(mark int) {
+	for _, id := range s.ids[mark:] {
+		s.stamp[id] = 0
+	}
+	s.ids = s.ids[:mark]
+}
+
+// addEdgesSet adds pre→node and node→post edges, reporting whether every
+// edge was consistent with the existing order. Duplicate edges are fine.
+// Iteration follows set insertion order, which is deterministic; acceptance
+// of the whole batch is order-independent (all edges are incident to node,
+// so the batch fails iff the combined graph has a cycle, regardless of
+// insertion order).
+func addEdgesSet(g *order.Graph, pre *idSet, node order.Node, post *idSet) bool {
+	for _, id := range pre.ids {
+		if g.AddEdge(order.RoutineNode(id), node) != nil {
+			return false
+		}
+	}
+	for _, id := range post.ids {
+		if g.AddEdge(node, order.RoutineNode(id)) != nil {
+			return false
+		}
+	}
+	return true
+}
+
 // --- FCFS --------------------------------------------------------------------
 
 // fcfsScheduler serializes routines in arrival order: lock-accesses are
@@ -21,13 +102,20 @@ import (
 // touch) still apply, performed by the controller.
 type fcfsScheduler struct {
 	c *evController
+	// scanning/rescan guard tryStart against reentrancy: starting a routine
+	// can synchronously complete it (condition-skipped commands), which
+	// releases locks and re-triggers the scheduler mid-scan. The inner call
+	// just flags a rescan; the outer pass restarts, matching the semantics of
+	// the old restart-from-zero splice loop without its O(n²) splicing.
+	scanning bool
+	rescan   bool
 }
 
 func (s *fcfsScheduler) kind() SchedulerKind { return SchedFCFS }
 
 func (s *fcfsScheduler) onSubmit(run *evRun) {
 	s.c.placeAtEnd(run)
-	s.c.waitQ = append(s.c.waitQ, run)
+	s.c.enqueueWait(run)
 	s.tryStart()
 }
 
@@ -37,15 +125,24 @@ func (s *fcfsScheduler) onRoutineDone()   { s.tryStart() }
 // tryStart begins every waiting routine whose devices are all acquirable.
 // Because accesses were appended in arrival order, starting a later routine
 // early never violates the serialization order — it simply exploits
-// non-conflicting parallelism.
+// non-conflicting parallelism. Finished and dequeued entries are compacted
+// out of the wait queue in the same single pass (no per-entry splicing).
 func (s *fcfsScheduler) tryStart() {
-	for restart := true; restart; {
-		restart = false
-		for i, run := range s.c.waitQ {
-			if run.done {
-				s.c.waitQ = append(s.c.waitQ[:i], s.c.waitQ[i+1:]...)
-				restart = true
-				break
+	if s.scanning {
+		s.rescan = true
+		return
+	}
+	s.scanning = true
+	defer func() { s.scanning = false }()
+	for {
+		s.rescan = false
+		q := s.c.waitQ
+		w := 0
+		for r := 0; r < len(q); r++ {
+			run := q[r]
+			if !run.queued || run.done || run.running {
+				run.queued = false
+				continue // compact finished/dequeued entries out
 			}
 			ready := true
 			for _, d := range run.r.Devices() {
@@ -55,12 +152,25 @@ func (s *fcfsScheduler) tryStart() {
 				}
 			}
 			if !ready {
+				q[w] = run
+				w++
 				continue
 			}
-			s.c.waitQ = append(s.c.waitQ[:i], s.c.waitQ[i+1:]...)
+			run.queued = false
 			s.c.startRun(run)
-			restart = true
-			break
+			if s.rescan {
+				// The start synchronously released locks; earlier entries may
+				// have become ready. Keep the unexamined tail and restart.
+				w += copy(q[w:], q[r+1:])
+				break
+			}
+		}
+		for i := w; i < len(q); i++ {
+			q[i] = nil // drop references so finished runs can be collected
+		}
+		s.c.waitQ = q[:w]
+		if !s.rescan {
+			return
 		}
 	}
 }
@@ -73,7 +183,15 @@ func (s *fcfsScheduler) tryStart() {
 // A per-routine TTL prevents starvation: once it expires, the routine is
 // prioritized and other waiting routines are held back until it starts.
 type jitScheduler struct {
-	c *evController
+	c        *evController
+	scanning bool
+	rescan   bool
+
+	// Scratch for tryPlace: the accumulated preSet/postSet and the per-device
+	// placement plan, reused across eligibility tests.
+	pre   idSet
+	post  idSet
+	plans []jitPlacement
 }
 
 func (s *jitScheduler) kind() SchedulerKind { return SchedJiT }
@@ -92,7 +210,7 @@ func (s *jitScheduler) onSubmit(run *evRun) {
 }
 
 func (s *jitScheduler) enqueue(run *evRun) {
-	s.c.waitQ = append(s.c.waitQ, run)
+	s.c.enqueueWait(run)
 	ttl := s.c.opts.JiTTTL
 	run.ttlCancel = s.c.env.After(ttl, func() {
 		if run.done || run.running {
@@ -108,7 +226,7 @@ func (s *jitScheduler) onRoutineDone()   { s.scan() }
 
 func (s *jitScheduler) hasPrioritizedWaiter() bool {
 	for _, run := range s.c.waitQ {
-		if run.prioritized && !run.done && !run.running {
+		if run.queued && run.prioritized && !run.done && !run.running {
 			return true
 		}
 	}
@@ -118,37 +236,61 @@ func (s *jitScheduler) hasPrioritizedWaiter() bool {
 // scan retries the eligibility test on waiting routines: prioritized routines
 // first (in arrival order), then the rest in arrival order. While any
 // prioritized routine is still waiting, non-prioritized routines are held
-// back so the starved routine gets the next available locks.
+// back so the starved routine gets the next available locks. Each successful
+// start mutates the lineage table, so the pass restarts after every start
+// (preserving arrival-order preference); finished entries are compacted out
+// in the same sweep.
 func (s *jitScheduler) scan() {
-	for restart := true; restart; {
-		restart = false
+	if s.scanning {
+		s.rescan = true
+		return
+	}
+	s.scanning = true
+	defer func() { s.scanning = false }()
+	for {
+		s.rescan = false
 		prioritized := s.hasPrioritizedWaiter()
-		for i, run := range s.c.waitQ {
-			if run.done || run.running {
-				s.c.waitQ = append(s.c.waitQ[:i], s.c.waitQ[i+1:]...)
-				restart = true
-				break
+		q := s.c.waitQ
+		w := 0
+		started := false
+		for r := 0; r < len(q); r++ {
+			run := q[r]
+			if !run.queued || run.done || run.running {
+				run.queued = false
+				continue
 			}
 			if prioritized && !run.prioritized {
+				q[w] = run
+				w++
 				continue
 			}
 			if !s.tryPlace(run) {
+				q[w] = run
+				w++
 				continue
 			}
-			s.c.startRun(run)
-			restart = true
+			s.c.startRun(run) // tryPlace already dequeued the run
+			w += copy(q[w:], q[r+1:])
+			started = true
 			break
+		}
+		for i := w; i < len(q); i++ {
+			q[i] = nil
+		}
+		s.c.waitQ = q[:w]
+		if !started && !s.rescan {
+			return
 		}
 	}
 }
 
-// jitPlacement is one device's placement decision during the eligibility test.
+// jitPlacement is one device's placement decision during the eligibility
+// test. The implied pre/post routines are accumulated directly into the
+// scheduler's scratch sets rather than materialized per device.
 type jitPlacement struct {
 	dev    device.ID
 	mode   int // 0 = append, 1 = post-lease (insert after anchor), 2 = pre-lease (insert before anchor)
 	anchor routine.ID
-	pre    []routine.ID
-	post   []routine.ID
 }
 
 // tryPlace runs the JiT eligibility test (§5): the routine is placed — and
@@ -158,9 +300,9 @@ type jitPlacement struct {
 // has not used it yet. Placement is rejected if the implied preSet and
 // postSet intersect or contradict the existing serialization order.
 func (s *jitScheduler) tryPlace(run *evRun) bool {
-	var plans []jitPlacement
-	preAll := make(map[routine.ID]bool)
-	postAll := make(map[routine.ID]bool)
+	s.plans = s.plans[:0]
+	s.pre.reset()
+	s.post.reset()
 
 	for _, d := range run.r.Devices() {
 		l := s.c.table.Lineage(d)
@@ -177,9 +319,10 @@ func (s *jitScheduler) tryPlace(run *evRun) bool {
 		switch {
 		case fi == -1:
 			// Lock free (possibly via earlier post-leases): take it at the end.
-			p := jitPlacement{dev: d, mode: 0, pre: accessRoutines(l.Accesses)}
-			plans = append(plans, p)
-			addAll(preAll, p.pre)
+			s.plans = append(s.plans, jitPlacement{dev: d, mode: 0})
+			for _, a := range l.Accesses {
+				s.pre.add(a.Routine)
+			}
 
 		case nonReleased == 1:
 			owner := l.Accesses[fi]
@@ -189,16 +332,19 @@ func (s *jitScheduler) tryPlace(run *evRun) bool {
 			}
 			switch {
 			case s.c.opts.PostLease && ownerRun.lastTouchDone[d] && s.postLeaseOK(ownerRun, run, d):
-				p := jitPlacement{dev: d, mode: 1, anchor: owner.Routine, pre: accessRoutines(l.Accesses[:fi+1])}
-				plans = append(plans, p)
-				addAll(preAll, p.pre)
+				s.plans = append(s.plans, jitPlacement{dev: d, mode: 1, anchor: owner.Routine})
+				for _, a := range l.Accesses[:fi+1] {
+					s.pre.add(a.Routine)
+				}
 			case s.c.opts.PreLease && owner.Status == lineage.Scheduled && !ownerRun.firstTouched[d] &&
 				!(ownerRun.inflight && ownerRun.inflightDev == d):
-				p := jitPlacement{dev: d, mode: 2, anchor: owner.Routine,
-					pre: accessRoutines(l.Accesses[:fi]), post: accessRoutines(l.Accesses[fi:])}
-				plans = append(plans, p)
-				addAll(preAll, p.pre)
-				addAll(postAll, p.post)
+				s.plans = append(s.plans, jitPlacement{dev: d, mode: 2, anchor: owner.Routine})
+				for _, a := range l.Accesses[:fi] {
+					s.pre.add(a.Routine)
+				}
+				for _, a := range l.Accesses[fi:] {
+					s.post.add(a.Routine)
+				}
 			default:
 				return false
 			}
@@ -210,8 +356,8 @@ func (s *jitScheduler) tryPlace(run *evRun) bool {
 		}
 	}
 
-	for id := range preAll {
-		if postAll[id] {
+	for _, id := range s.pre.ids {
+		if s.post.has(id) {
 			return false
 		}
 	}
@@ -220,29 +366,33 @@ func (s *jitScheduler) tryPlace(run *evRun) bool {
 	// incident to this routine, so removing its node undoes a failed attempt.
 	node := order.RoutineNode(run.id)
 	s.c.graph.AddNode(node)
-	if !addEdges(s.c.graph, preAll, node, postAll) {
+	if !addEdgesSet(s.c.graph, &s.pre, node, &s.post) {
 		s.c.graph.Remove(node)
 		return false
 	}
 
-	for _, p := range plans {
+	for _, p := range s.plans {
 		// JiT placements carry no time estimates: the routine starts using its
 		// devices immediately, so positional order alone defines the schedule.
 		acc := lineage.Access{Routine: run.id, Status: lineage.Scheduled}
 		var err error
 		switch p.mode {
 		case 0:
-			_, err = s.c.table.Append(p.dev, acc)
+			err = s.c.table.PlaceAt(p.dev, len(s.c.table.Lineage(p.dev).Accesses), acc)
 		case 1:
-			_, _, err = s.c.table.InsertAfter(p.dev, acc, p.anchor)
-			if err == nil {
+			idx := s.c.table.Find(p.dev, p.anchor)
+			if idx < 0 {
+				err = fmt.Errorf("%w: anchor R%d on %s", lineage.ErrNoSuchSlot, p.anchor, p.dev)
+			} else if err = s.c.table.PlaceAt(p.dev, idx+1, acc); err == nil {
 				// The post-lease hand-off: the source's lock-access is released.
 				err = s.c.table.SetStatus(p.dev, p.anchor, lineage.Released)
 			}
 		case 2:
-			_, _, err = s.c.table.InsertBefore(p.dev, acc, p.anchor)
-			if err == nil {
-				run.preLeasedFrom[p.dev] = p.anchor
+			idx := s.c.table.Find(p.dev, p.anchor)
+			if idx < 0 {
+				err = fmt.Errorf("%w: anchor R%d on %s", lineage.ErrNoSuchSlot, p.anchor, p.dev)
+			} else if err = s.c.table.PlaceAt(p.dev, idx, acc); err == nil {
+				run.setPreLeasedFrom(p.dev, p.anchor)
 			}
 		}
 		if err != nil {
@@ -278,6 +428,14 @@ func (s *jitScheduler) postLeaseOK(src, dst *evRun, d device.ID) bool {
 // appended at the end of every lineage.
 type tlScheduler struct {
 	c *evController
+
+	// Scratch reused across searches: the accumulated preSet/postSet (with
+	// truncate-based backtracking), the chosen placements, and one gap buffer
+	// per search depth.
+	pre        idSet
+	post       idSet
+	placements []tlPlacement
+	gapBufs    [][]lineage.Gap
 }
 
 func (s *tlScheduler) kind() SchedulerKind { return SchedTL }
@@ -300,8 +458,6 @@ type tlPlacement struct {
 	index int
 	start time.Time
 	dur   time.Duration
-	pre   []routine.ID
-	post  []routine.ID
 }
 
 // tlSearchBudget bounds Algorithm 1's backtracking. Realistic lineage tables
@@ -314,14 +470,28 @@ const tlSearchBudget = 4096
 // search implements Algorithm 1: a backtracking walk over the routine's
 // devices in first-touch order, trying lineage gaps in temporal order and
 // validating the preSet/postSet disjointness at every step.
+//
+// The preSet/postSet are maintained incrementally in the scheduler's scratch
+// idSets: trying a gap tentatively adds that lineage's prefix routines to pre
+// and suffix routines to post, checking each against the opposite set
+// (equivalent to the full union-intersection test, since a routine appears at
+// most once per lineage and the sets are disjoint by induction); rejecting or
+// backtracking truncates the sets back to their marks. No per-gap map or
+// slice is ever allocated. On success the sets hold exactly the routine's
+// accumulated preSet/postSet, which apply() turns into precedence edges.
 func (s *tlScheduler) search(run *evRun) ([]tlPlacement, bool) {
 	devs := run.r.Devices()
 	now := s.c.env.Now()
-	out := make([]tlPlacement, 0, len(devs))
+	s.placements = s.placements[:0]
+	s.pre.reset()
+	s.post.reset()
+	for len(s.gapBufs) < len(devs) {
+		s.gapBufs = append(s.gapBufs, make([]lineage.Gap, 0, 16))
+	}
 	budget := tlSearchBudget
 
-	var rec func(i int, earliest time.Time, pre, post map[routine.ID]bool) bool
-	rec = func(i int, earliest time.Time, pre, post map[routine.ID]bool) bool {
+	var rec func(i int, earliest time.Time) bool
+	rec = func(i int, earliest time.Time) bool {
 		if budget <= 0 {
 			return false
 		}
@@ -332,7 +502,9 @@ func (s *tlScheduler) search(run *evRun) ([]tlPlacement, bool) {
 		d := devs[i]
 		dur := run.r.HoldEstimate(d, s.c.opts.DefaultShort)
 		l := s.c.table.Lineage(d)
-		for _, gap := range s.c.table.Gaps(d, now) {
+		gaps := s.c.table.GapsInto(s.gapBufs[i][:0], d, now)
+		s.gapBufs[i] = gaps
+		for _, gap := range gaps {
 			if !s.c.opts.PreLease && gap.Index < len(l.Accesses) {
 				// Placing ahead of an already-scheduled access is a pre-lease;
 				// with pre-leasing disabled only the tail gap is allowed.
@@ -342,114 +514,74 @@ func (s *tlScheduler) search(run *evRun) ([]tlPlacement, bool) {
 			if !fits {
 				continue
 			}
-			gapPre := accessRoutines(l.Accesses[:gap.Index])
-			gapPost := accessRoutines(l.Accesses[gap.Index:])
-			newPre := unionSets(pre, gapPre)
-			newPost := unionSets(post, gapPost)
-			if setsIntersect(newPre, newPost) {
-				continue // try the next gap (the backtracking step of Algo 1)
+			preMark, postMark := len(s.pre.ids), len(s.post.ids)
+			ok := true
+			for _, a := range l.Accesses[:gap.Index] {
+				if s.post.has(a.Routine) {
+					ok = false
+					break
+				}
+				s.pre.add(a.Routine)
 			}
-			out = append(out, tlPlacement{dev: d, index: gap.Index, start: start, dur: dur, pre: gapPre, post: gapPost})
-			if rec(i+1, start.Add(dur), newPre, newPost) {
-				return true
+			if ok {
+				for _, a := range l.Accesses[gap.Index:] {
+					if s.pre.has(a.Routine) {
+						ok = false
+						break
+					}
+					s.post.add(a.Routine)
+				}
 			}
-			out = out[:len(out)-1]
+			if ok {
+				s.placements = append(s.placements, tlPlacement{dev: d, index: gap.Index, start: start, dur: dur})
+				if rec(i+1, start.Add(dur)) {
+					return true
+				}
+				s.placements = s.placements[:len(s.placements)-1]
+			}
+			// Backtrack: undo this gap's tentative additions (the next-gap
+			// step of Algo 1).
+			s.pre.truncate(preMark)
+			s.post.truncate(postMark)
 		}
 		return false
 	}
 
-	if rec(0, now, make(map[routine.ID]bool), make(map[routine.ID]bool)) {
-		return out, true
+	if rec(0, now) {
+		return s.placements, true
 	}
 	return nil, false
 }
 
 // apply inserts the chosen placements into the lineage table and the
-// precedence graph. If the graph rejects an edge (the placement would
+// precedence graph, consuming the preSet/postSet the successful search left
+// in the scratch sets. If the graph rejects an edge (the placement would
 // contradict ordering constraints not visible in the lineages alone), the
 // routine falls back to appending at the end of every lineage.
 func (s *tlScheduler) apply(run *evRun, placements []tlPlacement) {
 	node := order.RoutineNode(run.id)
 	s.c.graph.AddNode(node)
-	pre := make(map[routine.ID]bool)
-	post := make(map[routine.ID]bool)
-	for _, p := range placements {
-		addAll(pre, p.pre)
-		addAll(post, p.post)
-	}
-	if !addEdges(s.c.graph, pre, node, post) {
+	if !addEdgesSet(s.c.graph, &s.pre, node, &s.post) {
 		s.c.graph.Remove(node)
 		s.c.placeAtEnd(run)
 		return
 	}
 	for _, p := range placements {
-		acc := lineage.Access{Routine: run.id, Status: lineage.Scheduled, Start: p.start, Duration: p.dur}
-		_, postRoutines, err := s.c.table.InsertAt(p.dev, p.index, acc)
-		if err != nil {
-			panic(fmt.Sprintf("visibility: timeline placement: %v", err))
-		}
-		if len(postRoutines) > 0 && s.c.opts.PreLease {
+		l := s.c.table.Lineage(p.dev)
+		leaseFrom := routine.None
+		if p.index < len(l.Accesses) {
 			// Being placed ahead of an already-scheduled access is a pre-lease
 			// from that access's routine; the revocation clock is armed when
 			// this routine actually acquires the device.
-			run.preLeasedFrom[p.dev] = postRoutines[0]
+			leaseFrom = l.Accesses[p.index].Routine
+		}
+		acc := lineage.Access{Routine: run.id, Status: lineage.Scheduled, Start: p.start, Duration: p.dur}
+		if err := s.c.table.PlaceAt(p.dev, p.index, acc); err != nil {
+			panic(fmt.Sprintf("visibility: timeline placement: %v", err))
+		}
+		if leaseFrom != routine.None && s.c.opts.PreLease {
+			run.setPreLeasedFrom(p.dev, leaseFrom)
 		}
 	}
 	run.placed = true
-}
-
-// --- shared helpers -----------------------------------------------------------
-
-func accessRoutines(accs []lineage.Access) []routine.ID {
-	out := make([]routine.ID, 0, len(accs))
-	for _, a := range accs {
-		out = append(out, a.Routine)
-	}
-	return out
-}
-
-func addAll(dst map[routine.ID]bool, ids []routine.ID) {
-	for _, id := range ids {
-		dst[id] = true
-	}
-}
-
-func unionSets(a map[routine.ID]bool, b []routine.ID) map[routine.ID]bool {
-	out := make(map[routine.ID]bool, len(a)+len(b))
-	for id := range a {
-		out[id] = true
-	}
-	for _, id := range b {
-		out[id] = true
-	}
-	return out
-}
-
-func setsIntersect(a, b map[routine.ID]bool) bool {
-	small, big := a, b
-	if len(b) < len(a) {
-		small, big = b, a
-	}
-	for id := range small {
-		if big[id] {
-			return true
-		}
-	}
-	return false
-}
-
-// addEdges adds pre→node and node→post edges, reporting whether every edge
-// was consistent with the existing order. Duplicate edges are fine.
-func addEdges(g *order.Graph, pre map[routine.ID]bool, node order.Node, post map[routine.ID]bool) bool {
-	for id := range pre {
-		if err := g.AddEdge(order.RoutineNode(id), node); err != nil {
-			return false
-		}
-	}
-	for id := range post {
-		if err := g.AddEdge(node, order.RoutineNode(id)); err != nil {
-			return false
-		}
-	}
-	return true
 }

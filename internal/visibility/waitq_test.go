@@ -1,0 +1,84 @@
+package visibility
+
+// Regression tests for the scheduler wait queue: finished (done/aborted) and
+// dequeued entries must be compacted out by the schedulers' single-pass
+// scans, so a long-lived controller under submit/commit churn keeps a small
+// queue instead of accumulating stale entries (the old splice-per-restart
+// loop removed entries but cost O(n²) per scan; a naive mark-only queue
+// would leak). See ISSUE 2, satellite "done-entry leak window".
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"safehome/internal/device"
+	"safehome/internal/routine"
+)
+
+// churnWaitQueue drives many rounds of conflicting submissions through a
+// long-lived controller and watches the wait queue between rounds.
+func churnWaitQueue(t *testing.T, kind SchedulerKind) {
+	t.Helper()
+	opts := DefaultOptions(EV)
+	opts.Scheduler = kind
+	h := newTestHome(t, opts, homeDevices()...)
+	ctrl, ok := h.ctrl.(*evController)
+	if !ok {
+		t.Fatalf("EV options produced %T", h.ctrl)
+	}
+
+	const rounds = 40
+	const perRound = 15
+	for round := 0; round < rounds; round++ {
+		for i := 0; i < perRound; i++ {
+			// Everyone fights over the same two devices so most submissions
+			// wait in the queue before starting.
+			r := routine.New(fmt.Sprintf("churn-%d-%d", round, i),
+				routine.Command{Device: "coffee", Target: device.On, Duration: time.Minute},
+				routine.Command{Device: "pancake", Target: device.On, Duration: time.Minute},
+			)
+			h.submitAt(time.Duration(round)*time.Hour+time.Duration(i)*time.Second, r)
+		}
+	}
+	h.run()
+	h.finishedAll()
+
+	if got := len(ctrl.waitQ); got != 0 {
+		t.Fatalf("%v: wait queue holds %d entries after full drain", kind, got)
+	}
+	// The queue's backing array must stay bounded by the burst size, not
+	// grow with the total number of routines ever submitted.
+	if got := cap(ctrl.waitQ); got > 4*perRound {
+		t.Fatalf("%v: wait queue capacity grew to %d after %d routines (leak)",
+			kind, got, rounds*perRound)
+	}
+}
+
+func TestWaitQueueDoesNotLeakUnderChurnJiT(t *testing.T)  { churnWaitQueue(t, SchedJiT) }
+func TestWaitQueueDoesNotLeakUnderChurnFCFS(t *testing.T) { churnWaitQueue(t, SchedFCFS) }
+
+// TestWaitQueueCompactsDoneEntries pins the specific leak window: a routine
+// that aborts while queued is only mark-dequeued; the next scheduler scan
+// must physically drop it so the queue slice does not retain the run.
+func TestWaitQueueCompactsDoneEntries(t *testing.T) {
+	opts := DefaultOptions(EV)
+	opts.Scheduler = SchedFCFS
+	h := newTestHome(t, opts, homeDevices()...)
+	ctrl := h.ctrl.(*evController)
+
+	// A long-running holder keeps the device busy so followers queue up.
+	h.submitAt(0, dishwashRoutine(30*time.Minute))
+	for i := 0; i < 5; i++ {
+		h.submitAt(time.Duration(i+1)*time.Second, dishwashRoutine(time.Minute))
+	}
+	// The device fails mid-run: queued followers that never touched it keep
+	// waiting; the holder aborts. After the restart everything drains.
+	h.failAt(2*time.Minute, "dishwasher")
+	h.restoreAt(4*time.Minute, "dishwasher")
+	h.run()
+	h.finishedAll()
+	if got := len(ctrl.waitQ); got != 0 {
+		t.Fatalf("wait queue holds %d stale entries after drain", got)
+	}
+}
