@@ -110,6 +110,19 @@ func BenchmarkTimelineInsertion(b *testing.B) {
 	}
 }
 
+// --- home runtime mailbox throughput ----------------------------------------------
+
+// BenchmarkRuntimeThroughput measures one home runtime's typed-mailbox round
+// trip — admission, batch dequeue, EV scheduling and execution on the virtual
+// clock, reply delivery — with parallel clients on a single mailbox. batch=1
+// vs batch=32 isolates what batch dequeue buys under contention. Shared with
+// safehome-bench via internal/schedbench.
+func BenchmarkRuntimeThroughput(b *testing.B) {
+	for _, batch := range []int{1, 32} {
+		b.Run(fmt.Sprintf("batch=%d", batch), schedbench.RuntimeThroughput(batch))
+	}
+}
+
 // --- multi-tenant manager throughput ----------------------------------------------
 
 // BenchmarkManagerThroughput measures the sharded HomeManager's end-to-end

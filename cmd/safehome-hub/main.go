@@ -11,6 +11,11 @@
 // with its own visibility controller and fleet, served through the
 // home-scoped API (`/homes/{id}/...`).
 //
+// Every home — single or multi-tenant — runs behind a bounded typed-op
+// mailbox (-mailbox depth, -batch drain size); when a home's mailbox is
+// full, mutating requests are answered with 429 Too Many Requests instead of
+// queuing without bound.
+//
 // Usage:
 //
 //	safehome-hub -listen :8123 -model EV -scheduler TL -devices 127.0.0.1:9999 -plugs 10
@@ -43,6 +48,8 @@ func main() {
 		probe     = flag.Duration("probe", time.Second, "failure detector probe period")
 		homes     = flag.Int("homes", 0, "multi-tenant mode: number of homes to manage (0 = single-home hub)")
 		shards    = flag.Int("shards", 4, "multi-tenant mode: number of worker shards")
+		mailbox   = flag.Int("mailbox", 0, "per-home operation-mailbox depth (0 = default 128); a full mailbox answers 429")
+		batch     = flag.Int("batch", 0, "max operations a home drains per loop wakeup (0 = default 32)")
 	)
 	flag.Parse()
 
@@ -61,7 +68,7 @@ func main() {
 		if *devices != "" || *useFleet {
 			log.Fatal("safehome-hub: -devices/-fleet apply to single-home mode only; -homes manages in-process simulated fleets")
 		}
-		serveManager(*listen, *homes, *shards, *plugs, model, sched)
+		serveManager(*listen, *homes, *shards, *plugs, *mailbox, *batch, model, sched)
 		return
 	}
 
@@ -78,7 +85,8 @@ func main() {
 		log.Fatal("safehome-hub: either -devices or -fleet is required")
 	}
 
-	h, err := hub.New(hub.Config{Model: model, Scheduler: sched, FailureInterval: *probe}, reg, actuator)
+	h, err := hub.New(hub.Config{Model: model, Scheduler: sched, FailureInterval: *probe,
+		MailboxDepth: *mailbox, Batch: *batch}, reg, actuator)
 	if err != nil {
 		log.Fatalf("safehome-hub: %v", err)
 	}
@@ -92,10 +100,12 @@ func main() {
 
 // serveManager runs the multi-tenant HomeManager: homes home-0..home-(N-1)
 // on live clocks, partitioned across worker shards, behind the /homes API.
-func serveManager(listen string, homes, shards, plugs int, model visibility.Model, sched visibility.SchedulerKind) {
+func serveManager(listen string, homes, shards, plugs, mailbox, batch int, model visibility.Model, sched visibility.SchedulerKind) {
 	m := manager.New(manager.Config{
-		Shards: shards,
-		Clock:  manager.ClockLive,
+		Shards:     shards,
+		QueueDepth: mailbox,
+		Batch:      batch,
+		Clock:      manager.ClockLive,
 		Home: manager.HomeConfig{
 			Model:      model,
 			ExplicitWV: model == visibility.WV,

@@ -85,6 +85,13 @@ func main() {
 		fmt.Printf("  %-8s state=%-4s up=%v\n", d.Info.ID, d.State, d.Up)
 	}
 
+	// 6. The home runtime's mailbox admission stats: every submission, trigger
+	// and failure notification above flowed through one bounded typed-op ring
+	// (a full ring answers 429 instead of queuing without bound).
+	st := home.Status()
+	fmt.Printf("\nmailbox: accepted=%d rejected=%d depth=%d/%d\n",
+		st.Mailbox.Accepted, st.Mailbox.Rejected, st.Mailbox.Depth, st.Mailbox.Capacity)
+
 	resp, err := http.Get(api.URL + "/api/status")
 	if err == nil {
 		fmt.Printf("\nGET /api/status -> %s\n", resp.Status)

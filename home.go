@@ -32,6 +32,13 @@ type Config struct {
 	// FailureDetectionInterval is the probe period of a live home's failure
 	// detector (default 1 s).
 	FailureDetectionInterval time.Duration
+	// MailboxDepth bounds a live home's operation mailbox (default 128).
+	// When the mailbox is full, mutating calls return ErrOverloaded instead
+	// of blocking.
+	MailboxDepth int
+	// MailboxBatch is the maximum operations a live home drains per loop
+	// wakeup (default 32), amortizing channel signaling under load.
+	MailboxBatch int
 	// Observer, if set, receives every controller event.
 	Observer Observer
 }
@@ -160,10 +167,21 @@ type HubStatus = hub.Status
 // LiveHome runs SafeHome in real time on an edge device: routines actuate
 // devices through the provided Actuator (e.g. the Kasa driver), the failure
 // detector probes devices periodically, and an HTTP API is available for
-// users and triggers. LiveHome is safe for concurrent use.
+// users and triggers. LiveHome is safe for concurrent use: every operation
+// is serialized through the home runtime's typed mailbox, and when the
+// mailbox is full mutating calls return ErrOverloaded (back off and retry)
+// instead of blocking indefinitely.
 type LiveHome struct {
 	hub *hub.Hub
 }
+
+// Admission-control errors returned by a live home's mutating calls.
+var (
+	// ErrOverloaded means the home's mailbox is full; back off and retry.
+	ErrOverloaded = hub.ErrOverloaded
+	// ErrHomeClosed means the home has been closed.
+	ErrHomeClosed = hub.ErrClosed
+)
 
 // NewLiveHome builds a live home controlling the given devices through the
 // actuator.
@@ -176,6 +194,8 @@ func NewLiveHome(cfg Config, actuator Actuator, devices ...DeviceInfo) (*LiveHom
 		Scheduler:       cfg.Scheduler,
 		DefaultShort:    cfg.DefaultShortCommand,
 		FailureInterval: cfg.FailureDetectionInterval,
+		MailboxDepth:    cfg.MailboxDepth,
+		Batch:           cfg.MailboxBatch,
 	}, NewRegistry(devices...), actuator)
 	if err != nil {
 		return nil, err
@@ -215,8 +235,10 @@ func (h *LiveHome) ScheduleEvery(name string, interval time.Duration) (TriggerHa
 	return h.hub.ScheduleEvery(name, interval)
 }
 
-// CancelTrigger stops a scheduled trigger.
-func (h *LiveHome) CancelTrigger(t TriggerHandle) { h.hub.CancelTrigger(t) }
+// CancelTrigger stops a scheduled trigger; it is not an error if the handle
+// is unknown or already fired. It returns ErrOverloaded when the home's
+// mailbox is full.
+func (h *LiveHome) CancelTrigger(t TriggerHandle) error { return h.hub.CancelTrigger(t) }
 
 // Triggers lists active scheduled triggers.
 func (h *LiveHome) Triggers() []ScheduledTrigger { return h.hub.Triggers() }

@@ -1,29 +1,40 @@
-// Package hub implements the SafeHome edge hub of Fig 11: it wires the
-// routine bank, the routine dispatcher, the concurrency controller for the
+// Package hub implements the SafeHome edge hub of Fig 11 as a front-end
+// over a single wall-clock home runtime (internal/runtime): the routine
+// bank, the routine dispatcher, the concurrency controller for the
 // configured visibility model, the device driver and the failure detector
-// together, and exposes an HTTP API for users and triggers.
+// all live inside the runtime, and the hub exposes them through a typed API
+// and HTTP surface.
 //
-// The hub serializes all controller access with one mutex; the live
-// environment delivers command completions and timer callbacks under the same
-// mutex, so the controller keeps its single-threaded execution model. The hub
-// also hosts the multi-tenant HTTP surface (ManagerHandler) that routes
-// home-scoped requests through internal/manager.
+// There is no hub lock: every operation is a typed op posted into the
+// runtime's mailbox, and the live environment delivers command completions
+// and timer callbacks through the same mailbox, so the controller keeps its
+// single-threaded execution model end to end. When the mailbox is full,
+// mutating operations return ErrOverloaded (HTTP 429) instead of blocking.
+// The hub also hosts the multi-tenant HTTP surface (ManagerHandler) that
+// routes home-scoped requests through internal/manager.
 //
 // See ARCHITECTURE.md at the repository root for how the hub layers between
-// the public API, the manager and the visibility controllers.
+// the public API, the manager and the unified home runtime.
 package hub
 
 import (
-	"context"
 	"fmt"
-	"sync"
 	"time"
 
 	"safehome/internal/device"
 	"safehome/internal/failure"
-	"safehome/internal/live"
 	"safehome/internal/routine"
+	rt "safehome/internal/runtime"
 	"safehome/internal/visibility"
+)
+
+// Errors surfaced by the runtime's admission control, re-exported for the
+// hub's callers (the root safehome package and the HTTP layer).
+var (
+	// ErrOverloaded is returned when the hub's mailbox is full (HTTP 429).
+	ErrOverloaded = rt.ErrOverloaded
+	// ErrClosed is returned by mutating calls after Close.
+	ErrClosed = rt.ErrClosed
 )
 
 // Config configures a hub.
@@ -38,6 +49,10 @@ type Config struct {
 	FailureInterval time.Duration
 	// EventLog caps the in-memory activity log (default 1024 events).
 	EventLog int
+	// MailboxDepth bounds the runtime's operation mailbox (default 128).
+	MailboxDepth int
+	// Batch is the maximum operations drained per loop wakeup (default 32).
+	Batch int
 }
 
 func (c Config) normalized() Config {
@@ -53,23 +68,14 @@ func (c Config) normalized() Config {
 	return c
 }
 
-// Hub is a running SafeHome instance.
+// Hub is a running SafeHome instance: a thin front-end over one home
+// runtime.
 type Hub struct {
 	cfg Config
 	reg *device.Registry
+	rt  *rt.HomeRuntime
 
-	mu       sync.Mutex
-	ctrl     visibility.Controller
-	env      *live.Env
-	bank     *routine.Bank
-	detector *failure.Detector
-	events   []visibility.Event
-
-	cancelDetect context.CancelFunc
-	started      time.Time
-
-	triggerOnce sync.Once
-	triggerSt   *triggerState
+	started time.Time
 }
 
 // New builds a hub controlling the registered devices through the actuator
@@ -84,78 +90,30 @@ func New(cfg Config, reg *device.Registry, actuator device.Actuator) (*Hub, erro
 	}
 	cfg = cfg.normalized()
 
-	h := &Hub{cfg: cfg, reg: reg, bank: routine.NewBank(), started: time.Now()}
-	h.env = live.New(&h.mu, actuator)
-
-	opts := visibility.DefaultOptions(cfg.Model)
-	opts.Scheduler = cfg.Scheduler
-	opts.DefaultShort = cfg.DefaultShort
-	opts.Observer = h.recordEvent
-
-	// Seed the controller's committed-state view from the devices' initial
-	// metadata; unknown initial states are left for the first routines to set.
-	initial := make(map[device.ID]device.State)
-	for _, info := range reg.All() {
-		if info.Initial != device.StateUnknown {
-			initial[info.ID] = info.Initial
-		}
+	runtime, err := rt.NewLive(rt.Config{
+		ID:              "hub",
+		Model:           cfg.Model,
+		Scheduler:       cfg.Scheduler,
+		DefaultShort:    cfg.DefaultShort,
+		FailureInterval: cfg.FailureInterval,
+		EventLog:        cfg.EventLog,
+		MailboxDepth:    cfg.MailboxDepth,
+		Batch:           cfg.Batch,
+	}, reg, actuator)
+	if err != nil {
+		return nil, fmt.Errorf("hub: %w", err)
 	}
-	h.mu.Lock()
-	h.ctrl = visibility.New(h.env, initial, opts)
-	h.mu.Unlock()
-
-	h.detector = failure.NewDetector(actuator, reg.IDs(), failure.Options{
-		Interval:  cfg.FailureInterval,
-		OnFailure: h.onDeviceFailure,
-		OnRestart: h.onDeviceRestart,
-	})
-	h.env.OnContact = func(id device.ID, ok bool) {
-		if ok {
-			h.detector.ReportContact(id)
-		} else {
-			h.detector.ReportSilence(id)
-		}
-	}
-	return h, nil
-}
-
-// recordEvent appends to the bounded activity log. It runs under h.mu (the
-// controller only emits events from within its serialized context).
-func (h *Hub) recordEvent(e visibility.Event) {
-	h.events = append(h.events, e)
-	if len(h.events) > h.cfg.EventLog {
-		h.events = h.events[len(h.events)-h.cfg.EventLog:]
-	}
-}
-
-func (h *Hub) onDeviceFailure(id device.ID) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.ctrl.NotifyFailure(id)
-}
-
-func (h *Hub) onDeviceRestart(id device.ID) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.ctrl.NotifyRestart(id)
+	return &Hub{cfg: cfg, reg: reg, rt: runtime, started: time.Now()}, nil
 }
 
 // Start launches the failure detector's probe loop.
-func (h *Hub) Start() {
-	ctx, cancel := context.WithCancel(context.Background())
-	h.cancelDetect = cancel
-	go h.detector.Run(ctx)
-}
+func (h *Hub) Start() { h.rt.Start() }
 
-// Close stops background activity (failure detection and scheduled triggers)
-// and waits for in-flight commands.
-func (h *Hub) Close() {
-	if h.cancelDetect != nil {
-		h.cancelDetect()
-	}
-	h.stopTriggers()
-	h.env.Wait()
-}
+// Close stops background activity (failure detection and scheduled
+// triggers), waits for in-flight commands and drains the runtime. After
+// Close, mutating calls return ErrClosed; reads answer from the quiesced
+// state.
+func (h *Hub) Close() { h.rt.Close() }
 
 // Model returns the hub's visibility model.
 func (h *Hub) Model() visibility.Model { return h.cfg.Model }
@@ -164,16 +122,15 @@ func (h *Hub) Model() visibility.Model { return h.cfg.Model }
 func (h *Hub) Registry() *device.Registry { return h.reg }
 
 // Detector exposes the failure detector (CLI status, tests).
-func (h *Hub) Detector() *failure.Detector { return h.detector }
+func (h *Hub) Detector() *failure.Detector { return h.rt.Detector() }
 
-// SubmitRoutine validates and submits a routine for execution.
+// Runtime exposes the underlying home runtime (mailbox stats, tests).
+func (h *Hub) Runtime() *rt.HomeRuntime { return h.rt }
+
+// SubmitRoutine validates and submits a routine for execution. It returns
+// ErrOverloaded when the hub's mailbox is full.
 func (h *Hub) SubmitRoutine(r *routine.Routine) (routine.ID, error) {
-	if err := r.Validate(h.reg); err != nil {
-		return routine.None, err
-	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.ctrl.Submit(r), nil
+	return h.rt.Submit(r)
 }
 
 // SubmitSpec parses a Fig 10-style JSON routine document and submits it.
@@ -190,16 +147,16 @@ func (h *Hub) StoreRoutine(r *routine.Routine) error {
 	if err := r.Validate(h.reg); err != nil {
 		return err
 	}
-	return h.bank.Store(r)
+	return h.rt.Bank().Store(r)
 }
 
 // StoredRoutines lists the names in the routine bank.
-func (h *Hub) StoredRoutines() []string { return h.bank.Names() }
+func (h *Hub) StoredRoutines() []string { return h.rt.Bank().Names() }
 
 // Trigger dispatches a stored routine by name (the "Routine Dispatcher" of
 // Fig 11 invoked by a user or an automation trigger).
 func (h *Hub) Trigger(name string) (routine.ID, error) {
-	r, ok := h.bank.Get(name)
+	r, ok := h.rt.Bank().Get(name)
 	if !ok {
 		return routine.None, fmt.Errorf("hub: no stored routine named %q", name)
 	}
@@ -207,32 +164,16 @@ func (h *Hub) Trigger(name string) (routine.ID, error) {
 }
 
 // Results returns per-routine outcomes in submission order.
-func (h *Hub) Results() []visibility.Result {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.ctrl.Results()
-}
+func (h *Hub) Results() []visibility.Result { return h.rt.Results() }
 
 // Result returns one routine's outcome.
-func (h *Hub) Result(id routine.ID) (visibility.Result, bool) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.ctrl.Result(id)
-}
+func (h *Hub) Result(id routine.ID) (visibility.Result, bool) { return h.rt.Result(id) }
 
 // PendingCount returns the number of unfinished routines.
-func (h *Hub) PendingCount() int {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.ctrl.PendingCount()
-}
+func (h *Hub) PendingCount() int { return h.rt.PendingCount() }
 
 // Events returns a copy of the recent activity log.
-func (h *Hub) Events() []visibility.Event {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return append([]visibility.Event(nil), h.events...)
-}
+func (h *Hub) Events() []visibility.Event { return h.rt.Events() }
 
 // DeviceStatus describes one device for the API and CLI.
 type DeviceStatus struct {
@@ -244,9 +185,8 @@ type DeviceStatus struct {
 // Devices reports every device's committed state (the controller's view) and
 // liveness.
 func (h *Hub) Devices() []DeviceStatus {
-	h.mu.Lock()
-	committed := h.ctrl.CommittedStates()
-	h.mu.Unlock()
+	committed := h.rt.CommittedStates()
+	detector := h.rt.Detector()
 
 	infos := h.reg.All()
 	out := make([]DeviceStatus, 0, len(infos))
@@ -255,38 +195,36 @@ func (h *Hub) Devices() []DeviceStatus {
 		if !ok {
 			st = info.Initial
 		}
-		out = append(out, DeviceStatus{Info: info, State: st, Up: h.detector.Up(info.ID)})
+		out = append(out, DeviceStatus{Info: info, State: st, Up: detector.Up(info.ID)})
 	}
 	return out
 }
 
 // Status summarizes the hub for the API and CLI.
 type Status struct {
-	Model     string    `json:"model"`
-	Scheduler string    `json:"scheduler"`
-	Devices   int       `json:"devices"`
-	Routines  int       `json:"routines"`
-	Pending   int       `json:"pending"`
-	Active    int       `json:"active"`
-	Stored    int       `json:"stored_routines"`
-	Since     time.Time `json:"since"`
+	Model     string          `json:"model"`
+	Scheduler string          `json:"scheduler"`
+	Devices   int             `json:"devices"`
+	Routines  int             `json:"routines"`
+	Pending   int             `json:"pending"`
+	Active    int             `json:"active"`
+	Stored    int             `json:"stored_routines"`
+	Mailbox   rt.MailboxStats `json:"mailbox"`
+	Since     time.Time       `json:"since"`
 }
 
 // Status returns the hub summary.
 func (h *Hub) Status() Status {
-	h.mu.Lock()
-	results := h.ctrl.Results()
-	pending := h.ctrl.PendingCount()
-	active := h.ctrl.ActiveCount()
-	h.mu.Unlock()
+	c := h.rt.Counts()
 	return Status{
 		Model:     h.cfg.Model.String(),
 		Scheduler: h.cfg.Scheduler.String(),
 		Devices:   h.reg.Len(),
-		Routines:  len(results),
-		Pending:   pending,
-		Active:    active,
-		Stored:    h.bank.Len(),
+		Routines:  c.Routines,
+		Pending:   c.Pending,
+		Active:    c.Active,
+		Stored:    h.rt.Bank().Len(),
+		Mailbox:   h.rt.Mailbox(),
 		Since:     h.started,
 	}
 }

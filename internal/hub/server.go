@@ -81,7 +81,7 @@ func (h *Hub) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		err = fmt.Errorf("either ?after=<duration> or ?every=<duration> is required")
 	}
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeHubError(w, http.StatusBadRequest, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]any{"handle": handle})
@@ -93,7 +93,10 @@ func (h *Hub) handleCancelTrigger(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad trigger handle: %w", err))
 		return
 	}
-	h.CancelTrigger(TriggerHandle(id))
+	if err := h.CancelTrigger(TriggerHandle(id)); err != nil {
+		writeHubError(w, http.StatusBadRequest, err)
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"cancelled": r.PathValue("handle")})
 }
 
@@ -105,7 +108,7 @@ func (h *Hub) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	id, err := h.SubmitSpec(body)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeHubError(w, http.StatusBadRequest, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, map[string]any{"id": id})
@@ -146,10 +149,24 @@ func (h *Hub) handleStore(w http.ResponseWriter, r *http.Request) {
 func (h *Hub) handleTrigger(w http.ResponseWriter, r *http.Request) {
 	id, err := h.Trigger(r.PathValue("name"))
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeHubError(w, http.StatusNotFound, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, map[string]any{"id": id})
+}
+
+// writeHubError maps single-home hub errors onto HTTP statuses: a full
+// mailbox is 429 Too Many Requests (back off and retry), a closed hub is
+// 503, anything else keeps the handler's fallback status.
+func writeHubError(w http.ResponseWriter, fallback int, err error) {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, fallback, err)
+	}
 }
 
 // --- multi-tenant API ---------------------------------------------------------
@@ -279,13 +296,18 @@ func ManagerHandler(m *manager.Manager, defaultPlugs int) http.Handler {
 
 func plugDevices(n int) []device.Info { return device.Plugs(n).All() }
 
-// writeManagerError maps manager errors onto HTTP statuses.
+// writeManagerError maps manager errors onto HTTP statuses. A full home
+// mailbox surfaces as 429 Too Many Requests: the home is overloaded and the
+// client should back off and retry, instead of the old behavior of blocking
+// the request goroutine until the shard caught up.
 func writeManagerError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, manager.ErrUnknownHome):
 		writeError(w, http.StatusNotFound, err)
 	case errors.Is(err, manager.ErrDuplicateHome):
 		writeError(w, http.StatusConflict, err)
+	case errors.Is(err, manager.ErrOverloaded):
+		writeError(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, manager.ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, err)
 	default:

@@ -1,165 +1,41 @@
 package hub
 
 import (
-	"fmt"
-	"sync"
 	"time"
+
+	rt "safehome/internal/runtime"
 )
 
-// Triggers are the automation half of the routine dispatcher (Fig 11): a
-// stored routine can be dispatched once after a delay (e.g. "run the trash
-// routine at 11 pm") or repeatedly at a fixed interval (e.g. "every Monday
-// night"), without a user in the loop. Triggers reference routines by name,
-// so editing the stored definition affects future firings.
+// Triggers are the automation half of the routine dispatcher (Fig 11). The
+// implementation lives in internal/runtime: trigger state is owned by the
+// runtime's loop goroutine and every scheduling, firing and cancellation is
+// a typed mailbox operation, so the single-writer invariant has no
+// exceptions (the old hub kept trigger state behind a private mutex). The
+// hub re-exports the types and delegates.
 
 // TriggerHandle identifies a scheduled trigger.
-type TriggerHandle int64
+type TriggerHandle = rt.TriggerHandle
 
 // ScheduledTrigger describes one active trigger.
-type ScheduledTrigger struct {
-	Handle    TriggerHandle `json:"handle"`
-	Routine   string        `json:"routine"`
-	Interval  time.Duration `json:"interval,omitempty"` // zero for one-shot triggers
-	NextFire  time.Time     `json:"next_fire"`
-	Fired     int           `json:"fired"`
-	LastError string        `json:"last_error,omitempty"`
-}
-
-type trigger struct {
-	spec  ScheduledTrigger
-	timer *time.Timer
-}
-
-// triggerState is initialized lazily so Hub's zero-ish construction in New
-// stays unchanged.
-type triggerState struct {
-	mu      sync.Mutex
-	nextID  TriggerHandle
-	active  map[TriggerHandle]*trigger
-	stopped bool
-}
-
-func (h *Hub) triggers() *triggerState {
-	h.triggerOnce.Do(func() {
-		h.triggerSt = &triggerState{active: make(map[TriggerHandle]*trigger)}
-	})
-	return h.triggerSt
-}
+type ScheduledTrigger = rt.ScheduledTrigger
 
 // ScheduleAfter dispatches the named stored routine once, after the delay.
 func (h *Hub) ScheduleAfter(name string, delay time.Duration) (TriggerHandle, error) {
-	return h.schedule(name, delay, 0)
+	return h.rt.ScheduleAfter(name, delay)
 }
 
 // ScheduleEvery dispatches the named stored routine repeatedly at the given
 // interval, starting one interval from now.
 func (h *Hub) ScheduleEvery(name string, interval time.Duration) (TriggerHandle, error) {
-	if interval <= 0 {
-		return 0, fmt.Errorf("hub: trigger interval must be positive")
-	}
-	return h.schedule(name, interval, interval)
-}
-
-func (h *Hub) schedule(name string, delay, interval time.Duration) (TriggerHandle, error) {
-	if _, ok := h.bank.Get(name); !ok {
-		return 0, fmt.Errorf("hub: no stored routine named %q", name)
-	}
-	if delay < 0 {
-		delay = 0
-	}
-	ts := h.triggers()
-	ts.mu.Lock()
-	defer ts.mu.Unlock()
-	if ts.stopped {
-		return 0, fmt.Errorf("hub: trigger scheduler is stopped")
-	}
-	ts.nextID++
-	handle := ts.nextID
-	tr := &trigger{spec: ScheduledTrigger{
-		Handle:   handle,
-		Routine:  name,
-		Interval: interval,
-		NextFire: time.Now().Add(delay),
-	}}
-	tr.timer = time.AfterFunc(delay, func() { h.fireTrigger(handle) })
-	ts.active[handle] = tr
-	return handle, nil
-}
-
-func (h *Hub) fireTrigger(handle TriggerHandle) {
-	ts := h.triggers()
-	ts.mu.Lock()
-	tr, ok := ts.active[handle]
-	if !ok || ts.stopped {
-		ts.mu.Unlock()
-		return
-	}
-	name := tr.spec.Routine
-	ts.mu.Unlock()
-
-	_, err := h.Trigger(name)
-
-	ts.mu.Lock()
-	defer ts.mu.Unlock()
-	tr, ok = ts.active[handle]
-	if !ok {
-		return
-	}
-	tr.spec.Fired++
-	if err != nil {
-		tr.spec.LastError = err.Error()
-	} else {
-		tr.spec.LastError = ""
-	}
-	if tr.spec.Interval > 0 && !ts.stopped {
-		tr.spec.NextFire = time.Now().Add(tr.spec.Interval)
-		tr.timer = time.AfterFunc(tr.spec.Interval, func() { h.fireTrigger(handle) })
-	} else {
-		delete(ts.active, handle)
-	}
+	return h.rt.ScheduleEvery(name, interval)
 }
 
 // CancelTrigger stops a scheduled trigger; it is not an error if the handle
-// is unknown or already fired.
-func (h *Hub) CancelTrigger(handle TriggerHandle) {
-	ts := h.triggers()
-	ts.mu.Lock()
-	defer ts.mu.Unlock()
-	if tr, ok := ts.active[handle]; ok {
-		tr.timer.Stop()
-		delete(ts.active, handle)
-	}
+// is unknown or already fired. It returns ErrOverloaded/ErrClosed when the
+// cancellation could not be enqueued.
+func (h *Hub) CancelTrigger(handle TriggerHandle) error {
+	return h.rt.CancelTrigger(handle)
 }
 
 // Triggers lists active scheduled triggers.
-func (h *Hub) Triggers() []ScheduledTrigger {
-	ts := h.triggers()
-	ts.mu.Lock()
-	defer ts.mu.Unlock()
-	out := make([]ScheduledTrigger, 0, len(ts.active))
-	for _, tr := range ts.active {
-		out = append(out, tr.spec)
-	}
-	return out
-}
-
-// stopTriggers cancels every active trigger (called from Close).
-func (h *Hub) stopTriggers() {
-	ts := h.triggers()
-	ts.mu.Lock()
-	defer ts.mu.Unlock()
-	ts.stopped = true
-	for handle, tr := range ts.active {
-		tr.timer.Stop()
-		delete(ts.active, handle)
-	}
-}
-
-// ResumeTriggers re-enables scheduling after a stop (mainly for tests that
-// reuse a hub).
-func (h *Hub) ResumeTriggers() {
-	ts := h.triggers()
-	ts.mu.Lock()
-	defer ts.mu.Unlock()
-	ts.stopped = false
-}
+func (h *Hub) Triggers() []ScheduledTrigger { return h.rt.Triggers() }

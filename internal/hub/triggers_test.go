@@ -2,6 +2,7 @@ package hub
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -160,12 +161,11 @@ func TestCloseCancelsTriggers(t *testing.T) {
 		t.Fatal(err)
 	}
 	h.Close()
-	if _, err := h.ScheduleAfter("cooling", time.Millisecond); err == nil {
-		t.Error("scheduling after Close should fail")
+	if len(h.Triggers()) != 0 {
+		t.Errorf("triggers after Close = %v, want none", h.Triggers())
 	}
-	h.ResumeTriggers()
-	if _, err := h.ScheduleAfter("cooling", time.Millisecond); err != nil {
-		t.Errorf("scheduling after ResumeTriggers should work, got %v", err)
+	if _, err := h.ScheduleAfter("cooling", time.Millisecond); !errors.Is(err, ErrClosed) {
+		t.Errorf("scheduling after Close = %v, want ErrClosed", err)
 	}
-	h.Close()
+	h.Close() // idempotent
 }

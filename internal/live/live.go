@@ -1,35 +1,52 @@
 // Package live provides the real-time execution environment for SafeHome's
 // concurrency controllers: commands actuate real (or emulated) devices
-// through a device.Actuator, holds are real wall-clock durations, and every
-// callback re-enters the controller under the hub's lock — giving the
-// controllers the same single-threaded view they have under simulation.
+// through a device.Actuator and holds are real wall-clock durations. Every
+// callback — command completions and timer firings — is posted into the
+// home runtime's operation mailbox (the Poster), so the controllers keep the
+// same single-threaded view they have under simulation without any lock
+// shared across packages.
 package live
 
 import (
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"safehome/internal/device"
 	"safehome/internal/routine"
 )
 
-// Env implements visibility.Env over wall-clock time and a device actuator.
-type Env struct {
-	mu       *sync.Mutex
-	actuator device.Actuator
-
-	// OnContact, if set, is called (outside the lock) after every device
-	// exchange with the exchange's success — the hub uses it to feed implicit
-	// acks/silences to the failure detector.
-	OnContact func(id device.ID, ok bool)
-
-	wg sync.WaitGroup
+// Poster delivers environment callbacks into the controller's serialized
+// context. internal/runtime implements it by enqueueing typed operations in
+// the home's mailbox; tests may run callbacks on any single goroutine.
+type Poster interface {
+	// PostCompletion delivers a command completion (done(err)) to the
+	// controller's goroutine.
+	PostCompletion(done func(error), err error)
+	// PostTimer delivers an expired timer's callback to the controller's
+	// goroutine.
+	PostTimer(fn func())
 }
 
-// New builds a live environment. mu is the lock that serializes the
-// controller (the hub's lock); callbacks are delivered while holding it.
-func New(mu *sync.Mutex, actuator device.Actuator) *Env {
-	return &Env{mu: mu, actuator: actuator}
+// Env implements visibility.Env over wall-clock time and a device actuator.
+type Env struct {
+	poster   Poster
+	actuator device.Actuator
+
+	// OnContact, if set, is called (from the command goroutine, outside the
+	// controller's context) after every device exchange with the exchange's
+	// success — the runtime uses it to feed implicit acks/silences to the
+	// failure detector.
+	OnContact func(id device.ID, ok bool)
+
+	// inflight counts command goroutines; a WaitGroup cannot be used here
+	// because draining a completion may chain the routine's next Exec, and
+	// Add-from-zero concurrent with Wait is a WaitGroup reuse violation.
+	inflight atomic.Int64
+}
+
+// New builds a live environment delivering its callbacks through the poster.
+func New(poster Poster, actuator device.Actuator) *Env {
+	return &Env{poster: poster, actuator: actuator}
 }
 
 // Now implements visibility.Env.
@@ -37,21 +54,18 @@ func (e *Env) Now() time.Time { return time.Now() }
 
 // After implements visibility.Env.
 func (e *Env) After(d time.Duration, fn func()) (cancel func()) {
-	timer := time.AfterFunc(d, func() {
-		e.mu.Lock()
-		defer e.mu.Unlock()
-		fn()
-	})
+	timer := time.AfterFunc(d, func() { e.poster.PostTimer(fn) })
 	return func() { timer.Stop() }
 }
 
 // Exec implements visibility.Env: the device is actuated immediately, the
-// exclusive hold lasts for the command's duration, and done is delivered
-// under the controller lock.
+// exclusive hold lasts for the command's duration, and done is posted into
+// the controller's mailbox. The completion is posted before the in-flight
+// count drops, so Wait callers observe it queued.
 func (e *Env) Exec(rid routine.ID, cmd routine.Command, hold time.Duration, done func(error)) {
-	e.wg.Add(1)
+	e.inflight.Add(1)
 	go func() {
-		defer e.wg.Done()
+		defer e.inflight.Add(-1)
 		err := e.actuator.Apply(cmd.Device, cmd.Target)
 		if e.OnContact != nil {
 			e.OnContact(cmd.Device, err == nil)
@@ -59,9 +73,7 @@ func (e *Env) Exec(rid routine.ID, cmd routine.Command, hold time.Duration, done
 		if err == nil {
 			time.Sleep(hold)
 		}
-		e.mu.Lock()
-		done(err)
-		e.mu.Unlock()
+		e.poster.PostCompletion(done, err)
 	}()
 }
 
@@ -74,6 +86,19 @@ func (e *Env) DeviceState(d device.ID) (device.State, error) {
 	return st, err
 }
 
-// Wait blocks until every in-flight command goroutine has delivered its
-// completion. It is used by tests and by graceful hub shutdown.
-func (e *Env) Wait() { e.wg.Wait() }
+// Wait blocks until every in-flight command goroutine has posted its
+// completion. Processing those completions may chain further commands (a
+// routine's next step, an abort rollback), so graceful shutdown alternates
+// Wait with a mailbox drain until Idle reports true. Wait polls — it only
+// runs on shutdown paths.
+func (e *Env) Wait() {
+	for !e.Idle() {
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// Idle reports whether no command goroutines are in flight. Exec increments
+// the count synchronously, so a caller that has just drained the mailbox
+// (every queued completion applied, any chained Exec already counted) sees
+// Idle only when the cascade has truly finished.
+func (e *Env) Idle() bool { return e.inflight.Load() == 0 }

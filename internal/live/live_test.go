@@ -1,7 +1,6 @@
 package live
 
 import (
-	"sync"
 	"testing"
 	"time"
 
@@ -18,28 +17,62 @@ func newFleet(ids ...device.ID) *device.Fleet {
 	return device.NewFleet(reg)
 }
 
+// loopPoster is a miniature home runtime: one goroutine drains a callback
+// queue, giving the controller the serialized context internal/runtime's
+// mailbox provides in production.
+type loopPoster struct {
+	ops  chan func()
+	done chan struct{}
+}
+
+func newLoopPoster() *loopPoster {
+	p := &loopPoster{ops: make(chan func(), 64), done: make(chan struct{})}
+	go func() {
+		defer close(p.done)
+		for fn := range p.ops {
+			fn()
+		}
+	}()
+	return p
+}
+
+func (p *loopPoster) PostCompletion(done func(error), err error) { p.ops <- func() { done(err) } }
+func (p *loopPoster) PostTimer(fn func())                        { p.ops <- fn }
+
+// run executes fn on the loop goroutine and waits for it.
+func (p *loopPoster) run(fn func()) {
+	ran := make(chan struct{})
+	p.ops <- func() { fn(); close(ran) }
+	<-ran
+}
+
+func (p *loopPoster) close() {
+	close(p.ops)
+	<-p.done
+}
+
 func TestEnvImplementsVisibilityEnv(t *testing.T) {
-	var mu sync.Mutex
-	var env visibility.Env = New(&mu, newFleet("a"))
+	p := newLoopPoster()
+	defer p.close()
+	var env visibility.Env = New(p, newFleet("a"))
 	if env.Now().IsZero() {
 		t.Fatal("Now() returned zero time")
 	}
 }
 
 func TestExecActuatesAndCompletes(t *testing.T) {
-	var mu sync.Mutex
+	p := newLoopPoster()
+	defer p.close()
 	fleet := newFleet("a")
 	var contacts []bool
-	env := New(&mu, fleet)
+	env := New(p, fleet)
 	env.OnContact = func(_ device.ID, ok bool) { contacts = append(contacts, ok) }
 
 	done := make(chan error, 1)
 	start := time.Now()
-	mu.Lock()
 	env.Exec(1, routine.Command{Device: "a", Target: device.On}, 30*time.Millisecond, func(err error) {
 		done <- err
 	})
-	mu.Unlock()
 
 	select {
 	case err := <-done:
@@ -62,12 +95,13 @@ func TestExecActuatesAndCompletes(t *testing.T) {
 }
 
 func TestExecReportsFailureFast(t *testing.T) {
-	var mu sync.Mutex
+	p := newLoopPoster()
+	defer p.close()
 	fleet := newFleet("a")
 	if err := fleet.Fail("a"); err != nil {
 		t.Fatal(err)
 	}
-	env := New(&mu, fleet)
+	env := New(p, fleet)
 	done := make(chan error, 1)
 	env.Exec(1, routine.Command{Device: "a", Target: device.On}, time.Hour, func(err error) {
 		done <- err
@@ -83,8 +117,9 @@ func TestExecReportsFailureFast(t *testing.T) {
 }
 
 func TestAfterAndCancel(t *testing.T) {
-	var mu sync.Mutex
-	env := New(&mu, newFleet("a"))
+	p := newLoopPoster()
+	defer p.close()
+	env := New(p, newFleet("a"))
 
 	fired := make(chan struct{}, 1)
 	env.After(20*time.Millisecond, func() { fired <- struct{}{} })
@@ -107,28 +142,30 @@ func TestAfterAndCancel(t *testing.T) {
 func TestLiveControllerEndToEnd(t *testing.T) {
 	// Run a real EV controller over the live environment with an in-memory
 	// fleet: the cooling routine and a conflicting lights routine must both
-	// commit, with a serializable end state.
-	var mu sync.Mutex
+	// commit, with a serializable end state. The loopPoster serializes every
+	// controller entry, standing in for the runtime mailbox.
+	p := newLoopPoster()
+	defer p.close()
 	fleet := newFleet("window", "ac", "light")
-	env := New(&mu, fleet)
+	env := New(p, fleet)
 	opts := visibility.DefaultOptions(visibility.EV)
 	opts.DefaultShort = 10 * time.Millisecond
 
-	mu.Lock()
-	ctrl := visibility.New(env, fleet.Snapshot(), opts)
-	ctrl.Submit(routine.New("cooling",
-		routine.Command{Device: "window", Target: device.Closed},
-		routine.Command{Device: "ac", Target: device.On}))
-	ctrl.Submit(routine.New("lights",
-		routine.Command{Device: "light", Target: device.On},
-		routine.Command{Device: "ac", Target: device.Off}))
-	mu.Unlock()
+	var ctrl visibility.Controller
+	p.run(func() {
+		ctrl = visibility.New(env, fleet.Snapshot(), opts)
+		ctrl.Submit(routine.New("cooling",
+			routine.Command{Device: "window", Target: device.Closed},
+			routine.Command{Device: "ac", Target: device.On}))
+		ctrl.Submit(routine.New("lights",
+			routine.Command{Device: "light", Target: device.On},
+			routine.Command{Device: "ac", Target: device.Off}))
+	})
 
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		mu.Lock()
-		pending := ctrl.PendingCount()
-		mu.Unlock()
+		var pending int
+		p.run(func() { pending = ctrl.PendingCount() })
 		if pending == 0 {
 			break
 		}
@@ -138,13 +175,13 @@ func TestLiveControllerEndToEnd(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 
-	mu.Lock()
-	defer mu.Unlock()
-	for _, res := range ctrl.Results() {
-		if res.Status != visibility.StatusCommitted {
-			t.Errorf("routine %s = %v (%s)", res.Routine.Name, res.Status, res.AbortReason)
+	p.run(func() {
+		for _, res := range ctrl.Results() {
+			if res.Status != visibility.StatusCommitted {
+				t.Errorf("routine %s = %v (%s)", res.Routine.Name, res.Status, res.AbortReason)
+			}
 		}
-	}
+	})
 	if st, _ := fleet.Status("window"); st != device.Closed {
 		t.Errorf("window = %q, want CLOSED", st)
 	}

@@ -1,33 +1,35 @@
 // Package manager scales SafeHome from one home to many: a sharded,
-// multi-tenant HomeManager that owns N independent homes, each with its own
-// visibility controller, device fleet and clock, partitioned across worker
-// shards.
+// multi-tenant HomeManager that owns N independent homes, each one a
+// self-contained home runtime (internal/runtime) with its own visibility
+// controller, device fleet, clock and typed operation mailbox, partitioned
+// across worker shards.
 //
 // Every home is hashed to one shard (FNV-1a of the home ID modulo the shard
-// count) and every operation on that home — creating it, submitting a
-// routine, injecting a failure, reading results — executes on that shard's
-// single goroutine. This preserves the visibility controllers'
-// single-threaded execution contract (see internal/visibility) without any
-// per-home locking: homes on different shards make progress fully in
-// parallel, homes on the same shard serialize behind one another, and no home
-// ever observes another home's state.
+// count) and every operation on that home — submitting a routine, injecting
+// a failure, reading results — is a typed op posted into the home's mailbox
+// and applied by the home's single loop goroutine. This preserves the
+// visibility controllers' single-threaded execution contract (see
+// internal/visibility) without any per-home locking, and adds admission
+// control: when a home's mailbox is full, mutating operations return
+// ErrOverloaded (HTTP 429 through hub.ManagerHandler) instead of blocking
+// callers indefinitely.
 //
-// Cross-shard statistics (routines submitted/committed/aborted, simulator
-// events processed) are aggregated lock-free through internal/stats sharded
-// counters: each shard increments its own cache-line-padded lane and readers
-// sum the lanes.
+// Shards are thin owners: each one holds the routing map for its subset of
+// homes, a lane in the lock-free cross-shard counters (internal/stats), and
+// — under ClockLive — the pumper goroutine that advances its homes'
+// simulators to the wall clock, skipping homes with no simulator event due.
 //
 // Homes run on either a virtual or a live clock:
 //
-//   - ClockVirtual: each operation drains the home's discrete-event simulator,
-//     so a 40-minute routine finishes in microseconds of real time. This is
-//     the mode the multi-tenant experiments and benchmarks use.
-//   - ClockLive: each shard pumps its homes' simulators up to the wall clock
-//     on a fixed interval, so a routine scheduled 5 s out fires 5 s later in
-//     real time. This is the mode the multi-tenant hub serves.
+//   - ClockVirtual: each mutating operation drains the home's discrete-event
+//     simulator, so a 40-minute routine finishes in microseconds of real
+//     time. This is the mode the multi-tenant experiments and benchmarks use.
+//   - ClockLive: each shard's pumper advances its homes' simulators up to the
+//     wall clock on a fixed interval, so a routine scheduled 5 s out fires
+//     5 s later in real time. This is the mode the multi-tenant hub serves.
 //
 // See ARCHITECTURE.md at the repository root for how the manager layers
-// between the public API and the per-home hub/visibility machinery.
+// between the public API and the per-home runtime/visibility machinery.
 package manager
 
 import (
@@ -40,7 +42,7 @@ import (
 
 	"safehome/internal/device"
 	"safehome/internal/routine"
-	"safehome/internal/sim"
+	rt "safehome/internal/runtime"
 	"safehome/internal/stats"
 	"safehome/internal/visibility"
 )
@@ -74,8 +76,12 @@ func (c Clock) String() string {
 
 // Errors returned by manager operations.
 var (
-	// ErrClosed is returned by mutating calls after Close.
-	ErrClosed = errors.New("manager: closed")
+	// ErrClosed is returned by mutating calls after Close (aliased from the
+	// home runtime, which reports it for per-home operations).
+	ErrClosed = rt.ErrClosed
+	// ErrOverloaded is returned when a home's mailbox is full and a mutating
+	// operation was load-shed; callers should back off and retry (HTTP 429).
+	ErrOverloaded = rt.ErrOverloaded
 	// ErrUnknownHome is returned (wrapped, with the ID) for missing homes.
 	ErrUnknownHome = errors.New("manager: unknown home")
 	// ErrDuplicateHome is returned (wrapped) when re-adding an existing home.
@@ -103,8 +109,12 @@ type HomeConfig struct {
 type Config struct {
 	// Shards is the number of worker shards (default 4, minimum 1).
 	Shards int
-	// QueueDepth is each shard's operation buffer (default 128).
+	// QueueDepth bounds each home's operation mailbox (default 128). A full
+	// mailbox sheds mutating operations with ErrOverloaded.
 	QueueDepth int
+	// Batch is the maximum operations a home's loop drains per wakeup
+	// (default 32), amortizing channel signaling under load.
+	Batch int
 	// Clock selects virtual or live time (default ClockVirtual).
 	Clock Clock
 	// PumpInterval is the live-clock advance period (default 10 ms).
@@ -118,7 +128,10 @@ func (c Config) normalized() Config {
 		c.Shards = 4
 	}
 	if c.QueueDepth < 1 {
-		c.QueueDepth = 128
+		c.QueueDepth = rt.DefaultMailboxDepth
+	}
+	if c.Batch < 1 {
+		c.Batch = rt.DefaultBatch
 	}
 	if c.PumpInterval <= 0 {
 		c.PumpInterval = 10 * time.Millisecond
@@ -129,54 +142,18 @@ func (c Config) normalized() Config {
 	return c
 }
 
-func (c HomeConfig) options() visibility.Options {
-	opts := visibility.DefaultOptions(c.Model)
-	opts.Scheduler = c.Scheduler
-	if c.DefaultShort > 0 {
-		opts.DefaultShort = c.DefaultShort
-	}
-	return opts
-}
-
-// home is one tenant: its own simulator, fleet and controller, owned
-// exclusively by a shard goroutine (and readable inline once the manager is
-// closed and quiescent).
-type home struct {
-	id      HomeID
-	shard   int
-	sim     *sim.Sim
-	reg     *device.Registry
-	fleet   *device.Fleet
-	ctrl    visibility.Controller
-	created time.Time
-	// drained tracks sim.Processed at the last counter flush, so the shard
-	// reports only the delta to the manager-wide event counter.
-	drained int
-}
-
-func (h *home) status() HomeStatus {
-	return HomeStatus{
-		ID:       h.id,
-		Shard:    h.shard,
-		Model:    h.ctrl.Model().String(),
-		Devices:  h.reg.Len(),
-		Routines: h.ctrl.RoutineCount(),
-		Pending:  h.ctrl.PendingCount(),
-		Active:   h.ctrl.ActiveCount(),
-		Now:      h.sim.Now(),
-		Created:  h.created,
-	}
-}
-
-// Manager owns and schedules many independent homes across worker shards.
-// All methods are safe for concurrent use. After Close, mutating methods
-// return ErrClosed and read-only methods answer from the quiesced state.
+// Manager owns and schedules many independent home runtimes across worker
+// shards. All methods are safe for concurrent use. After Close, mutating
+// methods return ErrClosed and read-only methods answer from the quiesced
+// state.
 type Manager struct {
 	cfg    Config
 	shards []*shard
-	wg     sync.WaitGroup
 
-	mu     sync.RWMutex // guards closed vs. enqueue
+	stop chan struct{} // closed to stop the live-clock pumpers
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex // serializes Close
 	closed bool
 
 	since time.Time
@@ -194,6 +171,7 @@ func New(cfg Config) *Manager {
 	cfg = cfg.normalized()
 	m := &Manager{
 		cfg:       cfg,
+		stop:      make(chan struct{}),
 		since:     time.Now(),
 		submitted: stats.NewShardedCounter(cfg.Shards),
 		committed: stats.NewShardedCounter(cfg.Shards),
@@ -203,8 +181,10 @@ func New(cfg Config) *Manager {
 	m.shards = make([]*shard, cfg.Shards)
 	for i := range m.shards {
 		m.shards[i] = newShard(m, i)
-		m.wg.Add(1)
-		go m.shards[i].run()
+		if cfg.Clock == ClockLive {
+			m.wg.Add(1)
+			go m.shards[i].runPump()
+		}
 	}
 	return m
 }
@@ -222,6 +202,36 @@ func (m *Manager) ShardOf(id HomeID) int {
 	return int(h.Sum32() % uint32(m.cfg.Shards))
 }
 
+// runtimeConfig builds one home's runtime configuration, wiring the shard's
+// counter lane into the observer and sim-event plumbing.
+func (m *Manager) runtimeConfig(id HomeID, shard int) rt.Config {
+	clock := rt.ClockVirtual
+	if m.cfg.Clock == ClockLive {
+		clock = rt.ClockPaced
+	}
+	return rt.Config{
+		ID:               string(id),
+		Clock:            clock,
+		Model:            m.cfg.Home.Model,
+		Scheduler:        m.cfg.Home.Scheduler,
+		DefaultShort:     m.cfg.Home.DefaultShort,
+		ActuationLatency: m.cfg.Home.ActuationLatency,
+		MailboxDepth:     m.cfg.QueueDepth,
+		Batch:            m.cfg.Batch,
+		Observer: func(e visibility.Event) {
+			switch e.Kind {
+			case visibility.EvSubmitted:
+				m.submitted.Add(shard, 1)
+			case visibility.EvCommitted:
+				m.committed.Add(shard, 1)
+			case visibility.EvAborted:
+				m.aborted.Add(shard, 1)
+			}
+		},
+		OnSimEvents: func(n int) { m.simEvents.Add(shard, int64(n)) },
+	}
+}
+
 // AddHome creates a home with the given devices on the home's shard.
 func (m *Manager) AddHome(id HomeID, devices ...device.Info) error {
 	if id == "" {
@@ -231,11 +241,7 @@ func (m *Manager) AddHome(id HomeID, devices ...device.Info) error {
 		return fmt.Errorf("manager: home %q needs at least one device", id)
 	}
 	sh := m.shards[m.ShardOf(id)]
-	reply := make(chan error, 1)
-	if !m.enqueue(sh, func() { reply <- sh.addHome(id, devices) }) {
-		return ErrClosed
-	}
-	return <-reply
+	return sh.addHome(id, devices)
 }
 
 // AddHomes creates n homes named <prefix>-0 .. <prefix>-(n-1), each with the
@@ -252,20 +258,30 @@ func (m *Manager) AddHomes(prefix string, n, plugs int) ([]HomeID, error) {
 	return ids, nil
 }
 
+// Runtime returns the home's runtime, for introspection (mailbox stats,
+// suspension in tests). Most callers should use the typed Manager methods.
+func (m *Manager) Runtime(id HomeID) (*rt.HomeRuntime, error) {
+	sh := m.shards[m.ShardOf(id)]
+	sh.mu.RLock()
+	home, ok := sh.homes[id]
+	sh.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownHome, id)
+	}
+	return home, nil
+}
+
 // Submit validates the routine against the home's device registry and
 // submits it, returning its assigned routine ID. Under ClockVirtual the
 // routine has finished by the time Submit returns; under ClockLive it
-// executes in real time.
+// executes in real time. Returns ErrOverloaded when the home's mailbox is
+// full.
 func (m *Manager) Submit(id HomeID, r *routine.Routine) (routine.ID, error) {
-	var rid routine.ID
-	err := m.mutate(id, func(h *home) error {
-		if err := r.Validate(h.reg); err != nil {
-			return err
-		}
-		rid = h.ctrl.Submit(r)
-		return nil
-	})
-	return rid, err
+	home, err := m.Runtime(id)
+	if err != nil {
+		return routine.None, err
+	}
+	return home.Submit(r)
 }
 
 // SubmitSpec parses a Fig 10-style JSON routine document and submits it.
@@ -280,68 +296,57 @@ func (m *Manager) SubmitSpec(id HomeID, spec []byte) (routine.ID, error) {
 // SubmitAfter schedules a routine submission after the given delay on the
 // home's clock. Under ClockLive the delay is real time.
 func (m *Manager) SubmitAfter(id HomeID, d time.Duration, r *routine.Routine) error {
-	return m.mutate(id, func(h *home) error {
-		if err := r.Validate(h.reg); err != nil {
-			return err
-		}
-		h.sim.After(d, func() { h.ctrl.Submit(r) })
-		return nil
-	})
+	home, err := m.Runtime(id)
+	if err != nil {
+		return err
+	}
+	return home.SubmitAfter(d, r)
 }
 
 // FailDevice injects a fail-stop failure of the device in the home.
 func (m *Manager) FailDevice(id HomeID, dev device.ID) error {
-	return m.mutate(id, func(h *home) error {
-		if err := h.fleet.Fail(dev); err != nil {
-			return err
-		}
-		h.ctrl.NotifyFailure(dev)
-		return nil
-	})
+	home, err := m.Runtime(id)
+	if err != nil {
+		return err
+	}
+	return home.FailDevice(dev)
 }
 
 // RestoreDevice injects a restart of a previously failed device.
 func (m *Manager) RestoreDevice(id HomeID, dev device.ID) error {
-	return m.mutate(id, func(h *home) error {
-		if err := h.fleet.Restore(dev); err != nil {
-			return err
-		}
-		h.ctrl.NotifyRestart(dev)
-		return nil
-	})
+	home, err := m.Runtime(id)
+	if err != nil {
+		return err
+	}
+	return home.RestoreDevice(dev)
 }
 
 // Results returns the home's per-routine outcomes in submission order.
 func (m *Manager) Results(id HomeID) ([]visibility.Result, error) {
-	var out []visibility.Result
-	err := m.query(id, func(h *home) error {
-		out = h.ctrl.Results()
-		return nil
-	})
-	return out, err
+	home, err := m.Runtime(id)
+	if err != nil {
+		return nil, err
+	}
+	return home.Results(), nil
 }
 
 // Result returns one routine's outcome in the home.
 func (m *Manager) Result(id HomeID, rid routine.ID) (visibility.Result, bool, error) {
-	var (
-		res visibility.Result
-		ok  bool
-	)
-	err := m.query(id, func(h *home) error {
-		res, ok = h.ctrl.Result(rid)
-		return nil
-	})
-	return res, ok, err
+	home, err := m.Runtime(id)
+	if err != nil {
+		return visibility.Result{}, false, err
+	}
+	res, ok := home.Result(rid)
+	return res, ok, nil
 }
 
 // DeviceStates returns the ground-truth state of every device in the home.
 func (m *Manager) DeviceStates(id HomeID) (map[device.ID]device.State, error) {
-	var out map[device.ID]device.State
-	err := m.query(id, func(h *home) error {
-		out = h.fleet.Snapshot()
-		return nil
-	})
-	return out, err
+	home, err := m.Runtime(id)
+	if err != nil {
+		return nil, err
+	}
+	return home.DeviceStates(), nil
 }
 
 // HomeStatus summarizes one home.
@@ -357,17 +362,33 @@ type HomeStatus struct {
 	Created  time.Time `json:"created"`
 }
 
-// HomeStatus returns one home's summary.
-func (m *Manager) HomeStatus(id HomeID) (HomeStatus, error) {
-	var st HomeStatus
-	err := m.query(id, func(h *home) error {
-		st = h.status()
-		return nil
-	})
-	return st, err
+func (m *Manager) statusOf(id HomeID, shard int, home *rt.HomeRuntime) HomeStatus {
+	c := home.Counts()
+	return HomeStatus{
+		ID:       id,
+		Shard:    shard,
+		Model:    c.Model,
+		Devices:  home.Registry().Len(),
+		Routines: c.Routines,
+		Pending:  c.Pending,
+		Active:   c.Active,
+		Now:      c.Now,
+		Created:  home.Since(),
+	}
 }
 
-// Homes lists every home's summary, sorted by ID.
+// HomeStatus returns one home's summary.
+func (m *Manager) HomeStatus(id HomeID) (HomeStatus, error) {
+	home, err := m.Runtime(id)
+	if err != nil {
+		return HomeStatus{}, err
+	}
+	return m.statusOf(id, m.ShardOf(id), home), nil
+}
+
+// Homes lists every home's summary, sorted by ID. Shards are collected in
+// parallel — each home's Counts query queues behind that home's mailbox, so
+// the listing costs the slowest shard, not the sum of all of them.
 func (m *Manager) Homes() []HomeStatus {
 	var (
 		mu  sync.Mutex
@@ -375,18 +396,18 @@ func (m *Manager) Homes() []HomeStatus {
 		wg  sync.WaitGroup
 	)
 	for _, sh := range m.shards {
-		sh := sh
 		wg.Add(1)
-		collect := func() {
+		go func(sh *shard) {
 			defer wg.Done()
-			local := sh.statuses()
+			homes := sh.snapshot()
+			local := make([]HomeStatus, 0, len(homes))
+			for id, home := range homes {
+				local = append(local, m.statusOf(id, sh.index, home))
+			}
 			mu.Lock()
 			out = append(out, local...)
 			mu.Unlock()
-		}
-		if !m.enqueue(sh, collect) {
-			collect() // manager closed and quiescent: read inline
-		}
+		}(sh)
 	}
 	wg.Wait()
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
@@ -403,19 +424,18 @@ type Status struct {
 	Committed int64     `json:"committed"`
 	Aborted   int64     `json:"aborted"`
 	SimEvents int64     `json:"sim_events"`
+	Accepted  int64     `json:"mailbox_accepted"`
+	Rejected  int64     `json:"mailbox_rejected"`
+	Depth     int       `json:"mailbox_depth"`
 	Since     time.Time `json:"since"`
 }
 
 // Status returns manager-wide totals. The counters are read lock-free and
-// monotonic, not a point-in-time snapshot.
+// monotonic, not a point-in-time snapshot; Depth sums the homes' current
+// mailbox occupancy.
 func (m *Manager) Status() Status {
-	homes := 0
-	for _, sh := range m.shards {
-		homes += int(sh.homeCount.Load())
-	}
-	return Status{
+	st := Status{
 		Shards:    m.cfg.Shards,
-		Homes:     homes,
 		Clock:     m.cfg.Clock.String(),
 		Model:     m.cfg.Home.Model.String(),
 		Submitted: m.submitted.Total(),
@@ -424,78 +444,32 @@ func (m *Manager) Status() Status {
 		SimEvents: m.simEvents.Total(),
 		Since:     m.since,
 	}
+	for _, sh := range m.shards {
+		st.Homes += int(sh.homeCount.Load())
+		for _, home := range sh.snapshot() {
+			mb := home.Mailbox()
+			st.Accepted += mb.Accepted
+			st.Rejected += mb.Rejected
+			st.Depth += mb.Depth
+		}
+	}
+	return st
 }
 
-// Close stops accepting mutations, drains every shard — queued operations run
-// and every home's in-flight routines finish — and waits for the shard
-// goroutines to exit. Close is idempotent; read-only methods keep working on
-// the quiesced state afterwards.
+// Close stops the live-clock pumpers and closes every home runtime — queued
+// operations run and every home's in-flight routines finish — before
+// returning. Close is idempotent; read-only methods keep working on the
+// quiesced state afterwards.
 func (m *Manager) Close() {
 	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.closed {
-		m.mu.Unlock()
 		return
 	}
 	m.closed = true
-	for _, sh := range m.shards {
-		close(sh.ops)
-	}
+	close(m.stop)
 	m.wg.Wait()
-	m.mu.Unlock()
-}
-
-// enqueue hands an operation to a shard goroutine; it returns false if the
-// manager is closed (shards quiescent, nothing will run the op).
-func (m *Manager) enqueue(sh *shard, op func()) bool {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	if m.closed {
-		return false
+	for _, sh := range m.shards {
+		sh.closeAll()
 	}
-	sh.ops <- op
-	return true
-}
-
-// mutate runs fn against the home on its shard goroutine; ErrClosed after
-// Close.
-func (m *Manager) mutate(id HomeID, fn func(*home) error) error {
-	sh := m.shards[m.ShardOf(id)]
-	reply := make(chan error, 1)
-	ok := m.enqueue(sh, func() {
-		h, found := sh.homes[id]
-		if !found {
-			reply <- fmt.Errorf("%w: %q", ErrUnknownHome, id)
-			return
-		}
-		err := fn(h)
-		sh.pump(h)
-		reply <- err
-	})
-	if !ok {
-		return ErrClosed
-	}
-	return <-reply
-}
-
-// query runs fn against the home; after Close it executes inline, which is
-// safe because Close returns only once every shard goroutine has exited.
-func (m *Manager) query(id HomeID, fn func(*home) error) error {
-	sh := m.shards[m.ShardOf(id)]
-	reply := make(chan error, 1)
-	ok := m.enqueue(sh, func() {
-		h, found := sh.homes[id]
-		if !found {
-			reply <- fmt.Errorf("%w: %q", ErrUnknownHome, id)
-			return
-		}
-		reply <- fn(h)
-	})
-	if !ok {
-		h, found := sh.homes[id]
-		if !found {
-			return fmt.Errorf("%w: %q", ErrUnknownHome, id)
-		}
-		return fn(h)
-	}
-	return <-reply
 }

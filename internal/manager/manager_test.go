@@ -287,3 +287,64 @@ func TestSubmitSpec(t *testing.T) {
 		t.Error("SubmitAfter with unknown device was accepted")
 	}
 }
+
+func TestLiveClockPumperAdvancesOnlyBusyHomes(t *testing.T) {
+	// Serving mode: the shard pumper must advance a home with due simulator
+	// work in real time, while idle homes are skipped (no pump op is ever
+	// queued for them — observable as an untouched simulator clock).
+	m := New(Config{Shards: 2, Clock: ClockLive, PumpInterval: time.Millisecond})
+	defer m.Close()
+	if _, err := m.AddHomes("home", 2, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	busyBefore, err := m.HomeStatus("home-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wake := routine.New("wake", routine.Command{
+		Device: "plug-0", Target: device.On, Duration: 5 * time.Millisecond,
+	})
+	if err := m.SubmitAfter("home-0", 5*time.Millisecond, wake); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		results, err := m.Results("home-0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(results) == 1 && results[0].Status == visibility.StatusCommitted {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pumper never ran the due routine to completion: %+v", results)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	busyAfter, err := m.HomeStatus("home-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !busyAfter.Now.After(busyBefore.Now) {
+		t.Errorf("busy home clock did not advance: %v -> %v", busyBefore.Now, busyAfter.Now)
+	}
+
+	// The idle home was never pumped: its simulator clock is still at its
+	// creation instant (RunUntil only advances to executed events).
+	idle, err := m.HomeStatus("home-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idleRT, err := m.Runtime("home-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mb := idleRT.Mailbox(); mb.Accepted != 0 {
+		t.Errorf("idle home accepted %d ops, want 0", mb.Accepted)
+	}
+	if idle.Pending != 0 || idle.Routines != 0 {
+		t.Errorf("idle home status = %+v, want untouched", idle)
+	}
+}

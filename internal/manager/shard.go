@@ -2,23 +2,27 @@ package manager
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"safehome/internal/device"
-	"safehome/internal/sim"
+	rt "safehome/internal/runtime"
 	"safehome/internal/stats"
-	"safehome/internal/visibility"
 )
 
-// shard owns a disjoint subset of the manager's homes. Its run goroutine is
-// the only writer of the homes map and of every home's simulator, fleet and
-// controller while the manager is open; once Close has drained the shard the
-// manager may read the same state inline.
+// shard is a thin owner of a disjoint subset of the manager's homes: it
+// holds the routing map from home ID to home runtime, mirrors the home count
+// for lock-free Status reads, and — under ClockLive — runs the pumper
+// goroutine that advances its homes' simulators to the wall clock. All
+// per-home state lives inside the runtimes; the shard's lock only guards the
+// map itself.
 type shard struct {
 	m     *Manager
 	index int
-	ops   chan func()
-	homes map[HomeID]*home
+
+	mu     sync.RWMutex
+	homes  map[HomeID]*rt.HomeRuntime
+	closed bool
 
 	// homeCount mirrors len(homes) for lock-free Status reads.
 	homeCount stats.Counter
@@ -28,115 +32,74 @@ func newShard(m *Manager, index int) *shard {
 	return &shard{
 		m:     m,
 		index: index,
-		ops:   make(chan func(), m.cfg.QueueDepth),
-		homes: make(map[HomeID]*home),
+		homes: make(map[HomeID]*rt.HomeRuntime),
 	}
 }
 
-// run is the shard's event loop: execute operations in arrival order and,
-// under ClockLive, pump every home's simulator up to the wall clock. When the
-// ops channel closes the shard drains every home to quiescence and exits.
-func (s *shard) run() {
-	defer s.m.wg.Done()
-	if s.m.cfg.Clock == ClockLive {
-		ticker := time.NewTicker(s.m.cfg.PumpInterval)
-		defer ticker.Stop()
-		for {
-			select {
-			case op, ok := <-s.ops:
-				if !ok {
-					s.drainAll()
-					return
-				}
-				op()
-			case <-ticker.C:
-				now := time.Now()
-				for _, h := range s.homes {
-					h.sim.RunUntil(now)
-					s.flushEvents(h)
-				}
-			}
-		}
-	}
-	for op := range s.ops {
-		op()
-	}
-	s.drainAll()
-}
-
-// addHome builds a home on this shard. Runs on the shard goroutine.
+// addHome builds a home runtime and registers it on this shard.
 func (s *shard) addHome(id HomeID, devices []device.Info) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
 	if _, exists := s.homes[id]; exists {
 		return fmt.Errorf("%w: %q", ErrDuplicateHome, id)
 	}
-	reg := device.NewRegistry(devices...)
-	fleet := device.NewFleet(reg)
-	var clock *sim.Sim
-	if s.m.cfg.Clock == ClockLive {
-		clock = sim.New(time.Now())
-	} else {
-		clock = sim.NewAtEpoch()
+	home, err := rt.NewSim(s.m.runtimeConfig(id, s.index), device.NewRegistry(devices...))
+	if err != nil {
+		return err
 	}
-	env := visibility.NewSimEnv(clock, fleet)
-	env.ActuationLatency = s.m.cfg.Home.ActuationLatency
-
-	h := &home{
-		id:      id,
-		shard:   s.index,
-		sim:     clock,
-		reg:     reg,
-		fleet:   fleet,
-		created: time.Now(),
-	}
-	opts := s.m.cfg.Home.options()
-	opts.Observer = func(e visibility.Event) {
-		switch e.Kind {
-		case visibility.EvSubmitted:
-			s.m.submitted.Add(s.index, 1)
-		case visibility.EvCommitted:
-			s.m.committed.Add(s.index, 1)
-		case visibility.EvAborted:
-			s.m.aborted.Add(s.index, 1)
-		}
-	}
-	h.ctrl = visibility.New(env, fleet.Snapshot(), opts)
-	s.homes[id] = h
+	s.homes[id] = home
 	s.homeCount.Inc()
 	return nil
 }
 
-// pump advances a home after a mutating operation: under the virtual clock it
-// drains the home's simulator (the operation's routines run to completion at
-// virtual speed); under the live clock the ticker advances time instead.
-func (s *shard) pump(h *home) {
-	if s.m.cfg.Clock == ClockVirtual {
-		h.sim.Run()
-		s.flushEvents(h)
-	}
-}
-
-// flushEvents folds the home's newly processed simulator events into the
-// manager-wide counter.
-func (s *shard) flushEvents(h *home) {
-	if p := h.sim.Processed(); p > h.drained {
-		s.m.simEvents.Add(s.index, int64(p-h.drained))
-		h.drained = p
-	}
-}
-
-// drainAll finishes every home's in-flight work (graceful shutdown).
-func (s *shard) drainAll() {
-	for _, h := range s.homes {
-		h.sim.Run()
-		s.flushEvents(h)
-	}
-}
-
-// statuses summarizes every home on this shard.
-func (s *shard) statuses() []HomeStatus {
-	out := make([]HomeStatus, 0, len(s.homes))
-	for _, h := range s.homes {
-		out = append(out, h.status())
+// snapshot returns a point-in-time copy of the routing map.
+func (s *shard) snapshot() map[HomeID]*rt.HomeRuntime {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[HomeID]*rt.HomeRuntime, len(s.homes))
+	for id, home := range s.homes {
+		out[id] = home
 	}
 	return out
+}
+
+// runPump is the shard's live-clock loop: on every tick it advances the
+// simulators of exactly the homes with an event due at or before now —
+// idle homes are skipped entirely (each runtime publishes its next deadline,
+// and PumpIfDue also bounds in-flight pumps to one per home).
+func (s *shard) runPump() {
+	defer s.m.wg.Done()
+	ticker := time.NewTicker(s.m.cfg.PumpInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.m.stop:
+			return
+		case <-ticker.C:
+			now := time.Now()
+			s.mu.RLock()
+			for _, home := range s.homes {
+				home.PumpIfDue(now)
+			}
+			s.mu.RUnlock()
+		}
+	}
+}
+
+// closeAll closes every home runtime on this shard (graceful drain) and
+// stops accepting new homes.
+func (s *shard) closeAll() {
+	s.mu.Lock()
+	s.closed = true
+	homes := make([]*rt.HomeRuntime, 0, len(s.homes))
+	for _, home := range s.homes {
+		homes = append(homes, home)
+	}
+	s.mu.Unlock()
+	for _, home := range homes {
+		home.Close()
+	}
 }

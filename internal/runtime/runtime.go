@@ -1,0 +1,709 @@
+// Package runtime implements the home runtime every SafeHome deployment
+// shape shares: one event-loop goroutine that exclusively owns a single
+// home's concurrency controller, execution environment, clock, device fleet,
+// routine bank, activity log and failure-detector wiring.
+//
+// All access is funneled through a typed operation mailbox — tagged op
+// structs in a bounded ring, not func() closures — so the visibility
+// controllers' single-threaded contract holds with no locks anywhere above
+// them: internal/hub fronts one wall-clock runtime, internal/manager shards
+// front many simulated-clock runtimes, and internal/live posts actuator
+// completions and timer callbacks into the same mailbox instead of
+// re-entering a hub mutex.
+//
+// The loop drains up to Config.Batch operations per wakeup to amortize
+// channel signaling, and the mailbox applies admission control: when the
+// ring is full, mutating operations fail fast with ErrOverloaded (the HTTP
+// layers answer 429) instead of blocking callers indefinitely, with
+// accepted/rejected counters exposed through MailboxStats.
+//
+// See ARCHITECTURE.md at the repository root for how the runtime layers
+// between the hub/manager front-ends and the visibility controllers.
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"safehome/internal/device"
+	"safehome/internal/failure"
+	"safehome/internal/live"
+	"safehome/internal/routine"
+	"safehome/internal/sim"
+	"safehome/internal/stats"
+	"safehome/internal/visibility"
+)
+
+// Clock selects how a home runtime experiences time.
+type Clock int
+
+const (
+	// ClockVirtual drains the home's discrete-event simulator after every
+	// mutating operation: routines run to completion at virtual speed.
+	ClockVirtual Clock = iota
+	// ClockPaced runs the simulator against the wall clock: time advances
+	// only when an owner (the manager's shard pumper) posts Pump operations.
+	ClockPaced
+	// ClockWall is real time over a device actuator (the live hub).
+	ClockWall
+)
+
+// Config configures a HomeRuntime.
+type Config struct {
+	// ID names the home (diagnostics only).
+	ID string
+	// Clock selects virtual, paced or wall-clock time. NewLive forces
+	// ClockWall.
+	Clock Clock
+	// Model is the visibility model; Scheduler the EV scheduling policy.
+	Model     visibility.Model
+	Scheduler visibility.SchedulerKind
+	// DefaultShort is the assumed hold of zero-duration commands.
+	DefaultShort time.Duration
+	// ActuationLatency adds a fixed per-command latency (simulated clocks).
+	ActuationLatency time.Duration
+	// FailureInterval is the failure detector's probe period (wall clock).
+	FailureInterval time.Duration
+	// EventLog caps the in-memory activity log; 0 disables the log (the
+	// multi-tenant manager disables it, the hub keeps ~1k events).
+	EventLog int
+	// MailboxDepth bounds the operation ring (default 128).
+	MailboxDepth int
+	// Batch is the maximum operations drained per loop wakeup (default 32).
+	Batch int
+	// Observer additionally receives every controller event (e.g. the
+	// manager's cross-shard counters). It runs on the loop goroutine.
+	Observer visibility.Observer
+	// OnSimEvents, if set, receives the number of newly processed simulator
+	// events after every pump (the manager's sim_events counter).
+	OnSimEvents func(n int)
+}
+
+const (
+	// DefaultMailboxDepth is the default operation-ring capacity.
+	DefaultMailboxDepth = 128
+	// DefaultBatch is the default maximum ops drained per loop wakeup.
+	DefaultBatch = 32
+)
+
+func (c Config) normalized() Config {
+	if c.MailboxDepth < 1 {
+		c.MailboxDepth = DefaultMailboxDepth
+	}
+	if c.Batch < 1 {
+		c.Batch = DefaultBatch
+	}
+	if c.FailureInterval <= 0 {
+		c.FailureInterval = failure.DefaultInterval
+	}
+	return c
+}
+
+func (c Config) options() visibility.Options {
+	opts := visibility.DefaultOptions(c.Model)
+	opts.Scheduler = c.Scheduler
+	if c.DefaultShort > 0 {
+		opts.DefaultShort = c.DefaultShort
+	}
+	return opts
+}
+
+// HomeRuntime owns one home end to end: controller, env, clock, fleet, bank,
+// activity log, triggers and failure-detector wiring. All fields below the
+// mailbox are owned by the loop goroutine while the runtime is open; once
+// Close has drained the loop they may be read inline.
+type HomeRuntime struct {
+	cfg Config
+	reg *device.Registry
+
+	// Exactly one environment is wired per runtime:
+	simc  *sim.Sim      // ClockVirtual / ClockPaced
+	fleet *device.Fleet // simulated clocks only
+	lenv  *live.Env     // ClockWall only
+
+	env      visibility.Env
+	ctrl     visibility.Controller
+	bank     *routine.Bank
+	detector *failure.Detector // ClockWall only
+
+	ch   chan op
+	done chan struct{}
+
+	closeMu   sync.RWMutex
+	closed    bool
+	closeOnce sync.Once
+
+	cancelDetect context.CancelFunc
+	started      time.Time
+
+	accepted stats.Counter
+	rejected stats.Counter
+
+	// nextDue publishes the earliest pending simulator event (unix nanos,
+	// 0 = none) so a paced-clock pumper can skip idle homes without touching
+	// loop-owned state. pumpQueued bounds in-flight pumps to one.
+	nextDue    atomic.Int64
+	pumpQueued atomic.Bool
+
+	// Loop-owned state:
+	events          []visibility.Event
+	simDrained      int // sim.Processed at the last OnSimEvents flush
+	nextTrigger     TriggerHandle
+	triggers        map[TriggerHandle]*trigger
+	triggersStopped bool // Close ran opStopTriggers; refuse new schedules
+}
+
+// NewSim builds a runtime over an in-memory simulated fleet: ClockVirtual
+// (experiments, benchmarks, the manager's default) or ClockPaced (the
+// manager's serving mode). The loop goroutine starts immediately.
+func NewSim(cfg Config, reg *device.Registry) (*HomeRuntime, error) {
+	if reg == nil || reg.Len() == 0 {
+		return nil, fmt.Errorf("runtime: home %q needs at least one device", cfg.ID)
+	}
+	cfg = cfg.normalized()
+	if cfg.Clock == ClockWall {
+		return nil, fmt.Errorf("runtime: NewSim cannot run on the wall clock; use NewLive")
+	}
+	rt := newRuntime(cfg, reg)
+	rt.fleet = device.NewFleet(reg)
+	if cfg.Clock == ClockPaced {
+		rt.simc = sim.New(time.Now())
+	} else {
+		rt.simc = sim.NewAtEpoch()
+	}
+	env := visibility.NewSimEnv(rt.simc, rt.fleet)
+	env.ActuationLatency = cfg.ActuationLatency
+	rt.env = env
+	rt.ctrl = visibility.New(env, rt.fleet.Snapshot(), rt.controllerOptions())
+	go rt.loop()
+	return rt, nil
+}
+
+// NewLive builds a wall-clock runtime over a device actuator, with the live
+// environment posting completions and timer callbacks into the mailbox and a
+// failure detector wired to the controller. The loop goroutine starts
+// immediately; Start launches the detector's probe loop.
+func NewLive(cfg Config, reg *device.Registry, actuator device.Actuator) (*HomeRuntime, error) {
+	if reg == nil || reg.Len() == 0 {
+		return nil, fmt.Errorf("runtime: home %q needs at least one device", cfg.ID)
+	}
+	if actuator == nil {
+		return nil, fmt.Errorf("runtime: nil actuator")
+	}
+	cfg = cfg.normalized()
+	cfg.Clock = ClockWall
+	rt := newRuntime(cfg, reg)
+	rt.lenv = live.New(rt, actuator)
+	rt.env = rt.lenv
+
+	// Seed the controller's committed-state view from the devices' initial
+	// metadata; unknown initial states are left for the first routines to set.
+	initial := make(map[device.ID]device.State)
+	for _, info := range reg.All() {
+		if info.Initial != device.StateUnknown {
+			initial[info.ID] = info.Initial
+		}
+	}
+	rt.ctrl = visibility.New(rt.env, initial, rt.controllerOptions())
+
+	rt.detector = failure.NewDetector(actuator, reg.IDs(), failure.Options{
+		Interval:  cfg.FailureInterval,
+		OnFailure: func(id device.ID) { _ = rt.post(op{kind: opNotifyFailure, dev: id}) },
+		OnRestart: func(id device.ID) { _ = rt.post(op{kind: opNotifyRestart, dev: id}) },
+	})
+	rt.lenv.OnContact = func(id device.ID, ok bool) {
+		if ok {
+			rt.detector.ReportContact(id)
+		} else {
+			rt.detector.ReportSilence(id)
+		}
+	}
+	go rt.loop()
+	return rt, nil
+}
+
+func newRuntime(cfg Config, reg *device.Registry) *HomeRuntime {
+	return &HomeRuntime{
+		cfg:      cfg,
+		reg:      reg,
+		bank:     routine.NewBank(),
+		ch:       make(chan op, cfg.MailboxDepth),
+		done:     make(chan struct{}),
+		started:  time.Now(),
+		triggers: make(map[TriggerHandle]*trigger),
+	}
+}
+
+// controllerOptions chains the runtime's activity log in front of the
+// configured observer. recordEvent runs on the loop goroutine only.
+func (rt *HomeRuntime) controllerOptions() visibility.Options {
+	opts := rt.cfg.options()
+	user := rt.cfg.Observer
+	if rt.cfg.EventLog > 0 {
+		opts.Observer = func(e visibility.Event) {
+			rt.recordEvent(e)
+			if user != nil {
+				user(e)
+			}
+		}
+	} else {
+		opts.Observer = user
+	}
+	return opts
+}
+
+func (rt *HomeRuntime) recordEvent(e visibility.Event) {
+	rt.events = append(rt.events, e)
+	if len(rt.events) > rt.cfg.EventLog {
+		rt.events = rt.events[len(rt.events)-rt.cfg.EventLog:]
+	}
+}
+
+// --- lifecycle ------------------------------------------------------------------
+
+// Start launches background activity (the wall-clock failure detector's
+// probe loop). Simulated-clock runtimes have no background activity.
+func (rt *HomeRuntime) Start() {
+	if rt.detector == nil {
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	rt.cancelDetect = cancel
+	go rt.detector.Run(ctx)
+}
+
+// Close stops background activity, waits for in-flight routines' command
+// cascades to finish, drains the mailbox and the simulator to quiescence,
+// and joins the loop goroutine. Close is idempotent; read-only queries keep
+// working on the quiesced state afterwards, while mutations return
+// ErrClosed.
+func (rt *HomeRuntime) Close() {
+	rt.closeOnce.Do(func() {
+		if rt.cancelDetect != nil {
+			rt.cancelDetect()
+		}
+		// Stop the trigger scheduler before quiescing: a recurring trigger
+		// whose routine hold overlaps its interval would otherwise keep
+		// feeding new commands into the cascade and Wait would never settle.
+		rp := newReply()
+		if err := rt.post(op{kind: opStopTriggers, reply: rp}); err != nil {
+			rp.discard()
+		} else {
+			rp.await()
+		}
+		if rt.lenv != nil {
+			// Quiesce the command cascade: Wait returns once every in-flight
+			// command goroutine has posted its completion, the barrier makes
+			// the loop apply those completions — which may chain a routine's
+			// next command or an abort rollback, i.e. new Exec goroutines —
+			// and Idle detects that case, so we go around again until a full
+			// round spawns nothing.
+			for {
+				rt.lenv.Wait()
+				rp := newReply()
+				if err := rt.post(op{kind: opBarrier, reply: rp}); err != nil {
+					rp.discard()
+					break
+				}
+				rp.await()
+				if rt.lenv.Idle() {
+					break
+				}
+			}
+		}
+		rt.closeMu.Lock()
+		rt.closed = true
+		close(rt.ch)
+		rt.closeMu.Unlock()
+	})
+	<-rt.done
+}
+
+// loop is the home's event loop: batch-dequeue up to cfg.Batch operations per
+// wakeup, apply them in arrival order, then publish the next simulator
+// deadline for the pumper. When the ring closes it drains every queued
+// operation, cancels triggers, runs the simulator to quiescence and exits.
+func (rt *HomeRuntime) loop() {
+	defer close(rt.done)
+	batch := make([]op, 0, rt.cfg.Batch)
+	open := true
+	for open {
+		o, ok := <-rt.ch
+		if !ok {
+			break
+		}
+		batch = append(batch[:0], o)
+	fill:
+		for len(batch) < rt.cfg.Batch {
+			select {
+			case next, ok := <-rt.ch:
+				if !ok {
+					open = false
+					break fill
+				}
+				batch = append(batch, next)
+			default:
+				break fill
+			}
+		}
+		for i := range batch {
+			rt.apply(&batch[i])
+			batch[i] = op{} // release payloads (routines, closures) once applied
+		}
+		rt.publishNextDue()
+	}
+	rt.shutdown()
+}
+
+// shutdown runs on the loop goroutine after the ring has fully drained.
+func (rt *HomeRuntime) shutdown() {
+	rt.stopAllTriggers()
+	if rt.simc != nil {
+		// Finish every home's in-flight work (graceful drain): queued
+		// routines run to completion at virtual speed.
+		rt.simc.Run()
+		rt.flushSimEvents()
+	}
+}
+
+// apply executes one operation on the loop goroutine.
+func (rt *HomeRuntime) apply(o *op) {
+	switch o.kind {
+	case opSubmit:
+		rid := rt.ctrl.Submit(o.r)
+		rt.pumpVirtual()
+		o.reply.send(result{rid: rid})
+	case opSubmitAfter:
+		r := o.r
+		rt.env.After(o.delay, func() { rt.ctrl.Submit(r) })
+		rt.pumpVirtual()
+		o.reply.send(result{})
+	case opFailDevice:
+		o.reply.send(result{err: rt.injectFailure(o.dev, true)})
+	case opRestoreDevice:
+		o.reply.send(result{err: rt.injectFailure(o.dev, false)})
+	case opScheduleTrig:
+		handle, err := rt.scheduleTrigger(o.name, o.delay, o.every)
+		o.reply.send(result{handle: handle, err: err})
+	case opCancelTrig:
+		rt.cancelTrigger(o.handle)
+		o.reply.send(result{})
+	case opResults, opResult, opCounts, opDeviceStates, opCommittedStates, opEvents, opTriggers:
+		o.reply.send(rt.evalQuery(o))
+	case opCompletion:
+		o.done(o.err)
+	case opTimer:
+		o.fn()
+	case opNotifyFailure:
+		rt.ctrl.NotifyFailure(o.dev)
+	case opNotifyRestart:
+		rt.ctrl.NotifyRestart(o.dev)
+	case opPump:
+		rt.simc.RunUntil(o.now)
+		rt.flushSimEvents()
+		rt.pumpQueued.Store(false)
+	case opSuspend:
+		close(o.gate)
+		<-o.release
+	case opBarrier:
+		o.reply.send(result{})
+	case opStopTriggers:
+		rt.stopAllTriggers()
+		o.reply.send(result{})
+	default:
+		panic(fmt.Sprintf("runtime: unknown op kind %d", o.kind))
+	}
+}
+
+// injectFailure runs a fail-stop failure (or the matching restart) of a
+// simulated device through the fleet and the controller.
+func (rt *HomeRuntime) injectFailure(dev device.ID, fail bool) error {
+	if rt.fleet == nil {
+		return fmt.Errorf("runtime: home %q has no simulated fleet to inject failures into", rt.cfg.ID)
+	}
+	if fail {
+		if err := rt.fleet.Fail(dev); err != nil {
+			return err
+		}
+		rt.ctrl.NotifyFailure(dev)
+	} else {
+		if err := rt.fleet.Restore(dev); err != nil {
+			return err
+		}
+		rt.ctrl.NotifyRestart(dev)
+	}
+	rt.pumpVirtual()
+	return nil
+}
+
+// pumpVirtual drains the simulator after a mutating operation under the
+// virtual clock, so the operation's routines run to completion before the
+// reply is delivered. Paced and wall clocks advance elsewhere.
+func (rt *HomeRuntime) pumpVirtual() {
+	if rt.cfg.Clock != ClockVirtual {
+		return
+	}
+	rt.simc.Run()
+	rt.flushSimEvents()
+}
+
+// flushSimEvents folds newly processed simulator events into the owner's
+// counter.
+func (rt *HomeRuntime) flushSimEvents() {
+	if rt.cfg.OnSimEvents == nil || rt.simc == nil {
+		return
+	}
+	if p := rt.simc.Processed(); p > rt.simDrained {
+		rt.cfg.OnSimEvents(p - rt.simDrained)
+		rt.simDrained = p
+	}
+}
+
+// publishNextDue exposes the earliest pending simulator deadline to the
+// paced-clock pumper.
+func (rt *HomeRuntime) publishNextDue() {
+	if rt.simc == nil || rt.cfg.Clock != ClockPaced {
+		return
+	}
+	if at, ok := rt.simc.NextEventAt(); ok {
+		rt.nextDue.Store(at.UnixNano())
+	} else {
+		rt.nextDue.Store(0)
+	}
+}
+
+// PumpIfDue posts a clock pump if the home has simulator work due at or
+// before now, bounding in-flight pumps to one. It reports whether a pump was
+// enqueued; homes with nothing due are skipped entirely.
+func (rt *HomeRuntime) PumpIfDue(now time.Time) bool {
+	due := rt.nextDue.Load()
+	if due == 0 || due > now.UnixNano() {
+		return false
+	}
+	if !rt.pumpQueued.CompareAndSwap(false, true) {
+		return false
+	}
+	if !rt.postPump(op{kind: opPump, now: now}) {
+		rt.pumpQueued.Store(false)
+		return false
+	}
+	return true
+}
+
+// --- live.Poster ----------------------------------------------------------------
+
+// PostCompletion implements live.Poster: an actuator command's completion is
+// delivered to the controller through the mailbox. Completions arriving
+// after Close are dropped (the home is quiescing).
+func (rt *HomeRuntime) PostCompletion(done func(error), err error) {
+	_ = rt.post(op{kind: opCompletion, done: done, err: err})
+}
+
+// PostTimer implements live.Poster: a wall-clock timer callback is delivered
+// to the controller through the mailbox.
+func (rt *HomeRuntime) PostTimer(fn func()) {
+	_ = rt.post(op{kind: opTimer, fn: fn})
+}
+
+// --- mutations ------------------------------------------------------------------
+
+// Submit validates the routine against the home's registry and submits it.
+// Under ClockVirtual the routine has finished by the time Submit returns.
+// Returns ErrOverloaded when the mailbox is full. Validation happens before
+// admission — the registry is immutable after construction — so an invalid
+// routine gets its validation error (HTTP 400) even under overload, and
+// never consumes a mailbox slot.
+func (rt *HomeRuntime) Submit(r *routine.Routine) (routine.ID, error) {
+	if err := r.Validate(rt.reg); err != nil {
+		return routine.None, err
+	}
+	rp := newReply()
+	if err := rt.tryPost(op{kind: opSubmit, r: r, reply: rp}); err != nil {
+		rp.discard()
+		return routine.None, err
+	}
+	return rp.await().rid, nil
+}
+
+// SubmitAfter schedules a routine submission after the given delay on the
+// home's clock. Like Submit, it validates before admission.
+func (rt *HomeRuntime) SubmitAfter(d time.Duration, r *routine.Routine) error {
+	if err := r.Validate(rt.reg); err != nil {
+		return err
+	}
+	rp := newReply()
+	if err := rt.tryPost(op{kind: opSubmitAfter, r: r, delay: d, reply: rp}); err != nil {
+		rp.discard()
+		return err
+	}
+	rp.await()
+	return nil
+}
+
+// FailDevice injects a fail-stop failure of a simulated device.
+func (rt *HomeRuntime) FailDevice(dev device.ID) error {
+	rp := newReply()
+	if err := rt.tryPost(op{kind: opFailDevice, dev: dev, reply: rp}); err != nil {
+		rp.discard()
+		return err
+	}
+	return rp.await().err
+}
+
+// RestoreDevice injects a restart of a previously failed simulated device.
+func (rt *HomeRuntime) RestoreDevice(dev device.ID) error {
+	rp := newReply()
+	if err := rt.tryPost(op{kind: opRestoreDevice, dev: dev, reply: rp}); err != nil {
+		rp.discard()
+		return err
+	}
+	return rp.await().err
+}
+
+// --- queries --------------------------------------------------------------------
+
+// Counts is the runtime's live summary, read in one mailbox round trip.
+type Counts struct {
+	Model     string
+	Scheduler string
+	Routines  int
+	Pending   int
+	Active    int
+	Now       time.Time
+}
+
+// query posts a read; after Close it evaluates inline on the quiesced state
+// (safe: the loop goroutine has exited, and <-rt.done orders its writes
+// before the inline read).
+func (rt *HomeRuntime) query(o op) result {
+	rp := newReply()
+	o.reply = rp
+	if err := rt.post(o); err != nil {
+		rp.discard()
+		<-rt.done
+		return rt.evalQuery(&o)
+	}
+	return rp.await()
+}
+
+// evalQuery answers one read-only op. It runs on the loop goroutine while
+// the runtime is open, or inline once it has quiesced.
+func (rt *HomeRuntime) evalQuery(o *op) result {
+	switch o.kind {
+	case opResults:
+		return result{any: rt.ctrl.Results()}
+	case opResult:
+		res, ok := rt.ctrl.Result(o.rid)
+		return result{any: res, ok: ok}
+	case opCounts:
+		return result{any: Counts{
+			Model:     rt.ctrl.Model().String(),
+			Scheduler: rt.cfg.Scheduler.String(),
+			Routines:  rt.ctrl.RoutineCount(),
+			Pending:   rt.ctrl.PendingCount(),
+			Active:    rt.ctrl.ActiveCount(),
+			Now:       rt.env.Now(),
+		}}
+	case opDeviceStates:
+		if rt.fleet == nil {
+			return result{any: map[device.ID]device.State(nil)}
+		}
+		return result{any: rt.fleet.Snapshot()}
+	case opCommittedStates:
+		return result{any: rt.ctrl.CommittedStates()}
+	case opEvents:
+		return result{any: append([]visibility.Event(nil), rt.events...)}
+	case opTriggers:
+		out := make([]ScheduledTrigger, 0, len(rt.triggers))
+		for _, tr := range rt.triggers {
+			out = append(out, tr.spec)
+		}
+		return result{any: out}
+	default:
+		panic(fmt.Sprintf("runtime: evalQuery on non-query op %d", o.kind))
+	}
+}
+
+// Results returns per-routine outcomes in submission order.
+func (rt *HomeRuntime) Results() []visibility.Result {
+	return rt.query(op{kind: opResults}).any.([]visibility.Result)
+}
+
+// Result returns one routine's outcome.
+func (rt *HomeRuntime) Result(id routine.ID) (visibility.Result, bool) {
+	res := rt.query(op{kind: opResult, rid: id})
+	return res.any.(visibility.Result), res.ok
+}
+
+// Counts returns the runtime's live summary.
+func (rt *HomeRuntime) Counts() Counts {
+	return rt.query(op{kind: opCounts}).any.(Counts)
+}
+
+// PendingCount returns the number of unfinished routines.
+func (rt *HomeRuntime) PendingCount() int { return rt.Counts().Pending }
+
+// DeviceStates returns the ground-truth state of every simulated device
+// (nil for wall-clock runtimes, whose ground truth lives in the devices).
+func (rt *HomeRuntime) DeviceStates() map[device.ID]device.State {
+	return rt.query(op{kind: opDeviceStates}).any.(map[device.ID]device.State)
+}
+
+// CommittedStates returns the controller's committed-state view.
+func (rt *HomeRuntime) CommittedStates() map[device.ID]device.State {
+	return rt.query(op{kind: opCommittedStates}).any.(map[device.ID]device.State)
+}
+
+// Events returns a copy of the recent activity log.
+func (rt *HomeRuntime) Events() []visibility.Event {
+	return rt.query(op{kind: opEvents}).any.([]visibility.Event)
+}
+
+// --- accessors ------------------------------------------------------------------
+
+// ID returns the home's identifier.
+func (rt *HomeRuntime) ID() string { return rt.cfg.ID }
+
+// Model returns the home's visibility model.
+func (rt *HomeRuntime) Model() visibility.Model { return rt.cfg.Model }
+
+// Registry returns the device registry.
+func (rt *HomeRuntime) Registry() *device.Registry { return rt.reg }
+
+// Bank returns the home's routine bank (safe for concurrent use).
+func (rt *HomeRuntime) Bank() *routine.Bank { return rt.bank }
+
+// Detector exposes the failure detector (wall-clock runtimes; nil otherwise).
+func (rt *HomeRuntime) Detector() *failure.Detector { return rt.detector }
+
+// Since returns the runtime's creation time.
+func (rt *HomeRuntime) Since() time.Time { return rt.started }
+
+// Mailbox reports the mailbox's admission counters and occupancy.
+func (rt *HomeRuntime) Mailbox() MailboxStats {
+	return MailboxStats{
+		Accepted: rt.accepted.Load(),
+		Rejected: rt.rejected.Load(),
+		Depth:    len(rt.ch),
+		Capacity: cap(rt.ch),
+	}
+}
+
+// Suspend blocks the loop goroutine until the returned resume function is
+// called, returning once the loop is actually parked. A parked loop is the
+// only deterministic way to observe a full mailbox, which is what the
+// overload/backpressure tests need; it also serves as a quiesce point for
+// maintenance (e.g. state snapshots).
+func (rt *HomeRuntime) Suspend() (resume func(), err error) {
+	gate := make(chan struct{})
+	release := make(chan struct{})
+	if err := rt.post(op{kind: opSuspend, gate: gate, release: release}); err != nil {
+		return nil, err
+	}
+	<-gate
+	var once sync.Once
+	return func() { once.Do(func() { close(release) }) }, nil
+}

@@ -119,6 +119,22 @@ func (s *Sim) At(t time.Time, fn func()) (cancel func()) {
 	return func() { ev.canceled = true }
 }
 
+// NextEventAt reports the timestamp of the earliest pending event, or false
+// if the queue is empty. Canceled events at the head of the queue are lazily
+// discarded. Like every Sim method it must be called from the owning
+// goroutine; publish the result through an atomic if another goroutine (e.g.
+// a live-clock pumper) needs it.
+func (s *Sim) NextEventAt() (time.Time, bool) {
+	for len(s.queue) > 0 {
+		if s.queue[0].canceled {
+			heap.Pop(&s.queue)
+			continue
+		}
+		return s.queue[0].at, true
+	}
+	return time.Time{}, false
+}
+
 // Step runs the single earliest pending event, advancing the clock to its
 // timestamp. It returns false if no events remain.
 func (s *Sim) Step() bool {

@@ -194,3 +194,24 @@ func TestRunOrderProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestNextEventAt(t *testing.T) {
+	s := NewAtEpoch()
+	if _, ok := s.NextEventAt(); ok {
+		t.Fatal("NextEventAt on an empty queue reported an event")
+	}
+	cancelNear := s.After(5*time.Millisecond, func() {})
+	s.After(20*time.Millisecond, func() {})
+	if at, ok := s.NextEventAt(); !ok || !at.Equal(Epoch.Add(5*time.Millisecond)) {
+		t.Fatalf("NextEventAt = %v, %v; want epoch+5ms", at, ok)
+	}
+	// Canceling the head lazily discards it: the next live event surfaces.
+	cancelNear()
+	if at, ok := s.NextEventAt(); !ok || !at.Equal(Epoch.Add(20*time.Millisecond)) {
+		t.Fatalf("NextEventAt after cancel = %v, %v; want epoch+20ms", at, ok)
+	}
+	s.Run()
+	if _, ok := s.NextEventAt(); ok {
+		t.Fatal("NextEventAt after Run reported an event")
+	}
+}

@@ -20,9 +20,10 @@
 // Controllers are single-threaded state machines: all entry points (Submit,
 // NotifyFailure, NotifyRestart and the callbacks delivered by the Env) must
 // be invoked from one goroutine or otherwise serialized. The discrete-event
-// SimEnv serializes naturally; the live hub serializes with a mutex; the
-// multi-tenant manager (internal/manager) serializes by running each home on
-// exactly one worker-shard goroutine.
+// SimEnv serializes naturally; the hub and the multi-tenant manager both
+// serialize through the home runtime (internal/runtime), whose loop
+// goroutine applies every operation — including live-environment callbacks —
+// from a typed mailbox.
 //
 // See ARCHITECTURE.md at the repository root for how the controllers sit
 // between the hub/manager layer and the lineage/sim/device machinery.
