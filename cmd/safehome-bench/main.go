@@ -127,7 +127,9 @@ type benchFile struct {
 }
 
 // runBenchSuite executes the scheduling-hot-path suite via testing.Benchmark
-// and writes the JSON trajectory file.
+// and writes the JSON trajectory file. When the output file already holds a
+// previous run (the committed baseline), it prints a benchstat-style delta
+// table against it before overwriting.
 func runBenchSuite(path string, benchtime time.Duration) error {
 	// testing.Benchmark honours the -test.benchtime flag; register the
 	// testing flags and set it explicitly so the suite is usable from a
@@ -136,6 +138,7 @@ func runBenchSuite(path string, benchtime time.Duration) error {
 	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
 		return err
 	}
+	baseline := readBaseline(path)
 	file := benchFile{
 		Schema:     "safehome-bench/v1",
 		Generated:  time.Now().UTC().Format(time.RFC3339),
@@ -143,7 +146,8 @@ func runBenchSuite(path string, benchtime time.Duration) error {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 	for _, c := range schedbench.Cases() {
-		fmt.Fprintf(os.Stderr, "running %-36s ", c.Name)
+		fmt.Fprintf(os.Stderr, "running %-44s ", c.Name)
+		runtime.GC() // start each case from a settled heap
 		res := testing.Benchmark(c.Fn)
 		rec := benchRecord{
 			Name:        c.Name,
@@ -161,6 +165,7 @@ func runBenchSuite(path string, benchtime time.Duration) error {
 		fmt.Fprintf(os.Stderr, "%12.0f ns/op %6d allocs/op\n", rec.NsPerOp, rec.AllocsPerOp)
 		file.Benchmarks = append(file.Benchmarks, rec)
 	}
+	printDelta(baseline, file.Benchmarks)
 	data, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {
 		return err
@@ -170,6 +175,57 @@ func runBenchSuite(path string, benchtime time.Duration) error {
 	}
 	fmt.Printf("wrote %d benchmark records to %s\n", len(file.Benchmarks), path)
 	return nil
+}
+
+// readBaseline loads the previous trajectory file at path, if any.
+func readBaseline(path string) map[string]benchRecord {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var prev benchFile
+	if err := json.Unmarshal(data, &prev); err != nil {
+		fmt.Fprintf(os.Stderr, "ignoring unreadable baseline %s: %v\n", path, err)
+		return nil
+	}
+	out := make(map[string]benchRecord, len(prev.Benchmarks))
+	for _, rec := range prev.Benchmarks {
+		out[rec.Name] = rec
+	}
+	return out
+}
+
+// printDelta renders a benchstat-style old→new comparison against the
+// committed baseline: ns/op and allocs/op with percentage deltas, one row
+// per benchmark, plus new/retired rows.
+func printDelta(baseline map[string]benchRecord, recs []benchRecord) {
+	if len(baseline) == 0 {
+		return
+	}
+	fmt.Printf("\n%-46s %12s %12s %8s  %10s %10s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs")
+	seen := make(map[string]bool, len(recs))
+	for _, rec := range recs {
+		seen[rec.Name] = true
+		old, ok := baseline[rec.Name]
+		if !ok {
+			fmt.Printf("%-46s %12s %12.0f %8s  %10s %10d\n",
+				rec.Name, "-", rec.NsPerOp, "new", "-", rec.AllocsPerOp)
+			continue
+		}
+		delta := "~"
+		if old.NsPerOp > 0 {
+			pct := (rec.NsPerOp - old.NsPerOp) / old.NsPerOp * 100
+			delta = fmt.Sprintf("%+.1f%%", pct)
+		}
+		fmt.Printf("%-46s %12.0f %12.0f %8s  %10d %10d\n",
+			rec.Name, old.NsPerOp, rec.NsPerOp, delta, old.AllocsPerOp, rec.AllocsPerOp)
+	}
+	for name := range baseline {
+		if !seen[name] {
+			fmt.Printf("%-46s (retired)\n", name)
+		}
+	}
 }
 
 func fatalf(format string, args ...any) {

@@ -34,6 +34,7 @@ import (
 	"safehome/internal/hub"
 	"safehome/internal/kasa"
 	"safehome/internal/manager"
+	"safehome/internal/runtime"
 	"safehome/internal/visibility"
 )
 
@@ -50,6 +51,8 @@ func main() {
 		shards    = flag.Int("shards", 4, "multi-tenant mode: number of worker shards")
 		mailbox   = flag.Int("mailbox", 0, "per-home operation-mailbox depth (0 = default 128); a full mailbox answers 429")
 		batch     = flag.Int("batch", 0, "max operations a home drains per loop wakeup (0 = default 32)")
+		readMode  = flag.String("consistency", "snapshot", "read consistency: snapshot (reads never touch the mailbox) or linearizable")
+		eventLog  = flag.Int("eventlog", 0, "multi-tenant mode: per-home event-log cap (0 disables /homes/{id}/events)")
 	)
 	flag.Parse()
 
@@ -61,6 +64,10 @@ func main() {
 	if err != nil {
 		log.Fatalf("safehome-hub: %v", err)
 	}
+	consistency, err := runtime.ParseReadConsistency(*readMode)
+	if err != nil {
+		log.Fatalf("safehome-hub: %v", err)
+	}
 
 	if *homes > 0 {
 		// Manager mode runs simulated per-home fleets on live clocks; the
@@ -68,7 +75,7 @@ func main() {
 		if *devices != "" || *useFleet {
 			log.Fatal("safehome-hub: -devices/-fleet apply to single-home mode only; -homes manages in-process simulated fleets")
 		}
-		serveManager(*listen, *homes, *shards, *plugs, *mailbox, *batch, model, sched)
+		serveManager(*listen, *homes, *shards, *plugs, *mailbox, *batch, *eventLog, model, sched, consistency)
 		return
 	}
 
@@ -86,7 +93,7 @@ func main() {
 	}
 
 	h, err := hub.New(hub.Config{Model: model, Scheduler: sched, FailureInterval: *probe,
-		MailboxDepth: *mailbox, Batch: *batch}, reg, actuator)
+		MailboxDepth: *mailbox, Batch: *batch, ReadConsistency: consistency}, reg, actuator)
 	if err != nil {
 		log.Fatalf("safehome-hub: %v", err)
 	}
@@ -100,12 +107,15 @@ func main() {
 
 // serveManager runs the multi-tenant HomeManager: homes home-0..home-(N-1)
 // on live clocks, partitioned across worker shards, behind the /homes API.
-func serveManager(listen string, homes, shards, plugs, mailbox, batch int, model visibility.Model, sched visibility.SchedulerKind) {
+func serveManager(listen string, homes, shards, plugs, mailbox, batch, eventLog int,
+	model visibility.Model, sched visibility.SchedulerKind, consistency runtime.ReadConsistency) {
 	m := manager.New(manager.Config{
-		Shards:     shards,
-		QueueDepth: mailbox,
-		Batch:      batch,
-		Clock:      manager.ClockLive,
+		Shards:          shards,
+		QueueDepth:      mailbox,
+		Batch:           batch,
+		Clock:           manager.ClockLive,
+		ReadConsistency: consistency,
+		EventLog:        eventLog,
 		Home: manager.HomeConfig{
 			Model:      model,
 			ExplicitWV: model == visibility.WV,

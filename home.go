@@ -39,9 +39,31 @@ type Config struct {
 	// MailboxBatch is the maximum operations a live home drains per loop
 	// wakeup (default 32), amortizing channel signaling under load.
 	MailboxBatch int
+	// ReadConsistency selects how a live home answers read-only calls
+	// (Results, Status, Devices, Events). The default, ReadSnapshot, reads
+	// the home loop's latest published snapshot: reads are lock-free, cost
+	// the loop nothing, and a caller always observes its own completed
+	// mutations. ReadLinearizable serializes every read through the home's
+	// mailbox instead — pick it only when a read must reflect mutations
+	// completed concurrently by other callers. Simulated homes are
+	// single-threaded and unaffected.
+	ReadConsistency ReadConsistency
 	// Observer, if set, receives every controller event.
 	Observer Observer
 }
+
+// ReadConsistency selects how a live home answers read-only calls; see
+// Config.ReadConsistency.
+type ReadConsistency = hub.ReadConsistency
+
+// Read-consistency modes.
+const (
+	// ReadSnapshot answers reads from the home loop's latest published
+	// snapshot (the default: reads never touch the home's mailbox).
+	ReadSnapshot = hub.ReadSnapshot
+	// ReadLinearizable serializes reads through the home's mailbox.
+	ReadLinearizable = hub.ReadLinearizable
+)
 
 func (c Config) options() visibility.Options {
 	opts := visibility.DefaultOptions(c.Model)
@@ -147,7 +169,10 @@ func (h *SimulatedHome) PendingCount() int { return h.ctrl.PendingCount() }
 func (h *SimulatedHome) DeviceStates() map[DeviceID]DeviceState { return h.fleet.Snapshot() }
 
 // DeviceState returns one device's ground-truth state.
-func (h *SimulatedHome) DeviceState(id DeviceID) DeviceState { return h.fleet.Snapshot()[id] }
+func (h *SimulatedHome) DeviceState(id DeviceID) DeviceState {
+	st, _ := h.fleet.State(id)
+	return st
+}
 
 // Fleet exposes the underlying simulated fleet (e.g. for custom failure
 // drills or assertions in tests).
@@ -196,6 +221,7 @@ func NewLiveHome(cfg Config, actuator Actuator, devices ...DeviceInfo) (*LiveHom
 		FailureInterval: cfg.FailureDetectionInterval,
 		MailboxDepth:    cfg.MailboxDepth,
 		Batch:           cfg.MailboxBatch,
+		ReadConsistency: cfg.ReadConsistency,
 	}, NewRegistry(devices...), actuator)
 	if err != nil {
 		return nil, err
@@ -257,6 +283,13 @@ func (h *LiveHome) Status() HubStatus { return h.hub.Status() }
 
 // Events returns the recent controller activity log.
 func (h *LiveHome) Events() []Event { return h.hub.Events() }
+
+// EventsSince returns the retained events with sequence number >= since and
+// the cursor to pass on the next call, so pollers fetch only the tail
+// (mirrors the HTTP API's /api/events?since=N).
+func (h *LiveHome) EventsSince(since uint64) ([]Event, uint64) {
+	return h.hub.EventsSince(since)
+}
 
 // HTTPHandler returns the hub's HTTP API (see internal/hub for the routes).
 func (h *LiveHome) HTTPHandler() http.Handler { return h.hub.Handler() }

@@ -188,6 +188,9 @@ type Fleet struct {
 	mu      sync.Mutex
 	devices map[ID]*simDevice
 	order   []ID
+	// version counts state-changing mutations (Apply/ForceState), so readers
+	// that cache a Snapshot can skip re-snapshotting an unchanged fleet.
+	version uint64
 }
 
 type simDevice struct {
@@ -237,7 +240,10 @@ func (f *Fleet) Apply(id ID, target State) error {
 		return fmt.Errorf("%w: %s", ErrUnavailable, id)
 	}
 	d.applies++
-	d.state = target
+	if d.state != target {
+		d.state = target
+		f.version++
+	}
 	return nil
 }
 
@@ -319,8 +325,33 @@ func (f *Fleet) ForceState(id ID, s State) error {
 	if err != nil {
 		return err
 	}
-	d.state = s
+	if d.state != s {
+		d.state = s
+		f.version++
+	}
 	return nil
+}
+
+// State returns one device's ground-truth state (including failed devices,
+// whose last physical state is preserved) without materializing a full
+// snapshot map. The bool reports whether the device is known.
+func (f *Fleet) State(id ID) (State, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	d, err := f.get(id)
+	if err != nil {
+		return StateUnknown, false
+	}
+	return d.state, true
+}
+
+// Version counts the fleet's state-changing mutations so far. Two equal
+// versions bracket an unchanged fleet, so a cached Snapshot taken at the
+// first is still current at the second.
+func (f *Fleet) Version() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.version
 }
 
 // Snapshot returns the ground-truth state of every device (including failed

@@ -112,10 +112,10 @@ func MultiTenant(o Options) []Table {
 	}
 
 	tab := Table{
-		ID:    "mt-scale",
-		Title: fmt.Sprintf("Manager throughput: %d homes x %d routines, EV/TL, %d submitters", homes, perHome, submitters),
+		ID:      "mt-scale",
+		Title:   fmt.Sprintf("Manager throughput: %d homes x %d routines, EV/TL, %d submitters", homes, perHome, submitters),
 		Columns: []string{"shards", "homes", "routines", "wall", "routines/s", "speedup"},
-		Notes: "wall-clock timings are hardware-dependent; the reproduction target is the upward throughput trend with shard count",
+		Notes:   "wall-clock timings are hardware-dependent; the reproduction target is the upward throughput trend with shard count",
 	}
 	base := points[0].perSec
 	for _, p := range points {

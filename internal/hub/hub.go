@@ -37,6 +37,19 @@ var (
 	ErrClosed = rt.ErrClosed
 )
 
+// ReadConsistency selects how the hub answers read-only queries; re-exported
+// from the home runtime for the hub's callers.
+type ReadConsistency = rt.ReadConsistency
+
+// Read-consistency modes.
+const (
+	// ReadSnapshot (default) answers queries from the loop's latest published
+	// snapshot, off the mailbox entirely.
+	ReadSnapshot = rt.ReadSnapshot
+	// ReadLinearizable posts every query through the mailbox.
+	ReadLinearizable = rt.ReadLinearizable
+)
+
 // Config configures a hub.
 type Config struct {
 	// Model is the visibility model to enforce (default EV).
@@ -53,6 +66,9 @@ type Config struct {
 	MailboxDepth int
 	// Batch is the maximum operations drained per loop wakeup (default 32).
 	Batch int
+	// ReadConsistency selects how queries are answered (default
+	// ReadSnapshot: status polls never touch the mailbox).
+	ReadConsistency ReadConsistency
 }
 
 func (c Config) normalized() Config {
@@ -99,6 +115,7 @@ func New(cfg Config, reg *device.Registry, actuator device.Actuator) (*Hub, erro
 		EventLog:        cfg.EventLog,
 		MailboxDepth:    cfg.MailboxDepth,
 		Batch:           cfg.Batch,
+		ReadConsistency: cfg.ReadConsistency,
 	}, reg, actuator)
 	if err != nil {
 		return nil, fmt.Errorf("hub: %w", err)
@@ -174,6 +191,12 @@ func (h *Hub) PendingCount() int { return h.rt.PendingCount() }
 
 // Events returns a copy of the recent activity log.
 func (h *Hub) Events() []visibility.Event { return h.rt.Events() }
+
+// EventsSince returns the retained events with sequence number >= since and
+// the cursor to pass on the next poll, so pollers fetch only the tail.
+func (h *Hub) EventsSince(since uint64) ([]visibility.Event, uint64) {
+	return h.rt.EventsSince(since)
+}
 
 // DeviceStatus describes one device for the API and CLI.
 type DeviceStatus struct {

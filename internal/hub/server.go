@@ -26,6 +26,8 @@ import (
 //	POST /api/bank                store a routine definition
 //	POST /api/bank/{name}/trigger dispatch a stored routine
 //	GET  /api/events              recent controller events
+//	GET  /api/events?since=N      only events with sequence >= N, plus the
+//	                              next cursor — pollers fetch only the tail
 func (h *Hub) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /api/status", func(w http.ResponseWriter, r *http.Request) {
@@ -50,9 +52,34 @@ func (h *Hub) Handler() http.Handler {
 	})
 	mux.HandleFunc("DELETE /api/triggers/{handle}", h.handleCancelTrigger)
 	mux.HandleFunc("GET /api/events", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, eventsJSON(h.Events()))
+		since, ok, err := sinceCursor(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if !ok {
+			writeJSON(w, http.StatusOK, eventsJSON(h.Events()))
+			return
+		}
+		ev, next := h.EventsSince(since)
+		writeJSON(w, http.StatusOK, eventsPage(ev, next))
 	})
 	return mux
+}
+
+// sinceCursor parses the optional ?since= event cursor. An empty or missing
+// value reports absent (full fetch) rather than an error, so templated URLs
+// with an unset cursor variable behave the same on every events route.
+func sinceCursor(r *http.Request) (since uint64, ok bool, err error) {
+	q := r.URL.Query().Get("since")
+	if q == "" {
+		return 0, false, nil
+	}
+	since, err = strconv.ParseUint(q, 10, 64)
+	if err != nil {
+		return 0, false, fmt.Errorf("bad since cursor: %w", err)
+	}
+	return since, true, nil
 }
 
 // handleSchedule creates an automation trigger for a stored routine. The
@@ -184,6 +211,9 @@ func writeHubError(w http.ResponseWriter, fallback int, err error) {
 //	GET  /homes/{id}/routines             the home's routine results
 //	POST /homes/{id}/routines             submit a routine (Fig 10-style JSON)
 //	GET  /homes/{id}/routines/{rid}       one routine result
+//	GET  /homes/{id}/events?since=N       the home's event tail + next cursor
+//	                                      (empty unless the manager was built
+//	                                      with a per-home event log)
 //	POST /homes/{id}/devices/{dev}/fail   inject a fail-stop device failure
 //	POST /homes/{id}/devices/{dev}/restore inject the matching restart
 //
@@ -277,6 +307,19 @@ func ManagerHandler(m *manager.Manager, defaultPlugs int) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, resultJSON(res))
 	})
+	mux.HandleFunc("GET /homes/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		since, _, err := sinceCursor(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		ev, next, err := m.Events(manager.HomeID(r.PathValue("id")), since)
+		if err != nil {
+			writeManagerError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, eventsPage(ev, next))
+	})
 	mux.HandleFunc("POST /homes/{id}/devices/{dev}/fail", func(w http.ResponseWriter, r *http.Request) {
 		if err := m.FailDevice(manager.HomeID(r.PathValue("id")), device.ID(r.PathValue("dev"))); err != nil {
 			writeManagerError(w, err)
@@ -363,6 +406,7 @@ func resultsJSON(results []visibility.Result) []resultView {
 }
 
 type eventView struct {
+	Seq     uint64    `json:"seq,omitempty"`
 	Time    time.Time `json:"time"`
 	Kind    string    `json:"kind"`
 	Routine int64     `json:"routine,omitempty"`
@@ -384,6 +428,24 @@ func eventsJSON(events []visibility.Event) []eventView {
 		})
 	}
 	return out
+}
+
+// eventsPageView is the cursor-paged events response: poll again with
+// ?since=<next> to fetch only what happened after this page.
+type eventsPageView struct {
+	Events []eventView `json:"events"`
+	Next   uint64      `json:"next"`
+}
+
+// eventsPage stamps each event with its sequence number (the page ends just
+// before the next cursor, so sequences count back from it).
+func eventsPage(events []visibility.Event, next uint64) eventsPageView {
+	views := eventsJSON(events)
+	first := next - uint64(len(views))
+	for i := range views {
+		views[i].Seq = first + uint64(i)
+	}
+	return eventsPageView{Events: views, Next: next}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -100,7 +100,7 @@ func TestDriverApplyAndStatus(t *testing.T) {
 	if st, err := drv.Status("plug-1"); err != nil || st != device.On {
 		t.Fatalf("Status(plug-1) = %v, %v; want ON", st, err)
 	}
-	if got := em.Fleet().Snapshot()["plug-1"]; got != device.On {
+	if got, _ := em.Fleet().State("plug-1"); got != device.On {
 		t.Fatalf("fleet state = %q, want ON", got)
 	}
 

@@ -405,6 +405,42 @@ func (t *Table) Compact(rid routine.ID) map[device.ID][]routine.ID {
 	return folded
 }
 
+// CompactBefore folds away fully released lock-access history older than the
+// horizon: for every device, the leading run of Released accesses whose
+// estimated hold ended before t is removed, each removed access's known
+// target folded into the committed state (last writer wins, exactly like
+// commit compaction). It returns the number of accesses removed.
+//
+// This is the maintenance companion of Compact for long-lived homes: commit
+// compaction only folds history beneath a *committing* routine, so a device
+// whose later accessors are all still alive (e.g. released early via
+// post-lease and blocked elsewhere) accumulates Released entries that every
+// gap scan then walks. Folding a Released access makes its effect permanent:
+// an abort of its routine after the fold no longer restores the device —
+// callers must pick a horizon comfortably above any live routine's span.
+func (t *Table) CompactBefore(horizon time.Time) int {
+	removed := 0
+	for _, d := range t.order {
+		l := t.byDev[d]
+		cut := 0
+		for cut < len(l.Accesses) {
+			a := l.Accesses[cut]
+			if a.Status != Released || !a.End().Before(horizon) {
+				break
+			}
+			if a.Target != device.StateUnknown {
+				l.Committed = a.Target
+			}
+			cut++
+		}
+		if cut > 0 {
+			l.Accesses = l.Accesses[:copy(l.Accesses, l.Accesses[cut:])]
+			removed += cut
+		}
+	}
+	return removed
+}
+
 // Gap is a free interval in a device's lineage where a new lock-access can be
 // placed. Index is the insertion position into Accesses; End is zero for the
 // unbounded gap after the last access.

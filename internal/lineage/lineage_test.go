@@ -549,3 +549,63 @@ func TestAccessRoutinesInto(t *testing.T) {
 		t.Fatal("empty input should return nil dst unchanged")
 	}
 }
+
+func TestCompactBeforeFoldsOldReleasedPrefix(t *testing.T) {
+	tab := newTestTable()
+	// devA: two old Released accesses, then a live (Acquired) one.
+	mustAppend(t, tab, devA, Access{Routine: 1, Status: Released, Target: device.On,
+		Start: t0, Duration: time.Minute})
+	mustAppend(t, tab, devA, Access{Routine: 2, Status: Released, Target: device.Off,
+		Start: t0.Add(time.Minute), Duration: time.Minute})
+	mustAppend(t, tab, devA, Access{Routine: 3, Status: Acquired, Target: device.On,
+		Start: t0.Add(2 * time.Minute), Duration: time.Minute})
+	// devB: a Released access too *young* to fold.
+	mustAppend(t, tab, devB, Access{Routine: 4, Status: Released, Target: device.Closed,
+		Start: t0.Add(time.Hour), Duration: time.Minute})
+
+	horizon := t0.Add(30 * time.Minute)
+	if got := tab.CompactBefore(horizon); got != 2 {
+		t.Fatalf("CompactBefore removed %d accesses, want 2", got)
+	}
+	if got := tab.Committed(devA); got != device.Off {
+		t.Fatalf("committed(%s) = %q, want OFF (last folded writer wins)", devA, got)
+	}
+	if got := len(tab.Lineage(devA).Accesses); got != 1 {
+		t.Fatalf("devA keeps %d accesses, want 1 (the live one)", got)
+	}
+	if tab.Lineage(devA).Accesses[0].Routine != 3 {
+		t.Fatalf("devA kept %v, want R3", tab.Lineage(devA).Accesses[0])
+	}
+	if got := len(tab.Lineage(devB).Accesses); got != 1 {
+		t.Fatalf("devB lost its young access: %d left, want 1", got)
+	}
+	// CurrentState is preserved by the fold: the folded writer's target moved
+	// into the committed state.
+	if err := tab.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after CompactBefore: %v", err)
+	}
+	// Idempotent: nothing old remains.
+	if got := tab.CompactBefore(horizon); got != 0 {
+		t.Fatalf("second CompactBefore removed %d, want 0", got)
+	}
+}
+
+func TestCompactBeforeStopsAtUnreleasedAccess(t *testing.T) {
+	tab := newTestTable()
+	// An old Acquired access blocks the fold: everything behind it stays,
+	// even Released entries, because removal is prefix-only.
+	mustAppend(t, tab, devA, Access{Routine: 1, Status: Acquired, Target: device.On,
+		Start: t0, Duration: time.Minute})
+	mustAppend(t, tab, devA, Access{Routine: 2, Status: Released, Target: device.Off,
+		Start: t0.Add(time.Minute), Duration: time.Minute})
+
+	if got := tab.CompactBefore(t0.Add(time.Hour)); got != 0 {
+		t.Fatalf("CompactBefore removed %d accesses behind a live one, want 0", got)
+	}
+	if got := len(tab.Lineage(devA).Accesses); got != 2 {
+		t.Fatalf("devA has %d accesses, want 2", got)
+	}
+	if got := tab.Committed(devA); got != device.Off {
+		t.Fatalf("committed(%s) = %q, want untouched OFF", devA, got)
+	}
+}

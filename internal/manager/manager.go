@@ -119,6 +119,14 @@ type Config struct {
 	Clock Clock
 	// PumpInterval is the live-clock advance period (default 10 ms).
 	PumpInterval time.Duration
+	// ReadConsistency selects how per-home queries are answered (default
+	// rt.ReadSnapshot: a burst of status polls costs the home loops
+	// nothing). rt.ReadLinearizable restores mailbox-posted queries.
+	ReadConsistency rt.ReadConsistency
+	// EventLog caps each home's in-memory activity log; 0 (the default)
+	// disables per-home event logs — at millions of homes the memory is
+	// better spent elsewhere. Enable it to serve /homes/{id}/events.
+	EventLog int
 	// Home configures every home the manager creates.
 	Home HomeConfig
 }
@@ -218,6 +226,8 @@ func (m *Manager) runtimeConfig(id HomeID, shard int) rt.Config {
 		ActuationLatency: m.cfg.Home.ActuationLatency,
 		MailboxDepth:     m.cfg.QueueDepth,
 		Batch:            m.cfg.Batch,
+		ReadConsistency:  m.cfg.ReadConsistency,
+		EventLog:         m.cfg.EventLog,
 		Observer: func(e visibility.Event) {
 			switch e.Kind {
 			case visibility.EvSubmitted:
@@ -347,6 +357,18 @@ func (m *Manager) DeviceStates(id HomeID) (map[device.ID]device.State, error) {
 		return nil, err
 	}
 	return home.DeviceStates(), nil
+}
+
+// Events returns the home's retained activity events with sequence number
+// >= since, plus the cursor to pass on the next poll. Homes log events only
+// when Config.EventLog is set; otherwise the result is always empty.
+func (m *Manager) Events(id HomeID, since uint64) ([]visibility.Event, uint64, error) {
+	home, err := m.Runtime(id)
+	if err != nil {
+		return nil, 0, err
+	}
+	ev, next := home.EventsSince(since)
+	return ev, next, nil
 }
 
 // HomeStatus summarizes one home.

@@ -68,12 +68,22 @@ type Config struct {
 	// FailureInterval is the failure detector's probe period (wall clock).
 	FailureInterval time.Duration
 	// EventLog caps the in-memory activity log; 0 disables the log (the
-	// multi-tenant manager disables it, the hub keeps ~1k events).
+	// multi-tenant manager disables it by default, the hub keeps ~1k events).
 	EventLog int
 	// MailboxDepth bounds the operation ring (default 128).
 	MailboxDepth int
 	// Batch is the maximum operations drained per loop wakeup (default 32).
 	Batch int
+	// ReadConsistency selects how queries are answered: ReadSnapshot (the
+	// default) reads the latest published snapshot without touching the
+	// mailbox; ReadLinearizable posts every query through the mailbox.
+	ReadConsistency ReadConsistency
+	// HistoryHorizon bounds how long an EV home retains released lock-access
+	// history: once per horizon the loop folds fully released accesses older
+	// than it into the committed states (lineage.Table.CompactBefore), so
+	// long-lived homes don't grow their per-device gap scans with history.
+	// 0 means DefaultHistoryHorizon; negative disables compaction.
+	HistoryHorizon time.Duration
 	// Observer additionally receives every controller event (e.g. the
 	// manager's cross-shard counters). It runs on the loop goroutine.
 	Observer visibility.Observer
@@ -87,6 +97,11 @@ const (
 	DefaultMailboxDepth = 128
 	// DefaultBatch is the default maximum ops drained per loop wakeup.
 	DefaultBatch = 32
+	// DefaultHistoryHorizon is the default lock-access history retention on
+	// the home's clock (see Config.HistoryHorizon). An hour is far beyond any
+	// live routine's span, so folding history that old never changes what a
+	// rollback would restore in practice.
+	DefaultHistoryHorizon = time.Hour
 )
 
 func (c Config) normalized() Config {
@@ -98,6 +113,9 @@ func (c Config) normalized() Config {
 	}
 	if c.FailureInterval <= 0 {
 		c.FailureInterval = failure.DefaultInterval
+	}
+	if c.HistoryHorizon == 0 {
+		c.HistoryHorizon = DefaultHistoryHorizon
 	}
 	return c
 }
@@ -124,10 +142,11 @@ type HomeRuntime struct {
 	fleet *device.Fleet // simulated clocks only
 	lenv  *live.Env     // ClockWall only
 
-	env      visibility.Env
-	ctrl     visibility.Controller
-	bank     *routine.Bank
-	detector *failure.Detector // ClockWall only
+	env       visibility.Env
+	ctrl      visibility.Controller
+	compacter historyCompacter // ctrl, when it supports history compaction (EV)
+	bank      *routine.Bank
+	detector  *failure.Detector // ClockWall only
 
 	ch   chan op
 	done chan struct{}
@@ -148,9 +167,17 @@ type HomeRuntime struct {
 	nextDue    atomic.Int64
 	pumpQueued atomic.Bool
 
+	// snap is the off-loop read path: the loop publishes an immutable
+	// Snapshot here once per batch drain (see snapshot.go), and queries under
+	// ReadSnapshot consistency answer from it without entering the mailbox.
+	snap atomic.Pointer[Snapshot]
+
 	// Loop-owned state:
-	events          []visibility.Event
-	simDrained      int // sim.Processed at the last OnSimEvents flush
+	elog            *eventLog
+	snapDirty       bool      // an op since the last publish changed observable state
+	fleetVersion    uint64    // fleet.Version() at the last ground-truth capture
+	lastCompact     time.Time // home-clock time of the last history compaction
+	simDrained      int       // sim.Processed at the last OnSimEvents flush
 	nextTrigger     TriggerHandle
 	triggers        map[TriggerHandle]*trigger
 	triggersStopped bool // Close ran opStopTriggers; refuse new schedules
@@ -178,6 +205,8 @@ func NewSim(cfg Config, reg *device.Registry) (*HomeRuntime, error) {
 	env.ActuationLatency = cfg.ActuationLatency
 	rt.env = env
 	rt.ctrl = visibility.New(env, rt.fleet.Snapshot(), rt.controllerOptions())
+	rt.compacter, _ = rt.ctrl.(historyCompacter)
+	rt.publish(true) // initial snapshot: readers never see a nil pointer
 	go rt.loop()
 	return rt, nil
 }
@@ -208,6 +237,7 @@ func NewLive(cfg Config, reg *device.Registry, actuator device.Actuator) (*HomeR
 		}
 	}
 	rt.ctrl = visibility.New(rt.env, initial, rt.controllerOptions())
+	rt.compacter, _ = rt.ctrl.(historyCompacter)
 
 	rt.detector = failure.NewDetector(actuator, reg.IDs(), failure.Options{
 		Interval:  cfg.FailureInterval,
@@ -221,6 +251,7 @@ func NewLive(cfg Config, reg *device.Registry, actuator device.Actuator) (*HomeR
 			rt.detector.ReportSilence(id)
 		}
 	}
+	rt.publish(true) // initial snapshot: readers never see a nil pointer
 	go rt.loop()
 	return rt, nil
 }
@@ -234,6 +265,7 @@ func newRuntime(cfg Config, reg *device.Registry) *HomeRuntime {
 		done:     make(chan struct{}),
 		started:  time.Now(),
 		triggers: make(map[TriggerHandle]*trigger),
+		elog:     newEventLog(cfg.EventLog),
 	}
 }
 
@@ -255,12 +287,7 @@ func (rt *HomeRuntime) controllerOptions() visibility.Options {
 	return opts
 }
 
-func (rt *HomeRuntime) recordEvent(e visibility.Event) {
-	rt.events = append(rt.events, e)
-	if len(rt.events) > rt.cfg.EventLog {
-		rt.events = rt.events[len(rt.events)-rt.cfg.EventLog:]
-	}
-}
+func (rt *HomeRuntime) recordEvent(e visibility.Event) { rt.elog.append(e) }
 
 // --- lifecycle ------------------------------------------------------------------
 
@@ -322,13 +349,25 @@ func (rt *HomeRuntime) Close() {
 	<-rt.done
 }
 
+// pendingReply is one deferred answer: the loop applies a whole batch,
+// publishes the resulting snapshot, and only then delivers replies, so a
+// caller whose mutation returned is guaranteed to find its effect in the
+// published snapshot (read-your-writes under ReadSnapshot consistency).
+type pendingReply struct {
+	rp  *reply
+	res result
+}
+
 // loop is the home's event loop: batch-dequeue up to cfg.Batch operations per
-// wakeup, apply them in arrival order, then publish the next simulator
-// deadline for the pumper. When the ring closes it drains every queued
-// operation, cancels triggers, runs the simulator to quiescence and exits.
+// wakeup, apply them in arrival order, publish one snapshot for the whole
+// batch, then deliver the batch's replies and the next simulator deadline for
+// the pumper. When the ring closes it drains every queued operation, cancels
+// triggers, runs the simulator to quiescence, publishes the final snapshot
+// and exits.
 func (rt *HomeRuntime) loop() {
 	defer close(rt.done)
 	batch := make([]op, 0, rt.cfg.Batch)
+	replies := make([]pendingReply, 0, rt.cfg.Batch)
 	open := true
 	for open {
 		o, ok := <-rt.ch
@@ -350,12 +389,34 @@ func (rt *HomeRuntime) loop() {
 			}
 		}
 		for i := range batch {
-			rt.apply(&batch[i])
+			if batch[i].kind == opSuspend {
+				// Publish and deliver everything applied so far before
+				// parking: a parked loop must not hold earlier callers'
+				// replies (or their snapshot visibility) hostage.
+				rt.publish(false)
+				replies = flushReplies(replies)
+			}
+			if res, rp := rt.apply(&batch[i]); rp != nil {
+				replies = append(replies, pendingReply{rp: rp, res: res})
+			}
 			batch[i] = op{} // release payloads (routines, closures) once applied
 		}
+		rt.compactHistory()
+		rt.publish(false)
 		rt.publishNextDue()
+		replies = flushReplies(replies)
 	}
 	rt.shutdown()
+}
+
+// flushReplies delivers the batch's deferred answers and returns the
+// emptied (reusable) buffer.
+func flushReplies(replies []pendingReply) []pendingReply {
+	for i := range replies {
+		replies[i].rp.send(replies[i].res)
+		replies[i] = pendingReply{}
+	}
+	return replies[:0]
 }
 
 // shutdown runs on the loop goroutine after the ring has fully drained.
@@ -367,52 +428,73 @@ func (rt *HomeRuntime) shutdown() {
 		rt.simc.Run()
 		rt.flushSimEvents()
 	}
+	// The final snapshot: post-Close snapshot reads observe the quiesced
+	// state, exactly like the inline fallback of linearizable reads.
+	rt.publish(true)
 }
 
-// apply executes one operation on the loop goroutine.
-func (rt *HomeRuntime) apply(o *op) {
+// apply executes one operation on the loop goroutine. It returns the
+// operation's answer and reply slot (nil for reply-less internal ops); the
+// loop delivers answers only after publishing the batch's snapshot. Ops that
+// can change observable state mark the snapshot dirty.
+func (rt *HomeRuntime) apply(o *op) (result, *reply) {
 	switch o.kind {
 	case opSubmit:
+		rt.snapDirty = true
 		rid := rt.ctrl.Submit(o.r)
 		rt.pumpVirtual()
-		o.reply.send(result{rid: rid})
+		return result{rid: rid}, o.reply
 	case opSubmitAfter:
+		rt.snapDirty = true
 		r := o.r
 		rt.env.After(o.delay, func() { rt.ctrl.Submit(r) })
 		rt.pumpVirtual()
-		o.reply.send(result{})
+		return result{}, o.reply
 	case opFailDevice:
-		o.reply.send(result{err: rt.injectFailure(o.dev, true)})
+		rt.snapDirty = true
+		return result{err: rt.injectFailure(o.dev, true)}, o.reply
 	case opRestoreDevice:
-		o.reply.send(result{err: rt.injectFailure(o.dev, false)})
+		rt.snapDirty = true
+		return result{err: rt.injectFailure(o.dev, false)}, o.reply
 	case opScheduleTrig:
 		handle, err := rt.scheduleTrigger(o.name, o.delay, o.every)
-		o.reply.send(result{handle: handle, err: err})
+		return result{handle: handle, err: err}, o.reply
 	case opCancelTrig:
 		rt.cancelTrigger(o.handle)
-		o.reply.send(result{})
+		return result{}, o.reply
 	case opResults, opResult, opCounts, opDeviceStates, opCommittedStates, opEvents, opTriggers:
-		o.reply.send(rt.evalQuery(o))
+		return rt.evalQuery(o), o.reply
 	case opCompletion:
+		rt.snapDirty = true
 		o.done(o.err)
+		return result{}, nil
 	case opTimer:
+		rt.snapDirty = true
 		o.fn()
+		return result{}, nil
 	case opNotifyFailure:
+		rt.snapDirty = true
 		rt.ctrl.NotifyFailure(o.dev)
+		return result{}, nil
 	case opNotifyRestart:
+		rt.snapDirty = true
 		rt.ctrl.NotifyRestart(o.dev)
+		return result{}, nil
 	case opPump:
+		rt.snapDirty = true
 		rt.simc.RunUntil(o.now)
 		rt.flushSimEvents()
 		rt.pumpQueued.Store(false)
+		return result{}, nil
 	case opSuspend:
 		close(o.gate)
 		<-o.release
+		return result{}, nil
 	case opBarrier:
-		o.reply.send(result{})
+		return result{}, o.reply
 	case opStopTriggers:
 		rt.stopAllTriggers()
-		o.reply.send(result{})
+		return result{}, o.reply
 	default:
 		panic(fmt.Sprintf("runtime: unknown op kind %d", o.kind))
 	}
@@ -459,6 +541,30 @@ func (rt *HomeRuntime) flushSimEvents() {
 	if p := rt.simc.Processed(); p > rt.simDrained {
 		rt.cfg.OnSimEvents(p - rt.simDrained)
 		rt.simDrained = p
+	}
+}
+
+// historyCompacter is implemented by controllers (EV) that can fold released
+// lock-access history older than a horizon into their committed states.
+type historyCompacter interface {
+	CompactBefore(t time.Time) int
+}
+
+// compactHistory runs on the loop goroutine once per HistoryHorizon of home
+// time: it folds lock-access history older than the horizon into the
+// committed states, so a long-lived home's per-device gap scans are bounded
+// by the live window instead of growing with history.
+func (rt *HomeRuntime) compactHistory() {
+	if rt.cfg.HistoryHorizon <= 0 || rt.compacter == nil {
+		return
+	}
+	now := rt.env.Now()
+	if !rt.lastCompact.IsZero() && now.Sub(rt.lastCompact) < rt.cfg.HistoryHorizon {
+		return
+	}
+	rt.lastCompact = now
+	if rt.compacter.CompactBefore(now.Add(-rt.cfg.HistoryHorizon)) > 0 {
+		rt.snapDirty = true
 	}
 }
 
@@ -565,7 +671,7 @@ func (rt *HomeRuntime) RestoreDevice(dev device.ID) error {
 
 // --- queries --------------------------------------------------------------------
 
-// Counts is the runtime's live summary, read in one mailbox round trip.
+// Counts is the runtime's live summary.
 type Counts struct {
 	Model     string
 	Scheduler string
@@ -615,7 +721,7 @@ func (rt *HomeRuntime) evalQuery(o *op) result {
 	case opCommittedStates:
 		return result{any: rt.ctrl.CommittedStates()}
 	case opEvents:
-		return result{any: append([]visibility.Event(nil), rt.events...)}
+		return result{any: rt.elog.view()}
 	case opTriggers:
 		out := make([]ScheduledTrigger, 0, len(rt.triggers))
 		for _, tr := range rt.triggers {
@@ -627,20 +733,34 @@ func (rt *HomeRuntime) evalQuery(o *op) result {
 	}
 }
 
+// linearizable reports whether queries must round-trip through the mailbox.
+func (rt *HomeRuntime) linearizable() bool {
+	return rt.cfg.ReadConsistency == ReadLinearizable
+}
+
 // Results returns per-routine outcomes in submission order.
 func (rt *HomeRuntime) Results() []visibility.Result {
-	return rt.query(op{kind: opResults}).any.([]visibility.Result)
+	if rt.linearizable() {
+		return rt.query(op{kind: opResults}).any.([]visibility.Result)
+	}
+	return rt.Snapshot().Results()
 }
 
 // Result returns one routine's outcome.
 func (rt *HomeRuntime) Result(id routine.ID) (visibility.Result, bool) {
-	res := rt.query(op{kind: opResult, rid: id})
-	return res.any.(visibility.Result), res.ok
+	if rt.linearizable() {
+		res := rt.query(op{kind: opResult, rid: id})
+		return res.any.(visibility.Result), res.ok
+	}
+	return rt.Snapshot().Result(id)
 }
 
 // Counts returns the runtime's live summary.
 func (rt *HomeRuntime) Counts() Counts {
-	return rt.query(op{kind: opCounts}).any.(Counts)
+	if rt.linearizable() {
+		return rt.query(op{kind: opCounts}).any.(Counts)
+	}
+	return rt.Snapshot().Counts()
 }
 
 // PendingCount returns the number of unfinished routines.
@@ -649,17 +769,36 @@ func (rt *HomeRuntime) PendingCount() int { return rt.Counts().Pending }
 // DeviceStates returns the ground-truth state of every simulated device
 // (nil for wall-clock runtimes, whose ground truth lives in the devices).
 func (rt *HomeRuntime) DeviceStates() map[device.ID]device.State {
-	return rt.query(op{kind: opDeviceStates}).any.(map[device.ID]device.State)
+	if rt.linearizable() {
+		return rt.query(op{kind: opDeviceStates}).any.(map[device.ID]device.State)
+	}
+	return rt.Snapshot().DeviceStates()
 }
 
 // CommittedStates returns the controller's committed-state view.
 func (rt *HomeRuntime) CommittedStates() map[device.ID]device.State {
-	return rt.query(op{kind: opCommittedStates}).any.(map[device.ID]device.State)
+	if rt.linearizable() {
+		return rt.query(op{kind: opCommittedStates}).any.(map[device.ID]device.State)
+	}
+	return rt.Snapshot().CommittedStates()
 }
 
 // Events returns a copy of the recent activity log.
 func (rt *HomeRuntime) Events() []visibility.Event {
-	return rt.query(op{kind: opEvents}).any.([]visibility.Event)
+	ev, _ := rt.EventsSince(0)
+	return ev
+}
+
+// EventsSince returns the retained events with sequence number >= since —
+// the tail a poller has not seen yet — and the cursor to pass on the next
+// call. The first event ever gets sequence 1; passing 0 returns everything
+// retained.
+func (rt *HomeRuntime) EventsSince(since uint64) ([]visibility.Event, uint64) {
+	if rt.linearizable() {
+		v := rt.query(op{kind: opEvents}).any.(eventsView)
+		return v.since(nil, since), v.nextSeq()
+	}
+	return rt.Snapshot().EventsSince(since)
 }
 
 // --- accessors ------------------------------------------------------------------

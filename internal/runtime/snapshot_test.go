@@ -1,0 +1,300 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"safehome/internal/device"
+	"safehome/internal/routine"
+	"safehome/internal/visibility"
+)
+
+func TestSnapshotReadYourWrites(t *testing.T) {
+	rt := newVirtual(t, Config{EventLog: 64}, 4)
+	for i := 0; i < 10; i++ {
+		rid, err := rt.Submit(plugRoutine(fmt.Sprintf("ryw-%d", i), device.On, i%4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The loop publishes before replying: a completed Submit must be
+		// visible in the very next snapshot read, with no mailbox round trip.
+		res, ok := rt.Result(rid)
+		if !ok || res.Status != visibility.StatusCommitted {
+			t.Fatalf("submit %d returned but its snapshot read = %+v, %v", i, res, ok)
+		}
+		if c := rt.Counts(); c.Routines != i+1 {
+			t.Fatalf("counts after submit %d = %d routines", i, c.Routines)
+		}
+	}
+	if states := rt.DeviceStates(); states["plug-0"] != device.On {
+		t.Fatalf("plug-0 = %q in snapshot, want ON", states["plug-0"])
+	}
+	if ev := rt.Events(); len(ev) == 0 {
+		t.Fatal("snapshot event log is empty")
+	}
+}
+
+// TestSnapshotReadersAreMonotonicAndConsistent hammers one home with
+// concurrent mutators and snapshot readers (run it with -race). Every reader
+// checks, on each snapshot it loads, that
+//
+//   - reads are monotonic: the routine count never decreases between
+//     consecutive loads, and a result observed once never disappears;
+//   - the snapshot is internally consistent: the counts and the results
+//     were cut at the same instant, so Routines == len(Results), Pending
+//     matches the unfinished statuses in the same snapshot, and result IDs
+//     are dense in submission order;
+//   - event cursors are monotonic.
+func TestSnapshotReadersAreMonotonicAndConsistent(t *testing.T) {
+	rt := newVirtual(t, Config{EventLog: 256, MailboxDepth: 1024}, 4)
+
+	const (
+		writers     = 4
+		readers     = 4
+		perWriter   = 150
+		totalWrites = writers * perWriter
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r := plugRoutine(fmt.Sprintf("w%d-%d", w, i), device.On, i%4)
+				for {
+					_, err := rt.Submit(r)
+					if err == nil {
+						break
+					}
+					if !errors.Is(err, ErrOverloaded) {
+						t.Errorf("writer %d: %v", w, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	readErr := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastRoutines int
+			var lastCursor uint64
+			seen := make(map[routine.ID]bool)
+			for {
+				snap := rt.Snapshot()
+				c := snap.Counts()
+				results := snap.Results()
+
+				if c.Routines < lastRoutines {
+					readErr <- fmt.Errorf("routine count went backwards: %d -> %d", lastRoutines, c.Routines)
+					return
+				}
+				lastRoutines = c.Routines
+				if len(results) != c.Routines {
+					readErr <- fmt.Errorf("snapshot inconsistent: %d results but Routines=%d", len(results), c.Routines)
+					return
+				}
+				pending := 0
+				for i, res := range results {
+					if int64(res.ID) != int64(i+1) {
+						readErr <- fmt.Errorf("result %d has ID %d; submission order broken", i, res.ID)
+						return
+					}
+					if !res.Status.Finished() {
+						pending++
+					}
+					seen[res.ID] = true
+				}
+				if pending != c.Pending {
+					readErr <- fmt.Errorf("snapshot inconsistent: %d unfinished results but Pending=%d", pending, c.Pending)
+					return
+				}
+				for rid := range seen {
+					if int64(rid) > int64(len(results)) {
+						readErr <- fmt.Errorf("result %d observed earlier has disappeared (len %d)", rid, len(results))
+						return
+					}
+				}
+				_, next := snap.EventsSince(lastCursor)
+				if next < lastCursor {
+					readErr <- fmt.Errorf("event cursor went backwards: %d -> %d", lastCursor, next)
+					return
+				}
+				lastCursor = next
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		deadline := time.Now().Add(10 * time.Second)
+		for rt.Counts().Routines < totalWrites {
+			if time.Now().After(deadline) {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	<-done
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-readErr:
+		t.Fatal(err)
+	default:
+	}
+
+	if got := rt.Counts().Routines; got != totalWrites {
+		t.Fatalf("routines = %d, want %d", got, totalWrites)
+	}
+	if pending := rt.PendingCount(); pending != 0 {
+		t.Fatalf("pending = %d after virtual-clock drain, want 0", pending)
+	}
+}
+
+// TestLinearizableQueriesStillWork pins the ReadLinearizable path: queries
+// round-trip the mailbox, match the snapshot path's answers, and fall back
+// inline after Close.
+func TestLinearizableQueriesStillWork(t *testing.T) {
+	rt := newVirtual(t, Config{ReadConsistency: ReadLinearizable, EventLog: 64}, 2)
+	rid, err := rt.Submit(plugRoutine("lin", device.On, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, ok := rt.Result(rid)
+	if !ok || res.Status != visibility.StatusCommitted {
+		t.Fatalf("linearizable Result = %+v, %v", res, ok)
+	}
+	if c := rt.Counts(); c.Routines != 1 || c.Pending != 0 {
+		t.Fatalf("linearizable Counts = %+v", c)
+	}
+	if ev, next := rt.EventsSince(0); len(ev) == 0 || next == 0 {
+		t.Fatalf("linearizable EventsSince = %d events, next %d", len(ev), next)
+	}
+	rt.Close()
+	if got := rt.Counts().Routines; got != 1 {
+		t.Fatalf("post-Close inline Counts.Routines = %d, want 1", got)
+	}
+}
+
+// TestEventsSinceCursorFetchesOnlyTail covers the poller contract: a second
+// call with the returned cursor sees exactly the events appended in between.
+func TestEventsSinceCursorFetchesOnlyTail(t *testing.T) {
+	rt := newVirtual(t, Config{EventLog: 256}, 2)
+	if _, err := rt.Submit(plugRoutine("first", device.On, 0)); err != nil {
+		t.Fatal(err)
+	}
+	all, cursor := rt.EventsSince(0)
+	if len(all) == 0 {
+		t.Fatal("no events after first submit")
+	}
+	if tail, next := rt.EventsSince(cursor); len(tail) != 0 || next != cursor {
+		t.Fatalf("tail after cursor = %d events (next %d, cursor %d), want none", len(tail), next, cursor)
+	}
+	if _, err := rt.Submit(plugRoutine("second", device.On, 1)); err != nil {
+		t.Fatal(err)
+	}
+	tail, next := rt.EventsSince(cursor)
+	if len(tail) == 0 || next <= cursor {
+		t.Fatalf("tail after second submit = %d events, next %d", len(tail), next)
+	}
+	for _, e := range tail {
+		if e.Detail == "first" {
+			t.Fatalf("tail re-delivered an event from before the cursor: %+v", e)
+		}
+	}
+	// A poller that fell behind eviction just gets the oldest retained tail.
+	if ev, _ := rt.EventsSince(1); len(ev) == 0 {
+		t.Fatal("EventsSince(1) returned nothing")
+	}
+}
+
+// TestEventLogRetainsMostOfCapAcrossEviction pins the eviction policy:
+// chunks are a quarter of the cap, so even right after dropping the oldest
+// chunk the log retains at least ~3/4 of the configured window (a cap of
+// exactly one preferred chunk size must not collapse to a single event).
+func TestEventLogRetainsMostOfCapAcrossEviction(t *testing.T) {
+	for _, capEvents := range []int{8, 128, 200, 1024} {
+		l := newEventLog(capEvents)
+		for i := 0; i < 3*capEvents+1; i++ {
+			l.append(visibility.Event{Routine: 1})
+		}
+		if l.n > capEvents {
+			t.Errorf("cap %d: log holds %d events, over cap", capEvents, l.n)
+		}
+		if min := capEvents - capEvents/4; l.n < min {
+			t.Errorf("cap %d: log holds %d events right after eviction, want >= %d", capEvents, l.n, min)
+		}
+	}
+}
+
+// TestSuspendReleasesEarlierBatchReplies pins the batching edge the loop
+// must not get wrong: when a submit and a suspend drain in the same batch,
+// the submitter's reply (and the snapshot carrying its effect) must be
+// delivered before the loop parks, not held until resume.
+func TestSuspendReleasesEarlierBatchReplies(t *testing.T) {
+	rt := newVirtual(t, Config{Batch: 8}, 2)
+
+	// Park the loop so the next submit and suspend queue into one batch.
+	resume1, err := rt.Suspend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	type submitResult struct {
+		rid routine.ID
+		err error
+	}
+	submitted := make(chan submitResult, 1)
+	go func() {
+		rid, err := rt.Submit(plugRoutine("wedged", device.On, 0))
+		submitted <- submitResult{rid, err}
+	}()
+	waitDepth := time.Now().Add(2 * time.Second)
+	for rt.Mailbox().Depth < 1 {
+		if time.Now().After(waitDepth) {
+			t.Fatal("submit never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	resumed2 := make(chan func(), 1)
+	go func() {
+		resume2, err := rt.Suspend()
+		if err != nil {
+			t.Error(err)
+			resumed2 <- func() {}
+			return
+		}
+		resumed2 <- resume2
+	}()
+	// Release the first suspension: the loop drains [submit, suspend] as one
+	// batch and parks again — with the submit answered first.
+	resume1()
+	resume2 := <-resumed2
+	defer resume2()
+
+	select {
+	case res := <-submitted:
+		if res.err != nil {
+			t.Fatalf("submit in suspend batch: %v", res.err)
+		}
+		if r, ok := rt.Result(res.rid); !ok || r.Status != visibility.StatusCommitted {
+			t.Fatalf("snapshot during suspension = %+v, %v; want the pre-park publish to cover the submit", r, ok)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("submit reply held hostage by a suspend later in the same batch")
+	}
+}

@@ -150,6 +150,61 @@ func RuntimeThroughput(batch int) func(b *testing.B) {
 	}
 }
 
+// QueryThroughput measures the read path under a mixed read/write workload:
+// readPct% of parallel operations are status polls (Counts) against one home
+// runtime, the rest are routine submissions (readPct=100 is pure parallel
+// readers — the cost of a query itself). Under rt.ReadSnapshot (the default)
+// reads load the loop's latest published snapshot and never touch the
+// mailbox; under rt.ReadLinearizable every read posts an op and is answered
+// on the loop goroutine — the baseline this PR's off-loop read path is
+// measured against. Reports reads/s and writes/s extra metrics. Mixed runs
+// are closed-loop: a virtual-clock write costs ~1000x a snapshot read, so on
+// few-core machines their ns/op is write-bound and the read-path gap shows
+// up undiluted in the reads=100 case.
+func QueryThroughput(consistency rt.ReadConsistency, readPct int) func(b *testing.B) {
+	return func(b *testing.B) {
+		home, err := rt.NewSim(rt.Config{
+			ID:              "bench",
+			Model:           visibility.EV,
+			ReadConsistency: consistency,
+		}, device.Plugs(8))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer home.Close()
+		// Seed some history so reads return real payloads.
+		for i := 0; i < 64; i++ {
+			if _, err := home.Submit(Routine("seed", 3, 8, int64(i))); err != nil {
+				b.Fatal(err)
+			}
+		}
+		var next, reads, writes atomic.Int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				i := next.Add(1)
+				if int(i%100) < readPct {
+					if c := home.Counts(); c.Routines == 0 {
+						b.Error("query saw an empty home")
+						return
+					}
+					reads.Add(1)
+					continue
+				}
+				r := Routine("bench", 3, 8, i)
+				if !submitRetrying(b, func() error { _, err := home.Submit(r); return err }) {
+					return
+				}
+				writes.Add(1)
+			}
+		})
+		b.StopTimer()
+		b.ReportMetric(float64(reads.Load())/b.Elapsed().Seconds(), "reads/s")
+		b.ReportMetric(float64(writes.Load())/b.Elapsed().Seconds(), "writes/s")
+	}
+}
+
 // GraphAddEdge measures adding (and removing again) one precedence
 // constraint — including the cycle-check DFS — on a layered graph of the
 // given node count, the inner loop of every placement decision.
@@ -202,6 +257,18 @@ func Cases() []Case {
 	}
 	for _, s := range []int{1, 2, 4, 8} {
 		out = append(out, Case{Name: fmt.Sprintf("ManagerThroughput/shards=%d", s), Fn: ManagerThroughput(s, 64)})
+	}
+	// Query throughput runs last: its read-heavy homes accumulate the most
+	// per-home state of the suite, and recording it after the throughput
+	// benchmarks keeps their GC environment comparable across trajectory
+	// entries.
+	for _, mix := range []int{100, 90, 50} {
+		for _, mode := range []rt.ReadConsistency{rt.ReadSnapshot, rt.ReadLinearizable} {
+			out = append(out, Case{
+				Name: fmt.Sprintf("QueryThroughput/reads=%d/mode=%s", mix, mode),
+				Fn:   QueryThroughput(mode, mix),
+			})
+		}
 	}
 	return out
 }

@@ -141,6 +141,24 @@ func (c *evController) Submit(r *routine.Routine) routine.ID {
 // restart events. Aborted routines never appear (§3).
 func (c *evController) Serialization() []order.Node { return c.graph.Order() }
 
+// CompactBefore folds released lock-access history whose estimated hold
+// ended before t into the committed states (lineage.Table.CompactBefore) and
+// keeps the controller's committed-state view in sync. The home runtime
+// calls this on its HistoryHorizon cadence so per-device gap scans stay
+// bounded under sustained load. It returns the number of accesses folded.
+func (c *evController) CompactBefore(t time.Time) int {
+	n := c.table.CompactBefore(t)
+	if n > 0 {
+		for _, d := range c.table.Devices() {
+			if st := c.table.Committed(d); st != device.StateUnknown && c.committed[d] != st {
+				c.setCommitted(d, st)
+			}
+		}
+		c.checkInvariants("compact-before")
+	}
+	return n
+}
+
 // --- scheduler plumbing -----------------------------------------------------
 
 // evScheduler is the strategy interface for §5's scheduling policies.
@@ -378,7 +396,7 @@ func (c *evController) commitRun(run *evRun) {
 	}
 	c.table.Compact(run.id)
 	for _, d := range devs {
-		c.committed[d] = c.table.Committed(d)
+		c.setCommitted(d, c.table.Committed(d))
 	}
 	for _, d := range devs {
 		c.onFree(d)

@@ -118,8 +118,8 @@ func (h *testHome) wantState(d device.ID, want device.State) {
 	h.t.Helper()
 	got, err := h.fleet.Status(d)
 	if err != nil {
-		// Failed devices keep their last physical state; read the snapshot.
-		got = h.fleet.Snapshot()[d]
+		// Failed devices keep their last physical state; State still reads it.
+		got, _ = h.fleet.State(d)
 	}
 	if got != want {
 		h.t.Errorf("device %s end state = %q, want %q", d, got, want)

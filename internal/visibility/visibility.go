@@ -31,6 +31,7 @@ package visibility
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -369,6 +370,12 @@ type Controller interface {
 	// CommittedStates returns the controller's view of the last committed
 	// state of every device it has touched.
 	CommittedStates() map[device.ID]device.State
+	// Export returns an immutable, internally consistent snapshot of the
+	// controller's observable state (results, counts, committed states),
+	// built incrementally from the previous export. It must be called from
+	// the goroutine that owns the controller; the result may be read from
+	// any goroutine. See export.go.
+	Export() *StateExport
 }
 
 // New builds a controller for the options' model. initial seeds the
@@ -410,6 +417,7 @@ type base struct {
 
 	results   map[routine.ID]*Result
 	submitted []routine.ID
+	finished  int // results with a terminal status (PendingCount is O(1))
 
 	committed map[device.ID]device.State
 	failed    map[device.ID]bool
@@ -418,12 +426,23 @@ type base struct {
 
 	serial []order.Node
 	active int
+
+	// export carries the dirty tracking and shared spines behind Export
+	// (the off-loop read path; see export.go).
+	export *exportState
 }
 
 func newBase(env Env, initial map[device.ID]device.State, opts Options) base {
 	committed := make(map[device.ID]device.State, len(initial))
-	for d, s := range initial {
-		committed[d] = s
+	export := newExportState()
+	ids := make([]device.ID, 0, len(initial))
+	for d := range initial {
+		ids = append(ids, d)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, d := range ids {
+		committed[d] = initial[d]
+		export.noteCommittedState(d)
 	}
 	return base{
 		env:       env,
@@ -433,7 +452,22 @@ func newBase(env Env, initial map[device.ID]device.State, opts Options) base {
 		failed:    make(map[device.ID]bool),
 		failSeq:   make(map[device.ID]int),
 		restSeq:   make(map[device.ID]int),
+		export:    export,
 	}
+}
+
+// setCommitted folds one device's committed state and marks it dirty for the
+// next Export. Every committed-state write must go through here. A write
+// that changes nothing (routines re-asserting a state, the common case under
+// steady load) marks nothing, so Export shares the previous states.
+func (b *base) setCommitted(d device.ID, s device.State) {
+	if cur, exists := b.committed[d]; exists && cur == s {
+		if _, interned := b.export.slots[d]; interned {
+			return
+		}
+	}
+	b.committed[d] = s
+	b.export.noteCommittedState(d)
 }
 
 // assign registers a newly submitted routine and returns its Result record.
@@ -451,6 +485,7 @@ func (b *base) assign(r *routine.Routine) (*Result, *routine.Routine) {
 	}
 	b.results[cp.ID] = res
 	b.submitted = append(b.submitted, cp.ID)
+	b.export.noteOpen(cp.ID)
 	b.emit(Event{Time: cp.Submitted, Kind: EvSubmitted, Routine: cp.ID, Detail: cp.Name})
 	return res, cp
 }
@@ -472,6 +507,8 @@ func (b *base) markCommitted(res *Result) {
 	res.Status = StatusCommitted
 	res.Finished = b.env.Now()
 	b.active--
+	b.finished++
+	b.export.noteFinished(res.ID)
 	b.emit(Event{Time: res.Finished, Kind: EvCommitted, Routine: res.ID})
 }
 
@@ -484,6 +521,8 @@ func (b *base) markAborted(res *Result, reason string) {
 	} else {
 		b.active--
 	}
+	b.finished++
+	b.export.noteFinished(res.ID)
 	b.emit(Event{Time: res.Finished, Kind: EvAborted, Routine: res.ID, Detail: reason})
 }
 
@@ -492,7 +531,7 @@ func (b *base) markAborted(res *Result, reason string) {
 func (b *base) applyCommit(r *routine.Routine) {
 	for _, d := range r.Devices() {
 		if st, ok := r.LastWriteTo(d); ok {
-			b.committed[d] = st
+			b.setCommitted(d, st)
 		}
 	}
 }
@@ -517,35 +556,36 @@ func (b *base) restartDetected(d device.ID) order.Node {
 	return n
 }
 
+// Results reads live records for open (or not-yet-exported) routines and the
+// write-once export slots for everything else — a finished, exported outcome
+// is stored exactly once (see export.go).
 func (b *base) Results() []Result {
 	out := make([]Result, 0, len(b.submitted))
 	for _, id := range b.submitted {
-		out = append(out, *b.results[id])
+		if res, ok := b.results[id]; ok {
+			out = append(out, *res)
+		} else {
+			out = append(out, *b.export.slot(id))
+		}
 	}
 	return out
 }
 
 func (b *base) Result(id routine.ID) (Result, bool) {
-	res, ok := b.results[id]
-	if !ok {
+	if res, ok := b.results[id]; ok {
+		return *res, true
+	}
+	if id < 1 || int64(id) > int64(len(b.submitted)) {
 		return Result{}, false
 	}
-	return *res, true
+	return *b.export.slot(id), true
 }
 
 func (b *base) RoutineCount() int { return len(b.submitted) }
 
 func (b *base) ActiveCount() int { return b.active }
 
-func (b *base) PendingCount() int {
-	n := 0
-	for _, res := range b.results {
-		if !res.Status.Finished() {
-			n++
-		}
-	}
-	return n
-}
+func (b *base) PendingCount() int { return len(b.submitted) - b.finished }
 
 func (b *base) CommittedStates() map[device.ID]device.State {
 	out := make(map[device.ID]device.State, len(b.committed))
