@@ -121,6 +121,10 @@ func BenchmarkTimelineInsertion(b *testing.B) {
 func BenchmarkRuntimeThroughput(b *testing.B) {
 	for _, batch := range []int{1, 32} {
 		b.Run(fmt.Sprintf("batch=%d", batch), schedbench.RuntimeThroughput(batch))
+		// journal=on group-commits every batch drain to a write-ahead journal
+		// in a temp dir (one fsync per batch) before replies are delivered —
+		// the durability overhead of PR 5, amortized by batch dequeue.
+		b.Run(fmt.Sprintf("batch=%d/journal=on", batch), schedbench.RuntimeThroughputJournaled(batch))
 	}
 }
 

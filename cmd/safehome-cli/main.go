@@ -2,6 +2,11 @@
 // inspect devices and routines, submit routine specs, manage the routine
 // bank, and tail the activity log.
 //
+// The events subcommand tails /api/events?since=N with a cursor that can be
+// persisted to a file (-cursor), so a poller resumes exactly where it left
+// off — including across hub restarts, when the hub runs with -data and its
+// event sequence numbers stay strictly monotonic through crash recovery.
+//
 // Usage:
 //
 //	safehome-cli -hub http://127.0.0.1:8123 status
@@ -11,6 +16,7 @@
 //	safehome-cli store routine.json
 //	safehome-cli trigger evening-routine
 //	safehome-cli events
+//	safehome-cli events -cursor /tmp/cursor -follow
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -64,7 +71,7 @@ func main() {
 		}
 		err = cli.printJSON("POST", "/api/bank/"+args[1]+"/trigger", nil)
 	case "events":
-		err = cli.printJSON("GET", "/api/events", nil)
+		err = cli.eventsCmd(args[1:])
 	default:
 		usage()
 		os.Exit(2)
@@ -87,7 +94,111 @@ commands:
   store <spec.json>   save a routine definition in the bank
   bank                list stored routine names
   trigger <name>      dispatch a stored routine
-  events              recent controller events`)
+  events              tail controller events (cursor-paged)
+      -since N        fetch only events with sequence >= N
+      -cursor FILE    resume from (and persist) the cursor in FILE
+      -follow         keep polling for new events
+      -interval D     poll interval with -follow (default 2s)`)
+}
+
+// eventPage mirrors the hub's cursor-paged events response.
+type eventPage struct {
+	Events []struct {
+		Seq     uint64    `json:"seq"`
+		Time    time.Time `json:"time"`
+		Kind    string    `json:"kind"`
+		Routine int64     `json:"routine"`
+		Device  string    `json:"device"`
+		State   string    `json:"state"`
+		Detail  string    `json:"detail"`
+	} `json:"events"`
+	Next uint64 `json:"next"`
+}
+
+// eventsCmd tails /api/events?since=N. The cursor file makes the tail
+// resumable: every page's next cursor is persisted, and on start the file's
+// cursor (when larger than -since) wins. Cursors only ever move forward —
+// the hub's event sequence numbers are strictly monotonic, surviving even a
+// hub crash and recovery when the hub runs with -data.
+func (c *client) eventsCmd(args []string) error {
+	fs := flag.NewFlagSet("events", flag.ContinueOnError)
+	since := fs.Uint64("since", 0, "fetch only events with sequence >= N")
+	cursorFile := fs.String("cursor", "", "resume from (and persist) the cursor in this file")
+	follow := fs.Bool("follow", false, "keep polling for new events")
+	interval := fs.Duration("interval", 2*time.Second, "poll interval with -follow")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cursor := *since
+	if *cursorFile != "" {
+		if buf, err := os.ReadFile(*cursorFile); err == nil {
+			v, perr := strconv.ParseUint(strings.TrimSpace(string(buf)), 10, 64)
+			if perr != nil {
+				return fmt.Errorf("cursor file %s is corrupt (%v); delete it to restart from -since", *cursorFile, perr)
+			}
+			if v > cursor {
+				cursor = v
+			}
+		} else if !os.IsNotExist(err) {
+			return err
+		}
+	}
+	for {
+		var page eventPage
+		if err := c.getJSON("/api/events?since="+strconv.FormatUint(cursor, 10), &page); err != nil {
+			if !*follow {
+				return err
+			}
+			// A follow tail outlives hub restarts: report the hiccup and
+			// retry next interval — the persisted cursor resumes exactly.
+			fmt.Fprintf(os.Stderr, "safehome-cli: %v (retrying in %s)\n", err, *interval)
+			time.Sleep(*interval)
+			continue
+		}
+		for _, e := range page.Events {
+			fmt.Printf("%6d  %s  %-18s", e.Seq, e.Time.Format(time.RFC3339), e.Kind)
+			if e.Routine != 0 {
+				fmt.Printf("  routine=%d", e.Routine)
+			}
+			if e.Device != "" {
+				fmt.Printf("  device=%s", e.Device)
+			}
+			if e.State != "" {
+				fmt.Printf("  state=%s", e.State)
+			}
+			if e.Detail != "" {
+				fmt.Printf("  (%s)", e.Detail)
+			}
+			fmt.Println()
+		}
+		if page.Next > cursor {
+			cursor = page.Next
+		}
+		if *cursorFile != "" {
+			// Write-then-rename: a poller killed mid-write must not be left
+			// with a truncated cursor that replays the whole history.
+			tmp := *cursorFile + ".tmp"
+			if err := os.WriteFile(tmp, []byte(strconv.FormatUint(cursor, 10)+"\n"), 0o644); err != nil {
+				return err
+			}
+			if err := os.Rename(tmp, *cursorFile); err != nil {
+				return err
+			}
+		}
+		if !*follow {
+			return nil
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// getJSON fetches path and decodes the response into out.
+func (c *client) getJSON(path string, out any) error {
+	payload, err := c.fetch("GET", path, nil)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(payload, out)
 }
 
 type client struct {
@@ -106,29 +217,39 @@ func (c *client) postFile(args []string, path string) error {
 	return c.printJSON("POST", path, data)
 }
 
-func (c *client) printJSON(method, path string, body []byte) error {
+// fetch performs one API request and returns the response payload, turning
+// >= 400 statuses into errors.
+func (c *client) fetch(method, path string, body []byte) ([]byte, error) {
 	var reader io.Reader
 	if body != nil {
 		reader = bytes.NewReader(body)
 	}
 	req, err := http.NewRequest(method, c.base+path, reader)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer resp.Body.Close()
 	payload, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if resp.StatusCode >= 400 {
-		return fmt.Errorf("%s %s: %s: %s", method, path, resp.Status, strings.TrimSpace(string(payload)))
+		return nil, fmt.Errorf("%s %s: %s: %s", method, path, resp.Status, strings.TrimSpace(string(payload)))
+	}
+	return payload, nil
+}
+
+func (c *client) printJSON(method, path string, body []byte) error {
+	payload, err := c.fetch(method, path, body)
+	if err != nil {
+		return err
 	}
 	var pretty bytes.Buffer
 	if err := json.Indent(&pretty, payload, "", "  "); err != nil {

@@ -24,6 +24,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -53,6 +54,7 @@ func main() {
 		batch     = flag.Int("batch", 0, "max operations a home drains per loop wakeup (0 = default 32)")
 		readMode  = flag.String("consistency", "snapshot", "read consistency: snapshot (reads never touch the mailbox) or linearizable")
 		eventLog  = flag.Int("eventlog", 0, "multi-tenant mode: per-home event-log cap (0 disables /homes/{id}/events)")
+		dataDir   = flag.String("data", "", "data directory for the write-ahead journal; empty runs memory-only. A hub restarted with the same -data recovers results, committed states and event cursors, and aborts routines that were in flight")
 	)
 	flag.Parse()
 
@@ -75,7 +77,7 @@ func main() {
 		if *devices != "" || *useFleet {
 			log.Fatal("safehome-hub: -devices/-fleet apply to single-home mode only; -homes manages in-process simulated fleets")
 		}
-		serveManager(*listen, *homes, *shards, *plugs, *mailbox, *batch, *eventLog, model, sched, consistency)
+		serveManager(*listen, *homes, *shards, *plugs, *mailbox, *batch, *eventLog, *dataDir, model, sched, consistency)
 		return
 	}
 
@@ -93,13 +95,17 @@ func main() {
 	}
 
 	h, err := hub.New(hub.Config{Model: model, Scheduler: sched, FailureInterval: *probe,
-		MailboxDepth: *mailbox, Batch: *batch, ReadConsistency: consistency}, reg, actuator)
+		MailboxDepth: *mailbox, Batch: *batch, ReadConsistency: consistency, DataDir: *dataDir}, reg, actuator)
 	if err != nil {
 		log.Fatalf("safehome-hub: %v", err)
 	}
 	h.Start()
 	defer h.Close()
 
+	if *dataDir != "" {
+		st := h.Status()
+		log.Printf("durable hub: data dir %s (recovered %d routines)", *dataDir, st.Routines)
+	}
 	fmt.Printf("SafeHome hub: model=%s scheduler=%s devices=%d\n", model, sched, reg.Len())
 	fmt.Printf("HTTP API on http://%s/api/status\n", *listen)
 	log.Fatal(http.ListenAndServe(*listen, h.Handler()))
@@ -108,7 +114,7 @@ func main() {
 // serveManager runs the multi-tenant HomeManager: homes home-0..home-(N-1)
 // on live clocks, partitioned across worker shards, behind the /homes API.
 func serveManager(listen string, homes, shards, plugs, mailbox, batch, eventLog int,
-	model visibility.Model, sched visibility.SchedulerKind, consistency runtime.ReadConsistency) {
+	dataDir string, model visibility.Model, sched visibility.SchedulerKind, consistency runtime.ReadConsistency) {
 	m := manager.New(manager.Config{
 		Shards:          shards,
 		QueueDepth:      mailbox,
@@ -116,14 +122,26 @@ func serveManager(listen string, homes, shards, plugs, mailbox, batch, eventLog 
 		Clock:           manager.ClockLive,
 		ReadConsistency: consistency,
 		EventLog:        eventLog,
+		DataDir:         dataDir,
 		Home: manager.HomeConfig{
 			Model:      model,
 			ExplicitWV: model == visibility.WV,
 			Scheduler:  sched,
 		},
 	})
-	if _, err := m.AddHomes("home", homes, plugs); err != nil {
-		log.Fatalf("safehome-hub: creating homes: %v", err)
+	// A durable manager rediscovers every persisted home before creating the
+	// startup fleet; homes that already exist on disk are recovered, not
+	// recreated.
+	if recovered, err := m.RecoverHomes(); err != nil {
+		log.Fatalf("safehome-hub: recovering homes: %v", err)
+	} else if len(recovered) > 0 {
+		log.Printf("recovered %d homes from %s", len(recovered), dataDir)
+	}
+	for i := 0; i < homes; i++ {
+		id := manager.HomeID(fmt.Sprintf("home-%d", i))
+		if err := m.AddHome(id, device.Plugs(plugs).All()...); err != nil && !errors.Is(err, manager.ErrDuplicateHome) {
+			log.Fatalf("safehome-hub: creating home %s: %v", id, err)
+		}
 	}
 	fmt.Printf("SafeHome multi-tenant hub: model=%s scheduler=%s homes=%d shards=%d plugs/home=%d\n",
 		model, sched, homes, shards, plugs)

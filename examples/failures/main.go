@@ -3,13 +3,23 @@
 // how each visibility model reasons about the failure — abort with rollback,
 // or serialize the failure event after the routine and commit — and how
 // must / best-effort tags change the outcome.
+//
+// Scenario D extends the failure story from devices to the hub itself: a
+// durable home (write-ahead journal in a data directory) is killed
+// mid-routine and reopened from the same directory, showing which outcomes
+// recover exactly (everything acknowledged) and which come back Aborted
+// (whatever was still in flight at the crash).
 package main
 
 import (
 	"fmt"
+	"os"
 	"time"
 
 	"safehome"
+	"safehome/internal/device"
+	"safehome/internal/runtime"
+	"safehome/internal/visibility"
 )
 
 func home(model safehome.Model) *safehome.SimulatedHome {
@@ -89,4 +99,86 @@ func main() {
 	res := h.Results()[0]
 	fmt.Printf("  EV: %s (best-effort failures: %d), door=%s\n",
 		res.Status, res.BestEffortFailures, h.DeviceState("door"))
+
+	fmt.Println()
+	hubCrash()
+}
+
+// hubCrash is Scenario D: the hub process itself is the failing component.
+// A durable paced-clock home commits one routine (acknowledged, journaled,
+// fsynced), accepts a second one that never gets to run, and is then killed
+// without any shutdown. Reopening the same data directory shows the paper's
+// failure semantics applied to the hub: the acknowledged commit is recovered
+// exactly, the in-flight routine is aborted with rollback.
+func hubCrash() {
+	fmt.Println("Scenario D: the HUB fails — kill mid-routine, reopen from the data dir.")
+	fmt.Println("  Acknowledged work recovers exactly; in-flight work comes back aborted.")
+
+	dir, err := os.MkdirTemp("", "safehome-failures-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+
+	cfg := runtime.Config{
+		ID:       "demo",
+		Clock:    runtime.ClockPaced, // real-ish time: routines stay in flight until pumped
+		Model:    visibility.EV,
+		EventLog: 64,
+		DataDir:  dir,
+	}
+	reg := func() *device.Registry {
+		return device.NewRegistry(
+			device.Info{ID: "window", Kind: device.KindWindow, Initial: device.Open},
+			device.Info{ID: "ac", Kind: device.KindAC, Initial: device.Off},
+			device.Info{ID: "sprinkler", Kind: device.KindSprinkler, Initial: device.Off},
+		)
+	}
+
+	rt, err := runtime.NewSim(cfg, reg())
+	if err != nil {
+		panic(err)
+	}
+	// Routine 1: committed and acknowledged before the crash.
+	if _, err := rt.Submit(safehome.NewRoutine("cooling",
+		safehome.Command{Device: "window", Target: safehome.Closed},
+		safehome.Command{Device: "ac", Target: safehome.On},
+	)); err != nil {
+		panic(err)
+	}
+	for rt.PendingCount() > 0 {
+		rt.PumpIfDue(time.Now().Add(time.Hour)) // drive the paced clock forward
+		time.Sleep(time.Millisecond)
+	}
+	// Routine 2: accepted (journaled with its ID) but still in flight when
+	// the hub dies — a 30-minute sprinkler run that never gets to finish.
+	if _, err := rt.Submit(safehome.NewRoutine("water-lawn",
+		safehome.Command{Device: "sprinkler", Target: safehome.On, Duration: 30 * time.Minute},
+	)); err != nil {
+		panic(err)
+	}
+	_, cursor := rt.EventsSince(0)
+	fmt.Printf("  before crash: %d routines accepted, event cursor at %d\n", len(rt.Results()), cursor)
+
+	rt.Crash() // SIGKILL-equivalent: no drain, no final checkpoint
+	fmt.Println("  ... hub killed mid-routine ...")
+
+	rec, err := runtime.NewSim(cfg, reg())
+	if err != nil {
+		panic(err)
+	}
+	defer rec.Close()
+	for _, res := range rec.Results() {
+		fmt.Printf("    %-12s %-9s", res.Routine.Name, res.Status)
+		if res.AbortReason != "" {
+			fmt.Printf("  (%s)", res.AbortReason)
+		}
+		fmt.Println()
+	}
+	states := rec.CommittedStates()
+	fmt.Printf("    recovered state: window=%s ac=%s sprinkler=%s (sprinkler rolled back)\n",
+		states["window"], states["ac"], states["sprinkler"])
+	tail, next := rec.EventsSince(cursor)
+	fmt.Printf("    old event cursor %d still valid: %d new events (abort record), next=%d\n",
+		cursor, len(tail), next)
 }

@@ -48,6 +48,14 @@ type Config struct {
 	// completed concurrently by other callers. Simulated homes are
 	// single-threaded and unaffected.
 	ReadConsistency ReadConsistency
+	// DataDir makes a live home durable: accepted routines, outcomes,
+	// committed device states and event sequence numbers are group-committed
+	// to a write-ahead journal under this directory, and a home restarted
+	// with the same directory recovers them exactly — routines in flight at
+	// the crash are aborted with rollback, per the paper's failure
+	// semantics. Empty (the default) keeps the home memory-only. Simulated
+	// homes ignore it.
+	DataDir string
 	// Observer, if set, receives every controller event.
 	Observer Observer
 }
@@ -222,6 +230,7 @@ func NewLiveHome(cfg Config, actuator Actuator, devices ...DeviceInfo) (*LiveHom
 		MailboxDepth:    cfg.MailboxDepth,
 		Batch:           cfg.MailboxBatch,
 		ReadConsistency: cfg.ReadConsistency,
+		DataDir:         cfg.DataDir,
 	}, NewRegistry(devices...), actuator)
 	if err != nil {
 		return nil, err

@@ -23,6 +23,7 @@ import (
 
 	"safehome/internal/device"
 	"safehome/internal/failure"
+	"safehome/internal/journal"
 	"safehome/internal/routine"
 	rt "safehome/internal/runtime"
 	"safehome/internal/visibility"
@@ -69,6 +70,14 @@ type Config struct {
 	// ReadConsistency selects how queries are answered (default
 	// ReadSnapshot: status polls never touch the mailbox).
 	ReadConsistency ReadConsistency
+	// DataDir enables durability: the hub's runtime group-commits accepted
+	// operations, outcomes, committed states and event sequence numbers to a
+	// write-ahead journal under this directory and recovers them on the next
+	// start with the same directory (routines in flight at a crash come back
+	// Aborted). Empty keeps the hub memory-only.
+	DataDir string
+	// Journal tunes the write-ahead journal; only meaningful with DataDir.
+	Journal journal.Options
 }
 
 func (c Config) normalized() Config {
@@ -116,6 +125,8 @@ func New(cfg Config, reg *device.Registry, actuator device.Actuator) (*Hub, erro
 		MailboxDepth:    cfg.MailboxDepth,
 		Batch:           cfg.Batch,
 		ReadConsistency: cfg.ReadConsistency,
+		DataDir:         cfg.DataDir,
+		Journal:         cfg.Journal,
 	}, reg, actuator)
 	if err != nil {
 		return nil, fmt.Errorf("hub: %w", err)
@@ -233,6 +244,7 @@ type Status struct {
 	Active    int             `json:"active"`
 	Stored    int             `json:"stored_routines"`
 	Mailbox   rt.MailboxStats `json:"mailbox"`
+	Durable   bool            `json:"durable,omitempty"`
 	Since     time.Time       `json:"since"`
 }
 
@@ -248,6 +260,7 @@ func (h *Hub) Status() Status {
 		Active:    c.Active,
 		Stored:    h.rt.Bank().Len(),
 		Mailbox:   h.rt.Mailbox(),
+		Durable:   h.rt.Durable(),
 		Since:     h.started,
 	}
 }

@@ -1,0 +1,250 @@
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"time"
+
+	"safehome/internal/device"
+	"safehome/internal/routine"
+	"safehome/internal/visibility"
+)
+
+// This file is the journal's wire format: a binary record frame (length +
+// CRC-32C over a JSON payload) and the payload records themselves. The frame
+// is what makes recovery safe against torn writes — a record interrupted by
+// a crash fails its length or checksum test and is cleanly dropped, never
+// partially applied — and the JSON payloads keep the on-disk format
+// self-describing and forward-extensible (unknown fields are ignored on
+// replay).
+//
+// Frame layout, little-endian:
+//
+//	[4B payload length] [4B CRC-32C of payload] [payload]
+//
+// Decoding must never panic on arbitrary bytes (see FuzzScanFrames): every
+// length is bounds-checked before any slice indexing, and a frame that fails
+// any check ends the scan — everything at and past a torn or corrupt frame
+// is discarded, matching write-ahead-log semantics (frames are written and
+// synced strictly in order, so bytes after a bad frame were never
+// acknowledged).
+
+const (
+	frameHeaderLen = 8
+	// maxFramePayload bounds a single record. A batch record holds at most
+	// one loop drain's worth of routines and events; 64 MiB is far beyond any
+	// real batch and exists only to reject garbage lengths during recovery.
+	maxFramePayload = 64 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFrame appends one framed payload to dst and returns the extended
+// slice.
+func appendFrame(dst, payload []byte) []byte {
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// scanFrames walks a segment image frame by frame, calling fn for each
+// payload that passes the length and CRC checks. It stops at the first
+// torn/corrupt frame (or when fn returns an error) and reports whether the
+// whole image was consumed cleanly — a false return with a nil error is the
+// expected shape of a crash-truncated tail, not a failure.
+func scanFrames(buf []byte, fn func(payload []byte) error) (clean bool, err error) {
+	for len(buf) > 0 {
+		if len(buf) < frameHeaderLen {
+			return false, nil // torn header
+		}
+		n := int64(binary.LittleEndian.Uint32(buf[0:4]))
+		if n > maxFramePayload || n > int64(len(buf)-frameHeaderLen) {
+			return false, nil // garbage length or torn payload
+		}
+		payload := buf[frameHeaderLen : frameHeaderLen+n]
+		if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(buf[4:8]) {
+			return false, nil // corrupt payload
+		}
+		if err := fn(payload); err != nil {
+			return false, err
+		}
+		buf = buf[frameHeaderLen+n:]
+	}
+	return true, nil
+}
+
+// --- payload records -------------------------------------------------------------
+
+// RoutineRecord is the wire form of one routine's outcome (or, for a still
+// open routine, its definition and progress so far).
+type RoutineRecord struct {
+	ID          int64             `json:"id"`
+	Name        string            `json:"name"`
+	User        string            `json:"user,omitempty"`
+	Commands    []routine.Command `json:"commands"`
+	Status      string            `json:"status"`
+	Submitted   time.Time         `json:"submitted"`
+	Started     time.Time         `json:"started,omitempty"`
+	Finished    time.Time         `json:"finished,omitempty"`
+	Executed    int               `json:"executed,omitempty"`
+	Skipped     int               `json:"skipped,omitempty"`
+	BestEffort  int               `json:"best_effort,omitempty"`
+	RolledBack  int               `json:"rolled_back,omitempty"`
+	AbortReason string            `json:"abort_reason,omitempty"`
+}
+
+// Open reports whether the routine had not finished when the record was cut.
+func (r RoutineRecord) Open() bool {
+	return r.Status != visibility.StatusCommitted.String() && r.Status != visibility.StatusAborted.String()
+}
+
+// FromResult converts a controller result into its wire record.
+func FromResult(res visibility.Result) RoutineRecord {
+	rec := RoutineRecord{
+		ID:          int64(res.ID),
+		Status:      res.Status.String(),
+		Submitted:   res.Submitted,
+		Started:     res.Started,
+		Finished:    res.Finished,
+		Executed:    res.Executed,
+		Skipped:     res.Skipped,
+		BestEffort:  res.BestEffortFailures,
+		RolledBack:  res.RolledBack,
+		AbortReason: res.AbortReason,
+	}
+	if res.Routine != nil {
+		rec.Name = res.Routine.Name
+		rec.User = res.Routine.User
+		rec.Commands = res.Routine.Commands
+	}
+	return rec
+}
+
+// ToResult converts a wire record back into a controller result. Open
+// records keep their recorded (non-terminal) status; recovery decides what
+// to do with them (the runtime aborts them per the paper's failure
+// semantics).
+func (r RoutineRecord) ToResult() visibility.Result {
+	res := visibility.Result{
+		ID: routine.ID(r.ID),
+		Routine: &routine.Routine{
+			ID:        routine.ID(r.ID),
+			Name:      r.Name,
+			User:      r.User,
+			Commands:  r.Commands,
+			Submitted: r.Submitted,
+		},
+		Submitted:          r.Submitted,
+		Started:            r.Started,
+		Finished:           r.Finished,
+		Executed:           r.Executed,
+		Skipped:            r.Skipped,
+		BestEffortFailures: r.BestEffort,
+		RolledBack:         r.RolledBack,
+		AbortReason:        r.AbortReason,
+	}
+	switch r.Status {
+	case visibility.StatusCommitted.String():
+		res.Status = visibility.StatusCommitted
+	case visibility.StatusAborted.String():
+		res.Status = visibility.StatusAborted
+	case visibility.StatusRunning.String():
+		res.Status = visibility.StatusRunning
+	default:
+		res.Status = visibility.StatusWaiting
+	}
+	return res
+}
+
+// StateEntry is one committed device-state change.
+type StateEntry struct {
+	Device device.ID    `json:"device"`
+	State  device.State `json:"state"`
+}
+
+// EventRecord is the wire form of one activity-log event. Sequence numbers
+// are implicit: the i-th event of a record has sequence FirstSeq+i.
+type EventRecord struct {
+	Time    time.Time `json:"time"`
+	Kind    int       `json:"kind"`
+	Routine int64     `json:"routine,omitempty"`
+	Device  string    `json:"device,omitempty"`
+	State   string    `json:"state,omitempty"`
+	Detail  string    `json:"detail,omitempty"`
+}
+
+// FromEvent converts a controller event into its wire record.
+func FromEvent(e visibility.Event) EventRecord {
+	return EventRecord{
+		Time:    e.Time,
+		Kind:    int(e.Kind),
+		Routine: int64(e.Routine),
+		Device:  string(e.Device),
+		State:   string(e.State),
+		Detail:  e.Detail,
+	}
+}
+
+// ToEvent converts a wire record back into a controller event.
+func (r EventRecord) ToEvent() visibility.Event {
+	return visibility.Event{
+		Time:    r.Time,
+		Kind:    visibility.EventKind(r.Kind),
+		Routine: routine.ID(r.Routine),
+		Device:  device.ID(r.Device),
+		State:   device.State(r.State),
+		Detail:  r.Detail,
+	}
+}
+
+// Batch is one group-committed journal record: everything durable that one
+// loop drain produced — accepted submissions, finished outcomes, committed
+// device-state changes, and appended activity events. One Batch is one
+// frame, one write, one fsync.
+type Batch struct {
+	LSN      uint64          `json:"lsn"`
+	Submits  []RoutineRecord `json:"submits,omitempty"`
+	Finishes []RoutineRecord `json:"finishes,omitempty"`
+	States   []StateEntry    `json:"states,omitempty"`
+	FirstSeq uint64          `json:"first_seq,omitempty"`
+	Events   []EventRecord   `json:"events,omitempty"`
+}
+
+// Empty reports whether the batch carries nothing durable.
+func (b *Batch) Empty() bool {
+	return len(b.Submits) == 0 && len(b.Finishes) == 0 && len(b.States) == 0 && len(b.Events) == 0
+}
+
+// Checkpoint is a full durable image of a home at one instant, derived from
+// the runtime's immutable Snapshot. A recovery loads the newest checkpoint
+// and replays only the journal records with LSN > Checkpoint.LSN; segments
+// at or below the checkpoint are truncated.
+type Checkpoint struct {
+	LSN      uint64          `json:"lsn"`
+	Routines []RoutineRecord `json:"routines,omitempty"`
+	States   []StateEntry    `json:"states,omitempty"`
+	FirstSeq uint64          `json:"first_seq"`
+	Events   []EventRecord   `json:"events,omitempty"`
+}
+
+// DecodeBatch parses one batch payload. It never panics on arbitrary input.
+func DecodeBatch(payload []byte) (*Batch, error) {
+	var b Batch
+	if err := json.Unmarshal(payload, &b); err != nil {
+		return nil, fmt.Errorf("journal: decoding batch: %w", err)
+	}
+	return &b, nil
+}
+
+// DecodeCheckpoint parses one checkpoint payload.
+func DecodeCheckpoint(payload []byte) (*Checkpoint, error) {
+	var c Checkpoint
+	if err := json.Unmarshal(payload, &c); err != nil {
+		return nil, fmt.Errorf("journal: decoding checkpoint: %w", err)
+	}
+	return &c, nil
+}

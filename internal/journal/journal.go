@@ -1,0 +1,566 @@
+// Package journal is SafeHome's per-home durability layer: a segmented,
+// CRC-framed write-ahead journal plus checkpointing, giving a home runtime
+// crash recovery without giving up its single-writer design.
+//
+// The home runtime appends one Batch record per mailbox drain — accepted
+// submissions, finished routine outcomes, committed device-state changes and
+// sequenced activity events — and syncs once per batch (group commit), so
+// the fsync cost is amortized over everything the drain produced rather
+// than paid per operation. Periodically the runtime cuts a Checkpoint
+// (derived from its immutable Snapshot) after which all older segments are
+// truncated; recovery therefore reads one checkpoint plus a bounded journal
+// tail, never the full history.
+//
+// Recovery semantics follow the paper's failure-handling story: everything
+// acknowledged before the crash — finished results, committed device
+// states, event sequence numbers — comes back exactly, while routines that
+// were still in flight are surfaced to the runtime as open records, which
+// it aborts (with rollback to their pre-routine committed states, which is
+// what the recovered committed view already is: a routine's writes only
+// enter the committed states when it commits).
+//
+// All methods are single-goroutine: the journal is owned by the home
+// runtime's loop, exactly like the controller it makes durable.
+//
+// See ARCHITECTURE.md at the repository root ("Durability") for the file
+// format and lifecycle.
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"safehome/internal/device"
+)
+
+// Options tunes a journal. The zero value uses the defaults.
+type Options struct {
+	// SegmentBytes rotates the active segment once it exceeds this size
+	// (default 4 MiB).
+	SegmentBytes int64
+	// CheckpointBytes is how many journal bytes may accumulate since the last
+	// checkpoint before ShouldCheckpoint reports true (default 1 MiB). The
+	// owner decides when to actually cut one (the runtime does it between
+	// batches, from its published snapshot).
+	CheckpointBytes int64
+	// NoSync skips the per-batch fsync. Acknowledged operations may then be
+	// lost on an OS crash (not on a process crash); useful for benchmarks
+	// that want the framing cost without the disk stall.
+	NoSync bool
+}
+
+// Default thresholds.
+const (
+	DefaultSegmentBytes    = 4 << 20
+	DefaultCheckpointBytes = 1 << 20
+)
+
+func (o Options) normalized() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = DefaultSegmentBytes
+	}
+	if o.CheckpointBytes <= 0 {
+		o.CheckpointBytes = DefaultCheckpointBytes
+	}
+	return o
+}
+
+const (
+	segmentPrefix  = "wal-"
+	segmentSuffix  = ".seg"
+	checkpointName = "checkpoint.ckpt"
+	checkpointTmp  = "checkpoint.tmp"
+	lockName       = "journal.lock"
+)
+
+func segmentName(firstLSN uint64) string {
+	return fmt.Sprintf("%s%016x%s", segmentPrefix, firstLSN, segmentSuffix)
+}
+
+// parseSegmentName extracts the first LSN a segment file may contain.
+func parseSegmentName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segmentPrefix) || !strings.HasSuffix(name, segmentSuffix) {
+		return 0, false
+	}
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, segmentPrefix), segmentSuffix)
+	lsn, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return lsn, true
+}
+
+// Journal is an open write-ahead journal rooted at one home's data
+// directory. It is not safe for concurrent use; the home runtime's loop
+// goroutine owns it.
+type Journal struct {
+	dir  string
+	opts Options
+
+	lock      *os.File // held flock: one process owns a home's journal
+	seg       *os.File
+	segFirst  uint64 // first LSN the active segment may contain
+	segBytes  int64
+	lsn       uint64 // last assigned LSN
+	sinceCkpt int64  // journal bytes appended since the last checkpoint
+	buf       []byte // reused frame scratch
+}
+
+// Recovered is everything a journal recovery reconstructed: the dense
+// routine history (IDs 1..len(Routines), open records last seen unfinished),
+// the committed device states, and the retained activity-event window with
+// its sequence base.
+type Recovered struct {
+	Routines []RoutineRecord
+	States   map[device.ID]device.State
+	Events   []EventRecord
+	FirstSeq uint64 // sequence number of Events[0]; NextSeq is FirstSeq+len(Events)
+	LSN      uint64 // last applied record; appends continue after it
+}
+
+// NextSeq returns the sequence number the next activity event must get for
+// cursors to stay strictly monotonic across the restart.
+func (r *Recovered) NextSeq() uint64 {
+	if r.FirstSeq == 0 {
+		return 1
+	}
+	return r.FirstSeq + uint64(len(r.Events))
+}
+
+// Open opens (creating if needed) the journal in dir and recovers its
+// contents: the newest checkpoint plus every complete journal record after
+// it. It returns the journal positioned for appending and the recovered
+// state, which is nil when the directory holds no durable state yet. A torn
+// or corrupt record ends replay at the last acknowledged batch — exactly
+// the write-ahead-log contract.
+func Open(dir string, opts Options) (*Journal, *Recovered, error) {
+	opts = opts.normalized()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("journal: creating %s: %w", dir, err)
+	}
+	j := &Journal{dir: dir, opts: opts}
+
+	// Exactly one process may own a home's journal: a second opener (e.g. a
+	// restart racing a hung predecessor) would recover to the same LSN and
+	// truncate segments the first already acknowledged. flock is released
+	// automatically when the holder dies, so a SIGKILL'd hub never bricks
+	// its own restart.
+	lock, err := os.OpenFile(filepath.Join(dir, lockName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: opening lock: %w", err)
+	}
+	if err := syscall.Flock(int(lock.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		lock.Close()
+		return nil, nil, fmt.Errorf("journal: data directory %s is in use by another process: %w", dir, err)
+	}
+	j.lock = lock
+
+	fail := func(err error) (*Journal, *Recovered, error) {
+		j.releaseLock()
+		return nil, nil, err
+	}
+	rec, found, err := j.recover()
+	if err != nil {
+		return fail(err)
+	}
+	if found {
+		j.lsn = rec.LSN
+	}
+
+	// Drop every segment that may only contain records beyond the replayed
+	// LSN: a tear only ever happens at the tail of the (sequentially synced)
+	// write stream, so everything past it was never acknowledged — and left
+	// in place it could later collide with fresh records reusing those LSNs.
+	segs, err := j.listSegments()
+	if err != nil {
+		return fail(err)
+	}
+	for _, seg := range segs {
+		if seg.firstLSN > j.lsn {
+			if err := os.Remove(filepath.Join(j.dir, seg.name)); err != nil {
+				return fail(fmt.Errorf("journal: removing dead segment %s: %w", seg.name, err))
+			}
+		}
+	}
+
+	// Always append into a fresh segment: the previous tail may end in a torn
+	// frame, and a fresh segment keeps every fully written segment immutable.
+	if err := j.rotate(); err != nil {
+		return fail(err)
+	}
+	if !found {
+		rec = nil
+	}
+	return j, rec, nil
+}
+
+// releaseLock closes the lock file, releasing the flock.
+func (j *Journal) releaseLock() {
+	if j.lock != nil {
+		_ = j.lock.Close()
+		j.lock = nil
+	}
+}
+
+// recover loads the checkpoint (if any) and replays the journal tail.
+func (j *Journal) recover() (*Recovered, bool, error) {
+	rec := &Recovered{States: make(map[device.ID]device.State)}
+	found := false
+
+	ckptPath := filepath.Join(j.dir, checkpointName)
+	if buf, err := os.ReadFile(ckptPath); err == nil {
+		ck, ok := decodeCheckpointFile(buf)
+		if !ok {
+			return nil, false, fmt.Errorf("journal: checkpoint %s is corrupt", ckptPath)
+		}
+		applyCheckpoint(rec, ck)
+		found = true
+	} else if !os.IsNotExist(err) {
+		return nil, false, fmt.Errorf("journal: reading checkpoint: %w", err)
+	}
+
+	segs, err := j.listSegments()
+	if err != nil {
+		return nil, false, err
+	}
+	// Skip segments the checkpoint fully covers: a segment's records end
+	// where the next segment begins, so if the next one starts at or below
+	// LSN+1 nothing in this one is needed. This keeps recovery correct even
+	// when a covered (possibly torn) segment survived a failed truncation —
+	// its stale tear must not end the scan before the live segments.
+	first := 0
+	for first+1 < len(segs) && segs[first+1].firstLSN <= rec.LSN+1 {
+		first++
+	}
+	for _, seg := range segs[first:] {
+		buf, err := os.ReadFile(filepath.Join(j.dir, seg.name))
+		if err != nil {
+			return nil, false, fmt.Errorf("journal: reading segment %s: %w", seg.name, err)
+		}
+		if len(buf) > 0 {
+			found = true
+		}
+		clean, err := scanFrames(buf, func(payload []byte) error {
+			b, err := DecodeBatch(payload)
+			if err != nil {
+				return err
+			}
+			if b.LSN <= rec.LSN {
+				return nil // already covered by the checkpoint
+			}
+			applyBatch(rec, b)
+			return nil
+		})
+		if err != nil || !clean {
+			// A torn tail, a corrupt frame, or an undecodable payload behind
+			// a valid CRC: everything from here on was never acknowledged (or
+			// is rot we cannot trust) — stop at the last good record. Later
+			// segments, if any, are beyond the tear and are ignored.
+			break
+		}
+	}
+
+	if err := validateDense(rec); err != nil {
+		return nil, false, err
+	}
+	return rec, found, nil
+}
+
+type segmentInfo struct {
+	name     string
+	firstLSN uint64
+}
+
+// listSegments returns the journal's segment files in LSN order.
+func (j *Journal) listSegments() ([]segmentInfo, error) {
+	entries, err := os.ReadDir(j.dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: listing %s: %w", j.dir, err)
+	}
+	var segs []segmentInfo
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if first, ok := parseSegmentName(e.Name()); ok {
+			segs = append(segs, segmentInfo{name: e.Name(), firstLSN: first})
+		}
+	}
+	sort.Slice(segs, func(a, b int) bool { return segs[a].firstLSN < segs[b].firstLSN })
+	return segs, nil
+}
+
+// decodeCheckpointFile parses a checkpoint image (a single frame).
+func decodeCheckpointFile(buf []byte) (*Checkpoint, bool) {
+	var ck *Checkpoint
+	clean, err := scanFrames(buf, func(payload []byte) error {
+		c, err := DecodeCheckpoint(payload)
+		if err != nil {
+			return err
+		}
+		ck = c
+		return nil
+	})
+	if err != nil || !clean || ck == nil {
+		return nil, false
+	}
+	return ck, true
+}
+
+func applyCheckpoint(rec *Recovered, ck *Checkpoint) {
+	rec.LSN = ck.LSN
+	rec.Routines = append(rec.Routines[:0], ck.Routines...)
+	for _, s := range ck.States {
+		rec.States[s.Device] = s.State
+	}
+	rec.FirstSeq = ck.FirstSeq
+	rec.Events = append(rec.Events[:0], ck.Events...)
+}
+
+func applyBatch(rec *Recovered, b *Batch) {
+	rec.LSN = b.LSN
+	for _, r := range b.Submits {
+		if int(r.ID) == len(rec.Routines)+1 {
+			rec.Routines = append(rec.Routines, r)
+		}
+	}
+	for _, r := range b.Finishes {
+		if i := int(r.ID) - 1; i >= 0 && i < len(rec.Routines) {
+			rec.Routines[i] = r
+		}
+	}
+	for _, s := range b.States {
+		rec.States[s.Device] = s.State
+	}
+	if len(b.Events) > 0 {
+		if len(rec.Events) == 0 {
+			rec.FirstSeq = b.FirstSeq
+			rec.Events = append(rec.Events, b.Events...)
+		} else if b.FirstSeq == rec.FirstSeq+uint64(len(rec.Events)) {
+			rec.Events = append(rec.Events, b.Events...)
+		} else {
+			// A sequence gap means the window before this batch was already
+			// evicted when it was journaled; keep the newest window.
+			rec.FirstSeq = b.FirstSeq
+			rec.Events = append(rec.Events[:0], b.Events...)
+		}
+	}
+}
+
+// validateDense checks that the recovered routine history is a dense 1..N
+// prefix — the invariant controller preloading (and O(1) result lookup by
+// ID) depends on. Submissions are journaled in assignment order within and
+// across batches, so anything else is corruption.
+func validateDense(rec *Recovered) error {
+	for i, r := range rec.Routines {
+		if int(r.ID) != i+1 {
+			return fmt.Errorf("journal: recovered routine history is not dense at index %d (id %d)", i, r.ID)
+		}
+	}
+	return nil
+}
+
+// --- appending -------------------------------------------------------------------
+
+// rotate closes the active segment (if any) and starts a new one whose name
+// records the first LSN it may contain.
+func (j *Journal) rotate() error {
+	if j.seg != nil {
+		if err := j.seg.Close(); err != nil {
+			return fmt.Errorf("journal: closing segment: %w", err)
+		}
+		j.seg = nil
+	}
+	j.segFirst = j.lsn + 1
+	path := filepath.Join(j.dir, segmentName(j.segFirst))
+	// O_TRUNC, not O_APPEND: a rotation always starts a fresh segment, and a
+	// leftover file with this name can only hold unacknowledged bytes (a
+	// torn tail from a crash) — appending behind them would hide every later
+	// record from recovery's sequential scan.
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: opening segment %s: %w", path, err)
+	}
+	j.seg = f
+	j.segBytes = 0
+	return nil
+}
+
+// Append assigns the batch the next LSN and writes its frame to the active
+// segment. The record is durable only after the following Commit; the
+// runtime appends and commits once per mailbox drain (group commit).
+func (j *Journal) Append(b *Batch) error {
+	if j.seg == nil {
+		return fmt.Errorf("journal: closed")
+	}
+	if j.segBytes >= j.opts.SegmentBytes {
+		if err := j.rotate(); err != nil {
+			return err
+		}
+	}
+	b.LSN = j.lsn + 1
+	payload, err := json.Marshal(b)
+	if err != nil {
+		return fmt.Errorf("journal: encoding batch: %w", err)
+	}
+	if len(payload) > maxFramePayload {
+		// Recovery rejects frames over maxFramePayload as garbage lengths;
+		// writing (and acknowledging) one anyway would silently lose it and
+		// everything after it on the next restart. Refusing degrades the
+		// home to memory-only instead.
+		return fmt.Errorf("journal: batch is %d bytes, over the %d frame limit", len(payload), maxFramePayload)
+	}
+	j.buf = appendFrame(j.buf[:0], payload)
+	if _, err := j.seg.Write(j.buf); err != nil {
+		return fmt.Errorf("journal: writing batch: %w", err)
+	}
+	j.lsn = b.LSN
+	j.segBytes += int64(len(j.buf))
+	j.sinceCkpt += int64(len(j.buf))
+	return nil
+}
+
+// Commit makes every appended record durable (one fsync — the group-commit
+// point).
+func (j *Journal) Commit() error {
+	if j.seg == nil {
+		return fmt.Errorf("journal: closed")
+	}
+	if j.opts.NoSync {
+		return nil
+	}
+	if err := j.seg.Sync(); err != nil {
+		return fmt.Errorf("journal: sync: %w", err)
+	}
+	return nil
+}
+
+// LSN returns the last assigned record LSN.
+func (j *Journal) LSN() uint64 { return j.lsn }
+
+// SinceCheckpoint returns the journal bytes appended since the last
+// checkpoint.
+func (j *Journal) SinceCheckpoint() int64 { return j.sinceCkpt }
+
+// ShouldCheckpoint reports whether enough journal has accumulated since the
+// last checkpoint to be worth cutting a new one.
+func (j *Journal) ShouldCheckpoint() bool { return j.sinceCkpt >= j.opts.CheckpointBytes }
+
+// Checkpoint durably writes a full state image (write to a temporary file,
+// fsync, atomic rename) stamped with the journal's current LSN, then
+// truncates every segment the checkpoint covers and starts a fresh one.
+// After a successful checkpoint, recovery reads the checkpoint plus only the
+// records appended after this call.
+func (j *Journal) Checkpoint(ck *Checkpoint) error {
+	if j.seg == nil {
+		return fmt.Errorf("journal: closed")
+	}
+	ck.LSN = j.lsn
+	payload, err := json.Marshal(ck)
+	if err != nil {
+		return fmt.Errorf("journal: encoding checkpoint: %w", err)
+	}
+	if len(payload) > maxFramePayload {
+		// Recovery rejects frames over maxFramePayload; writing one anyway
+		// would brick the next restart. Refusing degrades the home to
+		// memory-only (the owner's journalFail path) with the state on disk
+		// still recoverable. Incremental checkpoints are the real fix (see
+		// ROADMAP "Durability follow-ons").
+		return fmt.Errorf("journal: checkpoint image is %d bytes, over the %d frame limit", len(payload), maxFramePayload)
+	}
+	frame := appendFrame(nil, payload)
+
+	tmp := filepath.Join(j.dir, checkpointTmp)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: creating checkpoint: %w", err)
+	}
+	if _, err := f.Write(frame); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: writing checkpoint: %w", err)
+	}
+	if !j.opts.NoSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("journal: syncing checkpoint: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("journal: closing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(j.dir, checkpointName)); err != nil {
+		return fmt.Errorf("journal: publishing checkpoint: %w", err)
+	}
+	j.syncDir()
+
+	// Start a fresh segment so every older one is fully covered by the
+	// checkpoint, then truncate them.
+	if err := j.rotate(); err != nil {
+		return err
+	}
+	segs, err := j.listSegments()
+	if err != nil {
+		return err
+	}
+	for _, seg := range segs {
+		if seg.firstLSN < j.segFirst {
+			_ = os.Remove(filepath.Join(j.dir, seg.name))
+		}
+	}
+	j.syncDir()
+	j.sinceCkpt = 0
+	return nil
+}
+
+// syncDir fsyncs the journal directory so renames and removals are durable.
+// Best-effort: some filesystems reject directory fsync.
+func (j *Journal) syncDir() {
+	if j.opts.NoSync {
+		return
+	}
+	if d, err := os.Open(j.dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}
+
+// SegmentCount returns the number of on-disk segment files (tests,
+// diagnostics).
+func (j *Journal) SegmentCount() (int, error) {
+	segs, err := j.listSegments()
+	return len(segs), err
+}
+
+// Close syncs and closes the active segment and releases the directory
+// lock. The journal is unusable afterwards.
+func (j *Journal) Close() error {
+	if j.seg == nil {
+		j.releaseLock()
+		return nil
+	}
+	err := j.Commit()
+	if cerr := j.seg.Close(); err == nil {
+		err = cerr
+	}
+	j.seg = nil
+	j.releaseLock()
+	return err
+}
+
+// Abandon closes the active segment without syncing — the SIGKILL-equivalent
+// teardown used by crash drills: whatever the OS already has (everything
+// through the last Commit) survives, nothing else is flushed. The directory
+// lock is released, exactly as a killed process's flock would be.
+func (j *Journal) Abandon() {
+	if j.seg != nil {
+		_ = j.seg.Close()
+		j.seg = nil
+	}
+	j.releaseLock()
+}

@@ -1,0 +1,451 @@
+package journal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"safehome/internal/device"
+	"safehome/internal/routine"
+	"safehome/internal/visibility"
+)
+
+func submitRec(id int64) RoutineRecord {
+	return RoutineRecord{
+		ID:        id,
+		Name:      "r",
+		Status:    visibility.StatusWaiting.String(),
+		Submitted: time.Unix(id, 0).UTC(),
+	}
+}
+
+func finishRec(id int64, status visibility.RoutineStatus) RoutineRecord {
+	r := submitRec(id)
+	r.Status = status.String()
+	r.Finished = time.Unix(id+100, 0).UTC()
+	r.Executed = 2
+	return r
+}
+
+// TestDirectoryLockExcludesSecondOpener: one process (here: one open
+// journal) owns a home's data directory; a racing second opener must fail
+// fast instead of truncating acknowledged segments. Closing (or a crash
+// releasing the flock) frees the directory for the successor.
+func TestDirectoryLockExcludesSecondOpener(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("second Open of a locked directory succeeded")
+	}
+	j.Close()
+	j2, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen after Close: %v", err)
+	}
+	j2.Abandon()
+	j3, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen after Abandon: %v", err)
+	}
+	j3.Close()
+}
+
+func TestOpenFreshDirRecoversNothing(t *testing.T) {
+	j, rec, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if rec != nil {
+		t.Fatalf("fresh dir recovered %+v, want nil", rec)
+	}
+}
+
+func TestAppendCommitRecover(t *testing.T) {
+	dir := t.TempDir()
+	j, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec != nil {
+		t.Fatalf("fresh dir recovered state")
+	}
+	b1 := &Batch{
+		Submits:  []RoutineRecord{submitRec(1), submitRec(2)},
+		Finishes: []RoutineRecord{finishRec(1, visibility.StatusCommitted)},
+		States:   []StateEntry{{Device: "plug-0", State: device.On}},
+		FirstSeq: 1,
+		Events:   []EventRecord{{Kind: int(visibility.EvSubmitted), Routine: 1}},
+	}
+	if err := j.Append(b1); err != nil {
+		t.Fatal(err)
+	}
+	b2 := &Batch{
+		Finishes: []RoutineRecord{finishRec(2, visibility.StatusAborted)},
+		States:   []StateEntry{{Device: "plug-0", State: device.Off}, {Device: "plug-1", State: device.On}},
+		FirstSeq: 2,
+		Events:   []EventRecord{{Kind: int(visibility.EvAborted), Routine: 2}},
+	}
+	if err := j.Append(b2); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if b1.LSN != 1 || b2.LSN != 2 {
+		t.Fatalf("LSNs = %d, %d; want 1, 2", b1.LSN, b2.LSN)
+	}
+	j.Close()
+
+	j2, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if rec == nil {
+		t.Fatal("recovered nothing")
+	}
+	if len(rec.Routines) != 2 {
+		t.Fatalf("recovered %d routines, want 2", len(rec.Routines))
+	}
+	if rec.Routines[0].Status != "committed" || rec.Routines[1].Status != "aborted" {
+		t.Fatalf("statuses = %s, %s", rec.Routines[0].Status, rec.Routines[1].Status)
+	}
+	if rec.States["plug-0"] != device.Off || rec.States["plug-1"] != device.On {
+		t.Fatalf("states = %v", rec.States)
+	}
+	if rec.FirstSeq != 1 || len(rec.Events) != 2 || rec.NextSeq() != 3 {
+		t.Fatalf("events window = first %d len %d next %d", rec.FirstSeq, len(rec.Events), rec.NextSeq())
+	}
+	if rec.LSN != 2 {
+		t.Fatalf("recovered LSN = %d, want 2", rec.LSN)
+	}
+	// Appends after recovery continue the LSN sequence.
+	b3 := &Batch{Submits: []RoutineRecord{submitRec(3)}}
+	if err := j2.Append(b3); err != nil {
+		t.Fatal(err)
+	}
+	if b3.LSN != 3 {
+		t.Fatalf("post-recovery LSN = %d, want 3", b3.LSN)
+	}
+}
+
+// newestSegment returns the path of the segment with the highest first-LSN.
+func newestSegment(t *testing.T, dir string) string {
+	t.Helper()
+	j := &Journal{dir: dir}
+	segs, err := j.listSegments()
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments in %s (err %v)", dir, err)
+	}
+	return filepath.Join(dir, segs[len(segs)-1].name)
+}
+
+func TestTornTailIsDropped(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(&Batch{Submits: []RoutineRecord{submitRec(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(&Batch{Finishes: []RoutineRecord{finishRec(1, visibility.StatusCommitted)}}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Tear the final record: chop a few bytes off the segment tail.
+	seg := newestSegment(t, dir)
+	buf, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(seg, buf[:len(buf)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec == nil || len(rec.Routines) != 1 {
+		t.Fatalf("recovered %+v, want the first batch only", rec)
+	}
+	if rec.Routines[0].Status != "waiting" {
+		t.Fatalf("torn finish applied anyway: %s", rec.Routines[0].Status)
+	}
+	if rec.LSN != 1 {
+		t.Fatalf("LSN = %d, want 1", rec.LSN)
+	}
+}
+
+// TestTornFirstFrameDoesNotSwallowLaterAppends: when the tear hits the very
+// FIRST record of the newest segment, reopening must not append new
+// (acknowledged) records behind the torn bytes — that would hide them from
+// the next recovery's sequential scan.
+func TestTornFirstFrameDoesNotSwallowLaterAppends(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(&Batch{Submits: []RoutineRecord{submitRec(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Tear the segment's first (and only) frame mid-payload.
+	seg := newestSegment(t, dir)
+	buf, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(seg, buf[:frameHeaderLen+2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec != nil && len(rec.Routines) != 0 {
+		t.Fatalf("torn-at-first-frame recovery yielded %d routines", len(rec.Routines))
+	}
+	// An acknowledged append after the reopen...
+	if err := j2.Append(&Batch{Submits: []RoutineRecord{submitRec(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+
+	// ...must survive the next recovery.
+	_, rec2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec2 == nil || len(rec2.Routines) != 1 {
+		t.Fatalf("acknowledged post-tear append lost: recovered %+v", rec2)
+	}
+}
+
+func TestCorruptPayloadEndsReplay(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(&Batch{Submits: []RoutineRecord{submitRec(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(&Batch{Submits: []RoutineRecord{submitRec(2)}}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Flip a payload byte of the last record: the CRC check must reject it.
+	seg := newestSegment(t, dir)
+	buf, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)-1] ^= 0xff
+	if err := os.WriteFile(seg, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec == nil || len(rec.Routines) != 1 {
+		t.Fatalf("recovered %+v, want only the intact first batch", rec)
+	}
+}
+
+func TestCheckpointTruncatesSegments(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 20; i++ {
+		if err := j.Append(&Batch{Submits: []RoutineRecord{submitRec(i)}, Finishes: []RoutineRecord{finishRec(i, visibility.StatusCommitted)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	before, err := j.SegmentCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before < 2 {
+		t.Fatalf("expected multiple segments before checkpoint, got %d", before)
+	}
+
+	ck := &Checkpoint{FirstSeq: 1}
+	for i := int64(1); i <= 20; i++ {
+		ck.Routines = append(ck.Routines, finishRec(i, visibility.StatusCommitted))
+	}
+	ck.States = []StateEntry{{Device: "plug-0", State: device.On}}
+	if err := j.Checkpoint(ck); err != nil {
+		t.Fatal(err)
+	}
+	after, err := j.SegmentCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != 1 {
+		t.Fatalf("segments after checkpoint = %d, want 1 (fresh tail)", after)
+	}
+	if j.SinceCheckpoint() != 0 {
+		t.Fatalf("SinceCheckpoint = %d after checkpoint", j.SinceCheckpoint())
+	}
+
+	// Post-checkpoint appends land after the checkpoint LSN and both survive.
+	if err := j.Append(&Batch{Submits: []RoutineRecord{submitRec(21)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	_, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec == nil || len(rec.Routines) != 21 {
+		t.Fatalf("recovered %d routines, want 21", len(rec.Routines))
+	}
+	if rec.Routines[20].Status != "waiting" {
+		t.Fatalf("post-checkpoint submit lost: %+v", rec.Routines[20])
+	}
+	if rec.States["plug-0"] != device.On {
+		t.Fatalf("checkpoint states lost: %v", rec.States)
+	}
+}
+
+// TestCoveredTornSegmentDoesNotMaskLiveRecords: if a checkpoint-covered
+// segment survives truncation (e.g. a failed remove) with a torn tail,
+// recovery must skip it rather than let its stale tear end the scan before
+// the live segments.
+func TestCoveredTornSegmentDoesNotMaskLiveRecords(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 3; i++ {
+		if err := j.Append(&Batch{Submits: []RoutineRecord{submitRec(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ck := &Checkpoint{Routines: []RoutineRecord{submitRec(1), submitRec(2), submitRec(3)}}
+	if err := j.Checkpoint(ck); err != nil { // truncates, rotates to wal-4
+		t.Fatal(err)
+	}
+	if err := j.Append(&Batch{Submits: []RoutineRecord{submitRec(4)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Re-plant a torn pre-checkpoint segment, as if its removal had failed.
+	if err := os.WriteFile(filepath.Join(dir, segmentName(1)), []byte("torn garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec == nil || len(rec.Routines) != 4 {
+		t.Fatalf("covered torn segment masked live records: recovered %d routines, want 4", len(rec.Routines))
+	}
+}
+
+func TestShouldCheckpointThreshold(t *testing.T) {
+	j, _, err := Open(t.TempDir(), Options{CheckpointBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if j.ShouldCheckpoint() {
+		t.Fatal("fresh journal wants a checkpoint")
+	}
+	for !j.ShouldCheckpoint() {
+		if err := j.Append(&Batch{States: []StateEntry{{Device: "d", State: device.On}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestEventWindowGapKeepsNewest(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seq 5..6, then a gap (7..9 evicted before journaling), then 10..11.
+	if err := j.Append(&Batch{FirstSeq: 5, Events: []EventRecord{{Kind: 1}, {Kind: 2}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(&Batch{FirstSeq: 10, Events: []EventRecord{{Kind: 3}, {Kind: 4}}}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	_, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.FirstSeq != 10 || len(rec.Events) != 2 || rec.NextSeq() != 12 {
+		t.Fatalf("window = first %d len %d next %d; want 10, 2, 12", rec.FirstSeq, len(rec.Events), rec.NextSeq())
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	res := visibility.Result{
+		ID:     7,
+		Status: visibility.StatusAborted,
+		Routine: routine.New("cool",
+			routine.Command{Device: "window", Target: device.Closed},
+			routine.Command{Device: "ac", Target: device.On, Duration: time.Minute},
+		),
+
+		Submitted:          time.Unix(1, 0).UTC(),
+		Started:            time.Unix(2, 0).UTC(),
+		Finished:           time.Unix(3, 0).UTC(),
+		Executed:           3,
+		Skipped:            1,
+		BestEffortFailures: 2,
+		RolledBack:         3,
+		AbortReason:        "device failure",
+	}
+	back := FromResult(res).ToResult()
+	if back.ID != res.ID || back.Status != res.Status || back.AbortReason != res.AbortReason ||
+		back.Executed != res.Executed || back.RolledBack != res.RolledBack ||
+		!back.Finished.Equal(res.Finished) {
+		t.Fatalf("round trip mangled result: %+v", back)
+	}
+	if back.Routine == nil || back.Routine.Name != "cool" || len(back.Routine.Commands) != 2 {
+		t.Fatalf("round trip mangled routine: %+v", back.Routine)
+	}
+	if back.Routine.Commands[1].Duration != time.Minute {
+		t.Fatalf("command duration lost: %+v", back.Routine.Commands[1])
+	}
+}

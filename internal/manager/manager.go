@@ -33,14 +33,19 @@
 package manager
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"net/url"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
 
 	"safehome/internal/device"
+	"safehome/internal/journal"
 	"safehome/internal/routine"
 	rt "safehome/internal/runtime"
 	"safehome/internal/stats"
@@ -127,6 +132,16 @@ type Config struct {
 	// disables per-home event logs — at millions of homes the memory is
 	// better spent elsewhere. Enable it to serve /homes/{id}/events.
 	EventLog int
+	// DataDir enables durability: every home persists its metadata and a
+	// write-ahead journal under <DataDir>/homes/<id>, and RecoverHomes
+	// rediscovers and recovers all of them on the next boot (finished
+	// results, committed states and event cursors come back exactly;
+	// routines in flight at the crash come back Aborted). Empty keeps the
+	// manager memory-only.
+	DataDir string
+	// Journal tunes every home's write-ahead journal; only meaningful with
+	// DataDir set.
+	Journal journal.Options
 	// Home configures every home the manager creates.
 	Home HomeConfig
 }
@@ -228,6 +243,8 @@ func (m *Manager) runtimeConfig(id HomeID, shard int) rt.Config {
 		Batch:            m.cfg.Batch,
 		ReadConsistency:  m.cfg.ReadConsistency,
 		EventLog:         m.cfg.EventLog,
+		DataDir:          m.homeDir(id),
+		Journal:          m.cfg.Journal,
 		Observer: func(e visibility.Event) {
 			switch e.Kind {
 			case visibility.EvSubmitted:
@@ -242,16 +259,127 @@ func (m *Manager) runtimeConfig(id HomeID, shard int) rt.Config {
 	}
 }
 
-// AddHome creates a home with the given devices on the home's shard.
+// homeDir returns the home's durable directory ("" when the manager is
+// memory-only). Home IDs are path-escaped, so arbitrary tenant-chosen IDs
+// cannot traverse outside the data directory.
+func (m *Manager) homeDir(id HomeID) string {
+	if m.cfg.DataDir == "" {
+		return ""
+	}
+	return filepath.Join(m.cfg.DataDir, "homes", url.PathEscape(string(id)))
+}
+
+// homeMeta is the per-home metadata file (home.json) that lets RecoverHomes
+// rebuild the home's registry before replaying its journal.
+type homeMeta struct {
+	ID      HomeID        `json:"id"`
+	Devices []device.Info `json:"devices"`
+}
+
+// persistHomeMeta writes the home's metadata next to its journal (write to
+// a temp file, rename), skipping the write when the content is already
+// current — the recovery path re-adds every home with the devices it just
+// read from this file. Writing before the runtime opens the journal is
+// safe: recovering a home whose runtime was never built just yields an
+// empty home with the right devices.
+func (m *Manager) persistHomeMeta(id HomeID, devices []device.Info) error {
+	dir := m.homeDir(id)
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("manager: creating home dir: %w", err)
+	}
+	buf, err := json.MarshalIndent(homeMeta{ID: id, Devices: devices}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("manager: encoding home metadata: %w", err)
+	}
+	path := filepath.Join(dir, "home.json")
+	if prev, err := os.ReadFile(path); err == nil && string(prev) == string(buf) {
+		return nil // already current (recovery, or an identical re-add)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return fmt.Errorf("manager: writing home metadata: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("manager: publishing home metadata: %w", err)
+	}
+	return nil
+}
+
+// AddHome creates a home with the given devices on the home's shard. With a
+// DataDir configured, the home's metadata and journal are persisted under
+// <DataDir>/homes/<id>; re-adding a home whose directory already holds
+// durable state recovers it.
 func (m *Manager) AddHome(id HomeID, devices ...device.Info) error {
 	if id == "" {
 		return errors.New("manager: empty home ID")
+	}
+	// PathEscape leaves "." and ".." untouched (unreserved characters), so
+	// they would resolve to homes/ itself or the data dir root and lose
+	// their durable state; every other ID escapes to a safe single segment.
+	if id == "." || id == ".." {
+		return fmt.Errorf("manager: invalid home ID %q", id)
 	}
 	if len(devices) == 0 {
 		return fmt.Errorf("manager: home %q needs at least one device", id)
 	}
 	sh := m.shards[m.ShardOf(id)]
+	// Refuse duplicates before touching durable metadata: a failed re-add
+	// (e.g. a restart with a different fleet size re-adding recovered homes)
+	// must not rewrite home.json out from under the running home's registry.
+	if sh.has(id) {
+		return fmt.Errorf("%w: %q", ErrDuplicateHome, id)
+	}
+	if err := m.persistHomeMeta(id, devices); err != nil {
+		return err
+	}
 	return sh.addHome(id, devices)
+}
+
+// RecoverHomes rediscovers every home persisted under the manager's DataDir
+// and recovers it (results, committed states and event cursors exactly;
+// in-flight routines aborted). Homes already present are skipped, so it is
+// safe to call on a warm manager. It returns the recovered IDs, sorted.
+func (m *Manager) RecoverHomes() ([]HomeID, error) {
+	if m.cfg.DataDir == "" {
+		return nil, nil
+	}
+	root := filepath.Join(m.cfg.DataDir, "homes")
+	entries, err := os.ReadDir(root)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("manager: listing %s: %w", root, err)
+	}
+	var recovered []HomeID
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		buf, err := os.ReadFile(filepath.Join(root, e.Name(), "home.json"))
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue // not a home directory
+			}
+			return recovered, fmt.Errorf("manager: reading metadata of %s: %w", e.Name(), err)
+		}
+		var meta homeMeta
+		if err := json.Unmarshal(buf, &meta); err != nil {
+			return recovered, fmt.Errorf("manager: decoding metadata of %s: %w", e.Name(), err)
+		}
+		if err := m.AddHome(meta.ID, meta.Devices...); err != nil {
+			if errors.Is(err, ErrDuplicateHome) {
+				continue
+			}
+			return recovered, fmt.Errorf("manager: recovering home %q: %w", meta.ID, err)
+		}
+		recovered = append(recovered, meta.ID)
+	}
+	sort.Slice(recovered, func(i, j int) bool { return recovered[i] < recovered[j] })
+	return recovered, nil
 }
 
 // AddHomes creates n homes named <prefix>-0 .. <prefix>-(n-1), each with the

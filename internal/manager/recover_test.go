@@ -1,0 +1,171 @@
+package manager
+
+import (
+	"fmt"
+	"testing"
+
+	"safehome/internal/device"
+	"safehome/internal/routine"
+	"safehome/internal/visibility"
+)
+
+func durableManager(dir string) *Manager {
+	return New(Config{
+		Shards:   2,
+		DataDir:  dir,
+		EventLog: 32,
+		Home:     HomeConfig{Model: visibility.EV},
+	})
+}
+
+func durableRoutine(n int) *routine.Routine {
+	r := routine.New(fmt.Sprintf("r-%d", n))
+	r.Commands = append(r.Commands,
+		routine.Command{Device: device.ID(fmt.Sprintf("plug-%d", n%3)), Target: device.On},
+		routine.Command{Device: device.ID(fmt.Sprintf("plug-%d", (n+1)%3)), Target: device.Off},
+	)
+	return r
+}
+
+// TestManagerRecoversAllHomesOnBoot: a durable manager persists home
+// metadata and journals; a fresh manager over the same data dir rediscovers
+// every home with its history and keeps serving it.
+func TestManagerRecoversAllHomesOnBoot(t *testing.T) {
+	dir := t.TempDir()
+	m := durableManager(dir)
+	ids, err := m.AddHomes("home", 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[HomeID]int)
+	for i, id := range ids {
+		for k := 0; k <= i; k++ { // home-i gets i+1 routines
+			if _, err := m.Submit(id, durableRoutine(k)); err != nil {
+				t.Fatal(err)
+			}
+			want[id]++
+		}
+	}
+	m.Close()
+
+	m2 := durableManager(dir)
+	defer m2.Close()
+	recovered, err := m2.RecoverHomes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != len(ids) {
+		t.Fatalf("recovered %d homes, want %d (%v)", len(recovered), len(ids), recovered)
+	}
+	for id, n := range want {
+		results, err := m2.Results(id)
+		if err != nil {
+			t.Fatalf("home %s lost: %v", id, err)
+		}
+		if len(results) != n {
+			t.Fatalf("home %s recovered %d results, want %d", id, len(results), n)
+		}
+		for _, res := range results {
+			if res.Status != visibility.StatusCommitted {
+				t.Fatalf("home %s routine %d recovered as %s", id, res.ID, res.Status)
+			}
+		}
+		// The home keeps serving: the ID sequence continues.
+		rid, err := m2.Submit(id, durableRoutine(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rid != routine.ID(n+1) {
+			t.Fatalf("home %s post-recovery ID = %d, want %d", id, rid, n+1)
+		}
+	}
+	// RecoverHomes is idempotent on a warm manager.
+	again, err := m2.RecoverHomes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != 0 {
+		t.Fatalf("second RecoverHomes recovered %v", again)
+	}
+}
+
+// TestManagerRecoversCrashedHome kills one home's runtime without a graceful
+// drain; a fresh manager recovers it from its journal tail.
+func TestManagerRecoversCrashedHome(t *testing.T) {
+	dir := t.TempDir()
+	m := durableManager(dir)
+	if err := m.AddHome("casa", device.Plugs(3).All()...); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		if _, err := m.Submit("casa", durableRoutine(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	home, err := m.Runtime("casa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := home.CommittedStates()
+	home.Crash()
+	m.Close() // idempotent over the crashed home
+
+	m2 := durableManager(dir)
+	defer m2.Close()
+	if _, err := m2.RecoverHomes(); err != nil {
+		t.Fatal(err)
+	}
+	results, err := m2.Results("casa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 7 {
+		t.Fatalf("recovered %d results, want 7", len(results))
+	}
+	rec, err := m2.Runtime("casa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d, s := range states {
+		if got, _ := rec.Snapshot().CommittedState(d); got != s {
+			t.Fatalf("committed state of %s = %q, want %q", d, got, s)
+		}
+	}
+}
+
+// TestDotHomeIDsRejected: "." and ".." survive path escaping unchanged and
+// would resolve into (or above) the homes/ root, so they are invalid IDs.
+func TestDotHomeIDsRejected(t *testing.T) {
+	m := durableManager(t.TempDir())
+	defer m.Close()
+	for _, id := range []HomeID{".", ".."} {
+		if err := m.AddHome(id, device.Plugs(1).All()...); err == nil {
+			t.Fatalf("AddHome(%q) succeeded", id)
+		}
+	}
+}
+
+// TestHomeIDsArePathEscaped: tenant-chosen IDs with path separators must not
+// escape the manager's data directory.
+func TestHomeIDsArePathEscaped(t *testing.T) {
+	dir := t.TempDir()
+	m := durableManager(dir)
+	id := HomeID("../../evil/home")
+	if err := m.AddHome(id, device.Plugs(2).All()...); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(id, durableRoutine(0)); err != nil {
+		t.Fatal(err)
+	}
+	m.Close() // release the home's journal lock before the successor opens it
+
+	m2 := durableManager(dir)
+	defer m2.Close()
+	recovered, err := m2.RecoverHomes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 1 || recovered[0] != id {
+		t.Fatalf("recovered %v, want [%q]", recovered, id)
+	}
+}

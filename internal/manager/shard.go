@@ -55,6 +55,14 @@ func (s *shard) addHome(id HomeID, devices []device.Info) error {
 	return nil
 }
 
+// has reports whether the shard currently owns the home.
+func (s *shard) has(id HomeID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.homes[id]
+	return ok
+}
+
 // snapshot returns a point-in-time copy of the routing map.
 func (s *shard) snapshot() map[HomeID]*rt.HomeRuntime {
 	s.mu.RLock()

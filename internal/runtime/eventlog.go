@@ -80,6 +80,33 @@ func (l *eventLog) append(e visibility.Event) {
 	l.dirty = true
 }
 
+// nextSeqLive returns the sequence number the next appended event will get.
+// Unlike eventsView.nextSeq it reads the live log, so the loop can stamp
+// journal records before the next publish.
+func (l *eventLog) nextSeqLive() uint64 {
+	if l == nil {
+		return 1
+	}
+	return l.firstSeq + uint64(l.n)
+}
+
+// restore seeds a fresh log with a recovered event window: firstSeq is the
+// sequence number of events[0], so cursors handed out before the crash stay
+// valid and strictly monotonic afterwards. Must run before any append (the
+// constructors call it during journal recovery).
+func (l *eventLog) restore(firstSeq uint64, events []visibility.Event) {
+	if l == nil || len(events) == 0 {
+		return
+	}
+	if firstSeq == 0 {
+		firstSeq = 1
+	}
+	l.firstSeq = firstSeq
+	for _, e := range events {
+		l.append(e)
+	}
+}
+
 // view returns an immutable window over the current log contents, reusing
 // the previous window when nothing was appended since.
 func (l *eventLog) view() eventsView {

@@ -1,0 +1,262 @@
+package runtime
+
+import (
+	"fmt"
+
+	"safehome/internal/device"
+	"safehome/internal/journal"
+	"safehome/internal/routine"
+	"safehome/internal/visibility"
+)
+
+// This file wires the write-ahead journal (internal/journal) into the home
+// runtime's loop. Durability rides the existing batch drain: while the loop
+// applies a batch, journal collectors (an observer tap and the controller's
+// StateSink) accumulate what the batch produced — accepted submissions,
+// finished outcomes, committed-state changes, sequenced activity events —
+// and journalFlush turns the accumulation into ONE journal record with ONE
+// fsync (group commit), strictly before the batch's replies are delivered.
+// An operation whose reply the caller has seen is therefore durable: after
+// a crash, recovery rebuilds exactly the acknowledged state, and routines
+// that were still in flight are aborted with rollback per the paper's
+// failure semantics (their writes never reached the committed view, which
+// is precisely what recovery restores).
+//
+// Checkpoints are cut from the already-immutable published Snapshot once
+// enough journal has accumulated, after which older segments are truncated;
+// see ARCHITECTURE.md ("Durability") for the lifecycle.
+
+// journalState is the loop-owned accumulation between flushes.
+type journalState struct {
+	jrn      *journal.Journal
+	submits  []routine.ID
+	finishes []routine.ID
+	states   []journal.StateEntry
+	stateIdx map[device.ID]int // device -> index in states (last write wins)
+	events   []journal.EventRecord
+	firstSeq uint64 // sequence of events[0]
+}
+
+// openJournal opens the runtime's data directory and recovers its durable
+// state. Called from the constructors before the controller exists.
+func (rt *HomeRuntime) openJournal() (*journal.Recovered, error) {
+	if rt.cfg.DataDir == "" {
+		return nil, nil
+	}
+	j, rec, err := journal.Open(rt.cfg.DataDir, rt.cfg.Journal)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: home %q: %w", rt.cfg.ID, err)
+	}
+	rt.j = &journalState{jrn: j, stateIdx: make(map[device.ID]int)}
+	return rec, nil
+}
+
+// collectJournal is the observer tap: it notes submissions and finishes (the
+// outcome records are resolved from the controller at flush time, when they
+// are final) and captures activity events with their sequence numbers.
+func (rt *HomeRuntime) collectJournal(e visibility.Event) {
+	switch e.Kind {
+	case visibility.EvSubmitted:
+		rt.j.submits = append(rt.j.submits, e.Routine)
+	case visibility.EvCommitted, visibility.EvAborted:
+		rt.j.finishes = append(rt.j.finishes, e.Routine)
+	}
+	if rt.cfg.EventLog > 0 {
+		if len(rt.j.events) == 0 {
+			// recordEvent runs after this tap, so nextSeqLive is still the
+			// sequence this event will get.
+			rt.j.firstSeq = rt.elog.nextSeqLive()
+		}
+		rt.j.events = append(rt.j.events, journal.FromEvent(e))
+	}
+}
+
+// noteStateChange is the controller's StateSink: committed-state changes are
+// deduplicated per batch (last write wins — recovery only needs the final
+// value).
+func (rt *HomeRuntime) noteStateChange(d device.ID, s device.State) {
+	if i, ok := rt.j.stateIdx[d]; ok {
+		rt.j.states[i].State = s
+		return
+	}
+	rt.j.stateIdx[d] = len(rt.j.states)
+	rt.j.states = append(rt.j.states, journal.StateEntry{Device: d, State: s})
+}
+
+func (rt *HomeRuntime) journalEmpty() bool {
+	return len(rt.j.submits) == 0 && len(rt.j.finishes) == 0 &&
+		len(rt.j.states) == 0 && len(rt.j.events) == 0
+}
+
+func (rt *HomeRuntime) journalReset() {
+	rt.j.submits = rt.j.submits[:0]
+	rt.j.finishes = rt.j.finishes[:0]
+	rt.j.states = rt.j.states[:0]
+	clear(rt.j.stateIdx)
+	rt.j.events = rt.j.events[:0]
+	rt.j.firstSeq = 0
+}
+
+// resolveRecords materializes the current outcome records of the given
+// routines from the controller.
+func (rt *HomeRuntime) resolveRecords(ids []routine.ID) []journal.RoutineRecord {
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]journal.RoutineRecord, 0, len(ids))
+	for _, id := range ids {
+		if res, ok := rt.ctrl.Result(id); ok {
+			out = append(out, journal.FromResult(res))
+		}
+	}
+	return out
+}
+
+// journalFlush group-commits everything the batch accumulated: one record,
+// one fsync, called on the loop goroutine strictly before the batch's
+// replies are delivered.
+func (rt *HomeRuntime) journalFlush() {
+	if rt.j == nil || rt.journalEmpty() {
+		return
+	}
+	// The batch borrows the accumulation buffers: Append marshals it to JSON
+	// synchronously and retains nothing, so the buffers are reset (not
+	// copied) afterwards — no per-commit slice copies on the durable path.
+	b := &journal.Batch{
+		Submits:  rt.resolveRecords(rt.j.submits),
+		Finishes: rt.resolveRecords(rt.j.finishes),
+		States:   rt.j.states,
+		FirstSeq: rt.j.firstSeq,
+		Events:   rt.j.events,
+	}
+	if err := rt.j.jrn.Append(b); err != nil {
+		rt.journalFail(err) // sets rt.j = nil; nothing left to reset
+		return
+	}
+	err := rt.j.jrn.Commit()
+	rt.journalReset()
+	if err != nil {
+		rt.journalFail(err)
+	}
+}
+
+// maybeCheckpoint cuts a checkpoint once enough journal has accumulated. It
+// runs right after publish, so the snapshot it reads covers everything up to
+// and including the journal's last record.
+func (rt *HomeRuntime) maybeCheckpoint() {
+	if rt.j == nil || !rt.j.jrn.ShouldCheckpoint() {
+		return
+	}
+	rt.checkpointNow()
+}
+
+// checkpointNow derives a full durable image from the latest published
+// Snapshot (results including open routines, committed states, the retained
+// event window) and hands it to the journal, which truncates the segments
+// the checkpoint covers.
+func (rt *HomeRuntime) checkpointNow() {
+	if rt.j == nil {
+		return
+	}
+	s := rt.snap.Load()
+	ck := &journal.Checkpoint{}
+	results := s.Results()
+	ck.Routines = make([]journal.RoutineRecord, 0, len(results))
+	for _, res := range results {
+		ck.Routines = append(ck.Routines, journal.FromResult(res))
+	}
+	for d, st := range s.CommittedStates() {
+		ck.States = append(ck.States, journal.StateEntry{Device: d, State: st})
+	}
+	first, _ := s.EventSeqRange()
+	ck.FirstSeq = first
+	events := s.Events()
+	ck.Events = make([]journal.EventRecord, 0, len(events))
+	for _, e := range events {
+		ck.Events = append(ck.Events, journal.FromEvent(e))
+	}
+	if err := rt.j.jrn.Checkpoint(ck); err != nil {
+		rt.journalFail(err)
+	}
+}
+
+// journalFail disables journaling after an I/O error (disk full, permission
+// flip, ...). The home keeps serving from memory — availability over
+// durability — and the error is surfaced through JournalError.
+func (rt *HomeRuntime) journalFail(err error) {
+	rt.jErr.Store(err)
+	rt.j.jrn.Abandon()
+	rt.j = nil
+}
+
+// JournalError reports the error that disabled journaling, if any. A nil
+// return with a configured DataDir means every acknowledged batch so far is
+// durable.
+func (rt *HomeRuntime) JournalError() error {
+	if v := rt.jErr.Load(); v != nil {
+		return v.(error)
+	}
+	return nil
+}
+
+// Durable reports whether the runtime is journaling (a DataDir was
+// configured and no journal I/O error has occurred).
+func (rt *HomeRuntime) Durable() bool { return rt.cfg.DataDir != "" && rt.JournalError() == nil }
+
+// recoverFrom seeds the freshly built controller, event log and observer
+// chain from a journal recovery. It runs in the constructors, before the
+// loop starts. Routines that were in flight at the crash are terminated per
+// the paper's failure semantics: aborted, with their effects rolled back to
+// the pre-routine committed states (which is exactly the recovered committed
+// view — an unfinished routine's writes never entered it), and surfaced as
+// Aborted outcomes plus EvAborted activity events.
+func (rt *HomeRuntime) recoverFrom(rec *journal.Recovered) {
+	now := rt.env.Now()
+	results := make([]visibility.Result, 0, len(rec.Routines))
+	var aborted []visibility.Result
+	for _, rr := range rec.Routines {
+		res := rr.ToResult()
+		if !res.Status.Finished() {
+			res.Status = visibility.StatusAborted
+			res.AbortReason = "hub restart: in flight at crash, rolled back"
+			if res.Started.IsZero() {
+				res.Started = res.Submitted
+			}
+			res.Finished = now
+			aborted = append(aborted, res)
+		}
+		results = append(results, res)
+	}
+	rt.ctrl.Preload(results)
+
+	if rt.cfg.EventLog > 0 {
+		events := make([]visibility.Event, 0, len(rec.Events))
+		for _, er := range rec.Events {
+			events = append(events, er.ToEvent())
+		}
+		rt.elog.restore(rec.FirstSeq, events)
+	}
+	// Announce the crash-aborts through the observer chain: they land in the
+	// event log (with post-restart sequence numbers), the owner's counters,
+	// and the journal collectors — the post-recovery checkpoint makes them
+	// durable.
+	for _, res := range aborted {
+		rt.observe(visibility.Event{
+			Time:    now,
+			Kind:    visibility.EvAborted,
+			Routine: res.ID,
+			Detail:  res.AbortReason,
+		})
+	}
+}
+
+// finishRecovery publishes the recovered snapshot and immediately cuts a
+// fresh checkpoint, so the pre-crash segments are truncated and the next
+// recovery replays only what happens from here on. Runs before the loop
+// starts.
+func (rt *HomeRuntime) finishRecovery() {
+	rt.checkpointNow()
+	if rt.j != nil {
+		rt.journalReset()
+	}
+}

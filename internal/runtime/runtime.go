@@ -30,6 +30,7 @@ import (
 
 	"safehome/internal/device"
 	"safehome/internal/failure"
+	"safehome/internal/journal"
 	"safehome/internal/live"
 	"safehome/internal/routine"
 	"safehome/internal/sim"
@@ -84,6 +85,18 @@ type Config struct {
 	// long-lived homes don't grow their per-device gap scans with history.
 	// 0 means DefaultHistoryHorizon; negative disables compaction.
 	HistoryHorizon time.Duration
+	// DataDir enables durability: accepted mutating operations, routine
+	// outcomes, committed device states and sequenced activity events are
+	// group-committed to a write-ahead journal in this directory (one fsync
+	// per batch drain, not per operation), checkpointed periodically, and
+	// recovered on the next construction with the same DataDir — finished
+	// results, committed states and event cursors come back exactly, while
+	// routines in flight at the crash are aborted with rollback. Empty (the
+	// default) keeps the runtime memory-only with an unchanged hot path.
+	DataDir string
+	// Journal tunes the write-ahead journal (segment rotation, checkpoint
+	// cadence, fsync). Only meaningful with DataDir set.
+	Journal journal.Options
 	// Observer additionally receives every controller event (e.g. the
 	// manager's cross-shard counters). It runs on the loop goroutine.
 	Observer visibility.Observer
@@ -172,7 +185,14 @@ type HomeRuntime struct {
 	// ReadSnapshot consistency answer from it without entering the mailbox.
 	snap atomic.Pointer[Snapshot]
 
+	// crashed turns Close's graceful drain into a SIGKILL-equivalent stop
+	// (see Crash); jErr records the error that disabled journaling, if any.
+	crashed atomic.Bool
+	jErr    atomic.Value
+
 	// Loop-owned state:
+	j               *journalState       // write-ahead journal (nil without DataDir)
+	observe         visibility.Observer // the full observer chain (journal tap, event log, user)
 	elog            *eventLog
 	snapDirty       bool      // an op since the last publish changed observable state
 	fleetVersion    uint64    // fleet.Version() at the last ground-truth capture
@@ -195,18 +215,36 @@ func NewSim(cfg Config, reg *device.Registry) (*HomeRuntime, error) {
 		return nil, fmt.Errorf("runtime: NewSim cannot run on the wall clock; use NewLive")
 	}
 	rt := newRuntime(cfg, reg)
+	rec, err := rt.openJournal()
+	if err != nil {
+		return nil, err
+	}
 	rt.fleet = device.NewFleet(reg)
 	if cfg.Clock == ClockPaced {
 		rt.simc = sim.New(time.Now())
 	} else {
 		rt.simc = sim.NewAtEpoch()
 	}
+	if rec != nil {
+		// Rollback-to-committed ground truth: after a crash the fleet comes
+		// back in the last committed states — in-flight routines' partial
+		// effects are undone, per the paper's abort semantics.
+		for d, s := range rec.States {
+			_ = rt.fleet.ForceState(d, s) // devices gone from the registry are skipped
+		}
+	}
 	env := visibility.NewSimEnv(rt.simc, rt.fleet)
 	env.ActuationLatency = cfg.ActuationLatency
 	rt.env = env
 	rt.ctrl = visibility.New(env, rt.fleet.Snapshot(), rt.controllerOptions())
 	rt.compacter, _ = rt.ctrl.(historyCompacter)
+	if rec != nil {
+		rt.recoverFrom(rec)
+	}
 	rt.publish(true) // initial snapshot: readers never see a nil pointer
+	if rec != nil {
+		rt.finishRecovery()
+	}
 	go rt.loop()
 	return rt, nil
 }
@@ -225,19 +263,34 @@ func NewLive(cfg Config, reg *device.Registry, actuator device.Actuator) (*HomeR
 	cfg = cfg.normalized()
 	cfg.Clock = ClockWall
 	rt := newRuntime(cfg, reg)
+	rec, err := rt.openJournal()
+	if err != nil {
+		return nil, err
+	}
 	rt.lenv = live.New(rt, actuator)
 	rt.env = rt.lenv
 
 	// Seed the controller's committed-state view from the devices' initial
-	// metadata; unknown initial states are left for the first routines to set.
+	// metadata; unknown initial states are left for the first routines to
+	// set. Recovered committed states override the factory defaults.
 	initial := make(map[device.ID]device.State)
 	for _, info := range reg.All() {
 		if info.Initial != device.StateUnknown {
 			initial[info.ID] = info.Initial
 		}
 	}
+	if rec != nil {
+		for d, s := range rec.States {
+			if _, ok := reg.Get(d); ok {
+				initial[d] = s
+			}
+		}
+	}
 	rt.ctrl = visibility.New(rt.env, initial, rt.controllerOptions())
 	rt.compacter, _ = rt.ctrl.(historyCompacter)
+	if rec != nil {
+		rt.recoverFrom(rec)
+	}
 
 	rt.detector = failure.NewDetector(actuator, reg.IDs(), failure.Options{
 		Interval:  cfg.FailureInterval,
@@ -252,6 +305,9 @@ func NewLive(cfg Config, reg *device.Registry, actuator device.Actuator) (*HomeR
 		}
 	}
 	rt.publish(true) // initial snapshot: readers never see a nil pointer
+	if rec != nil {
+		rt.finishRecovery()
+	}
 	go rt.loop()
 	return rt, nil
 }
@@ -269,20 +325,35 @@ func newRuntime(cfg Config, reg *device.Registry) *HomeRuntime {
 	}
 }
 
-// controllerOptions chains the runtime's activity log in front of the
-// configured observer. recordEvent runs on the loop goroutine only.
+// controllerOptions chains the journal tap and the runtime's activity log in
+// front of the configured observer, and wires the journal's committed-state
+// sink. The whole chain runs on the loop goroutine only.
 func (rt *HomeRuntime) controllerOptions() visibility.Options {
 	opts := rt.cfg.options()
 	user := rt.cfg.Observer
-	if rt.cfg.EventLog > 0 {
+	journaled := rt.j != nil
+	if journaled || rt.cfg.EventLog > 0 {
 		opts.Observer = func(e visibility.Event) {
-			rt.recordEvent(e)
+			if rt.j != nil {
+				rt.collectJournal(e)
+			}
+			if rt.cfg.EventLog > 0 {
+				rt.recordEvent(e)
+			}
 			if user != nil {
 				user(e)
 			}
 		}
 	} else {
 		opts.Observer = user
+	}
+	rt.observe = opts.Observer
+	if journaled {
+		opts.StateSink = func(d device.ID, s device.State) {
+			if rt.j != nil {
+				rt.noteStateChange(d, s)
+			}
+		}
 	}
 	return opts
 }
@@ -349,6 +420,34 @@ func (rt *HomeRuntime) Close() {
 	<-rt.done
 }
 
+// Crash is the SIGKILL-equivalent stop used by crash drills and recovery
+// tests: no graceful drain, no trigger teardown, no final journal flush or
+// checkpoint. Queued-but-unapplied operations are answered with ErrClosed
+// (their callers were never acknowledged), the loop exits immediately, and
+// only what the journal group-committed before the crash survives — which
+// is exactly what a recovery from the same DataDir restores. The runtime is
+// unusable afterwards; Close becomes a no-op.
+func (rt *HomeRuntime) Crash() {
+	rt.closeOnce.Do(func() {
+		rt.crashed.Store(true)
+		if rt.cancelDetect != nil {
+			rt.cancelDetect()
+		}
+		rt.closeMu.Lock()
+		rt.closed = true
+		close(rt.ch)
+		rt.closeMu.Unlock()
+	})
+	<-rt.done
+	// The loop has exited without touching the journal (no flush, no
+	// checkpoint); release its file descriptors and directory lock the way
+	// process death would, so the data directory can be reopened.
+	if rt.j != nil {
+		rt.j.jrn.Abandon()
+		rt.j = nil
+	}
+}
+
 // pendingReply is one deferred answer: the loop applies a whole batch,
 // publishes the resulting snapshot, and only then delivers replies, so a
 // caller whose mutation returned is guaranteed to find its effect in the
@@ -374,6 +473,10 @@ func (rt *HomeRuntime) loop() {
 		if !ok {
 			break
 		}
+		if rt.crashed.Load() {
+			rt.drainCrashed(o)
+			return
+		}
 		batch = append(batch[:0], o)
 	fill:
 		for len(batch) < rt.cfg.Batch {
@@ -390,9 +493,11 @@ func (rt *HomeRuntime) loop() {
 		}
 		for i := range batch {
 			if batch[i].kind == opSuspend {
-				// Publish and deliver everything applied so far before
-				// parking: a parked loop must not hold earlier callers'
-				// replies (or their snapshot visibility) hostage.
+				// Journal, publish and deliver everything applied so far
+				// before parking: a parked loop must not hold earlier
+				// callers' replies (or their durability, or their snapshot
+				// visibility) hostage.
+				rt.journalFlush()
 				rt.publish(false)
 				replies = flushReplies(replies)
 			}
@@ -402,11 +507,41 @@ func (rt *HomeRuntime) loop() {
 			batch[i] = op{} // release payloads (routines, closures) once applied
 		}
 		rt.compactHistory()
+		// Group commit before the batch's replies: an acknowledged operation
+		// is a durable operation. The snapshot publish follows the journal
+		// write, so readers never observe state that a crash could lose.
+		rt.journalFlush()
 		rt.publish(false)
+		rt.maybeCheckpoint()
 		rt.publishNextDue()
 		replies = flushReplies(replies)
 	}
+	if rt.crashed.Load() {
+		return // SIGKILL-equivalent: no drain, no final flush or checkpoint
+	}
 	rt.shutdown()
+}
+
+// drainCrashed is the SIGKILL-equivalent loop exit: the first queued op (and
+// everything behind it) is answered with ErrClosed without being applied, so
+// no caller was acknowledged and none hangs. Nothing is drained, journaled
+// or checkpointed — recovery sees exactly what the last group commit made
+// durable.
+func (rt *HomeRuntime) drainCrashed(first op) {
+	o := first
+	for {
+		if o.reply != nil {
+			o.reply.send(result{err: ErrClosed})
+		}
+		if o.kind == opSuspend {
+			close(o.gate) // never parks: the caller's resume is a no-op
+		}
+		var ok bool
+		o, ok = <-rt.ch
+		if !ok {
+			return
+		}
+	}
 }
 
 // flushReplies delivers the batch's deferred answers and returns the
@@ -428,9 +563,17 @@ func (rt *HomeRuntime) shutdown() {
 		rt.simc.Run()
 		rt.flushSimEvents()
 	}
+	// Group-commit whatever the final drain produced, then cut a final
+	// checkpoint: a restart after a clean Close replays nothing.
+	rt.journalFlush()
 	// The final snapshot: post-Close snapshot reads observe the quiesced
 	// state, exactly like the inline fallback of linearizable reads.
 	rt.publish(true)
+	if rt.j != nil {
+		rt.checkpointNow()
+		_ = rt.j.jrn.Close()
+		rt.j = nil
+	}
 }
 
 // apply executes one operation on the loop goroutine. It returns the
@@ -631,7 +774,11 @@ func (rt *HomeRuntime) Submit(r *routine.Routine) (routine.ID, error) {
 		rp.discard()
 		return routine.None, err
 	}
-	return rp.await().rid, nil
+	res := rp.await()
+	if res.err != nil {
+		return routine.None, res.err
+	}
+	return res.rid, nil
 }
 
 // SubmitAfter schedules a routine submission after the given delay on the
@@ -645,8 +792,7 @@ func (rt *HomeRuntime) SubmitAfter(d time.Duration, r *routine.Routine) error {
 		rp.discard()
 		return err
 	}
-	rp.await()
-	return nil
+	return rp.await().err
 }
 
 // FailDevice injects a fail-stop failure of a simulated device.
@@ -683,7 +829,9 @@ type Counts struct {
 
 // query posts a read; after Close it evaluates inline on the quiesced state
 // (safe: the loop goroutine has exited, and <-rt.done orders its writes
-// before the inline read).
+// before the inline read). A query the loop refused to answer — it was
+// queued when Crash() drained the ring — takes the same inline path, so
+// linearizable readers never see a zero-value answer.
 func (rt *HomeRuntime) query(o op) result {
 	rp := newReply()
 	o.reply = rp
@@ -692,7 +840,11 @@ func (rt *HomeRuntime) query(o op) result {
 		<-rt.done
 		return rt.evalQuery(&o)
 	}
-	return rp.await()
+	if res := rp.await(); res.err == nil {
+		return res
+	}
+	<-rt.done
+	return rt.evalQuery(&o)
 }
 
 // evalQuery answers one read-only op. It runs on the loop goroutine while

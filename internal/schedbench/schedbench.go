@@ -125,28 +125,53 @@ func submitRetrying(b *testing.B, submit func() error) bool {
 // hub both sit on, and reports a routines/s extra metric.
 func RuntimeThroughput(batch int) func(b *testing.B) {
 	return func(b *testing.B) {
-		home, err := rt.NewSim(rt.Config{
+		runtimeThroughput(b, rt.Config{
 			ID:    "bench",
 			Model: visibility.EV,
 			Batch: batch,
-		}, device.Plugs(8))
-		if err != nil {
-			b.Fatal(err)
-		}
-		defer home.Close()
-		var next atomic.Int64
-		b.ReportAllocs()
-		b.ResetTimer()
-		b.RunParallel(func(pb *testing.PB) {
-			for pb.Next() {
-				r := Routine("bench", 3, 8, next.Add(1))
-				if !submitRetrying(b, func() error { _, err := home.Submit(r); return err }) {
-					return
-				}
-			}
 		})
-		b.StopTimer()
-		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "routines/s")
+	}
+}
+
+// RuntimeThroughputJournaled is RuntimeThroughput with durability on: every
+// batch drain is group-committed (one fsync) to a write-ahead journal in a
+// temporary data directory before its replies are delivered. The delta
+// against the memory-only rows is the price of crash safety — amortized per
+// batch, so it shrinks as batch dequeue coalesces concurrent submissions.
+func RuntimeThroughputJournaled(batch int) func(b *testing.B) {
+	return func(b *testing.B) {
+		runtimeThroughput(b, rt.Config{
+			ID:      "bench",
+			Model:   visibility.EV,
+			Batch:   batch,
+			DataDir: b.TempDir(),
+		})
+	}
+}
+
+func runtimeThroughput(b *testing.B, cfg rt.Config) {
+	home, err := rt.NewSim(cfg, device.Plugs(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer home.Close()
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			r := Routine("bench", 3, 8, next.Add(1))
+			if !submitRetrying(b, func() error { _, err := home.Submit(r); return err }) {
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "routines/s")
+	if cfg.DataDir != "" {
+		if err := home.JournalError(); err != nil {
+			b.Fatalf("journal failed during bench: %v", err)
+		}
 	}
 }
 
@@ -254,6 +279,9 @@ func Cases() []Case {
 	}
 	for _, n := range []int{1, 32} {
 		out = append(out, Case{Name: fmt.Sprintf("RuntimeThroughput/batch=%d", n), Fn: RuntimeThroughput(n)})
+	}
+	for _, n := range []int{1, 32} {
+		out = append(out, Case{Name: fmt.Sprintf("RuntimeThroughput/batch=%d/journal=on", n), Fn: RuntimeThroughputJournaled(n)})
 	}
 	for _, s := range []int{1, 2, 4, 8} {
 		out = append(out, Case{Name: fmt.Sprintf("ManagerThroughput/shards=%d", s), Fn: ManagerThroughput(s, 64)})

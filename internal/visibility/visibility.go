@@ -296,6 +296,12 @@ type Options struct {
 	CheckInvariants bool
 	// Observer receives controller events (may be nil).
 	Observer Observer
+	// StateSink, if set, receives every committed-state change (after it is
+	// folded into the controller's committed view). The home runtime uses it
+	// to journal committed states for crash recovery; like the Observer it
+	// runs on the controller's owning goroutine. Initial states passed to New
+	// are not reported — they are re-derivable from the device registry.
+	StateSink func(device.ID, device.State)
 }
 
 // Defaults mirror the paper's implementation constants (§4.3, §6).
@@ -376,6 +382,13 @@ type Controller interface {
 	// the goroutine that owns the controller; the result may be read from
 	// any goroutine. See export.go.
 	Export() *StateExport
+	// Preload seeds the controller with an already-finished routine history
+	// recovered from durable storage: results keep their original IDs (which
+	// must be dense, ascending and start at 1), statuses and counters, and
+	// new submissions continue the ID sequence after them. Every preloaded
+	// result must be terminal; recovery converts in-flight routines to
+	// Aborted before preloading. Preload must be called before any Submit.
+	Preload(results []Result)
 }
 
 // New builds a controller for the options' model. initial seeds the
@@ -468,6 +481,9 @@ func (b *base) setCommitted(d device.ID, s device.State) {
 	}
 	b.committed[d] = s
 	b.export.noteCommittedState(d)
+	if b.opts.StateSink != nil {
+		b.opts.StateSink(d, s)
+	}
 }
 
 // assign registers a newly submitted routine and returns its Result record.
@@ -579,6 +595,35 @@ func (b *base) Result(id routine.ID) (Result, bool) {
 		return Result{}, false
 	}
 	return *b.export.slot(id), true
+}
+
+// Preload implements Controller.Preload for every model: recovered routines
+// are terminal, so they never interact with scheduling state — they only
+// seed the result history (write-once export slots included) and the ID
+// sequence. The routine is cloned so the recovered record stays decoupled
+// from later reads.
+func (b *base) Preload(results []Result) {
+	for i := range results {
+		res := results[i]
+		if !res.Status.Finished() {
+			panic(fmt.Sprintf("visibility: Preload of unfinished routine %d (%s)", res.ID, res.Status))
+		}
+		if int64(res.ID) != int64(b.nextID)+1 {
+			panic(fmt.Sprintf("visibility: Preload out of order: routine %d after %d", res.ID, b.nextID))
+		}
+		if res.Routine != nil {
+			cp := res.Routine.Clone()
+			cp.ID = res.ID
+			res.Routine = cp
+		}
+		b.nextID = res.ID
+		rec := res
+		b.results[res.ID] = &rec
+		b.submitted = append(b.submitted, res.ID)
+		b.finished++
+		b.export.noteOpen(res.ID)
+		b.export.noteFinished(res.ID)
+	}
 }
 
 func (b *base) RoutineCount() int { return len(b.submitted) }
