@@ -17,6 +17,13 @@
 //	safehome-cli trigger evening-routine
 //	safehome-cli events
 //	safehome-cli events -cursor /tmp/cursor -follow
+//
+// Against a multi-home manager (safehome-hub -homes N), -home ID scopes the
+// home-level commands to /homes/{id}/...:
+//
+//	safehome-cli -home home-1 status
+//	safehome-cli -home home-1 submit routine.json
+//	safehome-cli -home home-1 events -follow
 package main
 
 import (
@@ -34,6 +41,7 @@ import (
 
 func main() {
 	hubURL := flag.String("hub", "http://127.0.0.1:8123", "base URL of the safehome-hub API")
+	home := flag.String("home", "", "target one home of a multi-home manager (safehome-hub -homes N)")
 	timeout := flag.Duration("timeout", 5*time.Second, "HTTP request timeout")
 	flag.Parse()
 
@@ -42,34 +50,36 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	cli := &client{base: strings.TrimRight(*hubURL, "/"), http: &http.Client{Timeout: *timeout}}
+	cli := &client{base: strings.TrimRight(*hubURL, "/"), home: *home, http: &http.Client{Timeout: *timeout}}
 
 	var err error
 	switch args[0] {
 	case "status":
-		err = cli.printJSON("GET", "/api/status", nil)
+		err = cli.printJSON("GET", cli.path("/status"), nil)
 	case "devices":
-		err = cli.printJSON("GET", "/api/devices", nil)
+		err = cli.printJSON("GET", cli.path("/devices"), nil)
 	case "routines":
-		err = cli.printJSON("GET", "/api/routines", nil)
+		err = cli.printJSON("GET", cli.path("/routines"), nil)
 	case "routine":
 		if len(args) < 2 {
 			err = fmt.Errorf("usage: safehome-cli routine <id>")
 			break
 		}
-		err = cli.printJSON("GET", "/api/routines/"+args[1], nil)
+		err = cli.printJSON("GET", cli.path("/routines/"+args[1]), nil)
 	case "submit":
-		err = cli.postFile(args[1:], "/api/routines")
+		err = cli.postFile(args[1:], cli.path("/routines"))
 	case "store":
-		err = cli.postFile(args[1:], "/api/bank")
+		err = cli.singleHomeOnly("store", func() error { return cli.postFile(args[1:], "/api/bank") })
 	case "bank":
-		err = cli.printJSON("GET", "/api/bank", nil)
+		err = cli.singleHomeOnly("bank", func() error { return cli.printJSON("GET", "/api/bank", nil) })
 	case "trigger":
 		if len(args) < 2 {
 			err = fmt.Errorf("usage: safehome-cli trigger <name>")
 			break
 		}
-		err = cli.printJSON("POST", "/api/bank/"+args[1]+"/trigger", nil)
+		err = cli.singleHomeOnly("trigger", func() error {
+			return cli.printJSON("POST", "/api/bank/"+args[1]+"/trigger", nil)
+		})
 	case "events":
 		err = cli.eventsCmd(args[1:])
 	default:
@@ -83,7 +93,11 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: safehome-cli [-hub URL] <command>
+	fmt.Fprintln(os.Stderr, `usage: safehome-cli [-hub URL] [-home ID] <command>
+
+-home ID targets one home of a multi-home manager (safehome-hub -homes N):
+status, devices, routines, routine, submit and events then hit
+/homes/{id}/... instead of the single hub's /api/... namespace.
 
 commands:
   status              hub summary
@@ -145,7 +159,7 @@ func (c *client) eventsCmd(args []string) error {
 	}
 	for {
 		var page eventPage
-		if err := c.getJSON("/api/events?since="+strconv.FormatUint(cursor, 10), &page); err != nil {
+		if err := c.getJSON(c.path("/events")+"?since="+strconv.FormatUint(cursor, 10), &page); err != nil {
 			if !*follow {
 				return err
 			}
@@ -203,7 +217,26 @@ func (c *client) getJSON(path string, out any) error {
 
 type client struct {
 	base string
+	home string
 	http *http.Client
+}
+
+// path resolves a home-scoped endpoint: the single hub's /api namespace by
+// default, or one home of a multi-home manager when -home is set.
+func (c *client) path(suffix string) string {
+	if c.home != "" {
+		return "/homes/" + c.home + suffix
+	}
+	return "/api" + suffix
+}
+
+// singleHomeOnly rejects commands (routine bank, triggers) that only the
+// single-hub API serves when the caller targeted a manager home.
+func (c *client) singleHomeOnly(cmd string, run func() error) error {
+	if c.home != "" {
+		return fmt.Errorf("%s is not available per home; the routine bank lives on the single hub API (drop -home)", cmd)
+	}
+	return run()
 }
 
 func (c *client) postFile(args []string, path string) error {

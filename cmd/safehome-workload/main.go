@@ -1,0 +1,323 @@
+// Command safehome-workload drives the generative scenario engine from the
+// command line: property-based sweeps of generated homes against the
+// congruence and weak-ordering oracles (with automatic shrinking of failing
+// seeds), trace record/replay with a byte-identity check, and the
+// kill/recover drill family against a journaled home.
+//
+// Usage:
+//
+//	safehome-workload sweep -seeds 50 -devices 120 -routines 150
+//	safehome-workload sweep -seed 0                 # random base seed, logged
+//	safehome-workload record -out run.trace.json -scheduler JiT
+//	safehome-workload replay -in run.trace.json
+//	safehome-workload drill
+//	safehome-workload drill -points post-ack -acked 4,16,64,256
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"safehome/internal/harness"
+	"safehome/internal/journal"
+	"safehome/internal/visibility"
+	"safehome/internal/workload"
+)
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch args[0] {
+	case "sweep":
+		err = sweepCmd(args[1:])
+	case "record":
+		err = recordCmd(args[1:])
+	case "replay":
+		err = replayCmd(args[1:])
+	case "drill":
+		err = drillCmd(args[1:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "safehome-workload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: safehome-workload <command>
+
+commands:
+  sweep        generate homes and verify every controller against the oracles
+      -seeds N          number of consecutive seeds (default 50)
+      -seed N           base seed; 0 draws a random one and logs it (default 1000)
+      -devices N        fleet size (default 120)
+      -routines N       routines per home (default 150)
+      -schedulers CSV   EV schedulers to test (default TL,FCFS,JiT)
+      -failed-pct P     percentage of devices that fail-stop (default 0)
+      -restart-pct P    percentage of failed devices that restart (default 0)
+      -no-shrink        skip minimizing failing seeds
+  record       run one generated home and write its trace
+      -out FILE         trace file to write (required)
+      -seed N           generator seed (default 1)
+      -devices N        fleet size (default 40)
+      -routines N       routines (default 60)
+      -scheduler S      EV scheduler (default TL)
+      -jitter D         per-command latency jitter bound (default 100ms)
+  replay       replay a trace through a fresh home and byte-compare streams
+      -in FILE          trace file to check (required)
+  drill        crash a journaled home and verify the durability contract
+      -points CSV       crash points (default all: post-ack,in-flight,mid-batch,mid-checkpoint)
+      -acked CSV        tail-length sweep: acked-batch sizes with checkpoints
+                        disabled (default 4,16,64)
+      -seed N           routine-generation seed (default 1)
+      -dir DIR          journal directory (default: fresh temp dir)`)
+}
+
+func parseSchedulers(csv string) ([]visibility.SchedulerKind, error) {
+	var out []visibility.SchedulerKind
+	for _, s := range strings.Split(csv, ",") {
+		k, err := visibility.ParseScheduler(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+func sweepCmd(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	seeds := fs.Int("seeds", 50, "number of consecutive seeds")
+	seed := fs.Int64("seed", 1000, "base seed (0 = random, logged)")
+	devices := fs.Int("devices", 120, "fleet size")
+	routines := fs.Int("routines", 150, "routines per home")
+	scheds := fs.String("schedulers", "TL,FCFS,JiT", "schedulers to test")
+	failedPct := fs.Float64("failed-pct", 0, "percentage of devices that fail-stop")
+	restartPct := fs.Float64("restart-pct", 0, "percentage of failed devices that restart")
+	noShrink := fs.Bool("no-shrink", false, "skip minimizing failing seeds")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	kinds, err := parseSchedulers(*scheds)
+	if err != nil {
+		return err
+	}
+	if *seed == 0 {
+		*seed = time.Now().UnixNano() % 1_000_000_000
+	}
+	p := harness.SweepParams{
+		Params:     workload.DefaultGenParams(),
+		Seeds:      *seeds,
+		Schedulers: kinds,
+		NoShrink:   *noShrink,
+	}
+	p.Params.Seed = *seed
+	p.Params.Devices = *devices
+	p.Params.Routines = *routines
+	p.Params.FailedPct = *failedPct
+	p.Params.RestartPct = *restartPct
+
+	fmt.Printf("sweep: seeds %d..%d, %d devices, %d routines, schedulers %s\n",
+		*seed, *seed+int64(*seeds)-1, *devices, *routines, *scheds)
+	start := time.Now()
+	res := harness.Sweep(p)
+	fmt.Printf("%d runs, %d routine executions in %v\n",
+		res.Runs, res.Routines, time.Since(start).Round(time.Millisecond))
+	if len(res.Failures) == 0 {
+		fmt.Println("all oracles passed")
+		return nil
+	}
+	for _, f := range res.Failures {
+		fmt.Printf("\nFAIL seed=%d scheduler=%v (%d violations)\n", f.Seed, f.Scheduler, len(f.Violations))
+		for _, v := range f.Violations {
+			fmt.Printf("  %v\n", v)
+		}
+		printMinimal(f)
+	}
+	return fmt.Errorf("%d of %d cells violated an oracle", len(res.Failures), res.Runs)
+}
+
+// printMinimal renders a failing cell's shrunk reproducer: every surviving
+// submission, failure injection and the violations it still triggers.
+func printMinimal(f harness.SweepFailure) {
+	fmt.Printf("  minimal reproducer %q: %d devices, %d submissions, %d commands\n",
+		f.Minimal.Name, len(f.Minimal.Devices), len(f.Minimal.Submissions), f.Minimal.TotalCommands())
+	for _, sub := range f.Minimal.Submissions {
+		fmt.Printf("    at %-10v user=%-8s %v\n", sub.At, sub.User, sub.Routine)
+	}
+	for _, fe := range f.Minimal.Failures {
+		what := "fails"
+		if fe.Restart {
+			what = "restarts"
+		}
+		fmt.Printf("    at %-10v device %s %s\n", fe.At, fe.Device, what)
+	}
+	for _, v := range f.MinimalViolations {
+		fmt.Printf("    still violates: %v\n", v)
+	}
+}
+
+func recordCmd(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ContinueOnError)
+	out := fs.String("out", "", "trace file to write")
+	seed := fs.Int64("seed", 1, "generator seed")
+	devices := fs.Int("devices", 40, "fleet size")
+	routines := fs.Int("routines", 60, "routines")
+	sched := fs.String("scheduler", "TL", "EV scheduler")
+	jitter := fs.Duration("jitter", 100*time.Millisecond, "per-command latency jitter bound")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("record: -out is required")
+	}
+	kind, err := visibility.ParseScheduler(*sched)
+	if err != nil {
+		return err
+	}
+	p := workload.DefaultGenParams()
+	p.Seed = *seed
+	p.Devices = *devices
+	p.Routines = *routines
+	spec := workload.Generate(p)
+	spec.JitterMax = *jitter
+	opts := visibility.DefaultOptions(visibility.EV)
+	opts.Scheduler = kind
+	tr, res := harness.Record(spec, opts, *seed)
+	data, err := workload.EncodeTrace(tr)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d events from %d routines (%v virtual time) to %s\n",
+		len(tr.Events), len(res.Results), res.Elapsed, *out)
+	return nil
+}
+
+func replayCmd(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
+	in := fs.String("in", "", "trace file to check")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("replay: -in is required")
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	tr, err := workload.DecodeTrace(data)
+	if err != nil {
+		return err
+	}
+	if err := harness.CheckReplay(tr); err != nil {
+		return err
+	}
+	fmt.Printf("replay of %q byte-identical: %d events under %s/%s\n",
+		tr.Name, len(tr.Events), tr.Model, tr.Scheduler)
+	return nil
+}
+
+func parseCrashPoints(csv string) ([]harness.CrashPoint, error) {
+	all := map[string]harness.CrashPoint{
+		"post-ack":       harness.CrashPostAck,
+		"in-flight":      harness.CrashInFlight,
+		"mid-batch":      harness.CrashMidBatch,
+		"mid-checkpoint": harness.CrashMidCheckpoint,
+	}
+	var out []harness.CrashPoint
+	for _, s := range strings.Split(csv, ",") {
+		p, ok := all[strings.TrimSpace(strings.ToLower(s))]
+		if !ok {
+			return nil, fmt.Errorf("unknown crash point %q", s)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func drillCmd(args []string) error {
+	fs := flag.NewFlagSet("drill", flag.ContinueOnError)
+	points := fs.String("points", "post-ack,in-flight,mid-batch,mid-checkpoint", "crash points")
+	acked := fs.String("acked", "4,16,64", "acked-batch sizes for the tail-length sweep")
+	seed := fs.Int64("seed", 1, "routine-generation seed")
+	dir := fs.String("dir", "", "journal directory (default: fresh temp dir)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	pts, err := parseCrashPoints(*points)
+	if err != nil {
+		return err
+	}
+	root := *dir
+	if root == "" {
+		root, err = os.MkdirTemp("", "safehome-drill-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(root)
+	}
+
+	bad := 0
+	fmt.Println("crash-point drills:")
+	for i, pt := range pts {
+		rep, err := harness.RunDrill(harness.DrillParams{
+			Dir:   fmt.Sprintf("%s/point-%d", root, i),
+			Point: pt,
+			Seed:  *seed + int64(i),
+		})
+		if err != nil {
+			return fmt.Errorf("drill %v: %w", pt, err)
+		}
+		fmt.Printf("  %v\n", rep)
+		for _, v := range rep.Violations {
+			bad++
+			fmt.Printf("    VIOLATION %v\n", v)
+		}
+	}
+
+	fmt.Println("recovery time vs journal tail (checkpoints disabled):")
+	fmt.Printf("  %-8s %-12s %-12s\n", "acked", "tail-bytes", "recovery")
+	for i, s := range strings.Split(*acked, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return fmt.Errorf("drill: bad -acked entry %q", s)
+		}
+		rep, err := harness.RunDrill(harness.DrillParams{
+			Dir:     fmt.Sprintf("%s/tail-%d", root, i),
+			Point:   harness.CrashPostAck,
+			Acked:   n,
+			Seed:    *seed + 100 + int64(i),
+			Journal: journal.Options{CheckpointBytes: 1 << 30},
+		})
+		if err != nil {
+			return fmt.Errorf("drill acked=%d: %w", n, err)
+		}
+		fmt.Printf("  %-8d %-12d %-12v\n", rep.Acked, rep.TailBytes, rep.RecoveryTime)
+		for _, v := range rep.Violations {
+			bad++
+			fmt.Printf("    VIOLATION %v\n", v)
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d durability violations", bad)
+	}
+	fmt.Println("all drills passed")
+	return nil
+}

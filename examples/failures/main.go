@@ -17,9 +17,6 @@ import (
 	"time"
 
 	"safehome"
-	"safehome/internal/device"
-	"safehome/internal/runtime"
-	"safehome/internal/visibility"
 )
 
 func home(model safehome.Model) *safehome.SimulatedHome {
@@ -105,11 +102,12 @@ func main() {
 }
 
 // hubCrash is Scenario D: the hub process itself is the failing component.
-// A durable paced-clock home commits one routine (acknowledged, journaled,
-// fsynced), accepts a second one that never gets to run, and is then killed
-// without any shutdown. Reopening the same data directory shows the paper's
-// failure semantics applied to the hub: the acknowledged commit is recovered
-// exactly, the in-flight routine is aborted with rollback.
+// A durable live home (Config.DataDir) commits one routine (acknowledged,
+// journaled, fsynced), accepts a second one that never gets to finish, and is
+// then killed via Crash — the SIGKILL-equivalent, no drain, no final
+// checkpoint. Reopening the same data directory shows the paper's failure
+// semantics applied to the hub: the acknowledged commit is recovered exactly,
+// the in-flight routine is aborted with rollback.
 func hubCrash() {
 	fmt.Println("Scenario D: the HUB fails — kill mid-routine, reopen from the data dir.")
 	fmt.Println("  Acknowledged work recovers exactly; in-flight work comes back aborted.")
@@ -120,50 +118,41 @@ func hubCrash() {
 	}
 	defer os.RemoveAll(dir)
 
-	cfg := runtime.Config{
-		ID:       "demo",
-		Clock:    runtime.ClockPaced, // real-ish time: routines stay in flight until pumped
-		Model:    visibility.EV,
-		EventLog: 64,
-		DataDir:  dir,
+	devices := []safehome.DeviceInfo{
+		{ID: "window", Kind: "window", Initial: safehome.Open},
+		{ID: "ac", Kind: "ac", Initial: safehome.Off},
+		{ID: "sprinkler", Kind: "sprinkler", Initial: safehome.Off},
 	}
-	reg := func() *device.Registry {
-		return device.NewRegistry(
-			device.Info{ID: "window", Kind: device.KindWindow, Initial: device.Open},
-			device.Info{ID: "ac", Kind: device.KindAC, Initial: device.Off},
-			device.Info{ID: "sprinkler", Kind: device.KindSprinkler, Initial: device.Off},
-		)
-	}
+	cfg := safehome.Config{Model: safehome.EV, DataDir: dir}
 
-	rt, err := runtime.NewSim(cfg, reg())
+	h, err := safehome.NewLiveHome(cfg, safehome.NewFleet(devices...), devices...)
 	if err != nil {
 		panic(err)
 	}
 	// Routine 1: committed and acknowledged before the crash.
-	if _, err := rt.Submit(safehome.NewRoutine("cooling",
+	if _, err := h.Submit(safehome.NewRoutine("cooling",
 		safehome.Command{Device: "window", Target: safehome.Closed},
 		safehome.Command{Device: "ac", Target: safehome.On},
 	)); err != nil {
 		panic(err)
 	}
-	for rt.PendingCount() > 0 {
-		rt.PumpIfDue(time.Now().Add(time.Hour)) // drive the paced clock forward
-		time.Sleep(time.Millisecond)
+	if err := h.WaitIdle(5 * time.Second); err != nil {
+		panic(err)
 	}
 	// Routine 2: accepted (journaled with its ID) but still in flight when
 	// the hub dies — a 30-minute sprinkler run that never gets to finish.
-	if _, err := rt.Submit(safehome.NewRoutine("water-lawn",
+	if _, err := h.Submit(safehome.NewRoutine("water-lawn",
 		safehome.Command{Device: "sprinkler", Target: safehome.On, Duration: 30 * time.Minute},
 	)); err != nil {
 		panic(err)
 	}
-	_, cursor := rt.EventsSince(0)
-	fmt.Printf("  before crash: %d routines accepted, event cursor at %d\n", len(rt.Results()), cursor)
+	_, cursor := h.EventsSince(0)
+	fmt.Printf("  before crash: %d routines accepted, event cursor at %d\n", len(h.Results()), cursor)
 
-	rt.Crash() // SIGKILL-equivalent: no drain, no final checkpoint
+	h.Crash()
 	fmt.Println("  ... hub killed mid-routine ...")
 
-	rec, err := runtime.NewSim(cfg, reg())
+	rec, err := safehome.NewLiveHome(cfg, safehome.NewFleet(devices...), devices...)
 	if err != nil {
 		panic(err)
 	}
@@ -175,7 +164,10 @@ func hubCrash() {
 		}
 		fmt.Println()
 	}
-	states := rec.CommittedStates()
+	states := map[safehome.DeviceID]safehome.DeviceState{}
+	for _, d := range rec.Devices() {
+		states[d.Info.ID] = d.State
+	}
 	fmt.Printf("    recovered state: window=%s ac=%s sprinkler=%s (sprinkler rolled back)\n",
 		states["window"], states["ac"], states["sprinkler"])
 	tail, next := rec.EventsSince(cursor)

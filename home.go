@@ -244,6 +244,14 @@ func (h *LiveHome) Start() { h.hub.Start() }
 // Close stops background activity and waits for in-flight commands.
 func (h *LiveHome) Close() { h.hub.Close() }
 
+// Crash kills the home without draining — no shutdown checkpoint, no waiting
+// for in-flight routines; operations parked in the mailbox are answered
+// ErrHomeClosed. It is the SIGKILL-equivalent for crash-recovery drills: a
+// home running with Config.DataDir recovers all acknowledged work exactly
+// when a new home reopens the same directory, and whatever was in flight at
+// the crash comes back Aborted with rollback.
+func (h *LiveHome) Crash() { h.hub.Crash() }
+
 // Submit submits a routine for immediate execution.
 func (h *LiveHome) Submit(r *Routine) (RoutineID, error) { return h.hub.SubmitRoutine(r) }
 

@@ -1,0 +1,386 @@
+// Parameterized kill/recover drills: crash a journaled home runtime at a
+// chosen instant — after acknowledgements, with routines in flight, mid
+// mailbox batch, or mid checkpoint write — reopen the same data directory,
+// and check the durability contract of the write-ahead journal:
+// acknowledged ⇒ recovered identically, in flight ⇒ aborted with rollback,
+// unacknowledged ⇒ absent. Each drill also measures recovery time against
+// the journal tail it had to scan.
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"safehome/internal/device"
+	"safehome/internal/journal"
+	"safehome/internal/routine"
+	"safehome/internal/runtime"
+	"safehome/internal/stats"
+	"safehome/internal/visibility"
+)
+
+// CrashPoint selects the instant a drill kills the home.
+type CrashPoint int
+
+const (
+	// CrashPostAck crashes after every submitted routine committed and was
+	// acknowledged — the pure "nothing may be lost" case.
+	CrashPostAck CrashPoint = iota
+	// CrashInFlight crashes with long routines accepted (acknowledged as
+	// submitted) but still executing — they must recover as aborted.
+	CrashInFlight
+	// CrashMidBatch crashes with submissions parked in the mailbox behind a
+	// suspended loop — never acknowledged, so they must not recover.
+	CrashMidBatch
+	// CrashMidCheckpoint crashes post-ack and additionally simulates death
+	// midway through a checkpoint rewrite (a garbage checkpoint.tmp) plus a
+	// torn frame at the newest segment's tail; recovery must ignore both.
+	CrashMidCheckpoint
+)
+
+func (p CrashPoint) String() string {
+	switch p {
+	case CrashPostAck:
+		return "post-ack"
+	case CrashInFlight:
+		return "in-flight"
+	case CrashMidBatch:
+		return "mid-batch"
+	case CrashMidCheckpoint:
+		return "mid-checkpoint"
+	default:
+		return fmt.Sprintf("crash-point(%d)", int(p))
+	}
+}
+
+// DrillParams configures one kill/recover drill.
+type DrillParams struct {
+	// Dir is the journal data directory (required; use a fresh temp dir).
+	Dir string
+	// Point selects the crash instant.
+	Point CrashPoint
+	// Acked is the number of routines driven to commit before the crash
+	// (default 8).
+	Acked int
+	// InFlight is the number of long routines left executing at the crash
+	// (CrashInFlight only; default 2).
+	InFlight int
+	// Unacked is the number of submissions parked in the mailbox at the
+	// crash (CrashMidBatch only; default 4).
+	Unacked int
+	// Devices is the fleet size (default 16).
+	Devices int
+	// Scheduler is the EV scheduling policy (default TL).
+	Scheduler visibility.SchedulerKind
+	// Journal tunes segment rotation and checkpoint cadence; the zero value
+	// uses the journal package defaults.
+	Journal journal.Options
+	// Seed drives the generated routines.
+	Seed int64
+}
+
+func (p DrillParams) normalized() DrillParams {
+	if p.Acked <= 0 {
+		p.Acked = 8
+	}
+	if p.InFlight <= 0 {
+		p.InFlight = 2
+	}
+	if p.Unacked <= 0 {
+		p.Unacked = 4
+	}
+	if p.Devices <= 0 {
+		p.Devices = 16
+	}
+	return p
+}
+
+// DrillReport is one drill's outcome: what the home held at the crash, what
+// recovery cost, and any contract violations.
+type DrillReport struct {
+	Point    CrashPoint
+	Acked    int
+	InFlight int
+	Unacked  int
+	// TailBytes is the total size of the journal segments recovery scanned.
+	TailBytes int64
+	// RecoveryTime is the wall time of reopening the home from the journal.
+	RecoveryTime time.Duration
+	// Recovered is the number of results present after recovery.
+	Recovered int
+	// Violations lists durability-contract breaches (empty = drill passed).
+	Violations []Violation
+}
+
+func (r DrillReport) String() string {
+	return fmt.Sprintf("%-14s acked=%-3d inflight=%-2d unacked=%-2d tail=%-8d recovery=%-12v violations=%d",
+		r.Point, r.Acked, r.InFlight, r.Unacked, r.TailBytes, r.RecoveryTime, len(r.Violations))
+}
+
+// drillRoutine builds a short routine over the drill fleet.
+func drillRoutine(rng *stats.RNG, devices int, name string, dur time.Duration) *routine.Routine {
+	r := routine.New(name)
+	n := 1 + rng.Intn(3)
+	for c := 0; c < n; c++ {
+		target := device.On
+		if rng.Bool(0.5) {
+			target = device.Off
+		}
+		r.Commands = append(r.Commands, routine.Command{
+			Device:   device.ID(fmt.Sprintf("plug-%d", rng.Intn(devices))),
+			Target:   target,
+			Duration: dur,
+		})
+	}
+	return r
+}
+
+// pumpDry pumps a paced-clock runtime far into the future until no routine
+// is pending (or the wall-clock deadline passes).
+func pumpDry(rt *runtime.HomeRuntime, deadline time.Time) error {
+	for rt.PendingCount() > 0 {
+		rt.PumpIfDue(time.Now().Add(24 * time.Hour))
+		if time.Now().After(deadline) {
+			return errors.New("harness: drill routines never finished under pumping")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return nil
+}
+
+// journalTailBytes sums the sizes of the journal's segment files.
+func journalTailBytes(dir string) int64 {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	var total int64
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "wal-") && strings.HasSuffix(e.Name(), ".seg") {
+			if info, err := e.Info(); err == nil {
+				total += info.Size()
+			}
+		}
+	}
+	return total
+}
+
+// RunDrill executes one kill/recover drill and verifies the durability
+// contract on the recovered home.
+func RunDrill(p DrillParams) (DrillReport, error) {
+	p = p.normalized()
+	if p.Dir == "" {
+		return DrillReport{}, errors.New("harness: drill needs a data dir")
+	}
+	rng := stats.NewRNG(p.Seed)
+	cfg := runtime.Config{
+		ID:        "drill",
+		Clock:     runtime.ClockPaced,
+		Model:     visibility.EV,
+		Scheduler: p.Scheduler,
+		EventLog:  256,
+		DataDir:   p.Dir,
+		Journal:   p.Journal,
+	}
+	reg := device.Plugs(p.Devices)
+	rt, err := runtime.NewSim(cfg, reg)
+	if err != nil {
+		return DrillReport{}, err
+	}
+
+	rep := DrillReport{Point: p.Point, Acked: p.Acked}
+
+	// Phase 1 (all points): commit and acknowledge a batch of short routines.
+	for i := 0; i < p.Acked; i++ {
+		r := drillRoutine(rng, p.Devices, fmt.Sprintf("acked-%03d", i), time.Duration(1+rng.Intn(20))*time.Second)
+		if _, err := rt.Submit(r); err != nil {
+			return rep, fmt.Errorf("harness: drill submit: %w", err)
+		}
+	}
+	if err := pumpDry(rt, time.Now().Add(10*time.Second)); err != nil {
+		return rep, err
+	}
+	ackedResults := rt.Results()
+	ackedStates := rt.CommittedStates()
+
+	// Phase 2: put the home in the crash-point state.
+	var inFlightIDs []routine.ID
+	var unackedErrs []error
+	switch p.Point {
+	case CrashInFlight:
+		rep.InFlight = p.InFlight
+		for i := 0; i < p.InFlight; i++ {
+			r := drillRoutine(rng, p.Devices, fmt.Sprintf("inflight-%02d", i), time.Hour)
+			rid, err := rt.Submit(r)
+			if err != nil {
+				return rep, fmt.Errorf("harness: drill in-flight submit: %w", err)
+			}
+			inFlightIDs = append(inFlightIDs, rid)
+		}
+		// A small pump starts execution without finishing the hour-long
+		// holds: the crash lands mid-routine, not merely mid-queue.
+		rt.PumpIfDue(time.Now().Add(time.Second))
+		rt.Crash()
+
+	case CrashMidBatch:
+		rep.Unacked = p.Unacked
+		resume, err := rt.Suspend()
+		if err != nil {
+			return rep, fmt.Errorf("harness: drill suspend: %w", err)
+		}
+		// With the loop parked, the submissions below queue in the mailbox
+		// and block; the crash must answer every one of them ErrClosed.
+		var wg sync.WaitGroup
+		errs := make([]error, p.Unacked)
+		for i := 0; i < p.Unacked; i++ {
+			r := drillRoutine(rng, p.Devices, fmt.Sprintf("unacked-%02d", i), time.Second)
+			wg.Add(1)
+			go func(i int, r *routine.Routine) {
+				defer wg.Done()
+				_, errs[i] = rt.Submit(r)
+			}(i, r)
+		}
+		for deadline := time.Now().Add(5 * time.Second); rt.Mailbox().Depth < p.Unacked; {
+			if time.Now().After(deadline) {
+				resume()
+				return rep, errors.New("harness: drill submissions never queued")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		crashDone := make(chan struct{})
+		go func() { rt.Crash(); close(crashDone) }()
+		// Crash closes the mailbox immediately but blocks until the loop
+		// exits, which needs the resume below.
+		time.Sleep(10 * time.Millisecond)
+		resume()
+		<-crashDone
+		wg.Wait()
+		unackedErrs = errs
+
+	case CrashMidCheckpoint:
+		rt.Crash()
+		// Death mid-checkpoint: a half-written checkpoint.tmp that rename
+		// never promoted, plus a torn frame at the newest segment's tail.
+		if err := os.WriteFile(filepath.Join(p.Dir, "checkpoint.tmp"), []byte("torn checkpoint garbage"), 0o644); err != nil {
+			return rep, err
+		}
+		if seg := newestSegment(p.Dir); seg != "" {
+			f, err := os.OpenFile(seg, os.O_APPEND|os.O_WRONLY, 0o644)
+			if err != nil {
+				return rep, err
+			}
+			if _, err := f.Write([]byte{0x17, 0x2a, 0x00, 0xfe, 0x9b}); err != nil {
+				f.Close()
+				return rep, err
+			}
+			f.Close()
+		}
+
+	default: // CrashPostAck
+		rt.Crash()
+	}
+
+	// Phase 3: reopen and verify.
+	rep.TailBytes = journalTailBytes(p.Dir)
+	begin := time.Now()
+	rec, err := runtime.NewSim(cfg, device.Plugs(p.Devices))
+	rep.RecoveryTime = time.Since(begin)
+	if err != nil {
+		return rep, fmt.Errorf("harness: drill recovery: %w", err)
+	}
+	defer rec.Close()
+
+	results := rec.Results()
+	rep.Recovered = len(results)
+	byID := make(map[routine.ID]visibility.Result, len(results))
+	for _, res := range results {
+		byID[res.ID] = res
+	}
+
+	// Acknowledged ⇒ recovered with the identical outcome.
+	for _, want := range ackedResults {
+		have, ok := byID[want.ID]
+		if !ok {
+			rep.Violations = append(rep.Violations, Violation{"lost-acked",
+				fmt.Sprintf("acknowledged routine %d missing after recovery", want.ID)})
+			continue
+		}
+		if have.Status != want.Status || have.Executed != want.Executed ||
+			!have.Finished.Equal(want.Finished) || have.AbortReason != want.AbortReason {
+			rep.Violations = append(rep.Violations, Violation{"acked-diverged",
+				fmt.Sprintf("routine %d recovered as {%v exec=%d fin=%v %q}, acknowledged {%v exec=%d fin=%v %q}",
+					want.ID, have.Status, have.Executed, have.Finished, have.AbortReason,
+					want.Status, want.Executed, want.Finished, want.AbortReason)})
+		}
+	}
+	// In flight ⇒ aborted.
+	for _, rid := range inFlightIDs {
+		have, ok := byID[rid]
+		if !ok {
+			rep.Violations = append(rep.Violations, Violation{"lost-inflight",
+				fmt.Sprintf("accepted in-flight routine %d missing after recovery", rid)})
+			continue
+		}
+		if have.Status != visibility.StatusAborted {
+			rep.Violations = append(rep.Violations, Violation{"inflight-not-aborted",
+				fmt.Sprintf("in-flight routine %d recovered as %v, want aborted", rid, have.Status)})
+		}
+	}
+	// Unacknowledged ⇒ absent: every parked submission was answered
+	// ErrClosed, and the recovered history holds exactly the acknowledged
+	// (plus in-flight) routines.
+	for i, err := range unackedErrs {
+		if err == nil {
+			rep.Violations = append(rep.Violations, Violation{"unacked-acked",
+				fmt.Sprintf("parked submission %d was acknowledged during the crash", i)})
+		} else if !errors.Is(err, runtime.ErrClosed) {
+			rep.Violations = append(rep.Violations, Violation{"unacked-error",
+				fmt.Sprintf("parked submission %d failed with %v, want ErrClosed", i, err)})
+		}
+	}
+	if want := len(ackedResults) + len(inFlightIDs); len(results) != want {
+		rep.Violations = append(rep.Violations, Violation{"recovered-count",
+			fmt.Sprintf("recovered %d results, want %d", len(results), want)})
+	}
+	if n := rec.PendingCount(); n != 0 {
+		rep.Violations = append(rep.Violations, Violation{"pending-after-recovery",
+			fmt.Sprintf("%d routines still pending after recovery", n)})
+	}
+	// Committed states: aborted in-flight routines rolled back, so the
+	// recovered committed view matches the acknowledged one exactly.
+	recStates := rec.CommittedStates()
+	for d, s := range ackedStates {
+		if recStates[d] != s {
+			rep.Violations = append(rep.Violations, Violation{"state-diverged",
+				fmt.Sprintf("committed state of %s = %q after recovery, acknowledged %q", d, recStates[d], s)})
+		}
+	}
+	if !rec.Durable() {
+		rep.Violations = append(rep.Violations, Violation{"not-durable",
+			fmt.Sprintf("recovered home reports journal error: %v", rec.JournalError())})
+	}
+	return rep, nil
+}
+
+// newestSegment returns the path of the highest-numbered journal segment.
+func newestSegment(dir string) string {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return ""
+	}
+	newest := ""
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "wal-") && strings.HasSuffix(e.Name(), ".seg") && e.Name() > newest {
+			newest = e.Name()
+		}
+	}
+	if newest == "" {
+		return ""
+	}
+	return filepath.Join(dir, newest)
+}

@@ -1,0 +1,62 @@
+package harness
+
+import (
+	"testing"
+
+	"safehome/internal/journal"
+)
+
+// TestDrillFamily runs one drill per crash point and asserts the durability
+// contract holds: acknowledged routines recover identically, in-flight
+// routines recover aborted, parked submissions are rejected and absent.
+func TestDrillFamily(t *testing.T) {
+	points := []CrashPoint{CrashPostAck, CrashInFlight, CrashMidBatch, CrashMidCheckpoint}
+	for _, pt := range points {
+		pt := pt
+		t.Run(pt.String(), func(t *testing.T) {
+			t.Parallel()
+			rep, err := RunDrill(DrillParams{
+				Dir:   t.TempDir(),
+				Point: pt,
+				Seed:  int64(401 + pt),
+			})
+			if err != nil {
+				t.Fatalf("drill: %v", err)
+			}
+			t.Logf("drill %v", rep)
+			for _, v := range rep.Violations {
+				t.Errorf("violation %s: %s", v.Kind, v.Detail)
+			}
+			if rep.Recovered == 0 {
+				t.Errorf("recovered no results")
+			}
+		})
+	}
+}
+
+// TestDrillRecoveryVsTail sweeps the acknowledged-batch size with checkpoints
+// disabled (huge threshold) so the journal tail recovery must scan grows with
+// the batch, and logs recovery time against tail length.
+func TestDrillRecoveryVsTail(t *testing.T) {
+	sizes := []int{4, 16, 64}
+	if testing.Short() {
+		sizes = []int{4, 16}
+	}
+	t.Logf("%-8s %-12s %-12s", "acked", "tail-bytes", "recovery")
+	for _, n := range sizes {
+		rep, err := RunDrill(DrillParams{
+			Dir:     t.TempDir(),
+			Point:   CrashPostAck,
+			Acked:   n,
+			Seed:    int64(500 + n),
+			Journal: journal.Options{CheckpointBytes: 1 << 30},
+		})
+		if err != nil {
+			t.Fatalf("drill acked=%d: %v", n, err)
+		}
+		for _, v := range rep.Violations {
+			t.Errorf("acked=%d violation %s: %s", n, v.Kind, v.Detail)
+		}
+		t.Logf("%-8d %-12d %-12v", rep.Acked, rep.TailBytes, rep.RecoveryTime)
+	}
+}

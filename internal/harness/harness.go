@@ -10,6 +10,7 @@ import (
 	"safehome/internal/congruence"
 	"safehome/internal/device"
 	"safehome/internal/metrics"
+	"safehome/internal/order"
 	"safehome/internal/sim"
 	"safehome/internal/stats"
 	"safehome/internal/visibility"
@@ -21,6 +22,9 @@ type TrialResult struct {
 	Report   metrics.Report
 	Results  []visibility.Result
 	EndState map[device.ID]device.State
+	// Serialization is the serially-equivalent order the controller claims
+	// for the run (committed routines plus failure/restart events).
+	Serialization []order.Node
 	// Elapsed is the virtual time between the first submission and the last
 	// processed event.
 	Elapsed time.Duration
@@ -28,10 +32,21 @@ type TrialResult struct {
 	Events int
 }
 
+// ControllerFactory builds the controller a trial runs. The production
+// factory wraps visibility.New; tests substitute deliberately broken
+// controllers to prove the oracles catch them.
+type ControllerFactory func(env *visibility.SimEnv, initial map[device.ID]device.State, opts visibility.Options) visibility.Controller
+
 // Run executes one trial of the workload under the given controller options.
 // The seed only affects per-command latency jitter (when the spec requests
 // it); workload content randomness lives in the workload generators.
 func Run(spec workload.Spec, opts visibility.Options, seed int64) TrialResult {
+	return RunWith(spec, opts, seed, nil)
+}
+
+// RunWith is Run with an explicit controller factory (nil means the real
+// visibility controllers).
+func RunWith(spec workload.Spec, opts visibility.Options, seed int64, factory ControllerFactory) TrialResult {
 	s := sim.NewAtEpoch()
 	fleet := device.NewFleet(spec.Registry())
 	env := visibility.NewSimEnv(s, fleet)
@@ -50,7 +65,12 @@ func Run(spec workload.Spec, opts visibility.Options, seed int64) TrialResult {
 	}
 
 	initial := fleet.Snapshot()
-	ctrl := visibility.New(env, initial, opts)
+	var ctrl visibility.Controller
+	if factory != nil {
+		ctrl = factory(env, initial, opts)
+	} else {
+		ctrl = visibility.New(env, initial, opts)
+	}
 
 	for _, sub := range spec.Submissions {
 		r := sub.Routine
@@ -73,7 +93,8 @@ func Run(spec workload.Spec, opts visibility.Options, seed int64) TrialResult {
 	events := s.Run()
 
 	results := ctrl.Results()
-	rep := rec.Finalize(opts.Model, opts.Scheduler, results, ctrl.Serialization())
+	serial := ctrl.Serialization()
+	rep := rec.Finalize(opts.Model, opts.Scheduler, results, serial)
 
 	var committed []congruence.Writes
 	for _, res := range results {
@@ -85,11 +106,12 @@ func Run(spec workload.Spec, opts visibility.Options, seed int64) TrialResult {
 	rep.FinalCongruent = congruence.Check(initial, committed, end).Congruent
 
 	return TrialResult{
-		Report:   rep,
-		Results:  results,
-		EndState: end,
-		Elapsed:  s.Now().Sub(start),
-		Events:   events,
+		Report:        rep,
+		Results:       results,
+		EndState:      end,
+		Serialization: serial,
+		Elapsed:       s.Now().Sub(start),
+		Events:        events,
 	}
 }
 

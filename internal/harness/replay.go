@@ -1,0 +1,124 @@
+// Trace record & replay: capture a run's visibility event stream in the
+// hub's cursor format (workload.Trace) and feed the trace back through a
+// fresh home. Both directions run on the deterministic discrete-event
+// simulator starting at the epoch, so a faithful controller reproduces the
+// event stream byte for byte — CheckReplay is the acceptance oracle.
+package harness
+
+import (
+	"bytes"
+	"fmt"
+
+	"safehome/internal/device"
+	"safehome/internal/visibility"
+	"safehome/internal/workload"
+)
+
+// Record runs the spec and captures the full visibility event stream as a
+// self-contained trace (the spec, the controller configuration, and every
+// event in cursor shape, sequence-stamped from 1).
+func Record(spec workload.Spec, opts visibility.Options, seed int64) (*workload.Trace, TrialResult) {
+	tr := &workload.Trace{
+		Name:      spec.Name,
+		Model:     opts.Model.String(),
+		Scheduler: opts.Scheduler.String(),
+		Seed:      seed,
+		JitterMax: spec.JitterMax,
+		Devices:   append([]device.Info(nil), spec.Devices...),
+		Options: workload.TraceOptions{
+			PreLease:      boolPtr(opts.PreLease),
+			PostLease:     boolPtr(opts.PostLease),
+			DefaultShort:  opts.DefaultShort,
+			LeaseLeniency: opts.LeaseLeniency,
+			JiTTTL:        opts.JiTTTL,
+		},
+	}
+	for _, sub := range spec.Submissions {
+		tr.Submissions = append(tr.Submissions, workload.TraceSubmission{
+			At: sub.At, User: sub.User, Routine: sub.Routine.Clone(),
+		})
+	}
+	for _, f := range spec.Failures {
+		tr.Failures = append(tr.Failures, workload.TraceFailure{At: f.At, Device: f.Device, Restart: f.Restart})
+	}
+
+	seq := uint64(0)
+	prev := opts.Observer
+	opts.Observer = func(e visibility.Event) {
+		seq++
+		tr.Events = append(tr.Events, workload.TraceEvent{
+			Seq:     seq,
+			Time:    e.Time,
+			Kind:    e.Kind.String(),
+			Routine: int64(e.Routine),
+			Device:  string(e.Device),
+			State:   string(e.State),
+			Detail:  e.Detail,
+		})
+		if prev != nil {
+			prev(e)
+		}
+	}
+	res := Run(spec, opts, seed)
+	return tr, res
+}
+
+// Replay reconstructs the recorded run's spec and controller options and
+// re-records it through a fresh home. The returned trace is what the fresh
+// home produced; compare EventBytes against the original for byte identity.
+func Replay(t *workload.Trace) (*workload.Trace, TrialResult, error) {
+	model, err := visibility.ParseModel(t.Model)
+	if err != nil {
+		return nil, TrialResult{}, fmt.Errorf("harness: replay: %w", err)
+	}
+	opts := visibility.DefaultOptions(model)
+	if t.Scheduler != "" {
+		sched, err := visibility.ParseScheduler(t.Scheduler)
+		if err != nil {
+			return nil, TrialResult{}, fmt.Errorf("harness: replay: %w", err)
+		}
+		opts.Scheduler = sched
+	}
+	if t.Options.PreLease != nil {
+		opts.PreLease = *t.Options.PreLease
+	}
+	if t.Options.PostLease != nil {
+		opts.PostLease = *t.Options.PostLease
+	}
+	if t.Options.DefaultShort > 0 {
+		opts.DefaultShort = t.Options.DefaultShort
+	}
+	if t.Options.LeaseLeniency > 0 {
+		opts.LeaseLeniency = t.Options.LeaseLeniency
+	}
+	if t.Options.JiTTTL > 0 {
+		opts.JiTTTL = t.Options.JiTTTL
+	}
+	re, res := Record(t.Spec(), opts, t.Seed)
+	return re, res, nil
+}
+
+// CheckReplay replays the trace and byte-compares the visibility streams.
+// It returns nil when the replay is byte-identical, otherwise an error
+// locating the first divergent event line.
+func CheckReplay(t *workload.Trace) error {
+	re, _, err := Replay(t)
+	if err != nil {
+		return err
+	}
+	a, b := t.EventBytes(), re.EventBytes()
+	if bytes.Equal(a, b) {
+		return nil
+	}
+	al, bl := bytes.Split(a, []byte("\n")), bytes.Split(b, []byte("\n"))
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if !bytes.Equal(al[i], bl[i]) {
+			return fmt.Errorf("harness: replay diverged at event %d:\n recorded: %s\n replayed: %s",
+				i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Errorf("harness: replay diverged in length: recorded %d events, replayed %d",
+		len(t.Events), len(re.Events))
+}
+
+func boolPtr(b bool) *bool { return &b }

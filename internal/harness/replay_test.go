@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"safehome/internal/visibility"
+	"safehome/internal/workload"
+)
+
+// TestReplayByteIdentical records generated workloads (with per-command
+// jitter, so the seed matters) and asserts a fresh home reproduces the
+// visibility event stream byte for byte under every scheduler.
+func TestReplayByteIdentical(t *testing.T) {
+	p := workload.DefaultGenParams()
+	p.Devices = 40
+	p.Routines = 60
+	p.Seed = 90
+	spec := workload.Generate(p)
+	spec.JitterMax = 120 * time.Millisecond
+	for _, sched := range DefaultSchedulers() {
+		opts := visibility.DefaultOptions(visibility.EV)
+		opts.Scheduler = sched
+		tr, _ := Record(spec, opts, p.Seed)
+		if len(tr.Events) == 0 {
+			t.Fatalf("%v: recorded no events", sched)
+		}
+		if err := CheckReplay(tr); err != nil {
+			t.Errorf("%v: %v", sched, err)
+		}
+	}
+}
+
+// TestReplayAfterEncodeDecode pushes the trace through its file format first:
+// record -> serialize -> parse -> replay must still be byte-identical.
+func TestReplayAfterEncodeDecode(t *testing.T) {
+	p := workload.DefaultGenParams()
+	p.Devices = 30
+	p.Routines = 40
+	p.Seed = 91
+	p.FailedPct = 10
+	spec := workload.Generate(p)
+	opts := visibility.DefaultOptions(visibility.EV)
+	tr, _ := Record(spec, opts, p.Seed)
+	b, err := workload.EncodeTrace(tr)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	parsed, err := workload.DecodeTrace(b)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if err := CheckReplay(parsed); err != nil {
+		t.Errorf("replay of round-tripped trace: %v", err)
+	}
+}
+
+// TestReplayRestoresOptions records under non-default controller knobs and
+// checks replay restores them rather than silently reverting to defaults.
+func TestReplayRestoresOptions(t *testing.T) {
+	spec := workload.Figure2()
+	opts := visibility.DefaultOptions(visibility.EV)
+	opts.Scheduler = visibility.SchedJiT
+	opts.PreLease = false
+	opts.DefaultShort = 3 * time.Second
+	tr, _ := Record(spec, opts, 5)
+	if tr.Options.PreLease == nil || *tr.Options.PreLease {
+		t.Fatalf("trace did not record PreLease=false: %+v", tr.Options)
+	}
+	if err := CheckReplay(tr); err != nil {
+		t.Errorf("replay under recorded options diverged: %v", err)
+	}
+}
+
+// TestCheckReplayDetectsTamper flips one recorded event and expects the
+// byte-identity oracle to locate the divergence.
+func TestCheckReplayDetectsTamper(t *testing.T) {
+	spec := workload.Figure2()
+	tr, _ := Record(spec, visibility.DefaultOptions(visibility.EV), 1)
+	if len(tr.Events) < 3 {
+		t.Fatalf("recorded only %d events", len(tr.Events))
+	}
+	tr.Events[2].Detail = "tampered"
+	err := CheckReplay(tr)
+	if err == nil {
+		t.Fatal("tampered trace replayed as byte-identical")
+	}
+	if !strings.Contains(err.Error(), "event 3") {
+		t.Errorf("divergence not located at event 3: %v", err)
+	}
+}

@@ -143,6 +143,13 @@ func (h *Hub) Start() { h.rt.Start() }
 // state.
 func (h *Hub) Close() { h.rt.Close() }
 
+// Crash kills the hub without draining: no shutdown checkpoint, no waiting
+// for in-flight routines — the SIGKILL-equivalent for crash-recovery drills.
+// Operations parked in the mailbox are answered ErrClosed. A hub running
+// with a data directory recovers acknowledged work exactly when a new hub
+// reopens the same directory; everything in flight comes back aborted.
+func (h *Hub) Crash() { h.rt.Crash() }
+
 // Model returns the hub's visibility model.
 func (h *Hub) Model() visibility.Model { return h.cfg.Model }
 

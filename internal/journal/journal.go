@@ -53,6 +53,12 @@ type Options struct {
 	// lost on an OS crash (not on a process crash); useful for benchmarks
 	// that want the framing cost without the disk stall.
 	NoSync bool
+	// TestInjectErr, when non-nil, is consulted at the start of each write
+	// path — op is "append", "commit" or "checkpoint" — and a non-nil return
+	// is surfaced as that operation's error without touching the disk. It
+	// exists so tests can drive the owner's degrade-to-memory-only handling
+	// (a full disk, a yanked SD card) deterministically.
+	TestInjectErr func(op string) error
 }
 
 // Default thresholds.
@@ -399,6 +405,11 @@ func (j *Journal) Append(b *Batch) error {
 	if j.seg == nil {
 		return fmt.Errorf("journal: closed")
 	}
+	if j.opts.TestInjectErr != nil {
+		if err := j.opts.TestInjectErr("append"); err != nil {
+			return fmt.Errorf("journal: writing batch: %w", err)
+		}
+	}
 	if j.segBytes >= j.opts.SegmentBytes {
 		if err := j.rotate(); err != nil {
 			return err
@@ -432,6 +443,11 @@ func (j *Journal) Commit() error {
 	if j.seg == nil {
 		return fmt.Errorf("journal: closed")
 	}
+	if j.opts.TestInjectErr != nil {
+		if err := j.opts.TestInjectErr("commit"); err != nil {
+			return fmt.Errorf("journal: sync: %w", err)
+		}
+	}
 	if j.opts.NoSync {
 		return nil
 	}
@@ -460,6 +476,11 @@ func (j *Journal) ShouldCheckpoint() bool { return j.sinceCkpt >= j.opts.Checkpo
 func (j *Journal) Checkpoint(ck *Checkpoint) error {
 	if j.seg == nil {
 		return fmt.Errorf("journal: closed")
+	}
+	if j.opts.TestInjectErr != nil {
+		if err := j.opts.TestInjectErr("checkpoint"); err != nil {
+			return fmt.Errorf("journal: writing checkpoint: %w", err)
+		}
 	}
 	ck.LSN = j.lsn
 	payload, err := json.Marshal(ck)

@@ -1,6 +1,7 @@
 package journal
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -448,4 +449,46 @@ func TestResultRoundTrip(t *testing.T) {
 	if back.Routine.Commands[1].Duration != time.Minute {
 		t.Fatalf("command duration lost: %+v", back.Routine.Commands[1])
 	}
+}
+
+// TestInjectErrSurfacesOnEachWritePath: the fault-injection hook fails each
+// write path with the planted error, wrapped in that operation's context, and
+// leaves the journal usable once the hook stops failing.
+func TestInjectErrSurfacesOnEachWritePath(t *testing.T) {
+	var failOp string
+	planted := errors.New("planted: disk on fire")
+	j, _, err := Open(t.TempDir(), Options{
+		TestInjectErr: func(op string) error {
+			if op == failOp {
+				return planted
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+
+	check := func(op string, call func() error) {
+		t.Helper()
+		failOp = op
+		err := call()
+		if !errors.Is(err, planted) {
+			t.Fatalf("%s under injection: err = %v, want the planted error", op, err)
+		}
+		failOp = ""
+		if err := call(); err != nil {
+			t.Fatalf("%s after injection cleared: %v", op, err)
+		}
+	}
+	n := int64(0)
+	check("append", func() error {
+		n++
+		return j.Append(&Batch{Submits: []RoutineRecord{submitRec(n)}})
+	})
+	check("commit", j.Commit)
+	check("checkpoint", func() error {
+		return j.Checkpoint(&Checkpoint{LSN: j.LSN(), FirstSeq: 1})
+	})
 }

@@ -89,13 +89,20 @@ var (
 type Table struct {
 	byDev map[device.ID]*Lineage
 	order []device.ID
+	// folded records, per device, the most recent routine whose lock-access
+	// was folded away by commit compaction (Compact / CompactBefore). The
+	// folded routine's write is the device's committed baseline, so every
+	// later placement on the device must serialize after it — but its access
+	// is gone from the lineage, so the controllers recover the constraint
+	// from here (LastFolded) instead.
+	folded map[device.ID]routine.ID
 }
 
 // NewTable builds a table whose committed states are the given initial device
 // states. Devices not present are added lazily with an unknown committed
 // state when first touched.
 func NewTable(initial map[device.ID]device.State) *Table {
-	t := &Table{byDev: make(map[device.ID]*Lineage)}
+	t := &Table{byDev: make(map[device.ID]*Lineage), folded: make(map[device.ID]routine.ID)}
 	ids := make([]device.ID, 0, len(initial))
 	for d := range initial {
 		ids = append(ids, d)
@@ -401,8 +408,16 @@ func (t *Table) Compact(rid routine.ID) map[device.ID][]routine.ID {
 			folded[d] = routinesOf(l.Accesses[:idx])
 		}
 		l.Accesses = append([]Access(nil), l.Accesses[idx+1:]...)
+		t.folded[d] = rid
 	}
 	return folded
+}
+
+// LastFolded returns the most recent routine whose access on d was folded
+// away by compaction (routine.None if compaction never touched d). Later
+// placements on d must serialize after it.
+func (t *Table) LastFolded(d device.ID) routine.ID {
+	return t.folded[d]
 }
 
 // CompactBefore folds away fully released lock-access history older than the
@@ -431,6 +446,7 @@ func (t *Table) CompactBefore(horizon time.Time) int {
 			if a.Target != device.StateUnknown {
 				l.Committed = a.Target
 			}
+			t.folded[d] = a.Routine
 			cut++
 		}
 		if cut > 0 {

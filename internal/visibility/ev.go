@@ -187,6 +187,12 @@ func (c *evController) placeAtEnd(run *evRun) {
 			// Ignore duplicate-edge errors; appending cannot create cycles.
 			_ = c.graph.AddEdge(order.RoutineNode(a.Routine), node)
 		}
+		// Compaction may have emptied the lineage, but the folded baseline
+		// writer still precedes every later access (the node being placed has
+		// no outgoing edges yet, so this cannot cycle).
+		if lf := c.table.LastFolded(d); lf != routine.None && lf != run.id && c.graph.Has(order.RoutineNode(lf)) {
+			_ = c.graph.AddEdge(order.RoutineNode(lf), node)
+		}
 		err := c.table.PlaceAt(d, len(l.Accesses), lineage.Access{
 			Routine:  run.id,
 			Status:   lineage.Scheduled,

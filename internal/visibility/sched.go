@@ -79,6 +79,18 @@ func (s *idSet) truncate(mark int) {
 // of the whole batch is order-independent (all edges are incident to node,
 // so the batch fails iff the combined graph has a cycle, regardless of
 // insertion order).
+// foldedPre adds each touched device's folded baseline writer (the routine
+// whose access commit compaction removed from the lineage) to the pre set:
+// its write is the device's committed state, so any new placement must
+// serialize after it even though the lineage no longer shows it.
+func (c *evController) foldedPre(run *evRun, pre *idSet) {
+	for _, d := range run.r.Devices() {
+		if lf := c.table.LastFolded(d); lf != routine.None && lf != run.id && c.graph.Has(order.RoutineNode(lf)) {
+			pre.add(lf)
+		}
+	}
+}
+
 func addEdgesSet(g *order.Graph, pre *idSet, node order.Node, post *idSet) bool {
 	for _, id := range pre.ids {
 		if g.AddEdge(order.RoutineNode(id), node) != nil {
@@ -356,6 +368,7 @@ func (s *jitScheduler) tryPlace(run *evRun) bool {
 		}
 	}
 
+	s.c.foldedPre(run, &s.pre)
 	for _, id := range s.pre.ids {
 		if s.post.has(id) {
 			return false
@@ -561,6 +574,7 @@ func (s *tlScheduler) search(run *evRun) ([]tlPlacement, bool) {
 func (s *tlScheduler) apply(run *evRun, placements []tlPlacement) {
 	node := order.RoutineNode(run.id)
 	s.c.graph.AddNode(node)
+	s.c.foldedPre(run, &s.pre)
 	if !addEdgesSet(s.c.graph, &s.pre, node, &s.post) {
 		s.c.graph.Remove(node)
 		s.c.placeAtEnd(run)

@@ -1,0 +1,222 @@
+// Generative scenario engine: seeded, parameterized workload generation far
+// beyond the paper's hand-written fixtures. A GenParams describes a family of
+// homes — fleet size into the hundreds, routine shape (length, duration mix,
+// best-effort ratio), conflict density, trigger fan-out, tenant skew — and
+// Generate draws one deterministic Spec per seed. The harness package runs
+// generated specs against every controller and checks congruence and
+// weak-ordering invariants; Shrink reduces a failing spec to a minimal one.
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"safehome/internal/device"
+	"safehome/internal/routine"
+	"safehome/internal/stats"
+)
+
+// GenParams parameterizes the generative scenario engine. The zero value of
+// any field selects the default noted on it (except ConflictAlpha and
+// UserSkew, where 0 legitimately means "uniform" and -1 selects the default,
+// mirroring MicroParams.Alpha).
+type GenParams struct {
+	// Devices is the fleet size (default 120).
+	Devices int
+	// Routines is the total number of routines generated (default 150).
+	Routines int
+	// Users is the number of tenants routines are attributed to (default 8).
+	Users int
+	// UserSkew is the Zipf coefficient of tenant activity: higher values
+	// concentrate submissions on few users (default 0.8; 0 = uniform, -1 =
+	// default).
+	UserSkew float64
+	// CommandsPerRoutine is the mean routine length, normally distributed
+	// (default 3).
+	CommandsPerRoutine float64
+	// LongPct is the percentage of long-running routines (default 10).
+	LongPct float64
+	// LongMean / ShortMean are the mean command durations for long and short
+	// routines (defaults 20 min / 10 s, both ND).
+	LongMean  time.Duration
+	ShortMean time.Duration
+	// BestEffortRatio is the probability each command is best-effort rather
+	// than must (default 0.1).
+	BestEffortRatio float64
+	// ConflictAlpha is the Zipf coefficient of device popularity: higher
+	// values concentrate commands on few hot devices, raising conflict
+	// density (default 0.9; 0 = uniform, -1 = default).
+	ConflictAlpha float64
+	// TriggerFanout is the maximum number of routines fired at the same
+	// instant by one trigger (default 4; 1 disables bursts).
+	TriggerFanout int
+	// TriggerPct is the percentage of arrivals that open a trigger burst
+	// rather than arriving alone (default 30).
+	TriggerPct float64
+	// Horizon is the arrival window routines are spread over (default 10 min).
+	Horizon time.Duration
+	// FailedPct is the percentage of devices that fail-stop at a uniformly
+	// random instant during the run (default 0).
+	FailedPct float64
+	// RestartPct is the percentage of failed devices that later restart
+	// (default 0).
+	RestartPct float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// DefaultGenParams returns the default generator configuration: a hundreds-
+// of-devices home with moderate conflict density and trigger bursts.
+func DefaultGenParams() GenParams {
+	return GenParams{
+		Devices:            120,
+		Routines:           150,
+		Users:              8,
+		UserSkew:           0.8,
+		CommandsPerRoutine: 3,
+		LongPct:            10,
+		LongMean:           20 * time.Minute,
+		ShortMean:          10 * time.Second,
+		BestEffortRatio:    0.1,
+		ConflictAlpha:      0.9,
+		TriggerFanout:      4,
+		TriggerPct:         30,
+		Horizon:            10 * time.Minute,
+		Seed:               1,
+	}
+}
+
+func (p GenParams) normalized() GenParams {
+	d := DefaultGenParams()
+	if p.Devices <= 0 {
+		p.Devices = d.Devices
+	}
+	if p.Routines <= 0 {
+		p.Routines = d.Routines
+	}
+	if p.Users <= 0 {
+		p.Users = d.Users
+	}
+	if p.UserSkew < 0 {
+		p.UserSkew = d.UserSkew
+	}
+	if p.CommandsPerRoutine <= 0 {
+		p.CommandsPerRoutine = d.CommandsPerRoutine
+	}
+	if p.LongMean <= 0 {
+		p.LongMean = d.LongMean
+	}
+	if p.ShortMean <= 0 {
+		p.ShortMean = d.ShortMean
+	}
+	if p.ConflictAlpha < 0 {
+		p.ConflictAlpha = d.ConflictAlpha
+	}
+	if p.TriggerFanout <= 0 {
+		p.TriggerFanout = d.TriggerFanout
+	}
+	if p.Horizon <= 0 {
+		p.Horizon = d.Horizon
+	}
+	return p
+}
+
+// Generate draws one workload from the parameter family. Generation is fully
+// deterministic per (params, seed): independent RNG streams drive device
+// choice, routine shape, arrival times, tenant attribution and failure
+// injection so that changing one knob does not reshuffle the others.
+func Generate(p GenParams) Spec {
+	p = p.normalized()
+	rng := stats.NewRNG(p.Seed)
+	devRNG := rng.Fork()
+	shapeRNG := rng.Fork()
+	timeRNG := rng.Fork()
+	userRNG := rng.Fork()
+	failRNG := rng.Fork()
+
+	spec := Spec{
+		Name:    fmt.Sprintf("gen-s%d-d%d-r%d", p.Seed, p.Devices, p.Routines),
+		Devices: plugFleet(p.Devices),
+	}
+
+	devZipf, err := stats.NewZipf(devRNG, p.Devices, p.ConflictAlpha)
+	if err != nil {
+		panic(fmt.Sprintf("workload: device zipf: %v", err))
+	}
+	userZipf, err := stats.NewZipf(userRNG, p.Users, p.UserSkew)
+	if err != nil {
+		panic(fmt.Sprintf("workload: user zipf: %v", err))
+	}
+
+	longFrac := p.LongPct / 100
+	for i := 0; i < p.Routines; {
+		// One arrival instant serves either a single routine or a trigger
+		// burst of up to TriggerFanout routines fired together.
+		at := timeRNG.UniformDuration(0, p.Horizon)
+		burst := 1
+		if p.TriggerFanout > 1 && timeRNG.Bool(p.TriggerPct/100) {
+			burst = 2 + timeRNG.Intn(p.TriggerFanout-1)
+		}
+		for b := 0; b < burst && i < p.Routines; b++ {
+			r := routine.New(fmt.Sprintf("gen-%03d", i))
+			long := shapeRNG.Bool(longFrac)
+			nCmds := shapeRNG.NormInt(p.CommandsPerRoutine, p.CommandsPerRoutine/3, 1)
+			used := make(map[int]bool, nCmds)
+			for c := 0; c < nCmds; c++ {
+				dev := devZipf.Next()
+				for attempts := 0; used[dev] && attempts < 3; attempts++ {
+					dev = devZipf.Next()
+				}
+				used[dev] = true
+
+				var dur time.Duration
+				if long && c == 0 {
+					dur = shapeRNG.NormDuration(p.LongMean, p.LongMean/4, time.Minute)
+				} else {
+					dur = shapeRNG.NormDuration(p.ShortMean, p.ShortMean/4, time.Second)
+				}
+				target := device.On
+				if shapeRNG.Bool(0.5) {
+					target = device.Off
+				}
+				r.Commands = append(r.Commands, routine.Command{
+					Device:     device.ID(plugID(dev)),
+					Target:     target,
+					Duration:   dur,
+					BestEffort: shapeRNG.Bool(p.BestEffortRatio),
+				})
+			}
+			spec.Submissions = append(spec.Submissions, Submission{
+				At:      at,
+				Routine: r,
+				User:    fmt.Sprintf("user-%02d", userZipf.Next()),
+			})
+			i++
+		}
+	}
+	// Stable sort keeps burst members adjacent and in generation order.
+	sort.SliceStable(spec.Submissions, func(i, j int) bool {
+		return spec.Submissions[i].At < spec.Submissions[j].At
+	})
+
+	if p.FailedPct > 0 {
+		perm := failRNG.Perm(p.Devices)
+		nFail := int(float64(p.Devices) * p.FailedPct / 100)
+		for i := 0; i < nFail && i < len(perm); i++ {
+			at := failRNG.UniformDuration(0, p.Horizon)
+			spec.Failures = append(spec.Failures, FailureEvent{
+				At:     at,
+				Device: device.ID(plugID(perm[i])),
+			})
+			if failRNG.Bool(p.RestartPct / 100) {
+				spec.Failures = append(spec.Failures, FailureEvent{
+					At:      at + failRNG.UniformDuration(time.Second, p.Horizon/4+time.Second),
+					Device:  device.ID(plugID(perm[i])),
+					Restart: true,
+				})
+			}
+		}
+	}
+	return spec
+}

@@ -1,0 +1,206 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"safehome/internal/device"
+)
+
+func TestGenerateShapeAndValidity(t *testing.T) {
+	p := DefaultGenParams()
+	p.Seed = 11
+	spec := Generate(p)
+	validateSpec(t, spec)
+	if got := spec.RoutineCount(); got != p.Routines {
+		t.Errorf("routines = %d, want %d", got, p.Routines)
+	}
+	if got := len(spec.Devices); got != p.Devices {
+		t.Errorf("devices = %d, want %d", got, p.Devices)
+	}
+	if h := spec.Horizon(); h > p.Horizon {
+		t.Errorf("arrival horizon = %v, want <= %v", h, p.Horizon)
+	}
+	for i := 1; i < len(spec.Submissions); i++ {
+		if spec.Submissions[i].At < spec.Submissions[i-1].At {
+			t.Fatalf("submissions not sorted by arrival at %d", i)
+		}
+	}
+}
+
+func TestGenerateDeterministicPerSeed(t *testing.T) {
+	p := DefaultGenParams()
+	p.Seed = 42
+	a, b := Generate(p), Generate(p)
+	if len(a.Submissions) != len(b.Submissions) {
+		t.Fatal("same seed produced different submission counts")
+	}
+	for i := range a.Submissions {
+		if a.Submissions[i].At != b.Submissions[i].At ||
+			a.Submissions[i].User != b.Submissions[i].User ||
+			a.Submissions[i].Routine.String() != b.Submissions[i].Routine.String() {
+			t.Fatalf("same seed diverged at submission %d", i)
+		}
+	}
+	p.Seed = 43
+	c := Generate(p)
+	same := true
+	for i := range a.Submissions {
+		if a.Submissions[i].Routine.String() != c.Submissions[i].Routine.String() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical workloads")
+	}
+}
+
+func TestGenerateTriggerBursts(t *testing.T) {
+	p := DefaultGenParams()
+	p.Routines = 80
+	p.TriggerPct = 100
+	p.TriggerFanout = 4
+	p.Seed = 9
+	spec := Generate(p)
+	byAt := map[time.Duration]int{}
+	for _, sub := range spec.Submissions {
+		byAt[sub.At]++
+	}
+	bursts := 0
+	for _, n := range byAt {
+		if n >= 2 {
+			bursts++
+		}
+	}
+	if bursts == 0 {
+		t.Error("TriggerPct=100 produced no simultaneous-arrival burst")
+	}
+
+	p.TriggerFanout = 1 // disables bursts entirely
+	solo := Generate(p)
+	byAt = map[time.Duration]int{}
+	for _, sub := range solo.Submissions {
+		byAt[sub.At]++
+	}
+	for at, n := range byAt {
+		if n > 1 {
+			t.Errorf("fanout=1 still produced a burst of %d at %v", n, at)
+		}
+	}
+}
+
+// maxDeviceShare returns the largest fraction of commands any one device gets.
+func maxDeviceShare(s Spec) float64 {
+	counts := map[device.ID]int{}
+	total := 0
+	for _, sub := range s.Submissions {
+		for _, c := range sub.Routine.Commands {
+			counts[c.Device]++
+			total++
+		}
+	}
+	max := 0
+	for _, n := range counts {
+		if n > max {
+			max = n
+		}
+	}
+	return float64(max) / float64(total)
+}
+
+func TestGenerateConflictDensityKnob(t *testing.T) {
+	p := DefaultGenParams()
+	p.Seed = 5
+	p.ConflictAlpha = 0 // uniform
+	uniform := maxDeviceShare(Generate(p))
+	p.ConflictAlpha = 2 // heavily skewed
+	skewed := maxDeviceShare(Generate(p))
+	if skewed <= uniform {
+		t.Errorf("hot-device share %.3f under alpha=2 not above %.3f under uniform", skewed, uniform)
+	}
+}
+
+func TestGenerateTenantSkewKnob(t *testing.T) {
+	share := func(skew float64) float64 {
+		p := DefaultGenParams()
+		p.Seed = 5
+		p.UserSkew = skew
+		spec := Generate(p)
+		counts := map[string]int{}
+		for _, sub := range spec.Submissions {
+			counts[sub.User]++
+		}
+		max := 0
+		for _, n := range counts {
+			if n > max {
+				max = n
+			}
+		}
+		return float64(max) / float64(len(spec.Submissions))
+	}
+	if skewed, uniform := share(2), share(0); skewed <= uniform {
+		t.Errorf("top-tenant share %.3f under skew=2 not above %.3f under uniform", skewed, uniform)
+	}
+}
+
+func TestGenerateBestEffortRatio(t *testing.T) {
+	p := DefaultGenParams()
+	p.Seed = 3
+	p.BestEffortRatio = 0.5
+	spec := Generate(p)
+	be, total := 0, 0
+	for _, sub := range spec.Submissions {
+		for _, c := range sub.Routine.Commands {
+			total++
+			if c.BestEffort {
+				be++
+			}
+		}
+	}
+	frac := float64(be) / float64(total)
+	if frac < 0.4 || frac > 0.6 {
+		t.Errorf("best-effort fraction = %.2f, want ~0.5", frac)
+	}
+}
+
+func TestGenerateFailureAndRestartInjection(t *testing.T) {
+	p := DefaultGenParams()
+	p.Devices = 50
+	p.Seed = 7
+	p.FailedPct = 20
+	p.RestartPct = 100
+	spec := Generate(p)
+	validateSpec(t, spec)
+	fails, restarts := 0, 0
+	lastFail := map[device.ID]time.Duration{}
+	for _, f := range spec.Failures {
+		if f.Restart {
+			restarts++
+			if f.At <= lastFail[f.Device] {
+				t.Errorf("device %s restarts at %v, before its failure at %v", f.Device, f.At, lastFail[f.Device])
+			}
+		} else {
+			fails++
+			lastFail[f.Device] = f.At
+		}
+	}
+	if want := 50 * 20 / 100; fails != want {
+		t.Errorf("fail-stop injections = %d, want %d", fails, want)
+	}
+	if restarts != fails {
+		t.Errorf("restarts = %d, want one per failure (%d)", restarts, fails)
+	}
+}
+
+func TestGenerateZeroValueNormalizes(t *testing.T) {
+	spec := Generate(GenParams{Seed: 1})
+	validateSpec(t, spec)
+	d := DefaultGenParams()
+	if len(spec.Devices) != d.Devices {
+		t.Errorf("normalized devices = %d, want default %d", len(spec.Devices), d.Devices)
+	}
+	if spec.RoutineCount() != d.Routines {
+		t.Errorf("normalized routines = %d, want default %d", spec.RoutineCount(), d.Routines)
+	}
+}

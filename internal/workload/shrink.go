@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"safehome/internal/device"
+)
+
+// Shrink reduces a failing spec to a locally minimal one: `fails` must return
+// true for specs that reproduce the failure (it is first checked on the input
+// itself; if the input passes, it is returned unchanged). Shrinking greedily
+// drops submission chunks (delta debugging: halves down to singletons), then
+// failure injections, then individual commands inside the surviving routines,
+// iterating to a fixpoint. Every accepted step strictly shrinks the spec, so
+// the loop terminates. Unreferenced devices are pruned from the result.
+//
+// The predicate is invoked many times; it should run the spec and report
+// whether the original violation reproduces.
+func Shrink(spec Spec, fails func(Spec) bool) Spec {
+	if !fails(spec) {
+		return spec
+	}
+	cur := spec
+	for changed := true; changed; {
+		changed = false
+
+		// Pass 1: drop contiguous submission chunks, halving the chunk size.
+		for size := (len(cur.Submissions) + 1) / 2; size >= 1; size /= 2 {
+			for i := 0; i+size <= len(cur.Submissions); {
+				cand := cur.dropSubmissions(i, size)
+				if fails(cand) {
+					cur, changed = cand, true
+				} else {
+					i += size
+				}
+			}
+		}
+
+		// Pass 2: drop failure injections one at a time.
+		for i := 0; i < len(cur.Failures); {
+			cand := cur.dropFailure(i)
+			if fails(cand) {
+				cur, changed = cand, true
+			} else {
+				i++
+			}
+		}
+
+		// Pass 3: drop individual commands, keeping at least one per routine.
+		for si := range cur.Submissions {
+			for ci := 0; len(cur.Submissions[si].Routine.Commands) > 1 &&
+				ci < len(cur.Submissions[si].Routine.Commands); {
+				cand := cur.dropCommand(si, ci)
+				if fails(cand) {
+					cur, changed = cand, true
+				} else {
+					ci++
+				}
+			}
+		}
+	}
+
+	// Prune devices nothing references any more. Pruning cannot change
+	// behaviour, but verify anyway and keep the unpruned spec if it somehow
+	// stops reproducing.
+	pruned := cur.pruneDevices()
+	if len(pruned.Devices) < len(cur.Devices) && !fails(pruned) {
+		return cur
+	}
+	return pruned
+}
+
+// dropSubmissions returns a copy of the spec without submissions [i, i+n).
+func (s Spec) dropSubmissions(i, n int) Spec {
+	out := s
+	out.Submissions = make([]Submission, 0, len(s.Submissions)-n)
+	out.Submissions = append(out.Submissions, s.Submissions[:i]...)
+	out.Submissions = append(out.Submissions, s.Submissions[i+n:]...)
+	return out
+}
+
+// dropFailure returns a copy of the spec without failure event i.
+func (s Spec) dropFailure(i int) Spec {
+	out := s
+	out.Failures = make([]FailureEvent, 0, len(s.Failures)-1)
+	out.Failures = append(out.Failures, s.Failures[:i]...)
+	out.Failures = append(out.Failures, s.Failures[i+1:]...)
+	return out
+}
+
+// dropCommand returns a copy of the spec with command ci removed from the
+// routine of submission si (the routine is cloned, not mutated).
+func (s Spec) dropCommand(si, ci int) Spec {
+	out := s
+	out.Submissions = make([]Submission, len(s.Submissions))
+	copy(out.Submissions, s.Submissions)
+	r := s.Submissions[si].Routine.Clone()
+	r.Commands = append(r.Commands[:ci], r.Commands[ci+1:]...)
+	out.Submissions[si].Routine = r
+	return out
+}
+
+// pruneDevices drops devices no surviving submission or failure references.
+func (s Spec) pruneDevices() Spec {
+	used := make(map[device.ID]bool)
+	for _, sub := range s.Submissions {
+		for _, c := range sub.Routine.Commands {
+			used[c.Device] = true
+			if c.Condition != nil {
+				used[c.Condition.Device] = true
+			}
+		}
+	}
+	for _, f := range s.Failures {
+		used[f.Device] = true
+	}
+	out := s
+	out.Devices = make([]device.Info, 0, len(used))
+	for _, d := range s.Devices {
+		if used[d.ID] {
+			out.Devices = append(out.Devices, d)
+		}
+	}
+	return out
+}
+
+// TotalCommands counts commands across all submissions — the size measure
+// shrinking minimizes, and a convenient summary for reports.
+func (s Spec) TotalCommands() int {
+	n := 0
+	for _, sub := range s.Submissions {
+		n += len(sub.Routine.Commands)
+	}
+	return n
+}

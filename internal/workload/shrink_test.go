@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"testing"
+
+	"safehome/internal/device"
+)
+
+// hasCommandOn reports whether any command in the spec targets d — the
+// synthetic "bug" the shrink tests reproduce.
+func hasCommandOn(s Spec, d device.ID) bool {
+	for _, sub := range s.Submissions {
+		for _, c := range sub.Routine.Commands {
+			if c.Device == d {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func TestShrinkToSingleCommand(t *testing.T) {
+	p := DefaultGenParams()
+	p.Seed = 21
+	spec := Generate(p)
+	last := spec.Submissions[len(spec.Submissions)-1].Routine
+	culprit := last.Commands[len(last.Commands)-1].Device
+	calls := 0
+	min := Shrink(spec, func(s Spec) bool {
+		calls++
+		return hasCommandOn(s, culprit)
+	})
+	if len(min.Submissions) != 1 {
+		t.Errorf("minimal spec has %d submissions, want 1", len(min.Submissions))
+	}
+	if got := min.TotalCommands(); got != 1 {
+		t.Errorf("minimal spec has %d commands, want 1", got)
+	}
+	if !hasCommandOn(min, culprit) {
+		t.Error("minimal spec no longer reproduces the failure")
+	}
+	if len(min.Failures) != 0 {
+		t.Errorf("minimal spec kept %d irrelevant failures", len(min.Failures))
+	}
+	if len(min.Devices) >= len(spec.Devices) {
+		t.Errorf("minimal spec kept all %d devices", len(min.Devices))
+	}
+	t.Logf("shrunk %d submissions / %d commands -> %d / %d in %d predicate calls",
+		len(spec.Submissions), spec.TotalCommands(), len(min.Submissions), min.TotalCommands(), calls)
+}
+
+func TestShrinkPassingSpecUnchanged(t *testing.T) {
+	p := DefaultGenParams()
+	p.Routines = 10
+	p.Seed = 2
+	spec := Generate(p)
+	min := Shrink(spec, func(Spec) bool { return false })
+	if len(min.Submissions) != len(spec.Submissions) || len(min.Devices) != len(spec.Devices) {
+		t.Error("passing spec was modified by Shrink")
+	}
+}
+
+func TestShrinkKeepsNeededFailure(t *testing.T) {
+	p := DefaultGenParams()
+	p.Devices = 40
+	p.Routines = 20
+	p.Seed = 13
+	p.FailedPct = 25
+	spec := Generate(p)
+	if len(spec.Failures) < 2 {
+		t.Fatalf("want >= 2 failures to shrink, got %d", len(spec.Failures))
+	}
+	needed := spec.Failures[len(spec.Failures)-1].Device
+	min := Shrink(spec, func(s Spec) bool {
+		for _, f := range s.Failures {
+			if f.Device == needed {
+				return true
+			}
+		}
+		return false
+	})
+	if len(min.Failures) != 1 || min.Failures[0].Device != needed {
+		t.Errorf("minimal failures = %v, want exactly the injection on %s", min.Failures, needed)
+	}
+	if len(min.Submissions) != 0 {
+		t.Errorf("minimal spec kept %d irrelevant submissions", len(min.Submissions))
+	}
+}
+
+func TestShrinkDoesNotMutateInput(t *testing.T) {
+	p := DefaultGenParams()
+	p.Routines = 12
+	p.Seed = 4
+	spec := Generate(p)
+	before := spec.TotalCommands()
+	culprit := spec.Submissions[0].Routine.Commands[0].Device
+	Shrink(spec, func(s Spec) bool { return hasCommandOn(s, culprit) })
+	if spec.TotalCommands() != before || len(spec.Submissions) != 12 {
+		t.Error("Shrink mutated the input spec")
+	}
+}

@@ -1,0 +1,127 @@
+// Trace capture format: a recorded run — device inventory, timed submissions,
+// failure injections and the resulting visibility event stream — serialized so
+// it can be replayed through a fresh home. Events use the hub's cursor wire
+// shape (the `eventView` JSON of `/api/events?since=N`), so a trace recorded
+// from a live hub's event log and one recorded in simulation are directly
+// comparable.
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"safehome/internal/device"
+	"safehome/internal/routine"
+)
+
+// TraceEvent is one visibility event in the hub's cursor JSON shape
+// (seq/time/kind/routine/device/state/detail).
+type TraceEvent struct {
+	Seq     uint64    `json:"seq,omitempty"`
+	Time    time.Time `json:"time"`
+	Kind    string    `json:"kind"`
+	Routine int64     `json:"routine,omitempty"`
+	Device  string    `json:"device,omitempty"`
+	State   string    `json:"state,omitempty"`
+	Detail  string    `json:"detail,omitempty"`
+}
+
+// TraceSubmission is one timed routine submission. The routine is embedded
+// whole (commands, durations, best-effort flags, conditions) via its JSON
+// representation.
+type TraceSubmission struct {
+	At      time.Duration    `json:"at_ns"`
+	User    string           `json:"user,omitempty"`
+	Routine *routine.Routine `json:"routine"`
+}
+
+// TraceFailure is one failure or restart injection.
+type TraceFailure struct {
+	At      time.Duration `json:"at_ns"`
+	Device  device.ID     `json:"device"`
+	Restart bool          `json:"restart,omitempty"`
+}
+
+// TraceOptions captures the scalar controller knobs a faithful replay needs
+// beyond model and scheduler. Pointers distinguish "recorded false" from
+// "not recorded" for the lease flags; zero means unrecorded elsewhere.
+type TraceOptions struct {
+	PreLease      *bool         `json:"pre_lease,omitempty"`
+	PostLease     *bool         `json:"post_lease,omitempty"`
+	DefaultShort  time.Duration `json:"default_short_ns,omitempty"`
+	LeaseLeniency float64       `json:"lease_leniency,omitempty"`
+	JiTTTL        time.Duration `json:"jit_ttl_ns,omitempty"`
+}
+
+// Trace is a complete recorded run. Model, Scheduler and Seed pin down the
+// controller configuration and jitter stream, so a trace is self-contained:
+// replaying it needs nothing but this structure.
+type Trace struct {
+	Name        string            `json:"name"`
+	Model       string            `json:"model"`
+	Scheduler   string            `json:"scheduler,omitempty"`
+	Seed        int64             `json:"seed"`
+	Options     TraceOptions      `json:"options,omitempty"`
+	JitterMax   time.Duration     `json:"jitter_max_ns,omitempty"`
+	Devices     []device.Info     `json:"devices"`
+	Submissions []TraceSubmission `json:"submissions"`
+	Failures    []TraceFailure    `json:"failures,omitempty"`
+	Events      []TraceEvent      `json:"events"`
+}
+
+// Spec reconstructs the workload the trace was recorded from. Routines are
+// cloned with their runtime identity cleared, so the spec can be resubmitted
+// to a fresh controller.
+func (t *Trace) Spec() Spec {
+	s := Spec{
+		Name:      t.Name,
+		JitterMax: t.JitterMax,
+		Devices:   append([]device.Info(nil), t.Devices...),
+	}
+	for _, sub := range t.Submissions {
+		r := sub.Routine.Clone()
+		r.ID = 0
+		r.Submitted = time.Time{}
+		s.Submissions = append(s.Submissions, Submission{At: sub.At, Routine: r, User: sub.User})
+	}
+	for _, f := range t.Failures {
+		s.Failures = append(s.Failures, FailureEvent{At: f.At, Device: f.Device, Restart: f.Restart})
+	}
+	return s
+}
+
+// EventBytes renders the event stream as canonical JSON lines — one cursor
+// event per line. Byte equality of two traces' EventBytes is the replay
+// acceptance oracle.
+func (t *Trace) EventBytes() []byte {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for i := range t.Events {
+		// Encoder.Encode appends a newline after each event.
+		if err := enc.Encode(&t.Events[i]); err != nil {
+			panic(fmt.Sprintf("workload: encode trace event: %v", err))
+		}
+	}
+	return buf.Bytes()
+}
+
+// EncodeTrace serializes a trace (indented JSON, suitable for files).
+func EncodeTrace(t *Trace) ([]byte, error) {
+	return json.MarshalIndent(t, "", "  ")
+}
+
+// DecodeTrace parses a trace produced by EncodeTrace.
+func DecodeTrace(b []byte) (*Trace, error) {
+	var t Trace
+	if err := json.Unmarshal(b, &t); err != nil {
+		return nil, fmt.Errorf("workload: decode trace: %w", err)
+	}
+	for i, sub := range t.Submissions {
+		if sub.Routine == nil {
+			return nil, fmt.Errorf("workload: decode trace: submission %d has no routine", i)
+		}
+	}
+	return &t, nil
+}

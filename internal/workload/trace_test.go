@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"safehome/internal/device"
+	"safehome/internal/routine"
+)
+
+func sampleTrace() *Trace {
+	r := routine.New("lights-on",
+		routine.Command{Device: "plug-0", Target: device.On, Duration: time.Second},
+		routine.Command{Device: "plug-1", Target: device.Off, BestEffort: true},
+	)
+	pre := true
+	epoch := time.Date(2021, 4, 26, 8, 0, 0, 0, time.UTC)
+	return &Trace{
+		Name:      "sample",
+		Model:     "EV",
+		Scheduler: "TL",
+		Seed:      7,
+		Options:   TraceOptions{PreLease: &pre, DefaultShort: 10 * time.Second},
+		Devices:   plugFleet(2),
+		Submissions: []TraceSubmission{
+			{At: 0, User: "alice", Routine: r},
+		},
+		Failures: []TraceFailure{
+			{At: time.Minute, Device: "plug-1"},
+			{At: 2 * time.Minute, Device: "plug-1", Restart: true},
+		},
+		Events: []TraceEvent{
+			{Seq: 1, Time: epoch, Kind: "submitted", Routine: 1},
+			{Seq: 2, Time: epoch.Add(time.Second), Kind: "committed", Routine: 1, Device: "plug-0", State: "on"},
+		},
+	}
+}
+
+func TestTraceEncodeDecodeRoundTrip(t *testing.T) {
+	orig := sampleTrace()
+	b, err := EncodeTrace(orig)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeTrace(b)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Name != orig.Name || got.Model != orig.Model || got.Scheduler != orig.Scheduler || got.Seed != orig.Seed {
+		t.Errorf("header diverged: %+v", got)
+	}
+	if got.Options.PreLease == nil || !*got.Options.PreLease || got.Options.DefaultShort != 10*time.Second {
+		t.Errorf("options diverged: %+v", got.Options)
+	}
+	if len(got.Submissions) != 1 || got.Submissions[0].Routine.Name != "lights-on" {
+		t.Fatalf("submissions diverged: %+v", got.Submissions)
+	}
+	if len(got.Failures) != 2 || !got.Failures[1].Restart {
+		t.Errorf("failures diverged: %+v", got.Failures)
+	}
+	if !bytes.Equal(got.EventBytes(), orig.EventBytes()) {
+		t.Errorf("event stream not byte-identical after round trip:\n%s\n%s",
+			orig.EventBytes(), got.EventBytes())
+	}
+}
+
+func TestTraceSpecClearsRuntimeIdentity(t *testing.T) {
+	tr := sampleTrace()
+	tr.Submissions[0].Routine.ID = 17
+	tr.Submissions[0].Routine.Submitted = time.Now()
+	spec := tr.Spec()
+	r := spec.Submissions[0].Routine
+	if r.ID != 0 || !r.Submitted.IsZero() {
+		t.Errorf("spec routine keeps runtime identity: id=%d submitted=%v", r.ID, r.Submitted)
+	}
+	if tr.Submissions[0].Routine.ID != 17 {
+		t.Error("Spec mutated the trace's routine")
+	}
+	if len(spec.Devices) != 2 || len(spec.Failures) != 2 {
+		t.Errorf("spec shape diverged: %d devices, %d failures", len(spec.Devices), len(spec.Failures))
+	}
+}
+
+func TestDecodeTraceRejectsMissingRoutine(t *testing.T) {
+	if _, err := DecodeTrace([]byte(`{"name":"x","model":"EV","submissions":[{"at_ns":0}]}`)); err == nil {
+		t.Error("decode accepted a submission with no routine")
+	}
+}
+
+func TestEventBytesOnePerLine(t *testing.T) {
+	tr := sampleTrace()
+	b := tr.EventBytes()
+	lines := bytes.Count(b, []byte("\n"))
+	if lines != len(tr.Events) {
+		t.Errorf("EventBytes has %d lines, want %d", lines, len(tr.Events))
+	}
+}
