@@ -32,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"strconv"
@@ -250,33 +251,73 @@ func (c *client) postFile(args []string, path string) error {
 	return c.printJSON("POST", path, data)
 }
 
+// fetchAttempts bounds fetch's retry loop on 429/503: the initial request
+// plus three backed-off retries rides out a mailbox burst or a supervised
+// home restart without turning a real outage into a hang.
+const fetchAttempts = 4
+
 // fetch performs one API request and returns the response payload, turning
-// >= 400 statuses into errors.
+// >= 400 statuses into errors. 429 (home overloaded) and 503 (hub or home
+// restarting) responses are retried with backoff, honoring the server's
+// Retry-After hint when present — capped so a misbehaving server cannot
+// park the CLI for minutes.
 func (c *client) fetch(method, path string, body []byte) ([]byte, error) {
+	for attempt := 0; ; attempt++ {
+		payload, retryAfter, err := c.fetchOnce(method, path, body)
+		if err == nil {
+			return payload, nil
+		}
+		if retryAfter < 0 || attempt == fetchAttempts-1 {
+			return nil, err // not a back-off status, or out of retries
+		}
+		delay := retryAfter
+		if delay <= 0 {
+			// No server hint: jittered exponential backoff from 100 ms.
+			delay = (100 * time.Millisecond) << attempt
+			delay += time.Duration(rand.Int63n(int64(delay)/2 + 1))
+		}
+		if delay > 2*time.Second {
+			delay = 2 * time.Second
+		}
+		time.Sleep(delay)
+	}
+}
+
+// fetchOnce performs one HTTP round trip. retryAfter is -1 for statuses
+// that must not be retried, 0 for retryable statuses without a server hint,
+// and the parsed Retry-After duration otherwise.
+func (c *client) fetchOnce(method, path string, body []byte) (payload []byte, retryAfter time.Duration, err error) {
 	var reader io.Reader
 	if body != nil {
 		reader = bytes.NewReader(body)
 	}
 	req, err := http.NewRequest(method, c.base+path, reader)
 	if err != nil {
-		return nil, err
+		return nil, -1, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return nil, err
+		return nil, -1, err
 	}
 	defer resp.Body.Close()
-	payload, err := io.ReadAll(resp.Body)
+	payload, err = io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, err
+		return nil, -1, err
 	}
 	if resp.StatusCode >= 400 {
-		return nil, fmt.Errorf("%s %s: %s: %s", method, path, resp.Status, strings.TrimSpace(string(payload)))
+		retryAfter = -1
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+			retryAfter = 0
+			if secs, convErr := strconv.Atoi(resp.Header.Get("Retry-After")); convErr == nil && secs >= 0 {
+				retryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return nil, retryAfter, fmt.Errorf("%s %s: %s: %s", method, path, resp.Status, strings.TrimSpace(string(payload)))
 	}
-	return payload, nil
+	return payload, -1, nil
 }
 
 func (c *client) printJSON(method, path string, body []byte) error {

@@ -68,6 +68,8 @@ commands:
       -schedulers CSV   EV schedulers to test (default TL,FCFS,JiT)
       -failed-pct P     percentage of devices that fail-stop (default 0)
       -restart-pct P    percentage of failed devices that restart (default 0)
+      -flap-pct P       percentage of failing devices that flap (default 0)
+      -panic-pct P      percentage of seeds that inject a mid-run panic (default 0)
       -no-shrink        skip minimizing failing seeds
   record       run one generated home and write its trace
       -out FILE         trace file to write (required)
@@ -79,11 +81,13 @@ commands:
   replay       replay a trace through a fresh home and byte-compare streams
       -in FILE          trace file to check (required)
   drill        crash a journaled home and verify the durability contract
-      -points CSV       crash points (default all: post-ack,in-flight,mid-batch,mid-checkpoint)
+      -points CSV       crash points (default all: post-ack,in-flight,mid-batch,
+                        mid-checkpoint,crash-panic)
       -acked CSV        tail-length sweep: acked-batch sizes with checkpoints
                         disabled (default 4,16,64)
       -seed N           routine-generation seed (default 1)
-      -dir DIR          journal directory (default: fresh temp dir)`)
+      -dir DIR          journal directory (default: fresh temp dir)
+      -no-flap          skip the device-flap and journal-flap drills`)
 }
 
 func parseSchedulers(csv string) ([]visibility.SchedulerKind, error) {
@@ -107,6 +111,8 @@ func sweepCmd(args []string) error {
 	scheds := fs.String("schedulers", "TL,FCFS,JiT", "schedulers to test")
 	failedPct := fs.Float64("failed-pct", 0, "percentage of devices that fail-stop")
 	restartPct := fs.Float64("restart-pct", 0, "percentage of failed devices that restart")
+	flapPct := fs.Float64("flap-pct", 0, "percentage of failing devices that flap (fail/restart cycles)")
+	panicPct := fs.Float64("panic-pct", 0, "percentage of seeds that inject a mid-run controller panic")
 	noShrink := fs.Bool("no-shrink", false, "skip minimizing failing seeds")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -129,6 +135,8 @@ func sweepCmd(args []string) error {
 	p.Params.Routines = *routines
 	p.Params.FailedPct = *failedPct
 	p.Params.RestartPct = *restartPct
+	p.Params.FlapPct = *flapPct
+	p.Params.PanicPct = *panicPct
 
 	fmt.Printf("sweep: seeds %d..%d, %d devices, %d routines, schedulers %s\n",
 		*seed, *seed+int64(*seeds)-1, *devices, *routines, *scheds)
@@ -240,6 +248,7 @@ func parseCrashPoints(csv string) ([]harness.CrashPoint, error) {
 		"in-flight":      harness.CrashInFlight,
 		"mid-batch":      harness.CrashMidBatch,
 		"mid-checkpoint": harness.CrashMidCheckpoint,
+		"crash-panic":    harness.CrashPanic,
 	}
 	var out []harness.CrashPoint
 	for _, s := range strings.Split(csv, ",") {
@@ -254,10 +263,11 @@ func parseCrashPoints(csv string) ([]harness.CrashPoint, error) {
 
 func drillCmd(args []string) error {
 	fs := flag.NewFlagSet("drill", flag.ContinueOnError)
-	points := fs.String("points", "post-ack,in-flight,mid-batch,mid-checkpoint", "crash points")
+	points := fs.String("points", "post-ack,in-flight,mid-batch,mid-checkpoint,crash-panic", "crash points")
 	acked := fs.String("acked", "4,16,64", "acked-batch sizes for the tail-length sweep")
 	seed := fs.Int64("seed", 1, "routine-generation seed")
 	dir := fs.String("dir", "", "journal directory (default: fresh temp dir)")
+	noFlap := fs.Bool("no-flap", false, "skip the device-flap and journal-flap drills")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -311,6 +321,29 @@ func drillCmd(args []string) error {
 		}
 		fmt.Printf("  %-8d %-12d %-12v\n", rep.Acked, rep.TailBytes, rep.RecoveryTime)
 		for _, v := range rep.Violations {
+			bad++
+			fmt.Printf("    VIOLATION %v\n", v)
+		}
+	}
+	if !*noFlap {
+		fmt.Println("device-flap drill (actuation breaker + failure detector):")
+		fr, err := harness.RunFlapDrill()
+		if err != nil {
+			return fmt.Errorf("flap drill: %w", err)
+		}
+		fmt.Printf("  %v\n", fr)
+		for _, v := range fr.Violations {
+			bad++
+			fmt.Printf("    VIOLATION %v\n", v)
+		}
+
+		fmt.Println("journal-flap drill (durable home degrades to memory-only):")
+		jr, err := harness.RunJournalFlapDrill(fmt.Sprintf("%s/journal-flap", root))
+		if err != nil {
+			return fmt.Errorf("journal-flap drill: %w", err)
+		}
+		fmt.Printf("  %v\n", jr)
+		for _, v := range jr.Violations {
 			bad++
 			fmt.Printf("    VIOLATION %v\n", v)
 		}

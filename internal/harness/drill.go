@@ -41,6 +41,12 @@ const (
 	// midway through a checkpoint rewrite (a garbage checkpoint.tmp) plus a
 	// torn frame at the newest segment's tail; recovery must ignore both.
 	CrashMidCheckpoint
+	// CrashPanic kills the home with a software fault instead of a process
+	// kill: a panic injected into the loop goroutine, with long routines
+	// still executing. The runtime must isolate the panic (poison the home,
+	// record the panic error, release the journal) and recovery must see
+	// exactly the crash contract — acked intact, in flight aborted.
+	CrashPanic
 )
 
 func (p CrashPoint) String() string {
@@ -53,6 +59,8 @@ func (p CrashPoint) String() string {
 		return "mid-batch"
 	case CrashMidCheckpoint:
 		return "mid-checkpoint"
+	case CrashPanic:
+		return "crash-panic"
 	default:
 		return fmt.Sprintf("crash-point(%d)", int(p))
 	}
@@ -226,6 +234,35 @@ func RunDrill(p DrillParams) (DrillReport, error) {
 		// holds: the crash lands mid-routine, not merely mid-queue.
 		rt.PumpIfDue(time.Now().Add(time.Second))
 		rt.Crash()
+
+	case CrashPanic:
+		rep.InFlight = p.InFlight
+		for i := 0; i < p.InFlight; i++ {
+			r := drillRoutine(rng, p.Devices, fmt.Sprintf("inflight-%02d", i), time.Hour)
+			rid, err := rt.Submit(r)
+			if err != nil {
+				return rep, fmt.Errorf("harness: drill in-flight submit: %w", err)
+			}
+			inFlightIDs = append(inFlightIDs, rid)
+		}
+		rt.PumpIfDue(time.Now().Add(time.Second))
+		// Die by software fault instead of process kill: the panic lands in
+		// the loop goroutine, whose recovery must poison the home rather
+		// than unwind the process.
+		rt.PostTimer(func() { panic("harness: injected fault") })
+		for deadline := time.Now().Add(5 * time.Second); !rt.Poisoned(); {
+			if time.Now().After(deadline) {
+				return rep, errors.New("harness: injected panic never poisoned the home")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if rt.PanicError() == nil {
+			rep.Violations = append(rep.Violations, Violation{"panic-unrecorded",
+				"poisoned home records no panic error"})
+		}
+		// Close joins the already-dead loop; the poison teardown released the
+		// journal, so recovery below reopens the same directory.
+		rt.Close()
 
 	case CrashMidBatch:
 		rep.Unacked = p.Unacked

@@ -10,7 +10,7 @@ import (
 // contract holds: acknowledged routines recover identically, in-flight
 // routines recover aborted, parked submissions are rejected and absent.
 func TestDrillFamily(t *testing.T) {
-	points := []CrashPoint{CrashPostAck, CrashInFlight, CrashMidBatch, CrashMidCheckpoint}
+	points := []CrashPoint{CrashPostAck, CrashInFlight, CrashMidBatch, CrashMidCheckpoint, CrashPanic}
 	for _, pt := range points {
 		pt := pt
 		t.Run(pt.String(), func(t *testing.T) {

@@ -1,0 +1,31 @@
+package harness
+
+import "testing"
+
+func TestFlapDrill(t *testing.T) {
+	rep, err := RunFlapDrill()
+	if err != nil {
+		t.Fatalf("flap drill: %v", err)
+	}
+	t.Logf("%v", rep)
+	for _, v := range rep.Violations {
+		t.Errorf("violation %s: %s", v.Kind, v.Detail)
+	}
+	if rep.Opens == 0 || rep.FlapAborted == 0 || rep.HealthyCommitted == 0 || !rep.Reclosed {
+		t.Errorf("drill did not exercise the full breaker lifecycle: %v", rep)
+	}
+}
+
+func TestJournalFlapDrill(t *testing.T) {
+	rep, err := RunJournalFlapDrill(t.TempDir())
+	if err != nil {
+		t.Fatalf("journal-flap drill: %v", err)
+	}
+	t.Logf("%v", rep)
+	for _, v := range rep.Violations {
+		t.Errorf("violation %s: %s", v.Kind, v.Detail)
+	}
+	if rep.DegradedServing == 0 || rep.RecoveredAcked == 0 {
+		t.Errorf("drill did not exercise degrade + recovery: %v", rep)
+	}
+}

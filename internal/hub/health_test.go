@@ -1,0 +1,151 @@
+package hub
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"safehome/internal/device"
+	"safehome/internal/manager"
+	rt "safehome/internal/runtime"
+	"safehome/internal/visibility"
+)
+
+func newSupervisedHub(t *testing.T, sup rt.SupervisorConfig) *Hub {
+	t.Helper()
+	reg := testRegistry()
+	h, err := New(Config{Model: visibility.EV, DefaultShort: 5 * time.Millisecond,
+		FailureInterval: time.Hour, Supervisor: sup}, reg, device.NewFleet(reg))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(h.Close)
+	return h
+}
+
+func get(t *testing.T, srv http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec
+}
+
+func TestHealthzAndReadyzWhenServing(t *testing.T) {
+	h := newSupervisedHub(t, rt.SupervisorConfig{})
+	srv := h.Handler()
+
+	if rec := get(t, srv, "/healthz"); rec.Code != http.StatusOK {
+		t.Errorf("GET /healthz = %d, want 200", rec.Code)
+	}
+	rec := get(t, srv, "/readyz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /readyz = %d, want 200", rec.Code)
+	}
+	var body struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("readyz body: %v", err)
+	}
+	if body.Status != string(rt.HealthOK) {
+		t.Errorf("readyz status = %q, want %q", body.Status, rt.HealthOK)
+	}
+}
+
+func TestReadyz503WhileRestartingThenRecovers(t *testing.T) {
+	h := newSupervisedHub(t, rt.SupervisorConfig{
+		Backoff: 300 * time.Millisecond, BackoffCap: 300 * time.Millisecond})
+	srv := h.Handler()
+
+	h.Runtime().PostTimer(func() { panic("test: injected fault") })
+
+	// The restart backoff holds the hub unready long enough to observe.
+	deadline := time.Now().Add(5 * time.Second)
+	saw503 := false
+	for !saw503 {
+		if time.Now().After(deadline) {
+			t.Fatal("never observed an unready window")
+		}
+		rec := get(t, srv, "/readyz")
+		if rec.Code == http.StatusServiceUnavailable {
+			saw503 = true
+			if ra := rec.Header().Get("Retry-After"); ra == "" {
+				t.Error("503 readyz carries no Retry-After header")
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Liveness is unaffected: the process is fine, one home is restarting.
+	if rec := get(t, srv, "/healthz"); rec.Code != http.StatusOK {
+		t.Errorf("GET /healthz during restart = %d, want 200", rec.Code)
+	}
+
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("hub never became ready again")
+		}
+		if rec := get(t, srv, "/readyz"); rec.Code == http.StatusOK {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st := h.Status()
+	if st.Health != rt.HealthOK || st.Poisons < 1 || st.Restarts < 1 {
+		t.Errorf("post-recovery status health=%s poisons=%d restarts=%d, want ok/>=1/>=1",
+			st.Health, st.Poisons, st.Restarts)
+	}
+	// The restarted hub serves mutations again.
+	if _, err := h.SubmitRoutine(coolingRoutine()); err != nil {
+		t.Errorf("SubmitRoutine after supervised restart: %v", err)
+	}
+}
+
+func TestManagerHealthEndpoints(t *testing.T) {
+	m := manager.New(manager.Config{Shards: 2})
+	t.Cleanup(m.Close)
+	if err := m.AddHome("home-1", device.Plugs(2).All()...); err != nil {
+		t.Fatal(err)
+	}
+	srv := ManagerHandler(m, 4)
+
+	if rec := get(t, srv, "/healthz"); rec.Code != http.StatusOK {
+		t.Errorf("GET /healthz = %d, want 200", rec.Code)
+	}
+	rec := get(t, srv, "/readyz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /readyz = %d, want 200", rec.Code)
+	}
+	var body struct {
+		Status      string `json:"status"`
+		Homes       int    `json:"homes"`
+		Poisons     int64  `json:"poisons"`
+		Restarts    int64  `json:"restarts"`
+		Quarantined int64  `json:"quarantined"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("readyz body: %v", err)
+	}
+	if body.Status != "ok" {
+		t.Errorf("manager readyz status = %q, want ok", body.Status)
+	}
+}
+
+func TestRetryAfterOnBackpressureStatuses(t *testing.T) {
+	for _, status := range []int{http.StatusTooManyRequests, http.StatusServiceUnavailable} {
+		rec := httptest.NewRecorder()
+		writeError(rec, status, errors.New("test: shed"))
+		if ra := rec.Header().Get("Retry-After"); ra == "" {
+			t.Errorf("status %d carries no Retry-After", status)
+		}
+	}
+	for _, status := range []int{http.StatusBadRequest, http.StatusNotFound, http.StatusConflict} {
+		rec := httptest.NewRecorder()
+		writeError(rec, status, errors.New("test: client error"))
+		if ra := rec.Header().Get("Retry-After"); ra != "" {
+			t.Errorf("status %d carries Retry-After %q, want none", status, ra)
+		}
+	}
+}

@@ -19,11 +19,14 @@ package hub
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"safehome/internal/device"
 	"safehome/internal/failure"
 	"safehome/internal/journal"
+	"safehome/internal/live"
 	"safehome/internal/routine"
 	rt "safehome/internal/runtime"
 	"safehome/internal/visibility"
@@ -36,6 +39,9 @@ var (
 	ErrOverloaded = rt.ErrOverloaded
 	// ErrClosed is returned by mutating calls after Close.
 	ErrClosed = rt.ErrClosed
+	// ErrPoisoned is returned to operations parked in the runtime when its
+	// loop panicked; the hub's supervisor is already restarting it (HTTP 503).
+	ErrPoisoned = rt.ErrPoisoned
 )
 
 // ReadConsistency selects how the hub answers read-only queries; re-exported
@@ -78,6 +84,17 @@ type Config struct {
 	DataDir string
 	// Journal tunes the write-ahead journal; only meaningful with DataDir.
 	Journal journal.Options
+	// Actuation tunes the device path: per-command timeout, retry policy and
+	// the per-device circuit breaker that sheds commands to devices that keep
+	// timing out instead of tying the loop's in-flight slots to them.
+	Actuation live.Options
+	// Supervisor tunes panic recovery: when the runtime's loop panics the hub
+	// poisons it, tears it down and restarts it (from the journal when
+	// durable, empty otherwise) with capped exponential backoff, then
+	// quarantines after MaxRestarts consecutive failures. The zero value
+	// enables supervision with defaults; set Supervisor.Disable to let the
+	// poison stand without restarting.
+	Supervisor rt.SupervisorConfig
 }
 
 func (c Config) normalized() Config {
@@ -94,11 +111,22 @@ func (c Config) normalized() Config {
 }
 
 // Hub is a running SafeHome instance: a thin front-end over one home
-// runtime.
+// runtime. The runtime pointer is swapped atomically by the hub's
+// supervisor when a panic poisons a generation, so API calls racing a
+// restart see either the old (poisoned, fast-failing) or the new runtime —
+// never a torn hub.
 type Hub struct {
-	cfg Config
-	reg *device.Registry
-	rt  *rt.HomeRuntime
+	cfg      Config
+	reg      *device.Registry
+	actuator device.Actuator
+	cur      atomic.Pointer[rt.HomeRuntime]
+	sup      *rt.Supervisor
+
+	stop      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+	restartCh chan struct{}
+	detecting atomic.Bool // Start was called: restarted generations re-arm the detector
 
 	started time.Time
 }
@@ -115,40 +143,128 @@ func New(cfg Config, reg *device.Registry, actuator device.Actuator) (*Hub, erro
 	}
 	cfg = cfg.normalized()
 
-	runtime, err := rt.NewLive(rt.Config{
-		ID:              "hub",
-		Model:           cfg.Model,
-		Scheduler:       cfg.Scheduler,
-		DefaultShort:    cfg.DefaultShort,
-		FailureInterval: cfg.FailureInterval,
-		EventLog:        cfg.EventLog,
-		MailboxDepth:    cfg.MailboxDepth,
-		Batch:           cfg.Batch,
-		ReadConsistency: cfg.ReadConsistency,
-		DataDir:         cfg.DataDir,
-		Journal:         cfg.Journal,
-	}, reg, actuator)
+	h := &Hub{
+		cfg:      cfg,
+		reg:      reg,
+		actuator: actuator,
+		sup:      rt.NewSupervisor(cfg.Supervisor),
+		stop:     make(chan struct{}),
+		// One runtime means at most one poison per generation; a buffer of one
+		// never drops a restart request.
+		restartCh: make(chan struct{}, 1),
+		started:   time.Now(),
+	}
+	runtime, err := h.buildRuntime()
 	if err != nil {
 		return nil, fmt.Errorf("hub: %w", err)
 	}
-	return &Hub{cfg: cfg, reg: reg, rt: runtime, started: time.Now()}, nil
+	h.cur.Store(runtime)
+	if !cfg.Supervisor.Disable {
+		h.wg.Add(1)
+		go h.runSupervisor()
+	}
+	return h, nil
+}
+
+// buildRuntime constructs one runtime generation. With a DataDir each new
+// generation recovers the previous one's acknowledged work from the journal.
+func (h *Hub) buildRuntime() (*rt.HomeRuntime, error) {
+	cfg := rt.Config{
+		ID:              "hub",
+		Model:           h.cfg.Model,
+		Scheduler:       h.cfg.Scheduler,
+		DefaultShort:    h.cfg.DefaultShort,
+		FailureInterval: h.cfg.FailureInterval,
+		EventLog:        h.cfg.EventLog,
+		MailboxDepth:    h.cfg.MailboxDepth,
+		Batch:           h.cfg.Batch,
+		ReadConsistency: h.cfg.ReadConsistency,
+		DataDir:         h.cfg.DataDir,
+		Journal:         h.cfg.Journal,
+		Actuation:       h.cfg.Actuation,
+	}
+	if !h.cfg.Supervisor.Disable {
+		cfg.OnPoison = h.notifyPoison
+	}
+	return rt.NewLive(cfg, h.reg, h.actuator)
+}
+
+// notifyPoison runs on the dying runtime's loop goroutine.
+func (h *Hub) notifyPoison(err error) {
+	h.sup.NotePoison(err)
+	select {
+	case h.restartCh <- struct{}{}:
+	default:
+	}
+}
+
+// runSupervisor restarts poisoned runtime generations until Close (or the
+// restart budget quarantines the hub).
+func (h *Hub) runSupervisor() {
+	defer h.wg.Done()
+	for {
+		select {
+		case <-h.stop:
+			return
+		case <-h.restartCh:
+			h.superviseRestart()
+		}
+	}
+}
+
+func (h *Hub) superviseRestart() {
+	// Join the dead loop; the poison teardown already closed the mailbox and
+	// released the journal, so the data directory is free for the successor.
+	h.cur.Load().Close()
+	ok := h.sup.Restart(h.stop, func() error {
+		runtime, err := h.buildRuntime()
+		if err != nil {
+			return err
+		}
+		h.cur.Store(runtime)
+		return nil
+	})
+	if ok && h.detecting.Load() {
+		h.cur.Load().Start()
+	}
 }
 
 // Start launches the failure detector's probe loop.
-func (h *Hub) Start() { h.rt.Start() }
+func (h *Hub) Start() {
+	h.detecting.Store(true)
+	h.cur.Load().Start()
+}
 
-// Close stops background activity (failure detection and scheduled
-// triggers), waits for in-flight commands and drains the runtime. After
-// Close, mutating calls return ErrClosed; reads answer from the quiesced
-// state.
-func (h *Hub) Close() { h.rt.Close() }
+// Close stops background activity (supervision, failure detection and
+// scheduled triggers), waits for in-flight commands and drains the runtime.
+// After Close, mutating calls return ErrClosed; reads answer from the
+// quiesced state.
+func (h *Hub) Close() {
+	h.closeOnce.Do(func() { close(h.stop) })
+	h.wg.Wait()
+	h.cur.Load().Close()
+}
 
 // Crash kills the hub without draining: no shutdown checkpoint, no waiting
 // for in-flight routines — the SIGKILL-equivalent for crash-recovery drills.
 // Operations parked in the mailbox are answered ErrClosed. A hub running
 // with a data directory recovers acknowledged work exactly when a new hub
 // reopens the same directory; everything in flight comes back aborted.
-func (h *Hub) Crash() { h.rt.Crash() }
+func (h *Hub) Crash() {
+	h.closeOnce.Do(func() { close(h.stop) })
+	h.wg.Wait()
+	h.cur.Load().Crash()
+}
+
+// Health reports the hub's supervision state: ok, degraded (serving but the
+// journal died — memory-only until restart), restarting (poisoned, being
+// rebuilt) or quarantined (restart budget exhausted).
+func (h *Hub) Health() rt.HomeHealth {
+	return h.sup.Health(h.cur.Load().JournalError() == nil)
+}
+
+// Serving reports whether the hub can take requests right now.
+func (h *Hub) Serving() bool { return h.sup.Serving() }
 
 // Model returns the hub's visibility model.
 func (h *Hub) Model() visibility.Model { return h.cfg.Model }
@@ -157,15 +273,16 @@ func (h *Hub) Model() visibility.Model { return h.cfg.Model }
 func (h *Hub) Registry() *device.Registry { return h.reg }
 
 // Detector exposes the failure detector (CLI status, tests).
-func (h *Hub) Detector() *failure.Detector { return h.rt.Detector() }
+func (h *Hub) Detector() *failure.Detector { return h.cur.Load().Detector() }
 
-// Runtime exposes the underlying home runtime (mailbox stats, tests).
-func (h *Hub) Runtime() *rt.HomeRuntime { return h.rt }
+// Runtime exposes the current home runtime generation (mailbox stats,
+// tests). Callers should not cache it across a restart.
+func (h *Hub) Runtime() *rt.HomeRuntime { return h.cur.Load() }
 
 // SubmitRoutine validates and submits a routine for execution. It returns
 // ErrOverloaded when the hub's mailbox is full.
 func (h *Hub) SubmitRoutine(r *routine.Routine) (routine.ID, error) {
-	return h.rt.Submit(r)
+	return h.cur.Load().Submit(r)
 }
 
 // SubmitSpec parses a Fig 10-style JSON routine document and submits it.
@@ -177,21 +294,19 @@ func (h *Hub) SubmitSpec(spec []byte) (routine.ID, error) {
 	return h.SubmitRoutine(r)
 }
 
-// StoreRoutine saves a routine definition in the routine bank.
+// StoreRoutine saves a routine definition in the routine bank. On a durable
+// hub the definition is journaled, so stored routines survive restarts.
 func (h *Hub) StoreRoutine(r *routine.Routine) error {
-	if err := r.Validate(h.reg); err != nil {
-		return err
-	}
-	return h.rt.Bank().Store(r)
+	return h.cur.Load().StoreRoutine(r)
 }
 
 // StoredRoutines lists the names in the routine bank.
-func (h *Hub) StoredRoutines() []string { return h.rt.Bank().Names() }
+func (h *Hub) StoredRoutines() []string { return h.cur.Load().Bank().Names() }
 
 // Trigger dispatches a stored routine by name (the "Routine Dispatcher" of
 // Fig 11 invoked by a user or an automation trigger).
 func (h *Hub) Trigger(name string) (routine.ID, error) {
-	r, ok := h.rt.Bank().Get(name)
+	r, ok := h.cur.Load().Bank().Get(name)
 	if !ok {
 		return routine.None, fmt.Errorf("hub: no stored routine named %q", name)
 	}
@@ -199,35 +314,43 @@ func (h *Hub) Trigger(name string) (routine.ID, error) {
 }
 
 // Results returns per-routine outcomes in submission order.
-func (h *Hub) Results() []visibility.Result { return h.rt.Results() }
+func (h *Hub) Results() []visibility.Result { return h.cur.Load().Results() }
 
 // Result returns one routine's outcome.
-func (h *Hub) Result(id routine.ID) (visibility.Result, bool) { return h.rt.Result(id) }
+func (h *Hub) Result(id routine.ID) (visibility.Result, bool) { return h.cur.Load().Result(id) }
 
 // PendingCount returns the number of unfinished routines.
-func (h *Hub) PendingCount() int { return h.rt.PendingCount() }
+func (h *Hub) PendingCount() int { return h.cur.Load().PendingCount() }
 
 // Events returns a copy of the recent activity log.
-func (h *Hub) Events() []visibility.Event { return h.rt.Events() }
+func (h *Hub) Events() []visibility.Event { return h.cur.Load().Events() }
 
 // EventsSince returns the retained events with sequence number >= since and
 // the cursor to pass on the next poll, so pollers fetch only the tail.
 func (h *Hub) EventsSince(since uint64) ([]visibility.Event, uint64) {
-	return h.rt.EventsSince(since)
+	return h.cur.Load().EventsSince(since)
 }
 
-// DeviceStatus describes one device for the API and CLI.
+// DeviceStatus describes one device for the API and CLI. Breaker is the
+// device's circuit-breaker state ("closed" when healthy; "open" while the
+// actuation path sheds commands to it; "half-open" while probing recovery).
 type DeviceStatus struct {
-	Info  device.Info  `json:"info"`
-	State device.State `json:"state"`
-	Up    bool         `json:"up"`
+	Info    device.Info  `json:"info"`
+	State   device.State `json:"state"`
+	Up      bool         `json:"up"`
+	Breaker string       `json:"breaker,omitempty"`
 }
 
-// Devices reports every device's committed state (the controller's view) and
-// liveness.
+// Devices reports every device's committed state (the controller's view),
+// liveness and actuation-path breaker state.
 func (h *Hub) Devices() []DeviceStatus {
-	committed := h.rt.CommittedStates()
-	detector := h.rt.Detector()
+	runtime := h.cur.Load()
+	committed := runtime.CommittedStates()
+	detector := runtime.Detector()
+	breakers := make(map[device.ID]string)
+	for _, b := range runtime.Breakers() {
+		breakers[b.Device] = b.State
+	}
 
 	infos := h.reg.All()
 	out := make([]DeviceStatus, 0, len(infos))
@@ -236,38 +359,62 @@ func (h *Hub) Devices() []DeviceStatus {
 		if !ok {
 			st = info.Initial
 		}
-		out = append(out, DeviceStatus{Info: info, State: st, Up: detector.Up(info.ID)})
+		out = append(out, DeviceStatus{
+			Info:    info,
+			State:   st,
+			Up:      detector.Up(info.ID),
+			Breaker: breakers[info.ID],
+		})
 	}
 	return out
 }
 
 // Status summarizes the hub for the API and CLI.
 type Status struct {
-	Model     string          `json:"model"`
-	Scheduler string          `json:"scheduler"`
-	Devices   int             `json:"devices"`
-	Routines  int             `json:"routines"`
-	Pending   int             `json:"pending"`
-	Active    int             `json:"active"`
-	Stored    int             `json:"stored_routines"`
-	Mailbox   rt.MailboxStats `json:"mailbox"`
-	Durable   bool            `json:"durable,omitempty"`
-	Since     time.Time       `json:"since"`
+	Model     string              `json:"model"`
+	Scheduler string              `json:"scheduler"`
+	Health    rt.HomeHealth       `json:"health"`
+	Poisons   int64               `json:"poisons,omitempty"`
+	Restarts  int64               `json:"restarts,omitempty"`
+	LastError string              `json:"last_error,omitempty"`
+	Devices   int                 `json:"devices"`
+	Routines  int                 `json:"routines"`
+	Pending   int                 `json:"pending"`
+	Active    int                 `json:"active"`
+	Stored    int                 `json:"stored_routines"`
+	Mailbox   rt.MailboxStats     `json:"mailbox"`
+	Breakers  []live.BreakerStats `json:"breakers,omitempty"`
+	Durable   bool                `json:"durable,omitempty"`
+	Since     time.Time           `json:"since"`
 }
 
-// Status returns the hub summary.
+// Status returns the hub summary. It answers while the hub is restarting or
+// quarantined too, from the last generation's published snapshot.
 func (h *Hub) Status() Status {
-	c := h.rt.Counts()
-	return Status{
+	runtime := h.cur.Load()
+	c := runtime.Counts()
+	st := Status{
 		Model:     h.cfg.Model.String(),
 		Scheduler: h.cfg.Scheduler.String(),
+		Health:    h.Health(),
+		Poisons:   h.sup.Poisons(),
+		Restarts:  h.sup.Restarts(),
 		Devices:   h.reg.Len(),
 		Routines:  c.Routines,
 		Pending:   c.Pending,
 		Active:    c.Active,
-		Stored:    h.rt.Bank().Len(),
-		Mailbox:   h.rt.Mailbox(),
-		Durable:   h.rt.Durable(),
+		Stored:    runtime.Bank().Len(),
+		Mailbox:   runtime.Mailbox(),
+		Breakers:  runtime.Breakers(),
+		Durable:   runtime.Durable(),
 		Since:     h.started,
 	}
+	if st.Health != rt.HealthOK {
+		if err := h.sup.LastError(); err != nil {
+			st.LastError = err.Error()
+		} else if err := runtime.JournalError(); err != nil {
+			st.LastError = err.Error()
+		}
+	}
+	return st
 }

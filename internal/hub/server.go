@@ -17,6 +17,9 @@ import (
 
 // Handler returns the hub's HTTP API:
 //
+//	GET  /healthz                 process liveness (always 200)
+//	GET  /readyz                  readiness: 503 + Retry-After while the
+//	                              hub is restarting or quarantined
 //	GET  /api/status              hub summary
 //	GET  /api/devices             device states and liveness
 //	GET  /api/routines            all routine results
@@ -30,6 +33,17 @@ import (
 //	                              next cursor — pollers fetch only the tail
 func (h *Hub) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		health := h.Health()
+		if h.Serving() {
+			writeJSON(w, http.StatusOK, map[string]string{"status": string(health)})
+			return
+		}
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("hub %s", health))
+	})
 	mux.HandleFunc("GET /api/status", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, h.Status())
 	})
@@ -183,13 +197,14 @@ func (h *Hub) handleTrigger(w http.ResponseWriter, r *http.Request) {
 }
 
 // writeHubError maps single-home hub errors onto HTTP statuses: a full
-// mailbox is 429 Too Many Requests (back off and retry), a closed hub is
-// 503, anything else keeps the handler's fallback status.
+// mailbox is 429 Too Many Requests (back off and retry), a closed or
+// poisoned-and-restarting hub is 503, anything else keeps the handler's
+// fallback status.
 func writeHubError(w http.ResponseWriter, fallback int, err error) {
 	switch {
 	case errors.Is(err, ErrOverloaded):
 		writeError(w, http.StatusTooManyRequests, err)
-	case errors.Is(err, ErrClosed):
+	case errors.Is(err, ErrClosed), errors.Is(err, ErrPoisoned):
 		writeError(w, http.StatusServiceUnavailable, err)
 	default:
 		writeError(w, fallback, err)
@@ -203,8 +218,10 @@ func writeHubError(w http.ResponseWriter, fallback int, err error) {
 // route is dispatched through the manager, which serializes it on the home's
 // shard:
 //
+//	GET  /healthz                         process liveness (always 200)
+//	GET  /readyz                          readiness + supervision counters
 //	GET  /api/status                      manager summary (shards, totals)
-//	GET  /homes                           every home's summary
+//	GET  /homes                           every home's summary (incl. health)
 //	PUT  /homes/{id}?plugs=N              create a home with N plug devices
 //	GET  /homes/{id}/status               one home's summary
 //	GET  /homes/{id}/devices              ground-truth device states
@@ -225,6 +242,22 @@ func ManagerHandler(m *manager.Manager, defaultPlugs int) http.Handler {
 		defaultPlugs = 5
 	}
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		// The manager serves as long as the process does; per-home readiness
+		// (restarting/quarantined homes answer 503 on their scoped routes) is
+		// visible in /homes and the supervision counters here.
+		st := m.Status()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":      "ok",
+			"homes":       st.Homes,
+			"poisons":     st.Poisons,
+			"restarts":    st.Restarts,
+			"quarantined": st.Quarantined,
+		})
+	})
 	mux.HandleFunc("GET /api/status", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, m.Status())
 	})
@@ -342,7 +375,10 @@ func plugDevices(n int) []device.Info { return device.Plugs(n).All() }
 // writeManagerError maps manager errors onto HTTP statuses. A full home
 // mailbox surfaces as 429 Too Many Requests: the home is overloaded and the
 // client should back off and retry, instead of the old behavior of blocking
-// the request goroutine until the shard caught up.
+// the request goroutine until the shard caught up. A poisoned, restarting or
+// quarantined home is 503 Service Unavailable with a Retry-After hint — the
+// supervisor is (or gave up) bringing it back, and other homes on the shard
+// keep serving.
 func writeManagerError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, manager.ErrUnknownHome):
@@ -351,7 +387,10 @@ func writeManagerError(w http.ResponseWriter, err error) {
 		writeError(w, http.StatusConflict, err)
 	case errors.Is(err, manager.ErrOverloaded):
 		writeError(w, http.StatusTooManyRequests, err)
-	case errors.Is(err, manager.ErrClosed):
+	case errors.Is(err, manager.ErrClosed),
+		errors.Is(err, manager.ErrRestarting),
+		errors.Is(err, manager.ErrQuarantined),
+		errors.Is(err, manager.ErrPoisoned):
 		writeError(w, http.StatusServiceUnavailable, err)
 	default:
 		writeError(w, http.StatusBadRequest, err)
@@ -455,5 +494,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
+	// Back-pressure and outage statuses carry a Retry-After hint: overload
+	// drains within milliseconds and a supervised restart completes within
+	// the supervisor's backoff cap, so one second is a safe client pause.
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }

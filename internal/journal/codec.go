@@ -201,22 +201,46 @@ func (r EventRecord) ToEvent() visibility.Event {
 	}
 }
 
+// BankRecord is the wire form of one stored routine-bank definition.
+type BankRecord struct {
+	Name     string            `json:"name"`
+	User     string            `json:"user,omitempty"`
+	Commands []routine.Command `json:"commands"`
+}
+
+// TriggerRecord is the wire form of one scheduled trigger arm. A batch
+// carries arms (schedule, or a recurring trigger's re-arm after firing) and
+// cancellations; on replay the latest arm per handle wins and a cancel —
+// explicit, or a one-shot trigger having fired — removes it. Recovery
+// re-arms what remains, so automations survive a restart.
+type TriggerRecord struct {
+	Handle   int64         `json:"handle"`
+	Routine  string        `json:"routine"`
+	Interval time.Duration `json:"interval,omitempty"` // zero for one-shot triggers
+	NextFire time.Time     `json:"next_fire"`
+	Fired    int           `json:"fired,omitempty"`
+}
+
 // Batch is one group-committed journal record: everything durable that one
 // loop drain produced — accepted submissions, finished outcomes, committed
-// device-state changes, and appended activity events. One Batch is one
-// frame, one write, one fsync.
+// device-state changes, appended activity events, bank stores and trigger
+// arms/cancellations. One Batch is one frame, one write, one fsync.
 type Batch struct {
-	LSN      uint64          `json:"lsn"`
-	Submits  []RoutineRecord `json:"submits,omitempty"`
-	Finishes []RoutineRecord `json:"finishes,omitempty"`
-	States   []StateEntry    `json:"states,omitempty"`
-	FirstSeq uint64          `json:"first_seq,omitempty"`
-	Events   []EventRecord   `json:"events,omitempty"`
+	LSN         uint64          `json:"lsn"`
+	Submits     []RoutineRecord `json:"submits,omitempty"`
+	Finishes    []RoutineRecord `json:"finishes,omitempty"`
+	States      []StateEntry    `json:"states,omitempty"`
+	FirstSeq    uint64          `json:"first_seq,omitempty"`
+	Events      []EventRecord   `json:"events,omitempty"`
+	Bank        []BankRecord    `json:"bank,omitempty"`
+	TrigArms    []TriggerRecord `json:"trig_arms,omitempty"`
+	TrigCancels []int64         `json:"trig_cancels,omitempty"`
 }
 
 // Empty reports whether the batch carries nothing durable.
 func (b *Batch) Empty() bool {
-	return len(b.Submits) == 0 && len(b.Finishes) == 0 && len(b.States) == 0 && len(b.Events) == 0
+	return len(b.Submits) == 0 && len(b.Finishes) == 0 && len(b.States) == 0 && len(b.Events) == 0 &&
+		len(b.Bank) == 0 && len(b.TrigArms) == 0 && len(b.TrigCancels) == 0
 }
 
 // Checkpoint is a full durable image of a home at one instant, derived from
@@ -229,6 +253,11 @@ type Checkpoint struct {
 	States   []StateEntry    `json:"states,omitempty"`
 	FirstSeq uint64          `json:"first_seq"`
 	Events   []EventRecord   `json:"events,omitempty"`
+	Bank     []BankRecord    `json:"bank,omitempty"`
+	Triggers []TriggerRecord `json:"triggers,omitempty"`
+	// NextTrigger is the highest trigger handle ever issued, so recovered
+	// homes keep handing out fresh handles.
+	NextTrigger int64 `json:"next_trigger,omitempty"`
 }
 
 // DecodeBatch parses one batch payload. It never panics on arbitrary input.

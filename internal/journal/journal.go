@@ -128,6 +128,12 @@ type Recovered struct {
 	Events   []EventRecord
 	FirstSeq uint64 // sequence number of Events[0]; NextSeq is FirstSeq+len(Events)
 	LSN      uint64 // last applied record; appends continue after it
+	// Bank holds the stored routine definitions in first-store order (later
+	// stores update in place); Triggers the still-armed scheduled triggers by
+	// handle; NextTrigger the highest handle ever issued.
+	Bank        []BankRecord
+	Triggers    map[int64]TriggerRecord
+	NextTrigger int64
 }
 
 // NextSeq returns the sequence number the next activity event must get for
@@ -216,7 +222,10 @@ func (j *Journal) releaseLock() {
 
 // recover loads the checkpoint (if any) and replays the journal tail.
 func (j *Journal) recover() (*Recovered, bool, error) {
-	rec := &Recovered{States: make(map[device.ID]device.State)}
+	rec := &Recovered{
+		States:   make(map[device.ID]device.State),
+		Triggers: make(map[int64]TriggerRecord),
+	}
 	found := false
 
 	ckptPath := filepath.Join(j.dir, checkpointName)
@@ -327,6 +336,12 @@ func applyCheckpoint(rec *Recovered, ck *Checkpoint) {
 	}
 	rec.FirstSeq = ck.FirstSeq
 	rec.Events = append(rec.Events[:0], ck.Events...)
+	rec.Bank = append(rec.Bank[:0], ck.Bank...)
+	clear(rec.Triggers)
+	for _, t := range ck.Triggers {
+		rec.Triggers[t.Handle] = t
+	}
+	rec.NextTrigger = ck.NextTrigger
 }
 
 func applyBatch(rec *Recovered, b *Batch) {
@@ -357,6 +372,36 @@ func applyBatch(rec *Recovered, b *Batch) {
 			rec.Events = append(rec.Events[:0], b.Events...)
 		}
 	}
+	for _, bank := range b.Bank {
+		upsertBank(rec, bank)
+	}
+	// Arms before cancels: handles are monotonic and never re-armed after a
+	// cancel, so within one batch a cancel always logically follows any arm
+	// of the same handle.
+	for _, t := range b.TrigArms {
+		rec.Triggers[t.Handle] = t
+		if t.Handle > rec.NextTrigger {
+			rec.NextTrigger = t.Handle
+		}
+	}
+	for _, h := range b.TrigCancels {
+		delete(rec.Triggers, h)
+		if h > rec.NextTrigger {
+			rec.NextTrigger = h
+		}
+	}
+}
+
+// upsertBank applies one bank store: definitions update in place so the
+// recovered bank keeps first-store order, matching the live Bank.
+func upsertBank(rec *Recovered, b BankRecord) {
+	for i := range rec.Bank {
+		if rec.Bank[i].Name == b.Name {
+			rec.Bank[i] = b
+			return
+		}
+	}
+	rec.Bank = append(rec.Bank, b)
 }
 
 // validateDense checks that the recovered routine history is a dense 1..N

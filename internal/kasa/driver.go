@@ -22,9 +22,10 @@ const DefaultTimeout = 250 * time.Millisecond
 // Every device maps to a network address. Real plugs each have their own
 // address (port 9999); the emulator serves every device on one address.
 type Driver struct {
-	mu      sync.RWMutex
-	addrs   map[device.ID]string
-	timeout time.Duration
+	mu       sync.RWMutex
+	addrs    map[device.ID]string
+	timeout  time.Duration
+	timeouts map[device.ID]time.Duration // per-device overrides
 }
 
 // NewDriver builds a driver with the given device→address mapping.
@@ -33,7 +34,11 @@ func NewDriver(addrs map[device.ID]string) *Driver {
 	for id, a := range addrs {
 		cp[id] = a
 	}
-	return &Driver{addrs: cp, timeout: DefaultTimeout}
+	return &Driver{
+		addrs:    cp,
+		timeout:  DefaultTimeout,
+		timeouts: make(map[device.ID]time.Duration),
+	}
 }
 
 // NewSingleEndpointDriver maps every listed device to one address (the
@@ -46,12 +51,27 @@ func NewSingleEndpointDriver(addr string, ids []device.ID) *Driver {
 	return NewDriver(addrs)
 }
 
-// SetTimeout overrides the per-exchange timeout.
+// SetTimeout overrides the per-exchange timeout for every device without a
+// per-device override.
 func (d *Driver) SetTimeout(t time.Duration) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if t > 0 {
 		d.timeout = t
+	}
+}
+
+// SetDeviceTimeout overrides the per-exchange timeout for one device — a
+// plug on a flaky Wi-Fi segment can get a longer budget without slowing
+// failure detection for the rest of the fleet. A non-positive duration
+// clears the override.
+func (d *Driver) SetDeviceTimeout(id device.ID, t time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if t > 0 {
+		d.timeouts[id] = t
+	} else {
+		delete(d.timeouts, id)
 	}
 }
 
@@ -80,7 +100,11 @@ func (d *Driver) lookup(id device.ID) (string, time.Duration, error) {
 	if !ok {
 		return "", 0, fmt.Errorf("%w: %s", device.ErrUnknownDevice, id)
 	}
-	return addr, d.timeout, nil
+	timeout := d.timeout
+	if t, ok := d.timeouts[id]; ok {
+		timeout = t
+	}
+	return addr, timeout, nil
 }
 
 // exchange performs one request/response round trip.

@@ -42,6 +42,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"safehome/internal/device"
@@ -91,6 +92,16 @@ var (
 	ErrUnknownHome = errors.New("manager: unknown home")
 	// ErrDuplicateHome is returned (wrapped) when re-adding an existing home.
 	ErrDuplicateHome = errors.New("manager: home already exists")
+	// ErrPoisoned is returned to operations parked in a home whose loop
+	// panicked (aliased from the home runtime).
+	ErrPoisoned = rt.ErrPoisoned
+	// ErrRestarting is returned (wrapped, with the ID) while a poisoned home
+	// is being restarted by its shard's supervisor; callers should back off
+	// and retry (HTTP 503 with Retry-After).
+	ErrRestarting = errors.New("manager: home is restarting")
+	// ErrQuarantined is returned (wrapped, with the ID) for a home taken out
+	// of service after exhausting its restart budget.
+	ErrQuarantined = errors.New("manager: home is quarantined")
 )
 
 // HomeConfig selects the visibility model and tuning knobs applied to every
@@ -142,6 +153,13 @@ type Config struct {
 	// Journal tunes every home's write-ahead journal; only meaningful with
 	// DataDir set.
 	Journal journal.Options
+	// Supervisor tunes panic recovery: a home whose loop panics is poisoned,
+	// torn down, and restarted by its shard's supervisor (from its journal
+	// when durable, empty otherwise) with capped exponential backoff, then
+	// quarantined after MaxRestarts consecutive failures. The zero value
+	// enables supervision with defaults; set Supervisor.Disable to let a
+	// panic unwind the process instead (useful in tests hunting bugs).
+	Supervisor rt.SupervisorConfig
 	// Home configures every home the manager creates.
 	Home HomeConfig
 }
@@ -186,6 +204,11 @@ type Manager struct {
 	committed *stats.ShardedCounter
 	aborted   *stats.ShardedCounter
 	simEvents *stats.ShardedCounter
+
+	// Supervision totals across all shards.
+	poisons     atomic.Int64
+	restarts    atomic.Int64
+	quarantined atomic.Int64
 }
 
 // New builds and starts a manager. The returned manager has no homes; add
@@ -207,6 +230,10 @@ func New(cfg Config) *Manager {
 		if cfg.Clock == ClockLive {
 			m.wg.Add(1)
 			go m.shards[i].runPump()
+		}
+		if !cfg.Supervisor.Disable {
+			m.wg.Add(1)
+			go m.shards[i].runSupervisor()
 		}
 	}
 	return m
@@ -398,15 +425,30 @@ func (m *Manager) AddHomes(prefix string, n, plugs int) ([]HomeID, error) {
 
 // Runtime returns the home's runtime, for introspection (mailbox stats,
 // suspension in tests). Most callers should use the typed Manager methods.
+// While the home is down it returns ErrRestarting or ErrQuarantined instead
+// of handing out a poisoned runtime.
 func (m *Manager) Runtime(id HomeID) (*rt.HomeRuntime, error) {
-	sh := m.shards[m.ShardOf(id)]
-	sh.mu.RLock()
-	home, ok := sh.homes[id]
-	sh.mu.RUnlock()
+	slot, err := m.slotOf(id)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case slot.sup.Quarantined():
+		return nil, fmt.Errorf("%w: %q", ErrQuarantined, id)
+	case !slot.sup.Serving():
+		return nil, fmt.Errorf("%w: %q", ErrRestarting, id)
+	}
+	return slot.rt.Load(), nil
+}
+
+// slotOf returns the home's slot regardless of its health — status and
+// health reads work while the home is restarting or quarantined.
+func (m *Manager) slotOf(id HomeID) (*homeSlot, error) {
+	slot, ok := m.shards[m.ShardOf(id)].slot(id)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownHome, id)
 	}
-	return home, nil
+	return slot, nil
 }
 
 // Submit validates the routine against the home's device registry and
@@ -499,25 +541,33 @@ func (m *Manager) Events(id HomeID, since uint64) ([]visibility.Event, uint64, e
 	return ev, next, nil
 }
 
-// HomeStatus summarizes one home.
+// HomeStatus summarizes one home. Health is ok, degraded (serving but the
+// journal died — memory-only until restart), restarting (poisoned, being
+// rebuilt by the supervisor) or quarantined (restart budget exhausted).
 type HomeStatus struct {
-	ID       HomeID    `json:"id"`
-	Shard    int       `json:"shard"`
-	Model    string    `json:"model"`
-	Devices  int       `json:"devices"`
-	Routines int       `json:"routines"`
-	Pending  int       `json:"pending"`
-	Active   int       `json:"active"`
-	Now      time.Time `json:"now"`
-	Created  time.Time `json:"created"`
+	ID        HomeID        `json:"id"`
+	Shard     int           `json:"shard"`
+	Model     string        `json:"model"`
+	Health    rt.HomeHealth `json:"health"`
+	Restarts  int64         `json:"restarts,omitempty"`
+	LastError string        `json:"last_error,omitempty"`
+	Devices   int           `json:"devices"`
+	Routines  int           `json:"routines"`
+	Pending   int           `json:"pending"`
+	Active    int           `json:"active"`
+	Now       time.Time     `json:"now"`
+	Created   time.Time     `json:"created"`
 }
 
-func (m *Manager) statusOf(id HomeID, shard int, home *rt.HomeRuntime) HomeStatus {
+func (m *Manager) statusOf(slot *homeSlot, shard int) HomeStatus {
+	home := slot.rt.Load()
 	c := home.Counts()
-	return HomeStatus{
-		ID:       id,
+	st := HomeStatus{
+		ID:       slot.id,
 		Shard:    shard,
 		Model:    c.Model,
+		Health:   slot.health(),
+		Restarts: slot.sup.Restarts(),
 		Devices:  home.Registry().Len(),
 		Routines: c.Routines,
 		Pending:  c.Pending,
@@ -525,15 +575,25 @@ func (m *Manager) statusOf(id HomeID, shard int, home *rt.HomeRuntime) HomeStatu
 		Now:      c.Now,
 		Created:  home.Since(),
 	}
+	if st.Health != rt.HealthOK {
+		if err := slot.sup.LastError(); err != nil {
+			st.LastError = err.Error()
+		} else if err := home.JournalError(); err != nil {
+			st.LastError = err.Error()
+		}
+	}
+	return st
 }
 
-// HomeStatus returns one home's summary.
+// HomeStatus returns one home's summary. It answers for restarting and
+// quarantined homes too — the summary then reflects the last generation's
+// quiesced state plus the supervision fields.
 func (m *Manager) HomeStatus(id HomeID) (HomeStatus, error) {
-	home, err := m.Runtime(id)
+	slot, err := m.slotOf(id)
 	if err != nil {
 		return HomeStatus{}, err
 	}
-	return m.statusOf(id, m.ShardOf(id), home), nil
+	return m.statusOf(slot, m.ShardOf(id)), nil
 }
 
 // Homes lists every home's summary, sorted by ID. Shards are collected in
@@ -551,8 +611,8 @@ func (m *Manager) Homes() []HomeStatus {
 			defer wg.Done()
 			homes := sh.snapshot()
 			local := make([]HomeStatus, 0, len(homes))
-			for id, home := range homes {
-				local = append(local, m.statusOf(id, sh.index, home))
+			for _, slot := range homes {
+				local = append(local, m.statusOf(slot, sh.index))
 			}
 			mu.Lock()
 			out = append(out, local...)
@@ -566,18 +626,21 @@ func (m *Manager) Homes() []HomeStatus {
 
 // Status summarizes the whole manager.
 type Status struct {
-	Shards    int       `json:"shards"`
-	Homes     int       `json:"homes"`
-	Clock     string    `json:"clock"`
-	Model     string    `json:"model"`
-	Submitted int64     `json:"submitted"`
-	Committed int64     `json:"committed"`
-	Aborted   int64     `json:"aborted"`
-	SimEvents int64     `json:"sim_events"`
-	Accepted  int64     `json:"mailbox_accepted"`
-	Rejected  int64     `json:"mailbox_rejected"`
-	Depth     int       `json:"mailbox_depth"`
-	Since     time.Time `json:"since"`
+	Shards      int       `json:"shards"`
+	Homes       int       `json:"homes"`
+	Clock       string    `json:"clock"`
+	Model       string    `json:"model"`
+	Submitted   int64     `json:"submitted"`
+	Committed   int64     `json:"committed"`
+	Aborted     int64     `json:"aborted"`
+	SimEvents   int64     `json:"sim_events"`
+	Accepted    int64     `json:"mailbox_accepted"`
+	Rejected    int64     `json:"mailbox_rejected"`
+	Depth       int       `json:"mailbox_depth"`
+	Poisons     int64     `json:"poisons,omitempty"`
+	Restarts    int64     `json:"restarts,omitempty"`
+	Quarantined int64     `json:"quarantined,omitempty"`
+	Since       time.Time `json:"since"`
 }
 
 // Status returns manager-wide totals. The counters are read lock-free and
@@ -585,19 +648,22 @@ type Status struct {
 // mailbox occupancy.
 func (m *Manager) Status() Status {
 	st := Status{
-		Shards:    m.cfg.Shards,
-		Clock:     m.cfg.Clock.String(),
-		Model:     m.cfg.Home.Model.String(),
-		Submitted: m.submitted.Total(),
-		Committed: m.committed.Total(),
-		Aborted:   m.aborted.Total(),
-		SimEvents: m.simEvents.Total(),
-		Since:     m.since,
+		Shards:      m.cfg.Shards,
+		Clock:       m.cfg.Clock.String(),
+		Model:       m.cfg.Home.Model.String(),
+		Submitted:   m.submitted.Total(),
+		Committed:   m.committed.Total(),
+		Aborted:     m.aborted.Total(),
+		SimEvents:   m.simEvents.Total(),
+		Poisons:     m.poisons.Load(),
+		Restarts:    m.restarts.Load(),
+		Quarantined: m.quarantined.Load(),
+		Since:       m.since,
 	}
 	for _, sh := range m.shards {
 		st.Homes += int(sh.homeCount.Load())
-		for _, home := range sh.snapshot() {
-			mb := home.Mailbox()
+		for _, slot := range sh.snapshot() {
+			mb := slot.rt.Load().Mailbox()
 			st.Accepted += mb.Accepted
 			st.Rejected += mb.Rejected
 			st.Depth += mb.Depth

@@ -3,6 +3,7 @@ package manager
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"safehome/internal/device"
@@ -10,19 +11,41 @@ import (
 	"safehome/internal/stats"
 )
 
+// homeSlot is one home's stable identity on a shard: the routing map points
+// at slots, and the slot points at the home's current runtime generation.
+// When a panic poisons a runtime, the shard's supervisor swaps a freshly
+// recovered runtime into the slot — callers holding the slot never see a
+// dangling home, only ErrRestarting/ErrQuarantined while it is down.
+type homeSlot struct {
+	id      HomeID
+	devices []device.Info
+	rt      atomic.Pointer[rt.HomeRuntime]
+	sup     *rt.Supervisor
+}
+
+// health folds supervision state with the runtime's durability: degraded
+// means a configured journal died and the home is serving memory-only.
+func (slot *homeSlot) health() rt.HomeHealth {
+	return slot.sup.Health(slot.rt.Load().JournalError() == nil)
+}
+
 // shard is a thin owner of a disjoint subset of the manager's homes: it
-// holds the routing map from home ID to home runtime, mirrors the home count
-// for lock-free Status reads, and — under ClockLive — runs the pumper
-// goroutine that advances its homes' simulators to the wall clock. All
-// per-home state lives inside the runtimes; the shard's lock only guards the
-// map itself.
+// holds the routing map from home ID to home slot, mirrors the home count
+// for lock-free Status reads, and runs up to two goroutines — under
+// ClockLive the pumper that advances its homes' simulators to the wall
+// clock, and (unless supervision is disabled) the supervisor that restarts
+// poisoned homes. All per-home state lives inside the runtimes; the shard's
+// lock only guards the map itself.
 type shard struct {
 	m     *Manager
 	index int
 
 	mu     sync.RWMutex
-	homes  map[HomeID]*rt.HomeRuntime
+	homes  map[HomeID]*homeSlot
 	closed bool
+
+	// restartCh feeds poisoned slots to the shard's supervisor goroutine.
+	restartCh chan *homeSlot
 
 	// homeCount mirrors len(homes) for lock-free Status reads.
 	homeCount stats.Counter
@@ -30,9 +53,10 @@ type shard struct {
 
 func newShard(m *Manager, index int) *shard {
 	return &shard{
-		m:     m,
-		index: index,
-		homes: make(map[HomeID]*rt.HomeRuntime),
+		m:         m,
+		index:     index,
+		homes:     make(map[HomeID]*homeSlot),
+		restartCh: make(chan *homeSlot, 64),
 	}
 }
 
@@ -46,30 +70,105 @@ func (s *shard) addHome(id HomeID, devices []device.Info) error {
 	if _, exists := s.homes[id]; exists {
 		return fmt.Errorf("%w: %q", ErrDuplicateHome, id)
 	}
-	home, err := rt.NewSim(s.m.runtimeConfig(id, s.index), device.NewRegistry(devices...))
+	slot := &homeSlot{
+		id:      id,
+		devices: append([]device.Info(nil), devices...),
+		sup:     rt.NewSupervisor(s.m.cfg.Supervisor),
+	}
+	home, err := s.buildRuntime(slot)
 	if err != nil {
 		return err
 	}
-	s.homes[id] = home
+	slot.rt.Store(home)
+	s.homes[id] = slot
 	s.homeCount.Inc()
 	return nil
 }
 
-// has reports whether the shard currently owns the home.
-func (s *shard) has(id HomeID) bool {
+// buildRuntime constructs one runtime generation for the slot. With a
+// DataDir the new generation recovers from the home's journal; memory-only
+// homes restart empty but alive.
+func (s *shard) buildRuntime(slot *homeSlot) (*rt.HomeRuntime, error) {
+	cfg := s.m.runtimeConfig(slot.id, s.index)
+	if !s.m.cfg.Supervisor.Disable {
+		cfg.OnPoison = func(err error) { s.notifyPoison(slot, err) }
+	}
+	return rt.NewSim(cfg, device.NewRegistry(slot.devices...))
+}
+
+// notifyPoison runs on the dying home's loop goroutine: record the poison
+// and hand the slot to the supervisor without ever blocking the teardown.
+func (s *shard) notifyPoison(slot *homeSlot, err error) {
+	slot.sup.NotePoison(err)
+	s.m.poisons.Add(1)
+	select {
+	case s.restartCh <- slot:
+	default:
+		go func() {
+			select {
+			case s.restartCh <- slot:
+			case <-s.m.stop:
+			}
+		}()
+	}
+}
+
+// runSupervisor restarts poisoned homes one at a time (per shard), applying
+// the restart budget and backoff policy in rt.Supervisor.
+func (s *shard) runSupervisor() {
+	defer s.m.wg.Done()
+	for {
+		select {
+		case <-s.m.stop:
+			return
+		case slot := <-s.restartCh:
+			s.superviseRestart(slot)
+		}
+	}
+}
+
+// superviseRestart swaps a fresh runtime generation into a poisoned slot.
+func (s *shard) superviseRestart(slot *homeSlot) {
+	// Join the dead loop first. The poison teardown already closed the
+	// mailbox and released the journal's file lock, so the data directory is
+	// free for the next generation.
+	slot.rt.Load().Close()
+	ok := slot.sup.Restart(s.m.stop, func() error {
+		home, err := s.buildRuntime(slot)
+		if err != nil {
+			return err
+		}
+		slot.rt.Store(home)
+		return nil
+	})
+	if ok {
+		s.m.restarts.Add(1)
+	} else if slot.sup.Quarantined() {
+		s.m.quarantined.Add(1)
+	}
+}
+
+// slot returns the home's slot, if the shard owns it.
+func (s *shard) slot(id HomeID) (*homeSlot, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	_, ok := s.homes[id]
+	slot, ok := s.homes[id]
+	return slot, ok
+}
+
+// has reports whether the shard currently owns the home.
+func (s *shard) has(id HomeID) bool {
+	_, ok := s.slot(id)
 	return ok
 }
 
 // snapshot returns a point-in-time copy of the routing map.
-func (s *shard) snapshot() map[HomeID]*rt.HomeRuntime {
+func (s *shard) snapshot() map[HomeID]*homeSlot {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	out := make(map[HomeID]*rt.HomeRuntime, len(s.homes))
-	for id, home := range s.homes {
-		out[id] = home
+	out := make(map[HomeID]*homeSlot, len(s.homes))
+	for id, slot := range s.homes {
+		out[id] = slot
 	}
 	return out
 }
@@ -89,8 +188,8 @@ func (s *shard) runPump() {
 		case <-ticker.C:
 			now := time.Now()
 			s.mu.RLock()
-			for _, home := range s.homes {
-				home.PumpIfDue(now)
+			for _, slot := range s.homes {
+				slot.rt.Load().PumpIfDue(now)
 			}
 			s.mu.RUnlock()
 		}
@@ -102,12 +201,12 @@ func (s *shard) runPump() {
 func (s *shard) closeAll() {
 	s.mu.Lock()
 	s.closed = true
-	homes := make([]*rt.HomeRuntime, 0, len(s.homes))
-	for _, home := range s.homes {
-		homes = append(homes, home)
+	slots := make([]*homeSlot, 0, len(s.homes))
+	for _, slot := range s.homes {
+		slots = append(slots, slot)
 	}
 	s.mu.Unlock()
-	for _, home := range homes {
-		home.Close()
+	for _, slot := range slots {
+		slot.rt.Load().Close()
 	}
 }

@@ -1,0 +1,240 @@
+package manager
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"safehome/internal/device"
+	rt "safehome/internal/runtime"
+	"safehome/internal/visibility"
+)
+
+// fastSupervisor keeps restart latency test-friendly.
+func fastSupervisor() rt.SupervisorConfig {
+	return rt.SupervisorConfig{Backoff: 2 * time.Millisecond, BackoffCap: 20 * time.Millisecond}
+}
+
+func panicHome(t *testing.T, m *Manager, id HomeID) {
+	t.Helper()
+	home, err := m.Runtime(id)
+	if err != nil {
+		t.Fatalf("Runtime(%s): %v", id, err)
+	}
+	home.PostTimer(func() { panic("test: injected fault") })
+}
+
+// waitRestarted waits until the home has completed at least one supervised
+// restart and serves healthy again. Polling for HealthOK alone would race:
+// the home starts out ok, so the poll could win before the poison lands.
+func waitRestarted(t *testing.T, m *Manager, id HomeID) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, err := m.HomeStatus(id)
+		if err != nil {
+			t.Fatalf("HomeStatus(%s): %v", id, err)
+		}
+		if st.Restarts >= 1 && st.Health == rt.HealthOK {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("home %s never restarted: health=%s restarts=%d", id, st.Health, st.Restarts)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func waitHealth(t *testing.T, m *Manager, id HomeID, want rt.HomeHealth) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, err := m.HomeStatus(id)
+		if err != nil {
+			t.Fatalf("HomeStatus(%s): %v", id, err)
+		}
+		if st.Health == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("home %s health = %s, want %s", id, st.Health, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestPanickedHomeRestartsFromJournal(t *testing.T) {
+	m := New(Config{Shards: 1, DataDir: t.TempDir(), Supervisor: fastSupervisor()})
+	defer m.Close()
+	ids, err := m.AddHomes("h", 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, bystander := ids[0], ids[1]
+
+	rid, err := m.Submit(victim, plugRoutine("acked", device.On, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	panicHome(t, m, victim)
+	waitRestarted(t, m, victim)
+
+	// The restarted home recovered its acknowledged work from the journal.
+	res, ok, err := m.Result(victim, rid)
+	if err != nil || !ok || res.Status != visibility.StatusCommitted {
+		t.Errorf("post-restart Result = %+v, %v, %v; want the pre-panic commit", res, ok, err)
+	}
+	if _, err := m.Submit(victim, plugRoutine("fresh", device.Off, 2)); err != nil {
+		t.Errorf("Submit to restarted home: %v", err)
+	}
+	st, err := m.HomeStatus(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Restarts < 1 {
+		t.Errorf("victim restarts = %d, want >= 1", st.Restarts)
+	}
+
+	// The bystander on the same shard was untouched.
+	if _, err := m.Submit(bystander, plugRoutine("calm", device.On, 0)); err != nil {
+		t.Errorf("Submit to bystander during/after restart: %v", err)
+	}
+	bst, err := m.HomeStatus(bystander)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bst.Health != rt.HealthOK || bst.Restarts != 0 {
+		t.Errorf("bystander health=%s restarts=%d, want ok/0", bst.Health, bst.Restarts)
+	}
+
+	status := m.Status()
+	if status.Poisons < 1 || status.Restarts < 1 {
+		t.Errorf("manager totals poisons=%d restarts=%d, want >= 1 each", status.Poisons, status.Restarts)
+	}
+}
+
+func TestMemoryOnlyHomeRestartsEmptyButAlive(t *testing.T) {
+	m := New(Config{Shards: 1, Supervisor: fastSupervisor()}) // no DataDir
+	defer m.Close()
+	ids, err := m.AddHomes("h", 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := ids[0]
+	if _, err := m.Submit(id, plugRoutine("lost", device.On, 0)); err != nil {
+		t.Fatal(err)
+	}
+	panicHome(t, m, id)
+	waitRestarted(t, m, id)
+
+	results, err := m.Results(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Errorf("memory-only home recovered %d results, want a fresh empty home", len(results))
+	}
+	if _, err := m.Submit(id, plugRoutine("fresh", device.On, 1)); err != nil {
+		t.Errorf("Submit to restarted memory-only home: %v", err)
+	}
+}
+
+func TestRestartingHomeRejectsUntilServing(t *testing.T) {
+	// A long backoff holds the home in "restarting" so the rejection window
+	// is observable; other homes keep serving throughout.
+	m := New(Config{Shards: 1, Supervisor: rt.SupervisorConfig{
+		Backoff: 300 * time.Millisecond, BackoffCap: 300 * time.Millisecond}})
+	defer m.Close()
+	ids, err := m.AddHomes("h", 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	panicHome(t, m, ids[0])
+
+	deadline := time.Now().Add(5 * time.Second)
+	sawRestarting := false
+	for !sawRestarting {
+		if time.Now().After(deadline) {
+			t.Fatal("never observed the restarting window")
+		}
+		_, err := m.Runtime(ids[0])
+		if errors.Is(err, ErrRestarting) {
+			sawRestarting = true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st, err := m.HomeStatus(ids[0])
+	if err != nil {
+		t.Fatalf("HomeStatus during restart: %v", err)
+	}
+	if st.Health != rt.HealthRestarting {
+		t.Errorf("health during backoff = %s, want restarting", st.Health)
+	}
+	if st.LastError == "" {
+		t.Error("restarting home reports no last_error")
+	}
+	if _, err := m.Submit(ids[1], plugRoutine("calm", device.On, 0)); err != nil {
+		t.Errorf("bystander submit during restart: %v", err)
+	}
+	waitRestarted(t, m, ids[0])
+}
+
+func TestQuarantineAfterRestartBudget(t *testing.T) {
+	m := New(Config{Shards: 1, Supervisor: rt.SupervisorConfig{
+		MaxRestarts: -1, // quarantine on the first poison
+		Backoff:     time.Millisecond,
+	}})
+	defer m.Close()
+	ids, err := m.AddHomes("h", 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := ids[0]
+	panicHome(t, m, id)
+	waitHealth(t, m, id, rt.HealthQuarantined)
+
+	if _, err := m.Runtime(id); !errors.Is(err, ErrQuarantined) {
+		t.Errorf("Runtime on quarantined home = %v, want ErrQuarantined", err)
+	}
+	if _, err := m.Submit(id, plugRoutine("refused", device.On, 0)); !errors.Is(err, ErrQuarantined) {
+		t.Errorf("Submit to quarantined home = %v, want ErrQuarantined", err)
+	}
+	// The quarantined home still shows up in listings with its state.
+	st, err := m.HomeStatus(id)
+	if err != nil {
+		t.Fatalf("HomeStatus on quarantined home: %v", err)
+	}
+	if st.Health != rt.HealthQuarantined {
+		t.Errorf("health = %s, want quarantined", st.Health)
+	}
+	status := m.Status()
+	if status.Quarantined != 1 {
+		t.Errorf("Status.Quarantined = %d, want 1", status.Quarantined)
+	}
+}
+
+func TestSupervisionDisabledLeavesHomeDown(t *testing.T) {
+	m := New(Config{Shards: 1, Supervisor: rt.SupervisorConfig{Disable: true}})
+	defer m.Close()
+	ids, err := m.AddHomes("h", 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	home, err := m.Runtime(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	home.PostTimer(func() { panic("test: unsupervised fault") })
+	deadline := time.Now().Add(5 * time.Second)
+	for !home.Poisoned() {
+		if time.Now().After(deadline) {
+			t.Fatal("panic never poisoned the home")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// No supervisor: the home stays down and mutations keep failing.
+	time.Sleep(20 * time.Millisecond)
+	if _, err := m.Submit(ids[0], plugRoutine("down", device.On, 0)); err == nil {
+		t.Error("Submit to an unsupervised poisoned home succeeded")
+	}
+}

@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"fmt"
+	"sort"
 
 	"safehome/internal/device"
 	"safehome/internal/journal"
@@ -35,6 +36,12 @@ type journalState struct {
 	stateIdx map[device.ID]int // device -> index in states (last write wins)
 	events   []journal.EventRecord
 	firstSeq uint64 // sequence of events[0]
+
+	bank        []journal.BankRecord
+	bankIdx     map[string]int // routine name -> index in bank (last write wins)
+	trigArms    []journal.TriggerRecord
+	trigArmIdx  map[TriggerHandle]int // handle -> index in trigArms (last arm wins)
+	trigCancels []int64
 }
 
 // openJournal opens the runtime's data directory and recovers its durable
@@ -47,7 +54,12 @@ func (rt *HomeRuntime) openJournal() (*journal.Recovered, error) {
 	if err != nil {
 		return nil, fmt.Errorf("runtime: home %q: %w", rt.cfg.ID, err)
 	}
-	rt.j = &journalState{jrn: j, stateIdx: make(map[device.ID]int)}
+	rt.j = &journalState{
+		jrn:        j,
+		stateIdx:   make(map[device.ID]int),
+		bankIdx:    make(map[string]int),
+		trigArmIdx: make(map[TriggerHandle]int),
+	}
 	return rec, nil
 }
 
@@ -83,9 +95,41 @@ func (rt *HomeRuntime) noteStateChange(d device.ID, s device.State) {
 	rt.j.states = append(rt.j.states, journal.StateEntry{Device: d, State: s})
 }
 
+// noteBankPut journals one bank store (last write per name wins within a
+// batch). Runs on the loop goroutine.
+func (rt *HomeRuntime) noteBankPut(r *routine.Routine) {
+	rec := journal.BankRecord{Name: r.Name, User: r.User, Commands: r.Commands}
+	if i, ok := rt.j.bankIdx[r.Name]; ok {
+		rt.j.bank[i] = rec
+		return
+	}
+	rt.j.bankIdx[r.Name] = len(rt.j.bank)
+	rt.j.bank = append(rt.j.bank, rec)
+}
+
+// noteTriggerArm journals one trigger arm — a fresh schedule or a recurring
+// trigger's re-arm (last arm per handle wins within a batch).
+func (rt *HomeRuntime) noteTriggerArm(spec ScheduledTrigger) {
+	rec := triggerRecord(spec)
+	if i, ok := rt.j.trigArmIdx[spec.Handle]; ok {
+		rt.j.trigArms[i] = rec
+		return
+	}
+	rt.j.trigArmIdx[spec.Handle] = len(rt.j.trigArms)
+	rt.j.trigArms = append(rt.j.trigArms, rec)
+}
+
+// noteTriggerCancel journals a trigger's retirement (explicit cancel, or a
+// one-shot trigger having fired). An arm of the same handle earlier in the
+// batch is moot but harmless: replay applies arms before cancels.
+func (rt *HomeRuntime) noteTriggerCancel(handle TriggerHandle) {
+	rt.j.trigCancels = append(rt.j.trigCancels, int64(handle))
+}
+
 func (rt *HomeRuntime) journalEmpty() bool {
 	return len(rt.j.submits) == 0 && len(rt.j.finishes) == 0 &&
-		len(rt.j.states) == 0 && len(rt.j.events) == 0
+		len(rt.j.states) == 0 && len(rt.j.events) == 0 &&
+		len(rt.j.bank) == 0 && len(rt.j.trigArms) == 0 && len(rt.j.trigCancels) == 0
 }
 
 func (rt *HomeRuntime) journalReset() {
@@ -95,6 +139,11 @@ func (rt *HomeRuntime) journalReset() {
 	clear(rt.j.stateIdx)
 	rt.j.events = rt.j.events[:0]
 	rt.j.firstSeq = 0
+	rt.j.bank = rt.j.bank[:0]
+	clear(rt.j.bankIdx)
+	rt.j.trigArms = rt.j.trigArms[:0]
+	clear(rt.j.trigArmIdx)
+	rt.j.trigCancels = rt.j.trigCancels[:0]
 }
 
 // resolveRecords materializes the current outcome records of the given
@@ -123,11 +172,14 @@ func (rt *HomeRuntime) journalFlush() {
 	// synchronously and retains nothing, so the buffers are reset (not
 	// copied) afterwards — no per-commit slice copies on the durable path.
 	b := &journal.Batch{
-		Submits:  rt.resolveRecords(rt.j.submits),
-		Finishes: rt.resolveRecords(rt.j.finishes),
-		States:   rt.j.states,
-		FirstSeq: rt.j.firstSeq,
-		Events:   rt.j.events,
+		Submits:     rt.resolveRecords(rt.j.submits),
+		Finishes:    rt.resolveRecords(rt.j.finishes),
+		States:      rt.j.states,
+		FirstSeq:    rt.j.firstSeq,
+		Events:      rt.j.events,
+		Bank:        rt.j.bank,
+		TrigArms:    rt.j.trigArms,
+		TrigCancels: rt.j.trigCancels,
 	}
 	if err := rt.j.jrn.Append(b); err != nil {
 		rt.journalFail(err) // sets rt.j = nil; nothing left to reset
@@ -175,8 +227,32 @@ func (rt *HomeRuntime) checkpointNow() {
 	for _, e := range events {
 		ck.Events = append(ck.Events, journal.FromEvent(e))
 	}
+	for _, name := range rt.bank.Names() {
+		if r, ok := rt.bank.Get(name); ok {
+			ck.Bank = append(ck.Bank, journal.BankRecord{Name: r.Name, User: r.User, Commands: r.Commands})
+		}
+	}
+	// Live triggers plus the ones a clean Close retired: both must re-arm on
+	// the next start.
+	for _, tr := range rt.triggers {
+		ck.Triggers = append(ck.Triggers, triggerRecord(tr.spec))
+	}
+	for _, spec := range rt.retiredTriggers {
+		ck.Triggers = append(ck.Triggers, triggerRecord(spec))
+	}
+	ck.NextTrigger = int64(rt.nextTrigger)
 	if err := rt.j.jrn.Checkpoint(ck); err != nil {
 		rt.journalFail(err)
+	}
+}
+
+func triggerRecord(spec ScheduledTrigger) journal.TriggerRecord {
+	return journal.TriggerRecord{
+		Handle:   int64(spec.Handle),
+		Routine:  spec.Routine,
+		Interval: spec.Interval,
+		NextFire: spec.NextFire,
+		Fired:    spec.Fired,
 	}
 }
 
@@ -247,6 +323,46 @@ func (rt *HomeRuntime) recoverFrom(rec *journal.Recovered) {
 			Routine: res.ID,
 			Detail:  res.AbortReason,
 		})
+	}
+
+	// Re-seed the routine bank in first-store order, then re-arm recovered
+	// triggers so automations survive the restart: a trigger whose deadline
+	// passed while the home was down fires as soon as the clock advances.
+	for _, b := range rec.Bank {
+		_ = rt.bank.Store(&routine.Routine{Name: b.Name, User: b.User, Commands: b.Commands})
+	}
+	rt.nextTrigger = TriggerHandle(rec.NextTrigger)
+	handles := make([]int64, 0, len(rec.Triggers))
+	for h := range rec.Triggers {
+		handles = append(handles, h)
+	}
+	sort.Slice(handles, func(a, b int) bool { return handles[a] < handles[b] })
+	for _, h := range handles {
+		tr := rec.Triggers[h]
+		if TriggerHandle(tr.Handle) > rt.nextTrigger {
+			rt.nextTrigger = TriggerHandle(tr.Handle)
+		}
+		if tr.Interval > 0 && rt.cfg.Clock == ClockVirtual {
+			continue // recurring triggers cannot run on a virtual clock
+		}
+		delay := tr.NextFire.Sub(now)
+		if delay < 0 {
+			delay = 0
+		}
+		nf := tr.NextFire
+		if nf.Before(now) {
+			nf = now
+		}
+		handle := TriggerHandle(tr.Handle)
+		t := &trigger{spec: ScheduledTrigger{
+			Handle:   handle,
+			Routine:  tr.Routine,
+			Interval: tr.Interval,
+			NextFire: nf,
+			Fired:    tr.Fired,
+		}}
+		t.cancel = rt.armTrigger(handle, delay)
+		rt.triggers[handle] = t
 	}
 }
 

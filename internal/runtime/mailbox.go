@@ -17,6 +17,11 @@ var (
 	ErrOverloaded = errors.New("runtime: home mailbox full")
 	// ErrClosed is returned by mutating operations after Close.
 	ErrClosed = errors.New("runtime: closed")
+	// ErrPoisoned is returned to callers whose operations were queued or in
+	// flight when a panic killed the home's loop. The home is torn down
+	// crash-style (nothing in the poisoned batch was acknowledged); an owner
+	// with a supervisor restarts it from its journal.
+	ErrPoisoned = errors.New("runtime: home poisoned by panic")
 )
 
 // opKind tags one mailbox operation. Every entry point into a home — user
@@ -37,6 +42,7 @@ const (
 	opRestoreDevice // dev, reply      → err
 	opScheduleTrig  // name, delay, every, reply → handle, err
 	opCancelTrig    // handle, reply   → err
+	opStoreRoutine  // r, reply        → err (bank store, journaled)
 
 	// External queries: posted blocking (they cannot be load-shed without
 	// breaking read APIs; the loop drains continuously so the wait is bounded

@@ -1,0 +1,96 @@
+package runtime
+
+// Panic isolation: a panic inside the loop (a controller bug, a bad timer
+// callback, a corrupt routine) must cost exactly one home, not the process.
+// runBatch recovers the panic and hands the error to poison, which tears the
+// home down crash-style: the mailbox closes, every parked or queued caller is
+// answered with ErrPoisoned, the journal's file descriptors and directory
+// lock are released without flushing the poisoned batch (nothing in it was
+// acknowledged, so durable truth is the last group commit — the same contract
+// as a process kill), and the owner's OnPoison callback fires so a supervisor
+// can rebuild the home from its journal.
+
+// failOp answers an operation that will never be applied.
+func failOp(o *op, err error) {
+	if o.reply != nil {
+		o.reply.send(result{err: err})
+	}
+	if o.kind == opSuspend {
+		close(o.gate) // never parks: the caller's resume is a no-op
+	}
+}
+
+// poison runs on the loop goroutine after runBatch recovered a panic. The
+// loop cannot close its own channel directly: a sender blocked on a full ring
+// holds closeMu.RLock and only completes once the loop drains, so the close
+// happens on a helper goroutine while this goroutine keeps receiving.
+func (rt *HomeRuntime) poison(err error) {
+	rt.panicErr.Store(err)
+	rt.poisoned.Store(true)
+	go rt.closeOnce.Do(func() {
+		if rt.cancelDetect != nil {
+			rt.cancelDetect()
+		}
+		rt.closeMu.Lock()
+		rt.closed = true
+		close(rt.ch)
+		rt.closeMu.Unlock()
+	})
+	// If a concurrent Close won closeOnce, its graceful body still ends in
+	// close(rt.ch); either way this drain terminates, answering everything
+	// queued behind the poisoned batch.
+	for o := range rt.ch {
+		failOp(&o, ErrPoisoned)
+	}
+	if rt.j != nil {
+		rt.j.jrn.Abandon()
+		rt.j = nil
+	}
+	if rt.cfg.OnPoison != nil {
+		rt.cfg.OnPoison(err)
+	}
+}
+
+// Poisoned reports whether a panic killed the home's loop. A poisoned runtime
+// answers queries from its last published snapshot, rejects mutations with
+// ErrClosed/ErrPoisoned, and can be rebuilt from the same DataDir.
+func (rt *HomeRuntime) Poisoned() bool { return rt.poisoned.Load() }
+
+// PanicError returns the error recorded when a panic poisoned the home, or
+// nil if the home never panicked.
+func (rt *HomeRuntime) PanicError() error {
+	if v := rt.panicErr.Load(); v != nil {
+		return v.(error)
+	}
+	return nil
+}
+
+// answerInline answers a query after the loop goroutine has exited: on the
+// quiesced state after a clean Close, or from the last published snapshot
+// when the loop died poisoned — the controller may have been mid-mutation
+// when it panicked and must never be touched again.
+func (rt *HomeRuntime) answerInline(o *op) result {
+	if !rt.poisoned.Load() {
+		return rt.evalQuery(o)
+	}
+	s := rt.snap.Load()
+	switch o.kind {
+	case opResults:
+		return result{any: s.Results()}
+	case opResult:
+		res, ok := s.Result(o.rid)
+		return result{any: res, ok: ok}
+	case opCounts:
+		return result{any: s.Counts()}
+	case opDeviceStates:
+		return result{any: s.DeviceStates()}
+	case opCommittedStates:
+		return result{any: s.CommittedStates()}
+	case opEvents:
+		return result{any: s.events}
+	case opTriggers:
+		return result{any: []ScheduledTrigger(nil)}
+	default:
+		return result{err: ErrPoisoned}
+	}
+}

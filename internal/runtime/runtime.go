@@ -103,6 +103,14 @@ type Config struct {
 	// OnSimEvents, if set, receives the number of newly processed simulator
 	// events after every pump (the manager's sim_events counter).
 	OnSimEvents func(n int)
+	// Actuation tunes the live environment's device path (per-attempt
+	// timeout, retry backoff, circuit breaker). Wall-clock runtimes only.
+	Actuation live.Options
+	// OnPoison, if set, is called once from the dying loop goroutine after a
+	// panic has torn the home down (mailbox closed, journal abandoned). An
+	// owner uses it to trigger a supervised restart; it must not block on the
+	// poisoned runtime other than Close, which merely joins the dead loop.
+	OnPoison func(err error)
 }
 
 const (
@@ -190,6 +198,11 @@ type HomeRuntime struct {
 	crashed atomic.Bool
 	jErr    atomic.Value
 
+	// poisoned is set when a panic killed the loop; panicErr records the
+	// recovered panic value (see poison.go).
+	poisoned atomic.Bool
+	panicErr atomic.Value
+
 	// Loop-owned state:
 	j               *journalState       // write-ahead journal (nil without DataDir)
 	observe         visibility.Observer // the full observer chain (journal tap, event log, user)
@@ -201,6 +214,10 @@ type HomeRuntime struct {
 	nextTrigger     TriggerHandle
 	triggers        map[TriggerHandle]*trigger
 	triggersStopped bool // Close ran opStopTriggers; refuse new schedules
+	// retiredTriggers keeps the specs stopAllTriggers cleared so the final
+	// checkpoint of a clean Close still carries them: a trigger armed before
+	// a graceful restart must re-arm afterwards, exactly as after a crash.
+	retiredTriggers []ScheduledTrigger
 }
 
 // NewSim builds a runtime over an in-memory simulated fleet: ClockVirtual
@@ -267,7 +284,7 @@ func NewLive(cfg Config, reg *device.Registry, actuator device.Actuator) (*HomeR
 	if err != nil {
 		return nil, err
 	}
-	rt.lenv = live.New(rt, actuator)
+	rt.lenv = live.NewWithOptions(rt, actuator, cfg.Actuation)
 	rt.env = rt.lenv
 
 	// Seed the controller's committed-state view from the devices' initial
@@ -491,35 +508,66 @@ func (rt *HomeRuntime) loop() {
 				break fill
 			}
 		}
-		for i := range batch {
-			if batch[i].kind == opSuspend {
-				// Journal, publish and deliver everything applied so far
-				// before parking: a parked loop must not hold earlier
-				// callers' replies (or their durability, or their snapshot
-				// visibility) hostage.
-				rt.journalFlush()
-				rt.publish(false)
-				replies = flushReplies(replies)
-			}
-			if res, rp := rt.apply(&batch[i]); rp != nil {
-				replies = append(replies, pendingReply{rp: rp, res: res})
-			}
-			batch[i] = op{} // release payloads (routines, closures) once applied
+		if err := rt.runBatch(batch, &replies); err != nil {
+			rt.poison(err)
+			return
 		}
-		rt.compactHistory()
-		// Group commit before the batch's replies: an acknowledged operation
-		// is a durable operation. The snapshot publish follows the journal
-		// write, so readers never observe state that a crash could lose.
-		rt.journalFlush()
-		rt.publish(false)
-		rt.maybeCheckpoint()
-		rt.publishNextDue()
-		replies = flushReplies(replies)
 	}
 	if rt.crashed.Load() {
 		return // SIGKILL-equivalent: no drain, no final flush or checkpoint
 	}
 	rt.shutdown()
+}
+
+// runBatch applies one dequeued batch and the post-batch machinery (history
+// compaction, group commit, snapshot publish, checkpoint, replies). A panic
+// anywhere inside is recovered and returned as an error: the op that panicked
+// and everything behind it — including replies already collected but not yet
+// delivered — are answered with ErrPoisoned, since none of them were
+// acknowledged and none will be journaled.
+func (rt *HomeRuntime) runBatch(batch []op, replies *[]pendingReply) (err error) {
+	i := 0
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		err = fmt.Errorf("runtime: home %q poisoned by panic: %v", rt.cfg.ID, r)
+		for ; i < len(batch); i++ {
+			failOp(&batch[i], ErrPoisoned)
+			batch[i] = op{}
+		}
+		for j := range *replies {
+			(*replies)[j].rp.send(result{err: ErrPoisoned})
+			(*replies)[j] = pendingReply{}
+		}
+		*replies = (*replies)[:0]
+	}()
+	for ; i < len(batch); i++ {
+		if batch[i].kind == opSuspend {
+			// Journal, publish and deliver everything applied so far
+			// before parking: a parked loop must not hold earlier
+			// callers' replies (or their durability, or their snapshot
+			// visibility) hostage.
+			rt.journalFlush()
+			rt.publish(false)
+			*replies = flushReplies(*replies)
+		}
+		if res, rp := rt.apply(&batch[i]); rp != nil {
+			*replies = append(*replies, pendingReply{rp: rp, res: res})
+		}
+		batch[i] = op{} // release payloads (routines, closures) once applied
+	}
+	rt.compactHistory()
+	// Group commit before the batch's replies: an acknowledged operation
+	// is a durable operation. The snapshot publish follows the journal
+	// write, so readers never observe state that a crash could lose.
+	rt.journalFlush()
+	rt.publish(false)
+	rt.maybeCheckpoint()
+	rt.publishNextDue()
+	*replies = flushReplies(*replies)
+	return nil
 }
 
 // drainCrashed is the SIGKILL-equivalent loop exit: the first queued op (and
@@ -605,6 +653,12 @@ func (rt *HomeRuntime) apply(o *op) (result, *reply) {
 	case opCancelTrig:
 		rt.cancelTrigger(o.handle)
 		return result{}, o.reply
+	case opStoreRoutine:
+		err := rt.bank.Store(o.r)
+		if err == nil && rt.j != nil {
+			rt.noteBankPut(o.r)
+		}
+		return result{err: err}, o.reply
 	case opResults, opResult, opCounts, opDeviceStates, opCommittedStates, opEvents, opTriggers:
 		return rt.evalQuery(o), o.reply
 	case opCompletion:
@@ -815,6 +869,22 @@ func (rt *HomeRuntime) RestoreDevice(dev device.ID) error {
 	return rp.await().err
 }
 
+// StoreRoutine validates the routine against the home's registry and saves it
+// in the bank through the mailbox, so a journaled home persists the
+// definition and a recovered home still knows it. Direct Bank().Store calls
+// remain possible but are memory-only.
+func (rt *HomeRuntime) StoreRoutine(r *routine.Routine) error {
+	if err := r.Validate(rt.reg); err != nil {
+		return err
+	}
+	rp := newReply()
+	if err := rt.tryPost(op{kind: opStoreRoutine, r: r, reply: rp}); err != nil {
+		rp.discard()
+		return err
+	}
+	return rp.await().err
+}
+
 // --- queries --------------------------------------------------------------------
 
 // Counts is the runtime's live summary.
@@ -838,13 +908,13 @@ func (rt *HomeRuntime) query(o op) result {
 	if err := rt.post(o); err != nil {
 		rp.discard()
 		<-rt.done
-		return rt.evalQuery(&o)
+		return rt.answerInline(&o)
 	}
 	if res := rp.await(); res.err == nil {
 		return res
 	}
 	<-rt.done
-	return rt.evalQuery(&o)
+	return rt.answerInline(&o)
 }
 
 // evalQuery answers one read-only op. It runs on the loop goroutine while
@@ -969,6 +1039,24 @@ func (rt *HomeRuntime) Bank() *routine.Bank { return rt.bank }
 
 // Detector exposes the failure detector (wall-clock runtimes; nil otherwise).
 func (rt *HomeRuntime) Detector() *failure.Detector { return rt.detector }
+
+// Breakers reports the live environment's per-device circuit-breaker states
+// (wall-clock runtimes; nil otherwise).
+func (rt *HomeRuntime) Breakers() []live.BreakerStats {
+	if rt.lenv == nil {
+		return nil
+	}
+	return rt.lenv.Breakers()
+}
+
+// BreakerState reports one device's actuation breaker position (always
+// closed for simulated homes, which have no live environment).
+func (rt *HomeRuntime) BreakerState(id device.ID) live.BreakerState {
+	if rt.lenv == nil {
+		return live.BreakerClosed
+	}
+	return rt.lenv.BreakerState(id)
+}
 
 // Since returns the runtime's creation time.
 func (rt *HomeRuntime) Since() time.Time { return rt.started }

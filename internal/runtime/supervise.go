@@ -1,0 +1,197 @@
+package runtime
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the shared half of self-healing supervision: the owner of a
+// home (a manager shard, the single-home hub) wires Config.OnPoison to a
+// Supervisor, which drives the poison → restart → quarantine state machine.
+// The runtime itself only knows how to die cleanly (poison.go); policy —
+// backoff, restart budget, quarantine — lives here so every owner applies
+// the same rules and exposes the same health vocabulary.
+
+// HomeHealth is the supervision-level health of one home.
+type HomeHealth string
+
+const (
+	// HealthOK: serving, journaling (if configured) intact.
+	HealthOK HomeHealth = "ok"
+	// HealthDegraded: serving, but a journal I/O error disabled durability
+	// (the home runs memory-only until restarted).
+	HealthDegraded HomeHealth = "degraded"
+	// HealthRestarting: a panic poisoned the home; the supervisor is
+	// rebuilding it from its journal. Mutations fail with 503 + Retry-After.
+	HealthRestarting HomeHealth = "restarting"
+	// HealthQuarantined: the restart budget is exhausted; the home stays down
+	// until an operator intervenes (e.g. re-adds it).
+	HealthQuarantined HomeHealth = "quarantined"
+)
+
+// Supervisor restart-policy defaults.
+const (
+	// DefaultMaxRestarts is the consecutive-failure budget before quarantine.
+	DefaultMaxRestarts = 5
+	// DefaultRestartBackoff is the base of the exponential restart backoff.
+	DefaultRestartBackoff = 50 * time.Millisecond
+	// DefaultRestartBackoffCap caps the exponential restart backoff.
+	DefaultRestartBackoffCap = 5 * time.Second
+	// DefaultHealthyWindow is how long a home must stay up after a restart
+	// for its consecutive-failure count to reset.
+	DefaultHealthyWindow = time.Minute
+)
+
+// SupervisorConfig tunes the automatic restart of poisoned homes.
+type SupervisorConfig struct {
+	// MaxRestarts quarantines a home after this many consecutive failures —
+	// poisons within HealthyWindow of the previous one, or rebuilds that
+	// errored. 0 means DefaultMaxRestarts; negative quarantines on the first
+	// poison.
+	MaxRestarts int
+	// Backoff is the base of the capped, jittered exponential delay before
+	// each restart attempt (0 = DefaultRestartBackoff).
+	Backoff time.Duration
+	// BackoffCap bounds the exponential delay (0 = DefaultRestartBackoffCap).
+	BackoffCap time.Duration
+	// HealthyWindow resets the consecutive-failure count once a restarted
+	// home stays up this long (0 = DefaultHealthyWindow).
+	HealthyWindow time.Duration
+	// Disable turns supervision off: a poisoned home stays down (callers get
+	// ErrClosed/ErrPoisoned) until its owner rebuilds it by hand.
+	Disable bool
+}
+
+// Normalized fills defaults into zero fields.
+func (c SupervisorConfig) Normalized() SupervisorConfig {
+	if c.MaxRestarts == 0 {
+		c.MaxRestarts = DefaultMaxRestarts
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = DefaultRestartBackoff
+	}
+	if c.BackoffCap <= 0 {
+		c.BackoffCap = DefaultRestartBackoffCap
+	}
+	if c.HealthyWindow <= 0 {
+		c.HealthyWindow = DefaultHealthyWindow
+	}
+	return c
+}
+
+// Supervisor tracks one home's poison/restart lifecycle on behalf of its
+// owner. Health, counters and NotePoison are safe from any goroutine;
+// Restart must be called from the owner's single supervision goroutine.
+type Supervisor struct {
+	cfg      SupervisorConfig
+	state    atomic.Int32 // supOK | supRestarting | supQuarantined
+	poisons  atomic.Int64
+	restarts atomic.Int64
+	lastErr  atomic.Value
+
+	// Owned by the supervision goroutine:
+	consecutive int
+	lastPoison  time.Time
+}
+
+const (
+	supOK int32 = iota
+	supRestarting
+	supQuarantined
+)
+
+// NewSupervisor builds a Supervisor with the given (zero-filled) policy.
+func NewSupervisor(cfg SupervisorConfig) *Supervisor {
+	return &Supervisor{cfg: cfg.Normalized()}
+}
+
+// NotePoison records a poison event and flips health to restarting. Safe to
+// call from the dying loop goroutine (Config.OnPoison).
+func (s *Supervisor) NotePoison(err error) {
+	s.lastErr.Store(err)
+	s.poisons.Add(1)
+	s.state.Store(supRestarting)
+}
+
+// Health folds the supervision state with the home's durability: a home
+// whose journal died serves degraded until its next restart.
+func (s *Supervisor) Health(durable bool) HomeHealth {
+	switch s.state.Load() {
+	case supRestarting:
+		return HealthRestarting
+	case supQuarantined:
+		return HealthQuarantined
+	}
+	if !durable {
+		return HealthDegraded
+	}
+	return HealthOK
+}
+
+// Serving reports whether the home should accept operations (ok or degraded).
+func (s *Supervisor) Serving() bool { return s.state.Load() == supOK }
+
+// Quarantined reports whether the restart budget is exhausted.
+func (s *Supervisor) Quarantined() bool { return s.state.Load() == supQuarantined }
+
+// Poisons counts panic events observed over the home's lifetime.
+func (s *Supervisor) Poisons() int64 { return s.poisons.Load() }
+
+// Restarts counts successful supervised restarts.
+func (s *Supervisor) Restarts() int64 { return s.restarts.Load() }
+
+// LastError returns the most recent poison or rebuild error.
+func (s *Supervisor) LastError() error {
+	if v := s.lastErr.Load(); v != nil {
+		return v.(error)
+	}
+	return nil
+}
+
+// Restart drives one poison event through the restart policy: capped
+// jittered exponential backoff before each attempt, rebuild retried until it
+// succeeds or the consecutive-failure budget quarantines the home. stop
+// aborts the wait (owner shutdown) leaving the home down. Reports whether
+// the home is serving again.
+func (s *Supervisor) Restart(stop <-chan struct{}, rebuild func() error) bool {
+	now := time.Now()
+	if !s.lastPoison.IsZero() && now.Sub(s.lastPoison) > s.cfg.HealthyWindow {
+		s.consecutive = 0 // stayed up long enough: forgive earlier failures
+	}
+	s.lastPoison = now
+	for {
+		s.consecutive++
+		if s.consecutive > s.cfg.MaxRestarts {
+			s.state.Store(supQuarantined)
+			return false
+		}
+		select {
+		case <-stop:
+			return false
+		case <-time.After(s.backoff(s.consecutive)):
+		}
+		if err := rebuild(); err != nil {
+			s.lastErr.Store(err)
+			continue
+		}
+		s.restarts.Add(1)
+		s.state.Store(supOK)
+		return true
+	}
+}
+
+// backoff computes the jittered exponential delay for the n-th consecutive
+// attempt (n >= 1).
+func (s *Supervisor) backoff(n int) time.Duration {
+	d := s.cfg.Backoff
+	for i := 1; i < n; i++ {
+		d *= 2
+		if d >= s.cfg.BackoffCap {
+			d = s.cfg.BackoffCap
+			break
+		}
+	}
+	// Up to +25% jitter so a shard's homes don't restart in lockstep.
+	return d + time.Duration(rand.Int63n(int64(d)/4+1))
+}

@@ -106,6 +106,9 @@ func (rt *HomeRuntime) scheduleTrigger(name string, delay, interval time.Duratio
 	}}
 	tr.cancel = rt.armTrigger(handle, delay)
 	rt.triggers[handle] = tr
+	if rt.j != nil {
+		rt.noteTriggerArm(tr.spec)
+	}
 	return handle, nil
 }
 
@@ -140,8 +143,14 @@ func (rt *HomeRuntime) fireTrigger(handle TriggerHandle) {
 	if tr.spec.Interval > 0 {
 		tr.spec.NextFire = rt.env.Now().Add(tr.spec.Interval)
 		tr.cancel = rt.armTrigger(handle, tr.spec.Interval)
+		if rt.j != nil {
+			rt.noteTriggerArm(tr.spec)
+		}
 	} else {
 		delete(rt.triggers, handle)
+		if rt.j != nil {
+			rt.noteTriggerCancel(handle)
+		}
 	}
 }
 
@@ -150,6 +159,9 @@ func (rt *HomeRuntime) cancelTrigger(handle TriggerHandle) {
 	if tr, ok := rt.triggers[handle]; ok {
 		tr.cancel()
 		delete(rt.triggers, handle)
+		if rt.j != nil {
+			rt.noteTriggerCancel(handle)
+		}
 	}
 }
 
@@ -162,5 +174,10 @@ func (rt *HomeRuntime) stopAllTriggers() {
 	for handle, tr := range rt.triggers {
 		tr.cancel()
 		delete(rt.triggers, handle)
+		// Retirement is not a cancellation: a journaled home keeps the spec
+		// so the final checkpoint re-arms it on the next start.
+		if rt.j != nil {
+			rt.retiredTriggers = append(rt.retiredTriggers, tr.spec)
+		}
 	}
 }

@@ -62,6 +62,18 @@ type GenParams struct {
 	// RestartPct is the percentage of failed devices that later restart
 	// (default 0).
 	RestartPct float64
+	// FlapPct is the percentage of failing devices that flap — repeated
+	// fail/restart cycles instead of one fail-stop — exercising the
+	// actuation path's circuit breaker (default 0; only meaningful with
+	// FailedPct > 0).
+	FlapPct float64
+	// FlapCycles is the number of fail/restart cycles a flapping device
+	// goes through (default 3).
+	FlapCycles int
+	// PanicPct is the probability (in percent) that the spec carries a
+	// mid-run controller panic injection: PanicAt lands in the middle half
+	// of the horizon, where generated routines are in flight (default 0).
+	PanicPct float64
 	// Seed makes generation deterministic.
 	Seed int64
 }
@@ -119,6 +131,9 @@ func (p GenParams) normalized() GenParams {
 	if p.Horizon <= 0 {
 		p.Horizon = d.Horizon
 	}
+	if p.FlapCycles <= 0 {
+		p.FlapCycles = 3
+	}
 	return p
 }
 
@@ -134,6 +149,9 @@ func Generate(p GenParams) Spec {
 	timeRNG := rng.Fork()
 	userRNG := rng.Fork()
 	failRNG := rng.Fork()
+	// Forked last so specs generated before the robustness knobs existed keep
+	// their exact historical content for any (params, seed).
+	faultRNG := rng.Fork()
 
 	spec := Spec{
 		Name:    fmt.Sprintf("gen-s%d-d%d-r%d", p.Seed, p.Devices, p.Routines),
@@ -205,18 +223,44 @@ func Generate(p GenParams) Spec {
 		nFail := int(float64(p.Devices) * p.FailedPct / 100)
 		for i := 0; i < nFail && i < len(perm); i++ {
 			at := failRNG.UniformDuration(0, p.Horizon)
-			spec.Failures = append(spec.Failures, FailureEvent{
-				At:     at,
-				Device: device.ID(plugID(perm[i])),
-			})
+			id := device.ID(plugID(perm[i]))
+			if faultRNG.Bool(p.FlapPct / 100) {
+				// A flapping device cycles fail→restart FlapCycles times;
+				// cycles are spaced so repeated contact failures land inside
+				// the actuation breaker's observation window rather than as
+				// isolated fail-stops.
+				gap := p.Horizon / time.Duration(2*p.FlapCycles+1)
+				if gap <= 0 {
+					gap = time.Second
+				}
+				for c := 0; c < p.FlapCycles; c++ {
+					down := at + time.Duration(2*c)*gap
+					spec.Failures = append(spec.Failures,
+						FailureEvent{At: down, Device: id},
+						FailureEvent{At: down + faultRNG.UniformDuration(gap/4, gap), Device: id, Restart: true},
+					)
+				}
+				continue
+			}
+			spec.Failures = append(spec.Failures, FailureEvent{At: at, Device: id})
 			if failRNG.Bool(p.RestartPct / 100) {
 				spec.Failures = append(spec.Failures, FailureEvent{
 					At:      at + failRNG.UniformDuration(time.Second, p.Horizon/4+time.Second),
-					Device:  device.ID(plugID(perm[i])),
+					Device:  id,
 					Restart: true,
 				})
 			}
 		}
+		// Flap restarts may land past the original instants: re-sort so the
+		// harness can replay failures strictly in time order.
+		sort.SliceStable(spec.Failures, func(i, j int) bool {
+			return spec.Failures[i].At < spec.Failures[j].At
+		})
+	}
+	if p.PanicPct > 0 && faultRNG.Bool(p.PanicPct/100) {
+		// Land the panic in the middle half of the horizon, where generated
+		// routines are overwhelmingly likely to be in flight.
+		spec.PanicAt = p.Horizon/4 + faultRNG.UniformDuration(0, p.Horizon/2)
 	}
 	return spec
 }

@@ -193,6 +193,91 @@ func TestGenerateFailureAndRestartInjection(t *testing.T) {
 	}
 }
 
+func TestGenerateFlapInjection(t *testing.T) {
+	p := DefaultGenParams()
+	p.Devices = 40
+	p.Seed = 13
+	p.FailedPct = 25
+	p.FlapPct = 100 // every failing device flaps
+	p.FlapCycles = 3
+	spec := Generate(p)
+	validateSpec(t, spec)
+
+	fails := map[device.ID]int{}
+	restarts := map[device.ID]int{}
+	for i, f := range spec.Failures {
+		if i > 0 && f.At < spec.Failures[i-1].At {
+			t.Fatalf("failures not sorted by time at %d", i)
+		}
+		if f.Restart {
+			restarts[f.Device]++
+		} else {
+			fails[f.Device]++
+		}
+	}
+	if want := 40 * 25 / 100; len(fails) != want {
+		t.Errorf("flapping devices = %d, want %d", len(fails), want)
+	}
+	for id, n := range fails {
+		if n != p.FlapCycles {
+			t.Errorf("device %s fails %d times, want %d cycles", id, n, p.FlapCycles)
+		}
+		if restarts[id] != p.FlapCycles {
+			t.Errorf("device %s restarts %d times, want %d cycles", id, restarts[id], p.FlapCycles)
+		}
+	}
+
+	// Same seed reproduces the exact flap schedule.
+	again := Generate(p)
+	if len(again.Failures) != len(spec.Failures) {
+		t.Fatal("same seed produced different failure counts")
+	}
+	for i := range spec.Failures {
+		if spec.Failures[i] != again.Failures[i] {
+			t.Fatalf("same seed diverged at failure %d", i)
+		}
+	}
+}
+
+func TestGeneratePanicInjection(t *testing.T) {
+	p := DefaultGenParams()
+	p.Seed = 21
+	p.PanicPct = 100
+	spec := Generate(p)
+	if spec.PanicAt <= 0 {
+		t.Fatal("PanicPct=100 produced no panic injection")
+	}
+	if spec.PanicAt < p.Horizon/4 || spec.PanicAt > 3*p.Horizon/4 {
+		t.Errorf("PanicAt = %v, want inside middle half of horizon %v", spec.PanicAt, p.Horizon)
+	}
+	if again := Generate(p); again.PanicAt != spec.PanicAt {
+		t.Errorf("same seed drew PanicAt %v then %v", spec.PanicAt, again.PanicAt)
+	}
+
+	p.PanicPct = 0
+	if off := Generate(p); off.PanicAt != 0 {
+		t.Errorf("PanicPct=0 still set PanicAt=%v", off.PanicAt)
+	}
+}
+
+func TestGenerateRobustnessKnobsDoNotReshuffle(t *testing.T) {
+	p := DefaultGenParams()
+	p.Seed = 17
+	base := Generate(p)
+	p.FlapPct = 50
+	p.PanicPct = 50
+	faulty := Generate(p)
+	if len(base.Submissions) != len(faulty.Submissions) {
+		t.Fatal("robustness knobs changed submission count")
+	}
+	for i := range base.Submissions {
+		if base.Submissions[i].At != faulty.Submissions[i].At ||
+			base.Submissions[i].Routine.String() != faulty.Submissions[i].Routine.String() {
+			t.Fatalf("robustness knobs reshuffled submission %d", i)
+		}
+	}
+}
+
 func TestGenerateZeroValueNormalizes(t *testing.T) {
 	spec := Generate(GenParams{Seed: 1})
 	validateSpec(t, spec)

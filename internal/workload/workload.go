@@ -42,6 +42,12 @@ type Spec struct {
 	// JitterMax, when non-zero, asks the harness to add a uniform random
 	// per-command latency in [0, JitterMax], modelling real device variance.
 	JitterMax time.Duration
+	// PanicAt, when non-zero, asks a robustness-aware replayer to inject a
+	// controller panic at this virtual-time offset — with routines in
+	// flight, when the generated horizon allows — and verify the home is
+	// poisoned, torn down and recovered instead of unwinding the process.
+	// Replayers without panic support ignore it.
+	PanicAt time.Duration
 }
 
 // Registry builds a device registry for the spec.
