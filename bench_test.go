@@ -17,6 +17,7 @@ import (
 	"safehome/internal/device"
 	"safehome/internal/experiments"
 	"safehome/internal/harness"
+	"safehome/internal/journal"
 	"safehome/internal/kasa"
 	"safehome/internal/lineage"
 	"safehome/internal/routine"
@@ -126,6 +127,12 @@ func BenchmarkRuntimeThroughput(b *testing.B) {
 		// the durability overhead of PR 5, amortized by batch dequeue.
 		b.Run(fmt.Sprintf("batch=%d/journal=on", batch), schedbench.RuntimeThroughputJournaled(batch))
 	}
+	// The other durability tiers at the amortizing batch size: group runs the
+	// home over a shared writer (the coalescing pipeline itself), async
+	// acknowledges ahead of the disk.
+	for _, mode := range []journal.Mode{journal.ModeGroup, journal.ModeAsync} {
+		b.Run(fmt.Sprintf("batch=32/journal=%v", mode), schedbench.RuntimeThroughputTiered(32, mode))
+	}
 }
 
 // --- off-loop read path -----------------------------------------------------------
@@ -158,6 +165,13 @@ func BenchmarkManagerThroughput(b *testing.B) {
 	const homes = 64
 	for _, shards := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("shards=%d", shards), schedbench.ManagerThroughput(shards, homes))
+	}
+	// Journaled rows expose the fsync wall and its collapse: sync pays one
+	// fsync per home per drain, group coalesces each shard's homes into one
+	// shared-writer fsync cycle, async decouples acknowledgement from the
+	// disk entirely.
+	for _, mode := range []journal.Mode{journal.ModeSync, journal.ModeGroup, journal.ModeAsync} {
+		b.Run(fmt.Sprintf("shards=8/journal=%v", mode), schedbench.ManagerThroughputJournaled(8, homes, mode))
 	}
 }
 

@@ -16,11 +16,18 @@
 // full, mutating requests are answered with 429 Too Many Requests instead of
 // queuing without bound.
 //
+// With -data the hub journals every home; -durability picks the tier: sync
+// (fsync per commit — the single-home default), group (all of a shard's
+// homes coalesce into one shared fsync cycle — the -homes default, which is
+// what keeps fsync traffic and open fds O(shards) at high tenant counts),
+// or async (acknowledge ahead of the disk behind a bounded loss window).
+//
 // Usage:
 //
 //	safehome-hub -listen :8123 -model EV -scheduler TL -devices 127.0.0.1:9999 -plugs 10
 //	safehome-hub -listen :8123 -fleet -plugs 5
 //	safehome-hub -listen :8123 -homes 1000 -shards 8 -plugs 5
+//	safehome-hub -listen :8123 -homes 1000 -shards 8 -data /var/lib/safehome -durability group
 package main
 
 import (
@@ -33,6 +40,7 @@ import (
 
 	"safehome/internal/device"
 	"safehome/internal/hub"
+	"safehome/internal/journal"
 	"safehome/internal/kasa"
 	"safehome/internal/manager"
 	"safehome/internal/runtime"
@@ -41,20 +49,21 @@ import (
 
 func main() {
 	var (
-		listen    = flag.String("listen", "127.0.0.1:8123", "address to serve the hub HTTP API on")
-		modelName = flag.String("model", "EV", "visibility model: WV, GSV, S-GSV, PSV or EV")
-		schedName = flag.String("scheduler", "TL", "EV scheduling policy: FCFS, JiT or TL")
-		devices   = flag.String("devices", "", "address of a Kasa endpoint (safehome-devices or a real plug)")
-		useFleet  = flag.Bool("fleet", false, "use an in-process simulated fleet instead of networked devices")
-		plugs     = flag.Int("plugs", 10, "number of plug devices per home (plug-0..plug-N-1)")
-		probe     = flag.Duration("probe", time.Second, "failure detector probe period")
-		homes     = flag.Int("homes", 0, "multi-tenant mode: number of homes to manage (0 = single-home hub)")
-		shards    = flag.Int("shards", 4, "multi-tenant mode: number of worker shards")
-		mailbox   = flag.Int("mailbox", 0, "per-home operation-mailbox depth (0 = default 128); a full mailbox answers 429")
-		batch     = flag.Int("batch", 0, "max operations a home drains per loop wakeup (0 = default 32)")
-		readMode  = flag.String("consistency", "snapshot", "read consistency: snapshot (reads never touch the mailbox) or linearizable")
-		eventLog  = flag.Int("eventlog", 0, "multi-tenant mode: per-home event-log cap (0 disables /homes/{id}/events)")
-		dataDir   = flag.String("data", "", "data directory for the write-ahead journal; empty runs memory-only. A hub restarted with the same -data recovers results, committed states and event cursors, and aborts routines that were in flight")
+		listen         = flag.String("listen", "127.0.0.1:8123", "address to serve the hub HTTP API on")
+		modelName      = flag.String("model", "EV", "visibility model: WV, GSV, S-GSV, PSV or EV")
+		schedName      = flag.String("scheduler", "TL", "EV scheduling policy: FCFS, JiT or TL")
+		devices        = flag.String("devices", "", "address of a Kasa endpoint (safehome-devices or a real plug)")
+		useFleet       = flag.Bool("fleet", false, "use an in-process simulated fleet instead of networked devices")
+		plugs          = flag.Int("plugs", 10, "number of plug devices per home (plug-0..plug-N-1)")
+		probe          = flag.Duration("probe", time.Second, "failure detector probe period")
+		homes          = flag.Int("homes", 0, "multi-tenant mode: number of homes to manage (0 = single-home hub)")
+		shards         = flag.Int("shards", 4, "multi-tenant mode: number of worker shards")
+		mailbox        = flag.Int("mailbox", 0, "per-home operation-mailbox depth (0 = default 128); a full mailbox answers 429")
+		batch          = flag.Int("batch", 0, "max operations a home drains per loop wakeup (0 = default 32)")
+		readMode       = flag.String("consistency", "snapshot", "read consistency: snapshot (reads never touch the mailbox) or linearizable")
+		eventLog       = flag.Int("eventlog", 0, "multi-tenant mode: per-home event-log cap (0 disables /homes/{id}/events)")
+		dataDir        = flag.String("data", "", "data directory for the write-ahead journal; empty runs memory-only. A hub restarted with the same -data recovers results, committed states and event cursors, and aborts routines that were in flight")
+		durabilityName = flag.String("durability", "", "journal durability tier with -data: sync (fsync per commit; single-home default), group (cross-home coalesced fsync; multi-tenant default), or async (ack ahead of the disk, bounded loss window)")
 	)
 	flag.Parse()
 
@@ -70,6 +79,13 @@ func main() {
 	if err != nil {
 		log.Fatalf("safehome-hub: %v", err)
 	}
+	var jopts journal.Options
+	if *durabilityName != "" {
+		jopts.Mode, err = journal.ParseMode(*durabilityName)
+		if err != nil {
+			log.Fatalf("safehome-hub: %v", err)
+		}
+	}
 
 	if *homes > 0 {
 		// Manager mode runs simulated per-home fleets on live clocks; the
@@ -77,7 +93,7 @@ func main() {
 		if *devices != "" || *useFleet {
 			log.Fatal("safehome-hub: -devices/-fleet apply to single-home mode only; -homes manages in-process simulated fleets")
 		}
-		serveManager(*listen, *homes, *shards, *plugs, *mailbox, *batch, *eventLog, *dataDir, model, sched, consistency)
+		serveManager(*listen, *homes, *shards, *plugs, *mailbox, *batch, *eventLog, *dataDir, jopts, model, sched, consistency)
 		return
 	}
 
@@ -95,7 +111,8 @@ func main() {
 	}
 
 	h, err := hub.New(hub.Config{Model: model, Scheduler: sched, FailureInterval: *probe,
-		MailboxDepth: *mailbox, Batch: *batch, ReadConsistency: consistency, DataDir: *dataDir}, reg, actuator)
+		MailboxDepth: *mailbox, Batch: *batch, ReadConsistency: consistency,
+		DataDir: *dataDir, Journal: jopts}, reg, actuator)
 	if err != nil {
 		log.Fatalf("safehome-hub: %v", err)
 	}
@@ -104,7 +121,7 @@ func main() {
 
 	if *dataDir != "" {
 		st := h.Status()
-		log.Printf("durable hub: data dir %s (recovered %d routines)", *dataDir, st.Routines)
+		log.Printf("durable hub: data dir %s durability=%s (recovered %d routines)", *dataDir, st.Durability, st.Routines)
 	}
 	fmt.Printf("SafeHome hub: model=%s scheduler=%s devices=%d\n", model, sched, reg.Len())
 	fmt.Printf("HTTP API on http://%s/api/status\n", *listen)
@@ -114,7 +131,7 @@ func main() {
 // serveManager runs the multi-tenant HomeManager: homes home-0..home-(N-1)
 // on live clocks, partitioned across worker shards, behind the /homes API.
 func serveManager(listen string, homes, shards, plugs, mailbox, batch, eventLog int,
-	dataDir string, model visibility.Model, sched visibility.SchedulerKind, consistency runtime.ReadConsistency) {
+	dataDir string, jopts journal.Options, model visibility.Model, sched visibility.SchedulerKind, consistency runtime.ReadConsistency) {
 	m := manager.New(manager.Config{
 		Shards:          shards,
 		QueueDepth:      mailbox,
@@ -123,6 +140,7 @@ func serveManager(listen string, homes, shards, plugs, mailbox, batch, eventLog 
 		ReadConsistency: consistency,
 		EventLog:        eventLog,
 		DataDir:         dataDir,
+		Journal:         jopts,
 		Home: manager.HomeConfig{
 			Model:      model,
 			ExplicitWV: model == visibility.WV,

@@ -8,6 +8,7 @@ import (
 
 	"safehome/internal/device"
 	"safehome/internal/hub"
+	"safehome/internal/journal"
 	"safehome/internal/sim"
 	"safehome/internal/visibility"
 )
@@ -56,6 +57,14 @@ type Config struct {
 	// semantics. Empty (the default) keeps the home memory-only. Simulated
 	// homes ignore it.
 	DataDir string
+	// Durability selects the journal's durability tier when DataDir is set:
+	// "sync" (the default — every acknowledgement is preceded by its own
+	// fsync), "group" (commits ride a shared writer's coalesced fsync
+	// cycle; same acknowledged ⇒ durable contract, fewer syncs), or
+	// "async" (acknowledge ahead of the disk; a crash may lose the last
+	// ~256 KiB of acknowledged work, but never reorders it). Unknown values
+	// fail NewLiveHome.
+	Durability string
 	// Observer, if set, receives every controller event.
 	Observer Observer
 }
@@ -222,6 +231,14 @@ func NewLiveHome(cfg Config, actuator Actuator, devices ...DeviceInfo) (*LiveHom
 	if actuator == nil {
 		return nil, errors.New("safehome: live home needs an actuator")
 	}
+	var jopts journal.Options
+	if cfg.Durability != "" {
+		mode, err := journal.ParseMode(cfg.Durability)
+		if err != nil {
+			return nil, fmt.Errorf("safehome: %w", err)
+		}
+		jopts.Mode = mode
+	}
 	h, err := hub.New(hub.Config{
 		Model:           cfg.Model,
 		Scheduler:       cfg.Scheduler,
@@ -231,6 +248,7 @@ func NewLiveHome(cfg Config, actuator Actuator, devices ...DeviceInfo) (*LiveHom
 		Batch:           cfg.MailboxBatch,
 		ReadConsistency: cfg.ReadConsistency,
 		DataDir:         cfg.DataDir,
+		Journal:         jopts,
 	}, NewRegistry(devices...), actuator)
 	if err != nil {
 		return nil, err

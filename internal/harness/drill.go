@@ -5,6 +5,17 @@
 // acknowledged ⇒ recovered identically, in flight ⇒ aborted with rollback,
 // unacknowledged ⇒ absent. Each drill also measures recovery time against
 // the journal tail it had to scan.
+//
+// Drills run under any durability tier (DrillParams.Journal.Mode). Sync and
+// group mode assert the full contract above — group drills own the shared
+// writer the way a hub process would, abandon it at the crash and reopen a
+// fresh one (fresh epoch) for recovery. Async mode acknowledges ahead of the
+// disk, so its contract is weaker and the drill checks exactly that: after
+// the crash every segment is truncated to its last fsync'd offset (the bytes
+// an OS crash would really keep), and recovery must yield a dense prefix of
+// the acknowledged history — identical where present, never reordered, with
+// the lost suffix bounded by the async window. Async drills support the
+// post-ack crash point only.
 package harness
 
 import (
@@ -12,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -85,8 +97,12 @@ type DrillParams struct {
 	Devices int
 	// Scheduler is the EV scheduling policy (default TL).
 	Scheduler visibility.SchedulerKind
-	// Journal tunes segment rotation and checkpoint cadence; the zero value
-	// uses the journal package defaults.
+	// Journal tunes segment rotation, checkpoint cadence and the durability
+	// tier (Journal.Mode: sync, group or async); the zero value uses the
+	// journal package defaults with sync durability. In group mode the
+	// drill owns the shared writer; in async mode only CrashPostAck is
+	// supported and the drill verifies the bounded-loss contract instead of
+	// exact recovery.
 	Journal journal.Options
 	// Seed drives the generated routines.
 	Seed int64
@@ -121,6 +137,9 @@ type DrillReport struct {
 	RecoveryTime time.Duration
 	// Recovered is the number of results present after recovery.
 	Recovered int
+	// LostBytes is how much acknowledged journal tail the simulated OS crash
+	// discarded (async mode only; must stay within the async window).
+	LostBytes int64
 	// Violations lists durability-contract breaches (empty = drill passed).
 	Violations []Violation
 }
@@ -161,21 +180,64 @@ func pumpDry(rt *runtime.HomeRuntime, deadline time.Time) error {
 	return nil
 }
 
-// journalTailBytes sums the sizes of the journal's segment files.
-func journalTailBytes(dir string) int64 {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return 0
-	}
-	var total int64
-	for _, e := range entries {
-		if strings.HasPrefix(e.Name(), "wal-") && strings.HasSuffix(e.Name(), ".seg") {
-			if info, err := e.Info(); err == nil {
-				total += info.Size()
+// segmentFiles lists every journal segment under dir: per-home wal-*.seg
+// files in dir itself plus shared log-*.seg files anywhere under dir/wal.
+// The returned paths sort ascending, which for both layouts is append order
+// (zero-padded sequence numbers; epochs sort after the ones they succeed).
+func segmentFiles(dir string) []string {
+	var segs []string
+	if entries, err := os.ReadDir(dir); err == nil {
+		for _, e := range entries {
+			if strings.HasPrefix(e.Name(), "wal-") && strings.HasSuffix(e.Name(), ".seg") {
+				segs = append(segs, filepath.Join(dir, e.Name()))
 			}
 		}
 	}
+	_ = filepath.WalkDir(filepath.Join(dir, "wal"), func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		if strings.HasPrefix(d.Name(), "log-") && strings.HasSuffix(d.Name(), ".seg") {
+			segs = append(segs, path)
+		}
+		return nil
+	})
+	sort.Strings(segs)
+	return segs
+}
+
+// journalTailBytes sums the sizes of the journal's segment files (both the
+// per-home and the shared-log layout).
+func journalTailBytes(dir string) int64 {
+	var total int64
+	for _, path := range segmentFiles(dir) {
+		if info, err := os.Stat(path); err == nil {
+			total += info.Size()
+		}
+	}
 	return total
+}
+
+// truncateUnsynced simulates the OS view after a machine crash in async
+// mode: every segment keeps exactly the bytes covered by its last fsync
+// (segments never synced keep nothing). Returns how many bytes were cut.
+func truncateUnsynced(dir string, synced map[string]int64) (int64, error) {
+	var lost int64
+	for _, path := range segmentFiles(dir) {
+		info, err := os.Stat(path)
+		if err != nil {
+			return lost, err
+		}
+		keep := synced[path]
+		if info.Size() <= keep {
+			continue
+		}
+		if err := os.Truncate(path, keep); err != nil {
+			return lost, err
+		}
+		lost += info.Size() - keep
+	}
+	return lost, nil
 }
 
 // RunDrill executes one kill/recover drill and verifies the durability
@@ -185,7 +247,47 @@ func RunDrill(p DrillParams) (DrillReport, error) {
 	if p.Dir == "" {
 		return DrillReport{}, errors.New("harness: drill needs a data dir")
 	}
+	mode := journal.ResolveMode(p.Journal, journal.ModeSync)
+	if mode == journal.ModeAsync && p.Point != CrashPostAck {
+		return DrillReport{}, fmt.Errorf("harness: async drills support the post-ack crash point only, not %v", p.Point)
+	}
 	rng := stats.NewRNG(p.Seed)
+
+	jopts := p.Journal
+	jopts.Mode = mode
+
+	// Async: record each segment's last fsync'd offset so the crash below can
+	// cut the files back to what an OS crash would really have kept.
+	var syncMu sync.Mutex
+	syncedBytes := make(map[string]int64)
+	if mode == journal.ModeAsync {
+		jopts.OnSync = func(path string, n int64) {
+			syncMu.Lock()
+			syncedBytes[path] = n
+			syncMu.Unlock()
+		}
+	}
+
+	// Group: the drill plays the hub process — it owns the shared writer the
+	// runtime attaches to, abandons it at the crash (no final sync: only
+	// fsync-covered bytes survive a kill), and opens a fresh one (fresh
+	// epoch) for recovery.
+	openWriter := func() (*journal.GroupWriter, error) {
+		ws, err := journal.OpenWriters(filepath.Join(p.Dir, "wal"), 1,
+			journal.WriterOptions{SegmentBytes: p.Journal.SegmentBytes})
+		if err != nil {
+			return nil, fmt.Errorf("harness: drill group writer: %w", err)
+		}
+		return ws[0], nil
+	}
+	if mode == journal.ModeGroup {
+		w, err := openWriter()
+		if err != nil {
+			return DrillReport{}, err
+		}
+		jopts.Writer = w
+	}
+
 	cfg := runtime.Config{
 		ID:        "drill",
 		Clock:     runtime.ClockPaced,
@@ -193,12 +295,21 @@ func RunDrill(p DrillParams) (DrillReport, error) {
 		Scheduler: p.Scheduler,
 		EventLog:  256,
 		DataDir:   p.Dir,
-		Journal:   p.Journal,
+		Journal:   jopts,
 	}
 	reg := device.Plugs(p.Devices)
 	rt, err := runtime.NewSim(cfg, reg)
 	if err != nil {
+		if jopts.Writer != nil {
+			jopts.Writer.Abandon()
+		}
 		return DrillReport{}, err
+	}
+	crash := func() {
+		rt.Crash()
+		if jopts.Writer != nil {
+			jopts.Writer.Abandon()
+		}
 	}
 
 	rep := DrillReport{Point: p.Point, Acked: p.Acked}
@@ -233,7 +344,7 @@ func RunDrill(p DrillParams) (DrillReport, error) {
 		// A small pump starts execution without finishing the hour-long
 		// holds: the crash lands mid-routine, not merely mid-queue.
 		rt.PumpIfDue(time.Now().Add(time.Second))
-		rt.Crash()
+		crash()
 
 	case CrashPanic:
 		rep.InFlight = p.InFlight
@@ -263,6 +374,9 @@ func RunDrill(p DrillParams) (DrillReport, error) {
 		// Close joins the already-dead loop; the poison teardown released the
 		// journal, so recovery below reopens the same directory.
 		rt.Close()
+		if jopts.Writer != nil {
+			jopts.Writer.Abandon()
+		}
 
 	case CrashMidBatch:
 		rep.Unacked = p.Unacked
@@ -290,7 +404,7 @@ func RunDrill(p DrillParams) (DrillReport, error) {
 			time.Sleep(time.Millisecond)
 		}
 		crashDone := make(chan struct{})
-		go func() { rt.Crash(); close(crashDone) }()
+		go func() { crash(); close(crashDone) }()
 		// Crash closes the mailbox immediately but blocks until the loop
 		// exits, which needs the resume below.
 		time.Sleep(10 * time.Millisecond)
@@ -300,7 +414,7 @@ func RunDrill(p DrillParams) (DrillReport, error) {
 		unackedErrs = errs
 
 	case CrashMidCheckpoint:
-		rt.Crash()
+		crash()
 		// Death mid-checkpoint: a half-written checkpoint.tmp that rename
 		// never promoted, plus a torn frame at the newest segment's tail.
 		if err := os.WriteFile(filepath.Join(p.Dir, "checkpoint.tmp"), []byte("torn checkpoint garbage"), 0o644); err != nil {
@@ -319,10 +433,39 @@ func RunDrill(p DrillParams) (DrillReport, error) {
 		}
 
 	default: // CrashPostAck
-		rt.Crash()
+		crash()
 	}
 
-	// Phase 3: reopen and verify.
+	// Async: the home acknowledged ahead of the disk; simulate the machine
+	// crash by discarding every byte the kernel had not yet fsync'd.
+	if mode == journal.ModeAsync {
+		lost, err := truncateUnsynced(p.Dir, syncedBytes)
+		if err != nil {
+			return rep, fmt.Errorf("harness: drill async truncate: %w", err)
+		}
+		rep.LostBytes = lost
+		window := jopts.AsyncWindowBytes
+		if window == 0 {
+			window = journal.DefaultAsyncWindowBytes
+		}
+		if window >= 0 && lost > window {
+			rep.Violations = append(rep.Violations, Violation{"async-over-window",
+				fmt.Sprintf("crash lost %d acknowledged bytes, async window allows %d", lost, window)})
+		}
+	}
+
+	// Phase 3: reopen and verify. A group-mode restart means a new process
+	// image: a fresh shared writer (fresh epoch) that recovery tails the old
+	// epochs through. Its Close is deferred before the runtime's so it runs
+	// after — homes detach before the writer goes away.
+	if mode == journal.ModeGroup {
+		w, err := openWriter()
+		if err != nil {
+			return rep, err
+		}
+		defer w.Close()
+		cfg.Journal.Writer = w
+	}
 	rep.TailBytes = journalTailBytes(p.Dir)
 	begin := time.Now()
 	rec, err := runtime.NewSim(cfg, device.Plugs(p.Devices))
@@ -339,20 +482,51 @@ func RunDrill(p DrillParams) (DrillReport, error) {
 		byID[res.ID] = res
 	}
 
-	// Acknowledged ⇒ recovered with the identical outcome.
-	for _, want := range ackedResults {
-		have, ok := byID[want.ID]
-		if !ok {
-			rep.Violations = append(rep.Violations, Violation{"lost-acked",
-				fmt.Sprintf("acknowledged routine %d missing after recovery", want.ID)})
-			continue
+	// Acknowledged ⇒ recovered with the identical outcome. Async weakens this
+	// to: the recovered history is a dense prefix of the acknowledged one —
+	// the crash may cut the tail (within the window, checked above) but may
+	// never lose a routine that a later recovered one depends on, reorder, or
+	// rewrite an outcome.
+	if mode == journal.ModeAsync {
+		acked := append([]visibility.Result(nil), ackedResults...)
+		sort.Slice(acked, func(i, j int) bool { return acked[i].ID < acked[j].ID })
+		recd := append([]visibility.Result(nil), results...)
+		sort.Slice(recd, func(i, j int) bool { return recd[i].ID < recd[j].ID })
+		if len(recd) > len(acked) {
+			rep.Violations = append(rep.Violations, Violation{"async-not-prefix",
+				fmt.Sprintf("recovered %d results, only %d were acknowledged", len(recd), len(acked))})
+		} else {
+			for i, have := range recd {
+				want := acked[i]
+				if have.ID != want.ID {
+					rep.Violations = append(rep.Violations, Violation{"async-not-prefix",
+						fmt.Sprintf("recovered history has routine %d at position %d, acknowledged order has %d — a hole or reorder", have.ID, i, want.ID)})
+					break
+				}
+				if have.Status != want.Status || have.Executed != want.Executed ||
+					!have.Finished.Equal(want.Finished) || have.AbortReason != want.AbortReason {
+					rep.Violations = append(rep.Violations, Violation{"acked-diverged",
+						fmt.Sprintf("routine %d recovered as {%v exec=%d fin=%v %q}, acknowledged {%v exec=%d fin=%v %q}",
+							want.ID, have.Status, have.Executed, have.Finished, have.AbortReason,
+							want.Status, want.Executed, want.Finished, want.AbortReason)})
+				}
+			}
 		}
-		if have.Status != want.Status || have.Executed != want.Executed ||
-			!have.Finished.Equal(want.Finished) || have.AbortReason != want.AbortReason {
-			rep.Violations = append(rep.Violations, Violation{"acked-diverged",
-				fmt.Sprintf("routine %d recovered as {%v exec=%d fin=%v %q}, acknowledged {%v exec=%d fin=%v %q}",
-					want.ID, have.Status, have.Executed, have.Finished, have.AbortReason,
-					want.Status, want.Executed, want.Finished, want.AbortReason)})
+	} else {
+		for _, want := range ackedResults {
+			have, ok := byID[want.ID]
+			if !ok {
+				rep.Violations = append(rep.Violations, Violation{"lost-acked",
+					fmt.Sprintf("acknowledged routine %d missing after recovery", want.ID)})
+				continue
+			}
+			if have.Status != want.Status || have.Executed != want.Executed ||
+				!have.Finished.Equal(want.Finished) || have.AbortReason != want.AbortReason {
+				rep.Violations = append(rep.Violations, Violation{"acked-diverged",
+					fmt.Sprintf("routine %d recovered as {%v exec=%d fin=%v %q}, acknowledged {%v exec=%d fin=%v %q}",
+						want.ID, have.Status, have.Executed, have.Finished, have.AbortReason,
+						want.Status, want.Executed, want.Finished, want.AbortReason)})
+			}
 		}
 	}
 	// In flight ⇒ aborted.
@@ -380,7 +554,9 @@ func RunDrill(p DrillParams) (DrillReport, error) {
 				fmt.Sprintf("parked submission %d failed with %v, want ErrClosed", i, err)})
 		}
 	}
-	if want := len(ackedResults) + len(inFlightIDs); len(results) != want {
+	// Async recovery legitimately holds a shorter history; the prefix check
+	// above already pinned its exact shape.
+	if want := len(ackedResults) + len(inFlightIDs); mode != journal.ModeAsync && len(results) != want {
 		rep.Violations = append(rep.Violations, Violation{"recovered-count",
 			fmt.Sprintf("recovered %d results, want %d", len(results), want)})
 	}
@@ -389,12 +565,16 @@ func RunDrill(p DrillParams) (DrillReport, error) {
 			fmt.Sprintf("%d routines still pending after recovery", n)})
 	}
 	// Committed states: aborted in-flight routines rolled back, so the
-	// recovered committed view matches the acknowledged one exactly.
-	recStates := rec.CommittedStates()
-	for d, s := range ackedStates {
-		if recStates[d] != s {
-			rep.Violations = append(rep.Violations, Violation{"state-diverged",
-				fmt.Sprintf("committed state of %s = %q after recovery, acknowledged %q", d, recStates[d], s)})
+	// recovered committed view matches the acknowledged one exactly. With an
+	// async tail cut the states reflect the recovered prefix, so the exact
+	// comparison only applies when nothing was lost.
+	if mode != journal.ModeAsync || len(results) == len(ackedResults) {
+		recStates := rec.CommittedStates()
+		for d, s := range ackedStates {
+			if recStates[d] != s {
+				rep.Violations = append(rep.Violations, Violation{"state-diverged",
+					fmt.Sprintf("committed state of %s = %q after recovery, acknowledged %q", d, recStates[d], s)})
+			}
 		}
 	}
 	if !rec.Durable() {
@@ -404,20 +584,12 @@ func RunDrill(p DrillParams) (DrillReport, error) {
 	return rep, nil
 }
 
-// newestSegment returns the path of the highest-numbered journal segment.
+// newestSegment returns the path of the newest journal segment in either
+// layout — the last file in append order, where a torn tail would land.
 func newestSegment(dir string) string {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
+	segs := segmentFiles(dir)
+	if len(segs) == 0 {
 		return ""
 	}
-	newest := ""
-	for _, e := range entries {
-		if strings.HasPrefix(e.Name(), "wal-") && strings.HasSuffix(e.Name(), ".seg") && e.Name() > newest {
-			newest = e.Name()
-		}
-	}
-	if newest == "" {
-		return ""
-	}
-	return filepath.Join(dir, newest)
+	return segs[len(segs)-1]
 }

@@ -34,6 +34,87 @@ func TestDrillFamily(t *testing.T) {
 	}
 }
 
+// TestDrillFamilyGroup reruns the full drill family under group durability:
+// commits ride the shared writer's coalesced fsync cycle, the crash abandons
+// the writer, and recovery tails the old epoch through a fresh one. The
+// contract is the same as sync — acknowledged means durable.
+func TestDrillFamilyGroup(t *testing.T) {
+	points := []CrashPoint{CrashPostAck, CrashInFlight, CrashMidBatch, CrashMidCheckpoint, CrashPanic}
+	for _, pt := range points {
+		pt := pt
+		t.Run(pt.String(), func(t *testing.T) {
+			t.Parallel()
+			rep, err := RunDrill(DrillParams{
+				Dir:     t.TempDir(),
+				Point:   pt,
+				Seed:    int64(601 + pt),
+				Journal: journal.Options{Mode: journal.ModeGroup},
+			})
+			if err != nil {
+				t.Fatalf("drill: %v", err)
+			}
+			t.Logf("drill %v", rep)
+			for _, v := range rep.Violations {
+				t.Errorf("violation %s: %s", v.Kind, v.Detail)
+			}
+			if rep.Recovered == 0 {
+				t.Errorf("recovered no results")
+			}
+		})
+	}
+}
+
+// TestDrillAsync checks the async tier's weaker contract at both ends of the
+// window: a tiny window forces near-sync behavior (little may be lost), an
+// unbounded one may cut the whole tail — in both cases recovery must be a
+// dense prefix of the acknowledged history and lose no more than the window.
+func TestDrillAsync(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		window int64
+	}{
+		{"default-window", 0},
+		{"tiny-window", 64},
+		{"unbounded", -1},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			rep, err := RunDrill(DrillParams{
+				Dir:   t.TempDir(),
+				Point: CrashPostAck,
+				Acked: 16,
+				Seed:  701,
+				Journal: journal.Options{
+					Mode:             journal.ModeAsync,
+					AsyncWindowBytes: tc.window,
+				},
+			})
+			if err != nil {
+				t.Fatalf("drill: %v", err)
+			}
+			t.Logf("drill %v lost=%d", rep, rep.LostBytes)
+			for _, v := range rep.Violations {
+				t.Errorf("violation %s: %s", v.Kind, v.Detail)
+			}
+		})
+	}
+}
+
+// TestDrillAsyncRejectsOtherPoints pins the async drill surface: crash points
+// that depend on exact recovery are refused rather than reported as bogus
+// violations.
+func TestDrillAsyncRejectsOtherPoints(t *testing.T) {
+	_, err := RunDrill(DrillParams{
+		Dir:     t.TempDir(),
+		Point:   CrashInFlight,
+		Journal: journal.Options{Mode: journal.ModeAsync},
+	})
+	if err == nil {
+		t.Fatal("async in-flight drill unexpectedly accepted")
+	}
+}
+
 // TestDrillRecoveryVsTail sweeps the acknowledged-batch size with checkpoints
 // disabled (huge threshold) so the journal tail recovery must scan grows with
 // the batch, and logs recovery time against tail length.

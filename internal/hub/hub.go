@@ -19,6 +19,7 @@ package hub
 
 import (
 	"fmt"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -83,6 +84,11 @@ type Config struct {
 	// Aborted). Empty keeps the hub memory-only.
 	DataDir string
 	// Journal tunes the write-ahead journal; only meaningful with DataDir.
+	// Journal.Mode selects the durability tier: the hub defaults to sync
+	// (one home, one fsync per drain — coalescing buys nothing); group
+	// routes commits through a hub-owned shared writer that survives
+	// supervised restarts; async acknowledges ahead of the disk behind
+	// Journal.AsyncWindowBytes.
 	Journal journal.Options
 	// Actuation tunes the device path: per-command timeout, retry policy and
 	// the per-device circuit breaker that sheds commands to devices that keep
@@ -128,6 +134,16 @@ type Hub struct {
 	restartCh chan struct{}
 	detecting atomic.Bool // Start was called: restarted generations re-arm the detector
 
+	// Durability tier wiring: in group mode the hub owns one shared writer
+	// that outlives supervised runtime generations (each rebuilt runtime
+	// re-attaches to it); durErr records a failed writer open, after which
+	// the hub degrades to sync. lastPoison mirrors the manager's per-home
+	// forensics for Status.
+	durability journal.Mode
+	writer     *journal.GroupWriter
+	durErr     error
+	lastPoison atomic.Pointer[rt.PoisonRecord]
+
 	started time.Time
 }
 
@@ -154,8 +170,27 @@ func New(cfg Config, reg *device.Registry, actuator device.Actuator) (*Hub, erro
 		restartCh: make(chan struct{}, 1),
 		started:   time.Now(),
 	}
+	if cfg.DataDir != "" {
+		h.durability = journal.ResolveMode(cfg.Journal, journal.ModeSync)
+		h.lastPoison.Store(rt.LoadPoisonRecord(cfg.DataDir))
+		if h.durability == journal.ModeGroup {
+			writers, err := journal.OpenWriters(filepath.Join(cfg.DataDir, "wal"), 1, journal.WriterOptions{
+				SegmentBytes: cfg.Journal.SegmentBytes,
+				OnSync:       cfg.Journal.OnSync,
+			})
+			if err != nil {
+				h.durErr = err
+				h.durability = journal.ModeSync
+			} else {
+				h.writer = writers[0]
+			}
+		}
+	}
 	runtime, err := h.buildRuntime()
 	if err != nil {
+		if h.writer != nil {
+			h.writer.Abandon()
+		}
 		return nil, fmt.Errorf("hub: %w", err)
 	}
 	h.cur.Store(runtime)
@@ -183,6 +218,8 @@ func (h *Hub) buildRuntime() (*rt.HomeRuntime, error) {
 		Journal:         h.cfg.Journal,
 		Actuation:       h.cfg.Actuation,
 	}
+	cfg.Journal.Mode = h.durability
+	cfg.Journal.Writer = h.writer
 	if !h.cfg.Supervisor.Disable {
 		cfg.OnPoison = h.notifyPoison
 	}
@@ -192,6 +229,9 @@ func (h *Hub) buildRuntime() (*rt.HomeRuntime, error) {
 // notifyPoison runs on the dying runtime's loop goroutine.
 func (h *Hub) notifyPoison(err error) {
 	h.sup.NotePoison(err)
+	if rec := h.cur.Load().PoisonRecord(); rec != nil {
+		h.lastPoison.Store(rec)
+	}
 	select {
 	case h.restartCh <- struct{}{}:
 	default:
@@ -224,6 +264,13 @@ func (h *Hub) superviseRestart() {
 		h.cur.Store(runtime)
 		return nil
 	})
+	if ok {
+		// Clean restart: retire the poison forensics, on disk and in Status.
+		if h.cfg.DataDir != "" {
+			rt.ClearPoisonRecord(h.cfg.DataDir)
+		}
+		h.lastPoison.Store(nil)
+	}
 	if ok && h.detecting.Load() {
 		h.cur.Load().Start()
 	}
@@ -243,6 +290,9 @@ func (h *Hub) Close() {
 	h.closeOnce.Do(func() { close(h.stop) })
 	h.wg.Wait()
 	h.cur.Load().Close()
+	if h.writer != nil {
+		_ = h.writer.Close() // after the runtime: its Close waits on the covering sync
+	}
 }
 
 // Crash kills the hub without draining: no shutdown checkpoint, no waiting
@@ -254,6 +304,9 @@ func (h *Hub) Crash() {
 	h.closeOnce.Do(func() { close(h.stop) })
 	h.wg.Wait()
 	h.cur.Load().Crash()
+	if h.writer != nil {
+		h.writer.Abandon() // no final sync: only covered bytes survive
+	}
 }
 
 // Health reports the hub's supervision state: ok, degraded (serving but the
@@ -385,7 +438,12 @@ type Status struct {
 	Mailbox   rt.MailboxStats     `json:"mailbox"`
 	Breakers  []live.BreakerStats `json:"breakers,omitempty"`
 	Durable   bool                `json:"durable,omitempty"`
-	Since     time.Time           `json:"since"`
+	// Durability is the journal tier actually in effect (sync/group/async);
+	// DurabilityError records why a requested group writer degraded to sync.
+	Durability      string           `json:"durability,omitempty"`
+	DurabilityError string           `json:"durability_error,omitempty"`
+	LastPoison      *rt.PoisonRecord `json:"last_poison,omitempty"`
+	Since           time.Time        `json:"since"`
 }
 
 // Status returns the hub summary. It answers while the hub is restarting or
@@ -409,6 +467,13 @@ func (h *Hub) Status() Status {
 		Durable:   runtime.Durable(),
 		Since:     h.started,
 	}
+	if h.cfg.DataDir != "" {
+		st.Durability = h.durability.String()
+		if h.durErr != nil {
+			st.DurabilityError = h.durErr.Error()
+		}
+	}
+	st.LastPoison = h.lastPoison.Load()
 	if st.Health != rt.HealthOK {
 		if err := h.sup.LastError(); err != nil {
 			st.LastError = err.Error()

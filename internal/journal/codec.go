@@ -226,7 +226,12 @@ type TriggerRecord struct {
 // device-state changes, appended activity events, bank stores and trigger
 // arms/cancellations. One Batch is one frame, one write, one fsync.
 type Batch struct {
-	LSN         uint64          `json:"lsn"`
+	LSN uint64 `json:"lsn"`
+	// Home tags the record with its home ID when many homes share one
+	// physical log through a GroupWriter; recovery demultiplexes the shared
+	// segments by this field. Per-home segments leave it empty (the
+	// directory identifies the home).
+	Home        string          `json:"home,omitempty"`
 	Submits     []RoutineRecord `json:"submits,omitempty"`
 	Finishes    []RoutineRecord `json:"finishes,omitempty"`
 	States      []StateEntry    `json:"states,omitempty"`

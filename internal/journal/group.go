@@ -1,0 +1,757 @@
+package journal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// This file is the shared-log half of the journal: a GroupWriter owns one
+// physical segment stream that many homes' journals append into, coalescing
+// their commits into one fd/fsync cycle. Per-home fsync cost — the dominant
+// term in the journaled benchmarks — becomes per-writer, and so does the
+// descriptor count: a manager shard with a thousand journaled homes holds
+// one active segment fd, not a thousand.
+//
+// Layout under the wal root (one tree per manager/hub data directory):
+//
+//	wal.lock            flock: one process owns the whole tree
+//	ep<N>/w<i>/log-<seq>.seg
+//
+// Every boot opens a fresh epoch directory. That keeps the torn-tail
+// contract intact across restarts: a crash tears at most the tail of the
+// newest epoch's segments, and nothing is ever appended behind an old tear
+// where a sequential scan would miss it. Within an epoch each writer's
+// segments are strictly ordered by sequence number.
+//
+// Homes' records interleave freely inside a segment; each Batch frame
+// carries its home ID (Batch.Home) and recovery demultiplexes by it. A
+// home's checkpoint (which stays per-home, in its own directory) prunes its
+// records from the shared state, and a segment file is deleted once every
+// home it contains is checkpointed past the segment's last record for that
+// home.
+
+// WriterOptions tunes a GroupWriter fleet.
+type WriterOptions struct {
+	// SegmentBytes rotates a writer's active shared segment once it exceeds
+	// this size (default 4 MiB).
+	SegmentBytes int64
+	// SyncDelay is the group-commit window: when more than one home shares
+	// the writer, its syncer waits this long after noticing new appends
+	// before it flushes and fsyncs, so commits arriving close together ride
+	// one disk sync instead of one each. Zero means DefaultSyncDelay;
+	// negative disables the window (every cycle syncs immediately). A lone
+	// attached home never waits — its mailbox batching already coalesces,
+	// and the window would be pure latency.
+	SyncDelay time.Duration
+	// OnSync, when non-nil, is called after each data fsync with the synced
+	// segment's path and its size at that sync. Called with the writer's
+	// internal lock held — the hook must not call back into the writer or
+	// any attached journal.
+	OnSync func(path string, syncedBytes int64)
+}
+
+// DefaultSyncDelay is the default group-commit window. At ~1ms it is far
+// below device-actuation latency but long enough to gather every busy
+// home's appends into one fsync — on a loaded manager it cuts the fsync
+// rate by an order of magnitude.
+const DefaultSyncDelay = time.Millisecond
+
+// sealedSeg is the shared state's record of one on-disk shared segment: the
+// homes it contains and the highest LSN it holds for each, which is exactly
+// what checkpoint-driven pruning and per-home tail reads need.
+type sealedSeg struct {
+	path  string
+	homes map[string]uint64
+	// scanned marks boot-scan files whose contents already live in
+	// walState.tails; TailFor must not read them twice.
+	scanned bool
+}
+
+// walState is the bookkeeping shared by every GroupWriter of one wal tree:
+// the boot-scanned per-home tails from previous epochs, the set of on-disk
+// segments, and each home's checkpoint high-water mark.
+type walState struct {
+	mu      sync.Mutex
+	lock    *os.File // flock on wal.lock: one process owns the tree
+	refs    int      // live writers; the last release drops the flock
+	tails   map[string][]*Batch
+	segRecs []sealedSeg
+	ckpt    map[string]uint64
+}
+
+func (st *walState) addSealed(s sealedSeg) {
+	st.mu.Lock()
+	st.segRecs = append(st.segRecs, s)
+	st.mu.Unlock()
+}
+
+// checkpointed records that home is durable through lsn: its boot tail is
+// pruned and every segment file whose contents are now fully covered (for
+// all homes it holds) is deleted.
+func (st *walState) checkpointed(home string, lsn uint64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if lsn > st.ckpt[home] {
+		st.ckpt[home] = lsn
+	}
+	tail := st.tails[home]
+	i := 0
+	for i < len(tail) && tail[i].LSN <= st.ckpt[home] {
+		i++
+	}
+	switch {
+	case i == len(tail) && i > 0:
+		delete(st.tails, home)
+	case i > 0:
+		st.tails[home] = tail[i:]
+	}
+	keep := st.segRecs[:0]
+	for _, s := range st.segRecs {
+		covered := true
+		for h, max := range s.homes {
+			if st.ckpt[h] < max {
+				covered = false
+				break
+			}
+		}
+		if covered {
+			_ = os.Remove(s.path)
+			// Best-effort directory cleanup: succeeds only once a writer or
+			// epoch directory is empty.
+			_ = os.Remove(filepath.Dir(s.path))
+			_ = os.Remove(filepath.Dir(filepath.Dir(s.path)))
+		} else {
+			keep = append(keep, s)
+		}
+	}
+	st.segRecs = keep
+}
+
+func (st *walState) release() {
+	st.mu.Lock()
+	st.refs--
+	last := st.refs == 0
+	st.mu.Unlock()
+	if last && st.lock != nil {
+		_ = st.lock.Close()
+	}
+}
+
+// syncTicket parks one journal's Commit until the shared log's sync
+// position covers pos — the "reply released only after its covering fsync
+// lands" half of the group-commit contract.
+type syncTicket struct {
+	pos  int64
+	done chan struct{}
+	err  error
+}
+
+// GroupWriter owns one shared segment stream and the syncer goroutine that
+// periodically fsyncs it. Journals attach to it via Options.Writer; their
+// Append calls interleave frames into the active segment under the writer's
+// lock, and their Commit calls wait (sync tiers) or window-check (async)
+// against the writer's global sync position.
+type GroupWriter struct {
+	st    *walState
+	dir   string
+	sopts WriterOptions
+
+	mu       sync.Mutex
+	cond     *sync.Cond // wakes the syncer when appends or closes arrive
+	seg      *os.File
+	segPath  string
+	segSeq   int
+	segBytes int64
+	segHomes map[string]uint64
+	// pending buffers appended frames in memory; the syncer writes the whole
+	// buffer with one write(2) immediately before each fsync, so a commit
+	// window costs two syscalls total no matter how many homes' appends it
+	// coalesced. A commit is only acknowledged after its covering fsync, so
+	// bytes lost from the buffer in a crash were never acknowledged.
+	pending []byte
+	// Byte positions are global and monotonic across segment rotations (a
+	// rotation only happens when the two are equal), so a commit ticket is
+	// a single comparison regardless of which segment its bytes landed in.
+	totalAppended int64
+	totalSynced   int64
+	tickets       []*syncTicket
+	attached      map[*Journal]struct{}
+	err           error
+	closed        bool
+	abandoned     bool
+
+	syncerDone chan struct{}
+}
+
+const (
+	walLockName     = "wal.lock"
+	epochPrefix     = "ep"
+	writerDirPrefix = "w"
+	sharedSegPrefix = "log-"
+)
+
+// OpenWriters opens (creating if needed) the shared wal tree rooted at root
+// and returns n GroupWriters in a fresh epoch — one per manager shard, or
+// one for a single-home hub. It scans every previous epoch's segments into
+// per-home tails (stopping each writer's stream at the first torn frame,
+// exactly like per-home recovery) so journals that subsequently Open against
+// these writers recover everything acknowledged before the last shutdown or
+// crash. The returned writers share one flock on root/wal.lock; close every
+// one of them (after closing the journals they serve) to release it.
+func OpenWriters(root string, n int, opts WriterOptions) ([]*GroupWriter, error) {
+	if n <= 0 {
+		n = 1
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if opts.SyncDelay == 0 {
+		opts.SyncDelay = DefaultSyncDelay
+	}
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: creating wal root %s: %w", root, err)
+	}
+	lock, err := os.OpenFile(filepath.Join(root, walLockName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: opening wal lock: %w", err)
+	}
+	if err := syscall.Flock(int(lock.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		lock.Close()
+		return nil, fmt.Errorf("journal: wal root %s is in use by another process: %w", root, err)
+	}
+	st := &walState{
+		lock:  lock,
+		refs:  n,
+		tails: make(map[string][]*Batch),
+		ckpt:  make(map[string]uint64),
+	}
+
+	epoch, err := scanEpochs(root, st)
+	if err != nil {
+		lock.Close()
+		return nil, err
+	}
+	for home := range st.tails {
+		tail := st.tails[home]
+		sort.Slice(tail, func(a, b int) bool { return tail[a].LSN < tail[b].LSN })
+	}
+
+	epochDir := filepath.Join(root, fmt.Sprintf("%s%d", epochPrefix, epoch))
+	writers := make([]*GroupWriter, n)
+	fail := func(err error) ([]*GroupWriter, error) {
+		for _, w := range writers {
+			if w != nil && w.seg != nil {
+				_ = w.seg.Close()
+			}
+		}
+		lock.Close()
+		return nil, err
+	}
+	for i := range writers {
+		dir := filepath.Join(epochDir, fmt.Sprintf("%s%d", writerDirPrefix, i))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fail(fmt.Errorf("journal: creating writer dir %s: %w", dir, err))
+		}
+		w := &GroupWriter{
+			st:         st,
+			dir:        dir,
+			sopts:      opts,
+			attached:   make(map[*Journal]struct{}),
+			syncerDone: make(chan struct{}),
+		}
+		w.cond = sync.NewCond(&w.mu)
+		if err := w.openSegLocked(); err != nil {
+			return fail(err)
+		}
+		writers[i] = w
+	}
+	for _, w := range writers {
+		go w.syncLoop()
+	}
+	return writers, nil
+}
+
+// scanEpochs reads every existing epoch's segments into st and returns the
+// number of the fresh epoch to open.
+func scanEpochs(root string, st *walState) (int, error) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return 0, fmt.Errorf("journal: listing wal root: %w", err)
+	}
+	var epochs []int
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if n, ok := parsePrefixedInt(e.Name(), epochPrefix); ok {
+			epochs = append(epochs, n)
+		}
+	}
+	sort.Ints(epochs)
+	next := 0
+	for _, ep := range epochs {
+		if ep >= next {
+			next = ep + 1
+		}
+		epDir := filepath.Join(root, fmt.Sprintf("%s%d", epochPrefix, ep))
+		wents, err := os.ReadDir(epDir)
+		if err != nil {
+			return 0, fmt.Errorf("journal: listing epoch %s: %w", epDir, err)
+		}
+		var wdirs []int
+		for _, we := range wents {
+			if !we.IsDir() {
+				continue
+			}
+			if n, ok := parsePrefixedInt(we.Name(), writerDirPrefix); ok {
+				wdirs = append(wdirs, n)
+			}
+		}
+		sort.Ints(wdirs)
+		for _, wi := range wdirs {
+			if err := scanWriterDir(filepath.Join(epDir, fmt.Sprintf("%s%d", writerDirPrefix, wi)), st); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return next, nil
+}
+
+// scanWriterDir replays one writer directory's segments in sequence order
+// into st's per-home tails, stopping at the first torn or corrupt frame —
+// everything past a tear in this writer's stream was never acknowledged.
+func scanWriterDir(dir string, st *walState) error {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("journal: listing writer dir %s: %w", dir, err)
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasPrefix(e.Name(), sharedSegPrefix) && strings.HasSuffix(e.Name(), segmentSuffix) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names) // zero-padded sequence numbers sort lexically
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("journal: reading shared segment %s: %w", path, err)
+		}
+		homes := make(map[string]uint64)
+		clean, serr := scanFrames(buf, func(payload []byte) error {
+			b, derr := DecodeBatch(payload)
+			if derr != nil {
+				return derr
+			}
+			if b.Home == "" {
+				return nil
+			}
+			st.tails[b.Home] = append(st.tails[b.Home], b)
+			if b.LSN > homes[b.Home] {
+				homes[b.Home] = b.LSN
+			}
+			return nil
+		})
+		if len(homes) > 0 {
+			st.segRecs = append(st.segRecs, sealedSeg{path: path, homes: homes, scanned: true})
+		}
+		if serr != nil || !clean {
+			break
+		}
+	}
+	return nil
+}
+
+func parsePrefixedInt(name, prefix string) (int, bool) {
+	if !strings.HasPrefix(name, prefix) {
+		return 0, false
+	}
+	n, err := strconv.Atoi(strings.TrimPrefix(name, prefix))
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+func (w *GroupWriter) openSegLocked() error {
+	path := filepath.Join(w.dir, fmt.Sprintf("%s%08d%s", sharedSegPrefix, w.segSeq, segmentSuffix))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: opening shared segment %s: %w", path, err)
+	}
+	w.seg = f
+	w.segPath = path
+	w.segSeq++
+	w.segBytes = 0
+	w.segHomes = make(map[string]uint64)
+	return nil
+}
+
+func (w *GroupWriter) attach(j *Journal) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return fmt.Errorf("journal: group writer is closed")
+	}
+	w.attached[j] = struct{}{}
+	return nil
+}
+
+// detach removes the journal from the writer; with flush set it first waits
+// for a covering sync (a clean Close leaves nothing behind the disk).
+func (w *GroupWriter) detach(j *Journal, flush bool) error {
+	var err error
+	if flush {
+		err = w.waitCovered(j.wEnd)
+	}
+	w.mu.Lock()
+	delete(w.attached, j)
+	w.mu.Unlock()
+	return err
+}
+
+// append buffers one framed batch for the active shared segment. The frame
+// reaches the file in the syncer's next flush and is durable only once the
+// writer's sync position passes the returned-to journal's wEnd; commit
+// enforces that per the journal's tier.
+func (w *GroupWriter) append(j *Journal, lsn uint64, frame []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return fmt.Errorf("journal: group writer is closed")
+	}
+	w.pending = append(w.pending, frame...)
+	n := int64(len(frame))
+	w.segBytes += n
+	w.totalAppended += n
+	if lsn > w.segHomes[j.home] {
+		w.segHomes[j.home] = lsn
+	}
+	j.wEnd = w.totalAppended
+	if j.mode == ModeAsync {
+		j.wUnflushed += n
+	}
+	return nil
+}
+
+// commit is Journal.Commit routed through the shared log: group-tier
+// journals park on a ticket until the covering fsync lands; async-tier
+// journals return immediately while inside their unflushed window and
+// degrade to a blocking wait only when the window is exceeded.
+func (w *GroupWriter) commit(j *Journal) error {
+	if j.mode == ModeAsync {
+		w.mu.Lock()
+		if w.err != nil {
+			err := w.err
+			w.mu.Unlock()
+			return err
+		}
+		if j.wEnd <= w.totalSynced {
+			w.mu.Unlock()
+			return nil
+		}
+		if j.opts.AsyncWindowBytes < 0 || j.wUnflushed <= j.opts.AsyncWindowBytes {
+			// Ack ahead of the disk; nudge the syncer so the window drains.
+			w.cond.Broadcast()
+			w.mu.Unlock()
+			return nil
+		}
+		w.mu.Unlock()
+	}
+	return w.waitCovered(j.wEnd)
+}
+
+// waitCovered blocks until the writer's sync position reaches pos, sharing
+// whatever fsync cycle gets there first with every other waiting home —
+// this is the coalescing point.
+func (w *GroupWriter) waitCovered(pos int64) error {
+	w.mu.Lock()
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	if pos <= w.totalSynced {
+		w.mu.Unlock()
+		return nil
+	}
+	t := &syncTicket{pos: pos, done: make(chan struct{})}
+	w.tickets = append(w.tickets, t)
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	<-t.done
+	return t.err
+}
+
+// flushLocked writes every buffered frame into the active segment with one
+// write(2). Called by the syncer before each fsync and by TailFor before it
+// reads the active segment image back.
+func (w *GroupWriter) flushLocked() error {
+	if w.err != nil {
+		return w.err
+	}
+	if len(w.pending) == 0 {
+		return nil
+	}
+	if _, err := w.seg.Write(w.pending); err != nil {
+		w.failLocked(fmt.Errorf("journal: writing shared segment: %w", err))
+		return w.err
+	}
+	w.pending = w.pending[:0]
+	return nil
+}
+
+// failLocked makes err sticky and releases every parked commit with it; the
+// owning journals then degrade to memory-only through their journalFail
+// paths, exactly like a standalone sync error.
+func (w *GroupWriter) failLocked(err error) {
+	if w.err == nil {
+		w.err = err
+	}
+	for _, t := range w.tickets {
+		t.err = w.err
+		close(t.done)
+	}
+	w.tickets = w.tickets[:0]
+	w.cond.Broadcast()
+}
+
+// syncLoop is the writer's syncer goroutine: whenever appended bytes are
+// ahead of the sync position it fsyncs once — outside the lock, so appends
+// from other homes keep landing and ride the next cycle — then completes
+// every ticket the new position covers.
+func (w *GroupWriter) syncLoop() {
+	defer close(w.syncerDone)
+	w.mu.Lock()
+	for {
+		for !w.closed && w.err == nil && w.totalSynced >= w.totalAppended {
+			w.cond.Wait()
+		}
+		if w.err != nil || w.abandoned || (w.closed && w.totalSynced >= w.totalAppended) {
+			w.mu.Unlock()
+			return
+		}
+		if w.sopts.SyncDelay > 0 && len(w.attached) > 1 && !w.closed {
+			// Group-commit window: let the homes that are about to commit
+			// land their appends so one fsync covers them all.
+			w.mu.Unlock()
+			time.Sleep(w.sopts.SyncDelay)
+			w.mu.Lock()
+			if w.err != nil || w.abandoned {
+				w.mu.Unlock()
+				return
+			}
+		}
+		if err := w.flushLocked(); err != nil {
+			w.mu.Unlock()
+			return
+		}
+		seg, segPath, segBytes, pos := w.seg, w.segPath, w.segBytes, w.totalAppended
+		w.mu.Unlock()
+		serr := seg.Sync()
+		w.mu.Lock()
+		if serr != nil {
+			w.failLocked(fmt.Errorf("journal: syncing shared segment: %w", serr))
+			w.mu.Unlock()
+			return
+		}
+		if pos > w.totalSynced {
+			w.totalSynced = pos
+		}
+		if w.sopts.OnSync != nil {
+			w.sopts.OnSync(segPath, segBytes)
+		}
+		keep := w.tickets[:0]
+		for _, t := range w.tickets {
+			if t.pos <= w.totalSynced {
+				close(t.done)
+			} else {
+				keep = append(keep, t)
+			}
+		}
+		w.tickets = keep
+		// Credit async journals whose bytes are now fully covered. The
+		// all-or-nothing reset over-counts a journal that appended during
+		// the fsync, which errs on the side of syncing sooner — the ≤window
+		// loss bound is preserved.
+		for j := range w.attached {
+			if j.mode == ModeAsync && j.wEnd <= w.totalSynced {
+				j.wUnflushed = 0
+			}
+		}
+		// Rotate only when the active segment is both oversized and fully
+		// synced, so sealed segments are immutable and the global positions
+		// never need resetting.
+		if w.seg == seg && w.totalSynced == w.totalAppended && w.segBytes >= w.sopts.SegmentBytes {
+			_ = w.seg.Close()
+			w.st.addSealed(sealedSeg{path: w.segPath, homes: w.segHomes})
+			if err := w.openSegLocked(); err != nil {
+				w.failLocked(err)
+				w.mu.Unlock()
+				return
+			}
+		}
+	}
+}
+
+// TailFor returns every complete batch the shared log holds for home with
+// LSN above its checkpoint high-water mark, in LSN order: the boot-scanned
+// records from previous epochs plus anything this process has sealed or is
+// still writing. Complete-but-unsynced frames in the active segment are
+// included deliberately — reading our own writes through the page cache is
+// coherent, and a record that missed its covering fsync was never
+// acknowledged, so replaying it is harmless. A poisoned home's supervised
+// rebuild depends on seeing exactly this stream.
+func (w *GroupWriter) TailFor(home string) ([]*Batch, error) {
+	w.st.mu.Lock()
+	tail := append([]*Batch(nil), w.st.tails[home]...)
+	ckpt := w.st.ckpt[home]
+	var paths []string
+	for _, s := range w.st.segRecs {
+		if s.scanned {
+			continue
+		}
+		if _, ok := s.homes[home]; ok {
+			paths = append(paths, s.path)
+		}
+	}
+	w.st.mu.Unlock()
+
+	for _, p := range paths {
+		buf, err := os.ReadFile(p)
+		if err != nil {
+			continue // pruned by a checkpoint between the snapshot and the read
+		}
+		if err := appendHomeBatches(&tail, buf, home); err != nil {
+			return nil, err
+		}
+	}
+	// The active segment is read under the writer's lock so no frame is
+	// mid-write; buffered frames are flushed first so the image includes
+	// them (a supervised rebuild must see its own unsynced appends).
+	w.mu.Lock()
+	var active []byte
+	if w.seg != nil && w.segBytes > 0 {
+		if err := w.flushLocked(); err != nil {
+			w.mu.Unlock()
+			return nil, err
+		}
+		buf, err := os.ReadFile(w.segPath)
+		if err != nil {
+			w.mu.Unlock()
+			return nil, fmt.Errorf("journal: reading active shared segment: %w", err)
+		}
+		active = buf
+	}
+	w.mu.Unlock()
+	if err := appendHomeBatches(&tail, active, home); err != nil {
+		return nil, err
+	}
+
+	out := tail[:0]
+	for _, b := range tail {
+		if b.LSN > ckpt {
+			out = append(out, b)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].LSN < out[b].LSN })
+	return out, nil
+}
+
+// appendHomeBatches scans one segment image and appends home's complete
+// batches to dst. A torn tail ends the scan cleanly, like any recovery scan.
+func appendHomeBatches(dst *[]*Batch, buf []byte, home string) error {
+	_, err := scanFrames(buf, func(payload []byte) error {
+		b, derr := DecodeBatch(payload)
+		if derr != nil {
+			return derr
+		}
+		if b.Home == home {
+			*dst = append(*dst, b)
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("journal: scanning shared segment: %w", err)
+	}
+	return nil
+}
+
+// checkpointed forwards a home's checkpoint high-water mark to the shared
+// state, pruning its tail and any segment files now fully covered.
+func (w *GroupWriter) checkpointed(home string, lsn uint64) {
+	w.st.checkpointed(home, lsn)
+}
+
+// Err returns the writer's sticky error, if any (diagnostics/Status).
+func (w *GroupWriter) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Close stops the writer after a final covering sync: everything any
+// attached journal appended is on disk when it returns. Close the journals
+// first (the manager closes homes, then writers); the wal flock drops when
+// the last writer of the fleet closes.
+func (w *GroupWriter) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	w.closed = true
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	<-w.syncerDone
+	w.mu.Lock()
+	err := w.err
+	if w.seg != nil {
+		if cerr := w.seg.Close(); err == nil && cerr != nil {
+			err = fmt.Errorf("journal: closing shared segment: %w", cerr)
+		}
+		w.seg = nil
+	}
+	w.mu.Unlock()
+	w.st.release()
+	return err
+}
+
+// Abandon tears the writer down without a final sync — the crash-drill
+// (SIGKILL-equivalent) path: whatever the syncer already flushed survives,
+// parked commits are released with an error, buffered frames are dropped
+// (none of them were ever acknowledged).
+func (w *GroupWriter) Abandon() {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.closed = true
+	w.abandoned = true
+	w.failLocked(fmt.Errorf("journal: group writer abandoned"))
+	w.mu.Unlock()
+	<-w.syncerDone
+	w.mu.Lock()
+	if w.seg != nil {
+		_ = w.seg.Close()
+		w.seg = nil
+	}
+	w.mu.Unlock()
+	w.st.release()
+}

@@ -1,0 +1,260 @@
+package journal
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"safehome/internal/device"
+	"safehome/internal/visibility"
+)
+
+// TestNoSyncAliasPinsAsyncUnbounded pins the deprecated NoSync flag's fold
+// into the Mode enum: NoSync is exactly async durability with an unbounded
+// window — acknowledgements never wait for the disk and no window forces a
+// sync. An explicit Mode wins over the alias.
+func TestNoSyncAliasPinsAsyncUnbounded(t *testing.T) {
+	o := Options{NoSync: true}.normalized()
+	if o.Mode != ModeAsync {
+		t.Errorf("NoSync normalized Mode = %v, want %v", o.Mode, ModeAsync)
+	}
+	if o.AsyncWindowBytes >= 0 {
+		t.Errorf("NoSync normalized AsyncWindowBytes = %d, want unbounded (negative)", o.AsyncWindowBytes)
+	}
+	if got := ResolveMode(Options{NoSync: true}, ModeGroup); got != ModeAsync {
+		t.Errorf("ResolveMode(NoSync, group default) = %v, want %v", got, ModeAsync)
+	}
+	// An explicit mode beats the alias.
+	o = Options{NoSync: true, Mode: ModeSync}.normalized()
+	if o.Mode != ModeSync {
+		t.Errorf("explicit sync with NoSync set = %v, want %v", o.Mode, ModeSync)
+	}
+	// And a window set alongside the alias is respected, not forced open.
+	o = Options{NoSync: true, AsyncWindowBytes: 1 << 20}.normalized()
+	if o.Mode != ModeAsync || o.AsyncWindowBytes != 1<<20 {
+		t.Errorf("NoSync with window normalized to mode=%v window=%d", o.Mode, o.AsyncWindowBytes)
+	}
+}
+
+func TestParseModeRoundTrip(t *testing.T) {
+	for _, m := range []Mode{ModeSync, ModeGroup, ModeAsync} {
+		got, err := ParseMode(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseMode(%q) = %v, %v; want %v", m.String(), got, err, m)
+		}
+	}
+	if _, err := ParseMode("fancy"); err == nil {
+		t.Error("ParseMode accepted an unknown tier")
+	}
+}
+
+// openGroupJournal opens one home's journal attached to the given writer.
+func openGroupJournal(t *testing.T, dir, home string, w *GroupWriter) (*Journal, *Recovered) {
+	t.Helper()
+	j, rec, err := Open(dir, Options{Mode: ModeGroup, Writer: w, HomeID: home})
+	if err != nil {
+		t.Fatalf("open group journal %s: %v", home, err)
+	}
+	return j, rec
+}
+
+// TestGroupCommitRecoveryRoundTrip drives two homes over two shared writers
+// through append/commit, kills the process image (Abandon without a final
+// sync), and reopens everything — fresh writers scan the dead epoch and each
+// home must recover exactly its own acknowledged batches.
+func TestGroupCommitRecoveryRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	wal := filepath.Join(root, "wal")
+	homeDir := func(h string) string {
+		d := filepath.Join(root, h)
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+
+	ws, err := OpenWriters(wal, 2, WriterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jA, recA := openGroupJournal(t, homeDir("a"), "a", ws[0])
+	jB, recB := openGroupJournal(t, homeDir("b"), "b", ws[1])
+	if recA != nil || recB != nil {
+		t.Fatalf("fresh homes recovered state: %v, %v", recA, recB)
+	}
+	for i := int64(1); i <= 3; i++ {
+		if err := jA.Append(&Batch{Submits: []RoutineRecord{submitRec(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := jA.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := jB.Append(&Batch{
+		Submits:  []RoutineRecord{submitRec(1)},
+		Finishes: []RoutineRecord{finishRec(1, visibility.StatusCommitted)},
+		States:   []StateEntry{{Device: "plug-0", State: device.On}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := jB.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the process image: no detach flush, no final writer sync. The
+	// commits above already waited for their covering fsync, so everything
+	// acknowledged is on disk.
+	jA.Abandon()
+	jB.Abandon()
+	ws[0].Abandon()
+	ws[1].Abandon()
+
+	ws2, err := OpenWriters(wal, 2, WriterOptions{})
+	if err != nil {
+		t.Fatalf("reopen writers: %v", err)
+	}
+	defer ws2[0].Close()
+	defer ws2[1].Close()
+	// Cross the homes over to the other writer: recovery reads the shared
+	// state's epoch scan, not writer-local files.
+	jA2, recA2 := openGroupJournal(t, homeDir("a"), "a", ws2[1])
+	defer jA2.Close()
+	jB2, recB2 := openGroupJournal(t, homeDir("b"), "b", ws2[0])
+	defer jB2.Close()
+
+	if recA2 == nil || len(recA2.Routines) != 3 || recA2.LSN != 3 {
+		t.Fatalf("home a recovered %+v, want 3 routines at LSN 3", recA2)
+	}
+	if recB2 == nil || len(recB2.Routines) != 1 || recB2.States["plug-0"] != device.On {
+		t.Fatalf("home b recovered %+v, want its finish and state", recB2)
+	}
+	// LSNs continue per home, and the new epoch accepts appends.
+	b := &Batch{Submits: []RoutineRecord{submitRec(4)}}
+	if err := jA2.Append(b); err != nil {
+		t.Fatal(err)
+	}
+	if b.LSN != 4 {
+		t.Fatalf("post-recovery LSN = %d, want 4", b.LSN)
+	}
+	if err := jA2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGroupCheckpointPrunesTail: once a home checkpoints, a restart must not
+// replay the checkpointed batches again (the watermark filters the shared
+// tail), and checkpointing every home that owns records in a sealed epoch
+// eventually removes its files.
+func TestGroupCheckpointPrunesTail(t *testing.T) {
+	root := t.TempDir()
+	wal := filepath.Join(root, "wal")
+	dir := filepath.Join(root, "a")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	ws, err := OpenWriters(wal, 1, WriterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, _, err := Open(dir, Options{Mode: ModeGroup, Writer: ws[0], HomeID: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(&Batch{Submits: []RoutineRecord{submitRec(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Checkpoint(&Checkpoint{LSN: 1, Routines: []RoutineRecord{finishRec(1, visibility.StatusCommitted)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(&Batch{Submits: []RoutineRecord{submitRec(2)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	j.Abandon()
+	ws[0].Abandon()
+
+	ws2, err := OpenWriters(wal, 1, WriterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ws2[0].Close()
+	j2, rec, err := Open(dir, Options{Mode: ModeGroup, Writer: ws2[0], HomeID: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if rec == nil || rec.LSN != 2 || len(rec.Routines) != 2 {
+		t.Fatalf("recovered %+v, want checkpoint plus tail batch at LSN 2", rec)
+	}
+	// The fresh generation checkpoints past everything it recovered; the
+	// only home in the log is now fully checkpointed, so the dead epoch's
+	// files must be pruned.
+	if err := j2.Checkpoint(&Checkpoint{LSN: rec.LSN, Routines: rec.Routines}); err != nil {
+		t.Fatal(err)
+	}
+	var leftover []string
+	_ = filepath.Walk(wal, func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && strings.HasPrefix(filepath.Base(path), sharedSegPrefix) {
+			// The new epoch's active segment is allowed; dead epochs are not.
+			if !strings.Contains(path, filepath.Join(wal, epochPrefix+"1")) {
+				leftover = append(leftover, path)
+			}
+		}
+		return nil
+	})
+	if len(leftover) > 0 {
+		t.Errorf("checkpointed epoch left segments behind: %v", leftover)
+	}
+}
+
+// TestAsyncWindowBoundsUnflushed pins the async tier's window semantics on a
+// standalone journal: a tiny window forces a sync on (nearly) every commit,
+// an unbounded window defers every sync to Close.
+func TestAsyncWindowBoundsUnflushed(t *testing.T) {
+	count := func(window int64) (syncs int) {
+		var mu sync.Mutex
+		dir := t.TempDir()
+		j, _, err := Open(dir, Options{
+			Mode:             ModeAsync,
+			AsyncWindowBytes: window,
+			OnSync: func(string, int64) {
+				mu.Lock()
+				syncs++
+				mu.Unlock()
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := int64(1); i <= 8; i++ {
+			if err := j.Append(&Batch{Submits: []RoutineRecord{submitRec(i)}}); err != nil {
+				t.Fatal(err)
+			}
+			if err := j.Commit(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		mu.Lock()
+		before := syncs
+		mu.Unlock()
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return before
+	}
+
+	if syncs := count(1); syncs < 7 {
+		t.Errorf("window=1: %d syncs over 8 commits, want one per commit", syncs)
+	}
+	if syncs := count(-1); syncs != 0 {
+		t.Errorf("unbounded window: %d syncs before Close, want 0", syncs)
+	}
+}

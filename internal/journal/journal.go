@@ -39,6 +39,72 @@ import (
 	"safehome/internal/device"
 )
 
+// Mode selects a journal's durability tier: how far an acknowledged
+// operation may trail the disk.
+type Mode int
+
+const (
+	// ModeDefault lets the owner pick: standalone journals resolve it to
+	// sync; owners that provision a shared GroupWriter resolve it to group.
+	ModeDefault Mode = iota
+	// ModeSync fsyncs the home's own segment once per batch drain — the
+	// original contract: acknowledged ⇒ on disk, one fsync per home per
+	// drain.
+	ModeSync
+	// ModeGroup routes batches through a shared GroupWriter that coalesces
+	// many homes' commits into one fd/fsync cycle. Acknowledged ⇒ durable
+	// still holds — a drain's replies are released only after the covering
+	// fsync lands — but sync traffic and open descriptors are O(writers),
+	// not O(homes).
+	ModeGroup
+	// ModeAsync acknowledges before the fsync. Batches become durable when
+	// the next sync lands; an OS crash (not a mere process crash) may lose
+	// up to AsyncWindowBytes of acknowledged tail — always a clean suffix of
+	// the history, never a reorder.
+	ModeAsync
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeSync:
+		return "sync"
+	case ModeGroup:
+		return "group"
+	case ModeAsync:
+		return "async"
+	default:
+		return "default"
+	}
+}
+
+// ParseMode parses a durability-tier name as accepted by the -durability
+// flags: "sync", "group" or "async".
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "sync":
+		return ModeSync, nil
+	case "group":
+		return ModeGroup, nil
+	case "async":
+		return ModeAsync, nil
+	default:
+		return ModeDefault, fmt.Errorf("journal: unknown durability mode %q (want sync, group or async)", s)
+	}
+}
+
+// ResolveMode reports the tier opts selects, substituting def for
+// ModeDefault. The deprecated NoSync flag aliases to async (see
+// Options.NoSync).
+func ResolveMode(opts Options, def Mode) Mode {
+	if opts.Mode == ModeDefault {
+		if opts.NoSync {
+			return ModeAsync
+		}
+		return def
+	}
+	return opts.Mode
+}
+
 // Options tunes a journal. The zero value uses the defaults.
 type Options struct {
 	// SegmentBytes rotates the active segment once it exceeds this size
@@ -49,9 +115,36 @@ type Options struct {
 	// owner decides when to actually cut one (the runtime does it between
 	// batches, from its published snapshot).
 	CheckpointBytes int64
-	// NoSync skips the per-batch fsync. Acknowledged operations may then be
-	// lost on an OS crash (not on a process crash); useful for benchmarks
-	// that want the framing cost without the disk stall.
+	// Mode selects the durability tier (see the Mode constants). ModeDefault
+	// resolves to sync for a standalone journal; ModeGroup without a Writer
+	// falls back to sync (a group of one home coalesces nothing).
+	Mode Mode
+	// AsyncWindowBytes bounds how many acknowledged-but-unsynced bytes
+	// ModeAsync may accumulate before a commit forces a sync (default 256
+	// KiB). Negative means unbounded: nothing syncs until rotation,
+	// checkpoint or Close.
+	AsyncWindowBytes int64
+	// HomeID tags this journal's batches when they share a physical log
+	// through Writer; required in group/async-through-writer mode. The home
+	// runtime defaults it to the home's configured ID.
+	HomeID string
+	// Writer, when non-nil, routes appends through a shared GroupWriter
+	// instead of per-home segment files. The journal then holds no segment
+	// fd and no per-home flock of its own — the writer's wal.lock owns the
+	// whole tree — which is what bounds descriptors at high tenant counts.
+	// Ignored when the resolved mode is sync.
+	Writer *GroupWriter
+	// OnSync, when non-nil, is called after each data fsync with the synced
+	// file's path and its size at that sync. Crash drills use it to compute
+	// exactly which acknowledged bytes an OS crash could lose in async mode.
+	// A standalone journal calls it inline from its loop; a GroupWriter
+	// calls it with its internal lock held — the hook must not call back
+	// into the journal or writer.
+	OnSync func(path string, syncedBytes int64)
+	// NoSync skips the per-batch fsync.
+	//
+	// Deprecated: NoSync predates Mode and now aliases to ModeAsync with an
+	// unbounded window (AsyncWindowBytes < 0). Set Mode explicitly instead.
 	NoSync bool
 	// TestInjectErr, when non-nil, is consulted at the start of each write
 	// path — op is "append", "commit" or "checkpoint" — and a non-nil return
@@ -63,8 +156,9 @@ type Options struct {
 
 // Default thresholds.
 const (
-	DefaultSegmentBytes    = 4 << 20
-	DefaultCheckpointBytes = 1 << 20
+	DefaultSegmentBytes     = 4 << 20
+	DefaultCheckpointBytes  = 1 << 20
+	DefaultAsyncWindowBytes = 256 << 10
 )
 
 func (o Options) normalized() Options {
@@ -73,6 +167,17 @@ func (o Options) normalized() Options {
 	}
 	if o.CheckpointBytes <= 0 {
 		o.CheckpointBytes = DefaultCheckpointBytes
+	}
+	if o.NoSync && o.Mode == ModeDefault {
+		// The deprecated escape hatch maps onto the weakest tier it predates:
+		// async with no window bound (historical NoSync never synced inline).
+		o.Mode = ModeAsync
+		if o.AsyncWindowBytes == 0 {
+			o.AsyncWindowBytes = -1
+		}
+	}
+	if o.AsyncWindowBytes == 0 {
+		o.AsyncWindowBytes = DefaultAsyncWindowBytes
 	}
 	return o
 }
@@ -108,14 +213,26 @@ func parseSegmentName(name string) (uint64, bool) {
 type Journal struct {
 	dir  string
 	opts Options
+	mode Mode
+	open bool
 
-	lock      *os.File // held flock: one process owns a home's journal
+	lock      *os.File // held flock: one process owns a home's journal (standalone)
 	seg       *os.File
+	segPath   string
 	segFirst  uint64 // first LSN the active segment may contain
 	segBytes  int64
 	lsn       uint64 // last assigned LSN
 	sinceCkpt int64  // journal bytes appended since the last checkpoint
+	unflushed int64  // standalone async: bytes appended since the last data fsync
 	buf       []byte // reused frame scratch
+
+	// Shared-log mode (Options.Writer): the journal owns no fd of its own;
+	// frames carry home and land in the writer's segments. wEnd and
+	// wUnflushed are guarded by writer.mu, not by the loop.
+	writer     *GroupWriter
+	home       string
+	wEnd       int64 // writer offset just past this journal's last appended byte
+	wUnflushed int64 // async: appended bytes not yet covered by a writer sync
 }
 
 // Recovered is everything a journal recovery reconstructed: the dense
@@ -153,25 +270,43 @@ func (r *Recovered) NextSeq() uint64 {
 // the write-ahead-log contract.
 func Open(dir string, opts Options) (*Journal, *Recovered, error) {
 	opts = opts.normalized()
+	mode := ResolveMode(opts, ModeSync)
+	if opts.Writer == nil && mode == ModeGroup {
+		mode = ModeSync // a group of one home coalesces nothing
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("journal: creating %s: %w", dir, err)
 	}
-	j := &Journal{dir: dir, opts: opts}
+	j := &Journal{dir: dir, opts: opts, mode: mode}
+	if opts.Writer != nil && mode != ModeSync {
+		if opts.HomeID == "" {
+			return nil, nil, fmt.Errorf("journal: %s mode through a shared writer requires Options.HomeID", mode)
+		}
+		j.writer = opts.Writer
+		j.home = opts.HomeID
+	}
 
 	// Exactly one process may own a home's journal: a second opener (e.g. a
 	// restart racing a hung predecessor) would recover to the same LSN and
 	// truncate segments the first already acknowledged. flock is released
 	// automatically when the holder dies, so a SIGKILL'd hub never bricks
-	// its own restart.
-	lock, err := os.OpenFile(filepath.Join(dir, lockName), os.O_CREATE|os.O_RDWR, 0o644)
-	if err != nil {
-		return nil, nil, fmt.Errorf("journal: opening lock: %w", err)
+	// its own restart. In shared-writer mode the per-home flock is skipped
+	// on purpose — it would put the descriptor count back at O(homes); the
+	// GroupWriter's wal.lock owns the whole tree instead, so cross-process
+	// exclusion still holds as long as sync-mode and writer-mode openers are
+	// not mixed on a live directory (the manager never does; a mode switch
+	// requires a clean shutdown).
+	if j.writer == nil {
+		lock, err := os.OpenFile(filepath.Join(dir, lockName), os.O_CREATE|os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, nil, fmt.Errorf("journal: opening lock: %w", err)
+		}
+		if err := syscall.Flock(int(lock.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+			lock.Close()
+			return nil, nil, fmt.Errorf("journal: data directory %s is in use by another process: %w", dir, err)
+		}
+		j.lock = lock
 	}
-	if err := syscall.Flock(int(lock.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
-		lock.Close()
-		return nil, nil, fmt.Errorf("journal: data directory %s is in use by another process: %w", dir, err)
-	}
-	j.lock = lock
 
 	fail := func(err error) (*Journal, *Recovered, error) {
 		j.releaseLock()
@@ -185,10 +320,11 @@ func Open(dir string, opts Options) (*Journal, *Recovered, error) {
 		j.lsn = rec.LSN
 	}
 
-	// Drop every segment that may only contain records beyond the replayed
-	// LSN: a tear only ever happens at the tail of the (sequentially synced)
-	// write stream, so everything past it was never acknowledged — and left
-	// in place it could later collide with fresh records reusing those LSNs.
+	// Drop every local segment that may only contain records beyond the
+	// replayed LSN: a tear only ever happens at the tail of the
+	// (sequentially synced) write stream, so everything past it was never
+	// acknowledged — and left in place it could later collide with fresh
+	// records reusing those LSNs.
 	segs, err := j.listSegments()
 	if err != nil {
 		return fail(err)
@@ -201,16 +337,29 @@ func Open(dir string, opts Options) (*Journal, *Recovered, error) {
 		}
 	}
 
-	// Always append into a fresh segment: the previous tail may end in a torn
-	// frame, and a fresh segment keeps every fully written segment immutable.
-	if err := j.rotate(); err != nil {
-		return fail(err)
+	if j.writer != nil {
+		// Appends go to the shared log; surviving local (sync-era) segments
+		// stay on disk until the next checkpoint covers them.
+		if err := j.writer.attach(j); err != nil {
+			return fail(err)
+		}
+	} else {
+		// Always append into a fresh segment: the previous tail may end in a
+		// torn frame, and a fresh segment keeps every fully written segment
+		// immutable.
+		if err := j.rotate(); err != nil {
+			return fail(err)
+		}
 	}
+	j.open = true
 	if !found {
 		rec = nil
 	}
 	return j, rec, nil
 }
+
+// Mode returns the resolved durability tier the journal runs at.
+func (j *Journal) Mode() Mode { return j.mode }
 
 // releaseLock closes the lock file, releasing the flock.
 func (j *Journal) releaseLock() {
@@ -253,6 +402,7 @@ func (j *Journal) recover() (*Recovered, bool, error) {
 	for first+1 < len(segs) && segs[first+1].firstLSN <= rec.LSN+1 {
 		first++
 	}
+	var local []*Batch
 	for _, seg := range segs[first:] {
 		buf, err := os.ReadFile(filepath.Join(j.dir, seg.name))
 		if err != nil {
@@ -266,10 +416,7 @@ func (j *Journal) recover() (*Recovered, bool, error) {
 			if err != nil {
 				return err
 			}
-			if b.LSN <= rec.LSN {
-				return nil // already covered by the checkpoint
-			}
-			applyBatch(rec, b)
+			local = append(local, b)
 			return nil
 		})
 		if err != nil || !clean {
@@ -281,10 +428,65 @@ func (j *Journal) recover() (*Recovered, bool, error) {
 		}
 	}
 
+	if j.writer == nil {
+		for _, b := range local {
+			if b.LSN <= rec.LSN {
+				continue // already covered by the checkpoint
+			}
+			applyBatch(rec, b)
+		}
+	} else {
+		// Merge the home's sync-era local segments (if it ever ran in sync
+		// mode) with its tail from the shared log. LSN ranges partition
+		// cleanly across a mode switch, so a two-way merge by LSN restores
+		// one ordered stream; the contiguity check stops replay at the first
+		// gap — a tear in an earlier shared-log epoch means everything past
+		// it was never acknowledged.
+		tail, err := j.writer.TailFor(j.home)
+		if err != nil {
+			return nil, false, err
+		}
+		if len(tail) > 0 {
+			found = true
+		}
+		for _, b := range mergeByLSN(local, tail) {
+			if b.LSN <= rec.LSN {
+				continue // covered by the checkpoint (or a duplicate)
+			}
+			if b.LSN != rec.LSN+1 {
+				break
+			}
+			applyBatch(rec, b)
+		}
+	}
+
 	if err := validateDense(rec); err != nil {
 		return nil, false, err
 	}
 	return rec, found, nil
+}
+
+// mergeByLSN merges two LSN-sorted batch slices into one sorted stream.
+func mergeByLSN(a, b []*Batch) []*Batch {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]*Batch, 0, len(a)+len(b))
+	i, k := 0, 0
+	for i < len(a) && k < len(b) {
+		if a[i].LSN <= b[k].LSN {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[k])
+			k++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[k:]...)
 }
 
 type segmentInfo struct {
@@ -423,6 +625,14 @@ func validateDense(rec *Recovered) error {
 // records the first LSN it may contain.
 func (j *Journal) rotate() error {
 	if j.seg != nil {
+		// Bounded async confines its loss window to the newest segment: sync
+		// the old one before sealing it, so a drill (or an operator) can
+		// reason about at most one file's tail.
+		if j.mode == ModeAsync && j.opts.AsyncWindowBytes >= 0 && j.unflushed > 0 {
+			if err := j.syncSeg(); err != nil {
+				return err
+			}
+		}
 		if err := j.seg.Close(); err != nil {
 			return fmt.Errorf("journal: closing segment: %w", err)
 		}
@@ -439,7 +649,21 @@ func (j *Journal) rotate() error {
 		return fmt.Errorf("journal: opening segment %s: %w", path, err)
 	}
 	j.seg = f
+	j.segPath = path
 	j.segBytes = 0
+	j.unflushed = 0
+	return nil
+}
+
+// syncSeg fsyncs the active segment and notifies OnSync.
+func (j *Journal) syncSeg() error {
+	if err := j.seg.Sync(); err != nil {
+		return fmt.Errorf("journal: sync: %w", err)
+	}
+	j.unflushed = 0
+	if j.opts.OnSync != nil {
+		j.opts.OnSync(j.segPath, j.segBytes)
+	}
 	return nil
 }
 
@@ -447,7 +671,7 @@ func (j *Journal) rotate() error {
 // segment. The record is durable only after the following Commit; the
 // runtime appends and commits once per mailbox drain (group commit).
 func (j *Journal) Append(b *Batch) error {
-	if j.seg == nil {
+	if !j.open {
 		return fmt.Errorf("journal: closed")
 	}
 	if j.opts.TestInjectErr != nil {
@@ -455,12 +679,15 @@ func (j *Journal) Append(b *Batch) error {
 			return fmt.Errorf("journal: writing batch: %w", err)
 		}
 	}
-	if j.segBytes >= j.opts.SegmentBytes {
+	if j.writer == nil && j.segBytes >= j.opts.SegmentBytes {
 		if err := j.rotate(); err != nil {
 			return err
 		}
 	}
 	b.LSN = j.lsn + 1
+	if j.writer != nil {
+		b.Home = j.home
+	}
 	payload, err := json.Marshal(b)
 	if err != nil {
 		return fmt.Errorf("journal: encoding batch: %w", err)
@@ -473,19 +700,31 @@ func (j *Journal) Append(b *Batch) error {
 		return fmt.Errorf("journal: batch is %d bytes, over the %d frame limit", len(payload), maxFramePayload)
 	}
 	j.buf = appendFrame(j.buf[:0], payload)
-	if _, err := j.seg.Write(j.buf); err != nil {
-		return fmt.Errorf("journal: writing batch: %w", err)
+	if j.writer != nil {
+		if err := j.writer.append(j, b.LSN, j.buf); err != nil {
+			return fmt.Errorf("journal: writing batch: %w", err)
+		}
+	} else {
+		if _, err := j.seg.Write(j.buf); err != nil {
+			return fmt.Errorf("journal: writing batch: %w", err)
+		}
+		j.segBytes += int64(len(j.buf))
+		if j.mode == ModeAsync {
+			j.unflushed += int64(len(j.buf))
+		}
 	}
 	j.lsn = b.LSN
-	j.segBytes += int64(len(j.buf))
 	j.sinceCkpt += int64(len(j.buf))
 	return nil
 }
 
-// Commit makes every appended record durable (one fsync — the group-commit
-// point).
+// Commit makes every appended record durable per the journal's tier: sync
+// fsyncs the home's segment inline; group parks the caller on a commit
+// ticket until the shared writer's covering fsync lands; async returns
+// immediately unless the unflushed window is exceeded. The runtime calls it
+// once per mailbox drain, before releasing that drain's replies.
 func (j *Journal) Commit() error {
-	if j.seg == nil {
+	if !j.open {
 		return fmt.Errorf("journal: closed")
 	}
 	if j.opts.TestInjectErr != nil {
@@ -493,13 +732,18 @@ func (j *Journal) Commit() error {
 			return fmt.Errorf("journal: sync: %w", err)
 		}
 	}
-	if j.opts.NoSync {
+	if j.writer != nil {
+		return j.writer.commit(j)
+	}
+	if j.mode == ModeAsync {
+		// Ack ahead of the disk, but never let more than the configured
+		// window of acknowledged bytes ride unsynced.
+		if j.opts.AsyncWindowBytes >= 0 && j.unflushed > j.opts.AsyncWindowBytes {
+			return j.syncSeg()
+		}
 		return nil
 	}
-	if err := j.seg.Sync(); err != nil {
-		return fmt.Errorf("journal: sync: %w", err)
-	}
-	return nil
+	return j.syncSeg()
 }
 
 // LSN returns the last assigned record LSN.
@@ -519,7 +763,7 @@ func (j *Journal) ShouldCheckpoint() bool { return j.sinceCkpt >= j.opts.Checkpo
 // After a successful checkpoint, recovery reads the checkpoint plus only the
 // records appended after this call.
 func (j *Journal) Checkpoint(ck *Checkpoint) error {
-	if j.seg == nil {
+	if !j.open {
 		return fmt.Errorf("journal: closed")
 	}
 	if j.opts.TestInjectErr != nil {
@@ -551,11 +795,13 @@ func (j *Journal) Checkpoint(ck *Checkpoint) error {
 		f.Close()
 		return fmt.Errorf("journal: writing checkpoint: %w", err)
 	}
-	if !j.opts.NoSync {
-		if err := f.Sync(); err != nil {
-			f.Close()
-			return fmt.Errorf("journal: syncing checkpoint: %w", err)
-		}
+	// The checkpoint fsyncs in every tier, async included: journal records
+	// at or below its LSN are truncated right after it lands, so an
+	// undurable checkpoint would turn the bounded async window into
+	// unbounded loss.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: syncing checkpoint: %w", err)
 	}
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("journal: closing checkpoint: %w", err)
@@ -564,6 +810,22 @@ func (j *Journal) Checkpoint(ck *Checkpoint) error {
 		return fmt.Errorf("journal: publishing checkpoint: %w", err)
 	}
 	j.syncDir()
+
+	if j.writer != nil {
+		// Every local (sync-era) segment is now covered, and the shared log
+		// can drop this home's records at or below the checkpoint.
+		segs, err := j.listSegments()
+		if err != nil {
+			return err
+		}
+		for _, seg := range segs {
+			_ = os.Remove(filepath.Join(j.dir, seg.name))
+		}
+		j.syncDir()
+		j.writer.checkpointed(j.home, ck.LSN)
+		j.sinceCkpt = 0
+		return nil
+	}
 
 	// Start a fresh segment so every older one is fully covered by the
 	// checkpoint, then truncate them.
@@ -587,9 +849,6 @@ func (j *Journal) Checkpoint(ck *Checkpoint) error {
 // syncDir fsyncs the journal directory so renames and removals are durable.
 // Best-effort: some filesystems reject directory fsync.
 func (j *Journal) syncDir() {
-	if j.opts.NoSync {
-		return
-	}
 	if d, err := os.Open(j.dir); err == nil {
 		_ = d.Sync()
 		_ = d.Close()
@@ -603,30 +862,50 @@ func (j *Journal) SegmentCount() (int, error) {
 	return len(segs), err
 }
 
-// Close syncs and closes the active segment and releases the directory
-// lock. The journal is unusable afterwards.
+// Close makes everything appended durable (regardless of tier — a clean
+// close leaves nothing behind the disk), closes the active segment or
+// detaches from the shared writer, and releases the directory lock. The
+// journal is unusable afterwards.
 func (j *Journal) Close() error {
-	if j.seg == nil {
+	if !j.open {
 		j.releaseLock()
 		return nil
 	}
-	err := j.Commit()
+	if j.writer != nil {
+		j.open = false
+		return j.writer.detach(j, true)
+	}
+	var err error
+	if j.unflushed > 0 || j.mode != ModeAsync {
+		err = j.syncSeg()
+	}
 	if cerr := j.seg.Close(); err == nil {
 		err = cerr
 	}
 	j.seg = nil
+	j.open = false
 	j.releaseLock()
 	return err
 }
 
 // Abandon closes the active segment without syncing — the SIGKILL-equivalent
-// teardown used by crash drills: whatever the OS already has (everything
-// through the last Commit) survives, nothing else is flushed. The directory
-// lock is released, exactly as a killed process's flock would be.
+// teardown used by crash drills and the poison path: whatever the OS already
+// has (everything through the last covering sync) survives, nothing else is
+// flushed. The directory lock is released, exactly as a killed process's
+// flock would be; in shared-writer mode the journal just detaches, leaving
+// the writer running for its other homes.
 func (j *Journal) Abandon() {
+	if j.writer != nil {
+		if j.open {
+			_ = j.writer.detach(j, false)
+		}
+		j.open = false
+		return
+	}
 	if j.seg != nil {
 		_ = j.seg.Close()
 		j.seg = nil
 	}
+	j.open = false
 	j.releaseLock()
 }

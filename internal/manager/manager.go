@@ -40,6 +40,7 @@ import (
 	"net/url"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -151,7 +152,12 @@ type Config struct {
 	// manager memory-only.
 	DataDir string
 	// Journal tunes every home's write-ahead journal; only meaningful with
-	// DataDir set.
+	// DataDir set. Journal.Mode selects the durability tier — the manager
+	// defaults it to group (many homes per shard is exactly what group
+	// commit is for): homes share one segment stream per shard under
+	// <DataDir>/wal, coalescing their commits into one fsync cycle. Mode
+	// sync restores per-home segments and per-home fsyncs; async
+	// acknowledges ahead of the disk behind Journal.AsyncWindowBytes.
 	Journal journal.Options
 	// Supervisor tunes panic recovery: a home whose loop panics is poisoned,
 	// torn down, and restarted by its shard's supervisor (from its journal
@@ -209,6 +215,15 @@ type Manager struct {
 	poisons     atomic.Int64
 	restarts    atomic.Int64
 	quarantined atomic.Int64
+
+	// Durability tier wiring: in group/async mode every journaled home on
+	// shard i appends through writers[i % len(writers)] — one shared segment
+	// stream and one fsync cycle per writer instead of one per home, with at
+	// most min(shards, GOMAXPROCS) writers. writerErr records a failed writer
+	// fleet open; the manager then degrades to sync mode.
+	durability journal.Mode
+	writers    []*journal.GroupWriter
+	writerErr  error
 }
 
 // New builds and starts a manager. The returned manager has no homes; add
@@ -223,6 +238,30 @@ func New(cfg Config) *Manager {
 		committed: stats.NewShardedCounter(cfg.Shards),
 		aborted:   stats.NewShardedCounter(cfg.Shards),
 		simEvents: stats.NewShardedCounter(cfg.Shards),
+	}
+	if cfg.DataDir != "" {
+		m.durability = journal.ResolveMode(cfg.Journal, journal.ModeGroup)
+		if m.durability != journal.ModeSync {
+			// One writer per shard, but never more than GOMAXPROCS: each
+			// in-flight fsync burns a core's worth of kernel journaling time,
+			// so extra streams past the core count only raise the fsync rate
+			// without adding parallelism — fewer, busier writers coalesce
+			// more commits per fsync. Shards then share writers round-robin.
+			nw := min(cfg.Shards, runtime.GOMAXPROCS(0))
+			writers, err := journal.OpenWriters(filepath.Join(cfg.DataDir, "wal"), nw, journal.WriterOptions{
+				SegmentBytes: cfg.Journal.SegmentBytes,
+				OnSync:       cfg.Journal.OnSync,
+			})
+			if err != nil {
+				// Keep New's no-error signature: fall back to per-home sync
+				// journals (strictly more durable) and surface the failure
+				// through Status.
+				m.writerErr = err
+				m.durability = journal.ModeSync
+			} else {
+				m.writers = writers
+			}
+		}
 	}
 	m.shards = make([]*shard, cfg.Shards)
 	for i := range m.shards {
@@ -259,6 +298,12 @@ func (m *Manager) runtimeConfig(id HomeID, shard int) rt.Config {
 	if m.cfg.Clock == ClockLive {
 		clock = rt.ClockPaced
 	}
+	jopts := m.cfg.Journal
+	jopts.Mode = m.durability
+	jopts.HomeID = string(id)
+	if m.writers != nil {
+		jopts.Writer = m.writers[shard%len(m.writers)]
+	}
 	return rt.Config{
 		ID:               string(id),
 		Clock:            clock,
@@ -271,7 +316,7 @@ func (m *Manager) runtimeConfig(id HomeID, shard int) rt.Config {
 		ReadConsistency:  m.cfg.ReadConsistency,
 		EventLog:         m.cfg.EventLog,
 		DataDir:          m.homeDir(id),
-		Journal:          m.cfg.Journal,
+		Journal:          jopts,
 		Observer: func(e visibility.Event) {
 			switch e.Kind {
 			case visibility.EvSubmitted:
@@ -551,12 +596,16 @@ type HomeStatus struct {
 	Health    rt.HomeHealth `json:"health"`
 	Restarts  int64         `json:"restarts,omitempty"`
 	LastError string        `json:"last_error,omitempty"`
-	Devices   int           `json:"devices"`
-	Routines  int           `json:"routines"`
-	Pending   int           `json:"pending"`
-	Active    int           `json:"active"`
-	Now       time.Time     `json:"now"`
-	Created   time.Time     `json:"created"`
+	// LastPoison is the forensics record (panic message + stack) of the
+	// home's most recent poisoning, persisted in its data directory and
+	// cleared once a supervised restart brings the home back clean.
+	LastPoison *rt.PoisonRecord `json:"last_poison,omitempty"`
+	Devices    int              `json:"devices"`
+	Routines   int              `json:"routines"`
+	Pending    int              `json:"pending"`
+	Active     int              `json:"active"`
+	Now        time.Time        `json:"now"`
+	Created    time.Time        `json:"created"`
 }
 
 func (m *Manager) statusOf(slot *homeSlot, shard int) HomeStatus {
@@ -581,6 +630,12 @@ func (m *Manager) statusOf(slot *homeSlot, shard int) HomeStatus {
 		} else if err := home.JournalError(); err != nil {
 			st.LastError = err.Error()
 		}
+	}
+	st.LastPoison = slot.lastPoison.Load()
+	if st.LastPoison == nil {
+		// Supervision may be disabled (no OnPoison hook to fill the cache);
+		// the current generation's own record still surfaces.
+		st.LastPoison = home.PoisonRecord()
 	}
 	return st
 }
@@ -626,21 +681,27 @@ func (m *Manager) Homes() []HomeStatus {
 
 // Status summarizes the whole manager.
 type Status struct {
-	Shards      int       `json:"shards"`
-	Homes       int       `json:"homes"`
-	Clock       string    `json:"clock"`
-	Model       string    `json:"model"`
-	Submitted   int64     `json:"submitted"`
-	Committed   int64     `json:"committed"`
-	Aborted     int64     `json:"aborted"`
-	SimEvents   int64     `json:"sim_events"`
-	Accepted    int64     `json:"mailbox_accepted"`
-	Rejected    int64     `json:"mailbox_rejected"`
-	Depth       int       `json:"mailbox_depth"`
-	Poisons     int64     `json:"poisons,omitempty"`
-	Restarts    int64     `json:"restarts,omitempty"`
-	Quarantined int64     `json:"quarantined,omitempty"`
-	Since       time.Time `json:"since"`
+	Shards      int    `json:"shards"`
+	Homes       int    `json:"homes"`
+	Clock       string `json:"clock"`
+	Model       string `json:"model"`
+	Submitted   int64  `json:"submitted"`
+	Committed   int64  `json:"committed"`
+	Aborted     int64  `json:"aborted"`
+	SimEvents   int64  `json:"sim_events"`
+	Accepted    int64  `json:"mailbox_accepted"`
+	Rejected    int64  `json:"mailbox_rejected"`
+	Depth       int    `json:"mailbox_depth"`
+	Poisons     int64  `json:"poisons,omitempty"`
+	Restarts    int64  `json:"restarts,omitempty"`
+	Quarantined int64  `json:"quarantined,omitempty"`
+	// Durability is the resolved journal tier ("sync", "group", "async");
+	// empty when the manager is memory-only. DurabilityError reports a
+	// degraded tier (the shared-writer fleet failed to open and homes fell
+	// back to per-home sync journals).
+	Durability      string    `json:"durability,omitempty"`
+	DurabilityError string    `json:"durability_error,omitempty"`
+	Since           time.Time `json:"since"`
 }
 
 // Status returns manager-wide totals. The counters are read lock-free and
@@ -659,6 +720,12 @@ func (m *Manager) Status() Status {
 		Restarts:    m.restarts.Load(),
 		Quarantined: m.quarantined.Load(),
 		Since:       m.since,
+	}
+	if m.cfg.DataDir != "" {
+		st.Durability = m.durability.String()
+		if m.writerErr != nil {
+			st.DurabilityError = m.writerErr.Error()
+		}
 	}
 	for _, sh := range m.shards {
 		st.Homes += int(sh.homeCount.Load())
@@ -687,5 +754,10 @@ func (m *Manager) Close() {
 	m.wg.Wait()
 	for _, sh := range m.shards {
 		sh.closeAll()
+	}
+	// Homes first, writers second: each home's Close waits for its covering
+	// sync, so by the time the writers close nothing is parked on them.
+	for _, w := range m.writers {
+		_ = w.Close()
 	}
 }

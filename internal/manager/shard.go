@@ -21,6 +21,10 @@ type homeSlot struct {
 	devices []device.Info
 	rt      atomic.Pointer[rt.HomeRuntime]
 	sup     *rt.Supervisor
+	// lastPoison caches the home's persisted poison forensics (loaded from
+	// poison.json on add, stored by the dying generation on poison, cleared
+	// by a clean supervised restart) for Status reads.
+	lastPoison atomic.Pointer[rt.PoisonRecord]
 }
 
 // health folds supervision state with the runtime's durability: degraded
@@ -75,6 +79,11 @@ func (s *shard) addHome(id HomeID, devices []device.Info) error {
 		devices: append([]device.Info(nil), devices...),
 		sup:     rt.NewSupervisor(s.m.cfg.Supervisor),
 	}
+	if dir := s.m.homeDir(id); dir != "" {
+		// A poison record left behind by a previous process is forensics the
+		// operator has not acted on yet; surface it until a clean restart.
+		slot.lastPoison.Store(rt.LoadPoisonRecord(dir))
+	}
 	home, err := s.buildRuntime(slot)
 	if err != nil {
 		return err
@@ -100,6 +109,9 @@ func (s *shard) buildRuntime(slot *homeSlot) (*rt.HomeRuntime, error) {
 // and hand the slot to the supervisor without ever blocking the teardown.
 func (s *shard) notifyPoison(slot *homeSlot, err error) {
 	slot.sup.NotePoison(err)
+	if rec := slot.rt.Load().PoisonRecord(); rec != nil {
+		slot.lastPoison.Store(rec)
+	}
 	s.m.poisons.Add(1)
 	select {
 	case s.restartCh <- slot:
@@ -143,6 +155,12 @@ func (s *shard) superviseRestart(slot *homeSlot) {
 	})
 	if ok {
 		s.m.restarts.Add(1)
+		// The restart came back clean: retire the forensics so Status (and
+		// the persisted poison.json) reflect a healthy home again.
+		if dir := s.m.homeDir(slot.id); dir != "" {
+			rt.ClearPoisonRecord(dir)
+		}
+		slot.lastPoison.Store(nil)
 	} else if slot.sup.Quarantined() {
 		s.m.quarantined.Add(1)
 	}

@@ -2,6 +2,8 @@ package manager
 
 import (
 	"errors"
+	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -236,5 +238,71 @@ func TestSupervisionDisabledLeavesHomeDown(t *testing.T) {
 	time.Sleep(20 * time.Millisecond)
 	if _, err := m.Submit(ids[0], plugRoutine("down", device.On, 0)); err == nil {
 		t.Error("Submit to an unsupervised poisoned home succeeded")
+	}
+}
+
+// TestPoisonForensicsSurfaceAndClear: a panic's forensics (message + stack)
+// surface in the home's Status as last_poison and persist to the home dir's
+// poison.json; a clean supervised restart retires both — the operator sees
+// *why* the home died for exactly as long as the symptom is unresolved.
+func TestPoisonForensicsSurfaceAndClear(t *testing.T) {
+	dir := t.TempDir()
+
+	// Supervision off: the poison stays visible instead of being healed away.
+	m := New(Config{Shards: 1, DataDir: dir, Supervisor: rt.SupervisorConfig{Disable: true}})
+	id := HomeID("victim")
+	if err := m.AddHome(id, device.Plugs(2).All()...); err != nil {
+		t.Fatal(err)
+	}
+	home, err := m.Runtime(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	home.PostTimer(func() { panic("test: forensic fault") })
+	deadline := time.Now().Add(5 * time.Second)
+	for home.PoisonRecord() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("panic never produced a poison record")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st, err := m.HomeStatus(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LastPoison == nil || !strings.Contains(st.LastPoison.Message, "forensic fault") || st.LastPoison.Stack == "" {
+		t.Fatalf("HomeStatus.LastPoison = %+v, want the panic's message and stack", st.LastPoison)
+	}
+	if rec := rt.LoadPoisonRecord(filepath.Join(dir, "homes", string(id))); rec == nil {
+		t.Error("poison.json missing from the home's data dir")
+	}
+	m.Close()
+
+	// A fresh manager over the same data sees the record before any restart
+	// (the forensics survive the process), and a clean supervised restart
+	// clears it.
+	m2 := New(Config{Shards: 1, DataDir: dir, Supervisor: fastSupervisor()})
+	defer m2.Close()
+	if recovered, err := m2.RecoverHomes(); err != nil || len(recovered) != 1 {
+		t.Fatalf("RecoverHomes = %v, %v; want the victim back", recovered, err)
+	}
+	st, err = m2.HomeStatus(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LastPoison == nil {
+		t.Fatal("restarted manager lost the persisted poison record")
+	}
+	panicHome(t, m2, id)
+	waitRestarted(t, m2, id)
+	st, err = m2.HomeStatus(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LastPoison != nil {
+		t.Errorf("LastPoison = %+v after a clean supervised restart, want nil", st.LastPoison)
+	}
+	if rec := rt.LoadPoisonRecord(filepath.Join(dir, "homes", string(id))); rec != nil {
+		t.Errorf("poison.json survived a clean supervised restart: %+v", rec)
 	}
 }

@@ -50,7 +50,11 @@ func (rt *HomeRuntime) openJournal() (*journal.Recovered, error) {
 	if rt.cfg.DataDir == "" {
 		return nil, nil
 	}
-	j, rec, err := journal.Open(rt.cfg.DataDir, rt.cfg.Journal)
+	opts := rt.cfg.Journal
+	if opts.HomeID == "" {
+		opts.HomeID = rt.cfg.ID // shared-writer frames must carry the home ID
+	}
+	j, rec, err := journal.Open(rt.cfg.DataDir, opts)
 	if err != nil {
 		return nil, fmt.Errorf("runtime: home %q: %w", rt.cfg.ID, err)
 	}

@@ -144,3 +144,63 @@ func TestPoisonAnswersConcurrentMutations(t *testing.T) {
 	}
 	close(stop)
 }
+
+// TestPoisonForensicsPersistAndClear: a poisoning panic leaves a forensics
+// record — in memory via PoisonRecord() (set before OnPoison fires) and on
+// disk as poison.json — carrying the panic message and the goroutine stack,
+// so the cause survives the supervisor hiding the symptom. LoadPoisonRecord
+// reads it back across a process restart; ClearPoisonRecord retires it.
+func TestPoisonForensicsPersistAndClear(t *testing.T) {
+	dir := t.TempDir()
+	rt, err := NewSim(journaledConfig(dir), device.Plugs(4))
+	if err != nil {
+		t.Fatalf("NewSim: %v", err)
+	}
+	rt.PostTimer(func() { panic("test: forensic fault") })
+	waitPoisoned(t, rt)
+	rt.Close()
+
+	rec := rt.PoisonRecord()
+	if rec == nil {
+		t.Fatal("PoisonRecord() = nil after poison")
+	}
+	if !strings.Contains(rec.Message, "forensic fault") {
+		t.Errorf("record message = %q, want the panic value", rec.Message)
+	}
+	if !strings.Contains(rec.Stack, "goroutine") {
+		t.Errorf("record stack = %q, want a captured goroutine stack", rec.Stack)
+	}
+	if rec.Home != "durable" || rec.Time.IsZero() {
+		t.Errorf("record identity = home %q time %v", rec.Home, rec.Time)
+	}
+
+	// The record survives as poison.json, as a fresh process would see it.
+	disk := LoadPoisonRecord(dir)
+	if disk == nil {
+		t.Fatal("LoadPoisonRecord = nil, want the persisted record")
+	}
+	if disk.Message != rec.Message || !strings.Contains(disk.Stack, "TestPoisonForensicsPersistAndClear") {
+		t.Errorf("persisted record = %+v, want message %q with the faulting frame", disk, rec.Message)
+	}
+
+	ClearPoisonRecord(dir)
+	if LoadPoisonRecord(dir) != nil {
+		t.Error("poison record survived ClearPoisonRecord")
+	}
+}
+
+// TestNoPoisonRecordWithoutPanic: clean lifecycles leave no forensics.
+func TestNoPoisonRecordWithoutPanic(t *testing.T) {
+	dir := t.TempDir()
+	rt, err := NewSim(journaledConfig(dir), device.Plugs(4))
+	if err != nil {
+		t.Fatalf("NewSim: %v", err)
+	}
+	rt.Close()
+	if rt.PoisonRecord() != nil {
+		t.Error("clean close left an in-memory poison record")
+	}
+	if LoadPoisonRecord(dir) != nil {
+		t.Error("clean close left a poison.json")
+	}
+}

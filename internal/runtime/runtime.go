@@ -24,6 +24,7 @@ package runtime
 import (
 	"context"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -199,9 +200,14 @@ type HomeRuntime struct {
 	jErr    atomic.Value
 
 	// poisoned is set when a panic killed the loop; panicErr records the
-	// recovered panic value (see poison.go).
-	poisoned atomic.Bool
-	panicErr atomic.Value
+	// recovered panic value and poisonRec the full forensics record —
+	// message plus goroutine stack — also persisted to DataDir/poison.json
+	// (see poison.go). panicStack is loop-owned scratch between the runBatch
+	// recover and poison.
+	poisoned   atomic.Bool
+	panicErr   atomic.Value
+	poisonRec  atomic.Pointer[PoisonRecord]
+	panicStack string
 
 	// Loop-owned state:
 	j               *journalState       // write-ahead journal (nil without DataDir)
@@ -532,6 +538,9 @@ func (rt *HomeRuntime) runBatch(batch []op, replies *[]pendingReply) (err error)
 		if r == nil {
 			return
 		}
+		// The stack must be captured here, inside the recovering deferred
+		// call, or the panic frames are gone; poison persists it.
+		rt.panicStack = string(debug.Stack())
 		err = fmt.Errorf("runtime: home %q poisoned by panic: %v", rt.cfg.ID, r)
 		for ; i < len(batch); i++ {
 			failOp(&batch[i], ErrPoisoned)

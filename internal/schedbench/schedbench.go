@@ -12,11 +12,13 @@ package schedbench
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"safehome/internal/device"
+	"safehome/internal/journal"
 	"safehome/internal/manager"
 	"safehome/internal/order"
 	"safehome/internal/routine"
@@ -75,30 +77,63 @@ func TimelineInsertion(nCmds int) func(b *testing.B) {
 // reports a routines/s extra metric.
 func ManagerThroughput(shards, homes int) func(b *testing.B) {
 	return func(b *testing.B) {
-		m := manager.New(manager.Config{
+		managerThroughput(b, manager.Config{
 			Shards: shards,
 			Home:   manager.HomeConfig{Model: visibility.EV},
-		})
-		defer m.Close()
-		if _, err := m.AddHomes("home", homes, 8); err != nil {
-			b.Fatal(err)
-		}
-		var next atomic.Int64
-		b.ReportAllocs()
-		b.ResetTimer()
-		b.RunParallel(func(pb *testing.PB) {
-			for pb.Next() {
-				i := next.Add(1)
-				id := manager.HomeID(fmt.Sprintf("home-%d", i%int64(homes)))
-				r := Routine("bench", 3, 8, i)
-				if !submitRetrying(b, func() error { _, err := m.Submit(id, r); return err }) {
-					return
-				}
-			}
-		})
-		b.StopTimer()
-		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "routines/s")
+		}, homes)
 	}
+}
+
+// ManagerThroughputJournaled is ManagerThroughput with durability on under
+// the given tier: every home journals to a shared DataDir. sync pays one
+// fsync per home per batch drain; group coalesces all of a shard's homes
+// into one shared-writer fsync cycle; async acknowledges ahead of the disk.
+// The sync-vs-group gap is the fsync wall this tier exists to collapse.
+func ManagerThroughputJournaled(shards, homes int, mode journal.Mode) func(b *testing.B) {
+	return func(b *testing.B) {
+		// The bench is closed-loop: each parallel client blocks in Submit
+		// until its commit's covering fsync lands. Many more clients than
+		// cores keep every home busy during a sync, which is what gives the
+		// group writer commits to coalesce — as real API traffic would.
+		// Several clients per home also let the mailbox batch-drain coalesce
+		// submissions, so a commit window covers whole batches, not single
+		// operations.
+		b.SetParallelism(256)
+		managerThroughput(b, manager.Config{
+			Shards:  shards,
+			DataDir: b.TempDir(),
+			Journal: journal.Options{Mode: mode},
+			Home:    manager.HomeConfig{Model: visibility.EV},
+		}, homes)
+	}
+}
+
+func managerThroughput(b *testing.B, cfg manager.Config, homes int) {
+	m := manager.New(cfg)
+	defer m.Close()
+	if cfg.DataDir != "" {
+		if st := m.Status(); st.DurabilityError != "" {
+			b.Fatalf("durability degraded to %s: %s", st.Durability, st.DurabilityError)
+		}
+	}
+	if _, err := m.AddHomes("home", homes, 8); err != nil {
+		b.Fatal(err)
+	}
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := next.Add(1)
+			id := manager.HomeID(fmt.Sprintf("home-%d", i%int64(homes)))
+			r := Routine("bench", 3, 8, i)
+			if !submitRetrying(b, func() error { _, err := m.Submit(id, r); return err }) {
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "routines/s")
 }
 
 // submitRetrying runs one benchmark submission, retrying while the home's
@@ -139,13 +174,33 @@ func RuntimeThroughput(batch int) func(b *testing.B) {
 // against the memory-only rows is the price of crash safety — amortized per
 // batch, so it shrinks as batch dequeue coalesces concurrent submissions.
 func RuntimeThroughputJournaled(batch int) func(b *testing.B) {
+	return RuntimeThroughputTiered(batch, journal.ModeSync)
+}
+
+// RuntimeThroughputTiered is RuntimeThroughputJournaled under an explicit
+// durability tier. Group mode runs the single home over its own shared
+// writer — the coalescing pipeline without cross-home traffic, so the row
+// isolates the pipeline's cost; async shows the ceiling with acknowledgement
+// decoupled from the disk.
+func RuntimeThroughputTiered(batch int, mode journal.Mode) func(b *testing.B) {
 	return func(b *testing.B) {
-		runtimeThroughput(b, rt.Config{
+		dir := b.TempDir()
+		cfg := rt.Config{
 			ID:      "bench",
 			Model:   visibility.EV,
 			Batch:   batch,
-			DataDir: b.TempDir(),
-		})
+			DataDir: dir,
+			Journal: journal.Options{Mode: mode},
+		}
+		if mode == journal.ModeGroup {
+			ws, err := journal.OpenWriters(filepath.Join(dir, "wal"), 1, journal.WriterOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer ws[0].Close()
+			cfg.Journal.Writer = ws[0]
+		}
+		runtimeThroughput(b, cfg)
 	}
 }
 
@@ -283,8 +338,14 @@ func Cases() []Case {
 	for _, n := range []int{1, 32} {
 		out = append(out, Case{Name: fmt.Sprintf("RuntimeThroughput/batch=%d/journal=on", n), Fn: RuntimeThroughputJournaled(n)})
 	}
+	for _, md := range []journal.Mode{journal.ModeGroup, journal.ModeAsync} {
+		out = append(out, Case{Name: fmt.Sprintf("RuntimeThroughput/batch=32/journal=%v", md), Fn: RuntimeThroughputTiered(32, md)})
+	}
 	for _, s := range []int{1, 2, 4, 8} {
 		out = append(out, Case{Name: fmt.Sprintf("ManagerThroughput/shards=%d", s), Fn: ManagerThroughput(s, 64)})
+	}
+	for _, md := range []journal.Mode{journal.ModeSync, journal.ModeGroup, journal.ModeAsync} {
+		out = append(out, Case{Name: fmt.Sprintf("ManagerThroughput/shards=8/journal=%v", md), Fn: ManagerThroughputJournaled(8, 64, md)})
 	}
 	// Query throughput runs last: its read-heavy homes accumulate the most
 	// per-home state of the suite, and recording it after the throughput
