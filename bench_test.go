@@ -175,6 +175,20 @@ func BenchmarkManagerThroughput(b *testing.B) {
 	}
 }
 
+// --- hibernation: registered-home density -----------------------------------------
+
+// BenchmarkHomeDensity measures how many registered homes one process can
+// hold: every home registers cold (frozen record, no runtime, no goroutines),
+// a ~1% hot set reanimates by first touch. Reported extras are resident bytes
+// per frozen home vs per live home (the density win) and first-touch wake
+// latency p50/p99. One iteration builds the whole fleet — run with
+// -benchtime=1x; size the fleet with SAFEHOME_DENSITY_HOMES (default 100000,
+// CI smoke uses 20000).
+func BenchmarkHomeDensity(b *testing.B) {
+	homes := schedbench.DensityHomes()
+	b.Run(fmt.Sprintf("homes=%d/hot=1%%", homes), schedbench.HomeDensity(homes, 1))
+}
+
 // --- mechanism micro-benchmarks ---------------------------------------------------
 
 func BenchmarkLineageTableAppendAndCompact(b *testing.B) {

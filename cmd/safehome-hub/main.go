@@ -64,6 +64,7 @@ func main() {
 		eventLog       = flag.Int("eventlog", 0, "multi-tenant mode: per-home event-log cap (0 disables /homes/{id}/events)")
 		dataDir        = flag.String("data", "", "data directory for the write-ahead journal; empty runs memory-only. A hub restarted with the same -data recovers results, committed states and event cursors, and aborts routines that were in flight")
 		durabilityName = flag.String("durability", "", "journal durability tier with -data: sync (fsync per commit; single-home default), group (cross-home coalesced fsync; multi-tenant default), or async (ack ahead of the disk, bounded loss window)")
+		hibernate      = flag.Duration("hibernate-after", 0, "multi-tenant mode with -data: freeze homes idle this long to a final checkpoint and release their runtime; any API touch reanimates them and scheduled triggers still fire on time (0 disables)")
 	)
 	flag.Parse()
 
@@ -93,8 +94,14 @@ func main() {
 		if *devices != "" || *useFleet {
 			log.Fatal("safehome-hub: -devices/-fleet apply to single-home mode only; -homes manages in-process simulated fleets")
 		}
-		serveManager(*listen, *homes, *shards, *plugs, *mailbox, *batch, *eventLog, *dataDir, jopts, model, sched, consistency)
+		if *hibernate > 0 && *dataDir == "" {
+			log.Fatal("safehome-hub: -hibernate-after needs -data: a frozen home is its final checkpoint")
+		}
+		serveManager(*listen, *homes, *shards, *plugs, *mailbox, *batch, *eventLog, *dataDir, jopts, *hibernate, model, sched, consistency)
 		return
+	}
+	if *hibernate > 0 {
+		log.Fatal("safehome-hub: -hibernate-after applies to multi-tenant mode (-homes) only")
 	}
 
 	reg := device.Plugs(*plugs)
@@ -131,7 +138,8 @@ func main() {
 // serveManager runs the multi-tenant HomeManager: homes home-0..home-(N-1)
 // on live clocks, partitioned across worker shards, behind the /homes API.
 func serveManager(listen string, homes, shards, plugs, mailbox, batch, eventLog int,
-	dataDir string, jopts journal.Options, model visibility.Model, sched visibility.SchedulerKind, consistency runtime.ReadConsistency) {
+	dataDir string, jopts journal.Options, hibernate time.Duration,
+	model visibility.Model, sched visibility.SchedulerKind, consistency runtime.ReadConsistency) {
 	m := manager.New(manager.Config{
 		Shards:          shards,
 		QueueDepth:      mailbox,
@@ -141,6 +149,7 @@ func serveManager(listen string, homes, shards, plugs, mailbox, batch, eventLog 
 		EventLog:        eventLog,
 		DataDir:         dataDir,
 		Journal:         jopts,
+		HibernateAfter:  hibernate,
 		Home: manager.HomeConfig{
 			Model:      model,
 			ExplicitWV: model == visibility.WV,

@@ -70,6 +70,9 @@ commands:
       -restart-pct P    percentage of failed devices that restart (default 0)
       -flap-pct P       percentage of failing devices that flap (default 0)
       -panic-pct P      percentage of seeds that inject a mid-run panic (default 0)
+      -idle-pct P       percentage of homes that never resubmit after their
+                        setup burst; each idle home also runs the hibernation
+                        freeze/wake oracle (default 0)
       -no-shrink        skip minimizing failing seeds
   record       run one generated home and write its trace
       -out FILE         trace file to write (required)
@@ -82,7 +85,7 @@ commands:
       -in FILE          trace file to check (required)
   drill        crash a journaled home and verify the durability contract
       -points CSV       crash points (default all: post-ack,in-flight,mid-batch,
-                        mid-checkpoint,crash-panic)
+                        mid-checkpoint,crash-panic,mid-freeze,post-freeze)
       -acked CSV        tail-length sweep: acked-batch sizes with checkpoints
                         disabled (default 4,16,64)
       -seed N           routine-generation seed (default 1)
@@ -113,6 +116,7 @@ func sweepCmd(args []string) error {
 	restartPct := fs.Float64("restart-pct", 0, "percentage of failed devices that restart")
 	flapPct := fs.Float64("flap-pct", 0, "percentage of failing devices that flap (fail/restart cycles)")
 	panicPct := fs.Float64("panic-pct", 0, "percentage of seeds that inject a mid-run controller panic")
+	idlePct := fs.Float64("idle-pct", 0, "percentage of homes that never resubmit after their setup burst")
 	noShrink := fs.Bool("no-shrink", false, "skip minimizing failing seeds")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -137,6 +141,7 @@ func sweepCmd(args []string) error {
 	p.Params.RestartPct = *restartPct
 	p.Params.FlapPct = *flapPct
 	p.Params.PanicPct = *panicPct
+	p.Params.IdlePct = *idlePct
 
 	fmt.Printf("sweep: seeds %d..%d, %d devices, %d routines, schedulers %s\n",
 		*seed, *seed+int64(*seeds)-1, *devices, *routines, *scheds)
@@ -144,6 +149,9 @@ func sweepCmd(args []string) error {
 	res := harness.Sweep(p)
 	fmt.Printf("%d runs, %d routine executions in %v\n",
 		res.Runs, res.Routines, time.Since(start).Round(time.Millisecond))
+	if res.IdleHomes > 0 {
+		fmt.Printf("%d idle homes passed through the freeze/wake oracle\n", res.IdleHomes)
+	}
 	if len(res.Failures) == 0 {
 		fmt.Println("all oracles passed")
 		return nil
@@ -249,6 +257,8 @@ func parseCrashPoints(csv string) ([]harness.CrashPoint, error) {
 		"mid-batch":      harness.CrashMidBatch,
 		"mid-checkpoint": harness.CrashMidCheckpoint,
 		"crash-panic":    harness.CrashPanic,
+		"mid-freeze":     harness.CrashMidFreeze,
+		"post-freeze":    harness.CrashPostFreeze,
 	}
 	var out []harness.CrashPoint
 	for _, s := range strings.Split(csv, ",") {
@@ -263,7 +273,7 @@ func parseCrashPoints(csv string) ([]harness.CrashPoint, error) {
 
 func drillCmd(args []string) error {
 	fs := flag.NewFlagSet("drill", flag.ContinueOnError)
-	points := fs.String("points", "post-ack,in-flight,mid-batch,mid-checkpoint,crash-panic", "crash points")
+	points := fs.String("points", "post-ack,in-flight,mid-batch,mid-checkpoint,crash-panic,mid-freeze,post-freeze", "crash points")
 	durabilities := fs.String("durability", "sync,group,async", "durability tiers to drill (async runs the post-ack point only, checking the bounded-loss contract)")
 	acked := fs.String("acked", "4,16,64", "acked-batch sizes for the tail-length sweep")
 	seed := fs.Int64("seed", 1, "routine-generation seed")

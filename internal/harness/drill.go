@@ -59,6 +59,19 @@ const (
 	// record the panic error, release the journal) and recovery must see
 	// exactly the crash contract — acked intact, in flight aborted.
 	CrashPanic
+	// CrashMidFreeze kills the process in hibernation's dangerous window:
+	// the freeze's final checkpoint landed (Freeze returned) but the frozen
+	// marker was never published and the slot never unloaded. The directory
+	// then holds journal state with no marker — the next boot must treat
+	// the home as crashed-live and recover it exactly, never claim it
+	// frozen.
+	CrashMidFreeze
+	// CrashPostFreeze kills the process right after a clean hibernation
+	// (final checkpoint and frozen marker both durable). Recovery is the
+	// wake path: the marker must be present and faithful, the waker removes
+	// it before rebuilding, and the woken home must hold every acknowledged
+	// result and state exactly.
+	CrashPostFreeze
 )
 
 func (p CrashPoint) String() string {
@@ -73,6 +86,10 @@ func (p CrashPoint) String() string {
 		return "mid-checkpoint"
 	case CrashPanic:
 		return "crash-panic"
+	case CrashMidFreeze:
+		return "mid-freeze"
+	case CrashPostFreeze:
+		return "post-freeze"
 	default:
 		return fmt.Sprintf("crash-point(%d)", int(p))
 	}
@@ -432,6 +449,25 @@ func RunDrill(p DrillParams) (DrillReport, error) {
 			f.Close()
 		}
 
+	case CrashMidFreeze, CrashPostFreeze:
+		// Freeze runs the graceful close — lineage compaction, trigger
+		// retirement, final flush and checkpoint — and returns once the
+		// checkpoint is durable. The "crash" is the process dying in the
+		// window after it: before the marker publish (mid-freeze) or after
+		// (post-freeze, where recovery is the wake path).
+		fr, err := rt.Freeze()
+		if err != nil {
+			return rep, fmt.Errorf("harness: drill freeze: %w", err)
+		}
+		if p.Point == CrashPostFreeze {
+			if err := runtime.WriteFrozenRecord(fr); err != nil {
+				return rep, fmt.Errorf("harness: drill frozen marker: %w", err)
+			}
+		}
+		if jopts.Writer != nil {
+			jopts.Writer.Abandon()
+		}
+
 	default: // CrashPostAck
 		crash()
 	}
@@ -451,6 +487,39 @@ func RunDrill(p DrillParams) (DrillReport, error) {
 		if window >= 0 && lost > window {
 			rep.Violations = append(rep.Violations, Violation{"async-over-window",
 				fmt.Sprintf("crash lost %d acknowledged bytes, async window allows %d", lost, window)})
+		}
+	}
+
+	// Freeze points: check the marker discipline before reopening. A crash
+	// before the marker publish must leave no frozen claim (the home is
+	// crashed-live); a crash after must leave a faithful marker, which the
+	// wake path consumes before rebuilding — so a crash mid-wake degrades
+	// to an ordinary live recovery, never a stale frozen claim.
+	switch p.Point {
+	case CrashMidFreeze:
+		if fr, err := runtime.ReadFrozenRecord(p.Dir); err != nil {
+			return rep, fmt.Errorf("harness: drill frozen marker read: %w", err)
+		} else if fr != nil {
+			rep.Violations = append(rep.Violations, Violation{"stale-frozen-marker",
+				"crash before the marker publish left a frozen claim over a live-crashed home"})
+			_ = runtime.RemoveFrozenRecord(p.Dir)
+		}
+	case CrashPostFreeze:
+		fr, err := runtime.ReadFrozenRecord(p.Dir)
+		if err != nil {
+			return rep, fmt.Errorf("harness: drill frozen marker read: %w", err)
+		}
+		if fr == nil {
+			rep.Violations = append(rep.Violations, Violation{"frozen-marker-lost",
+				"clean hibernation left no durable frozen marker"})
+		} else {
+			if fr.Routines != len(ackedResults) {
+				rep.Violations = append(rep.Violations, Violation{"frozen-record-diverged",
+					fmt.Sprintf("frozen record reports %d routines, %d were acknowledged", fr.Routines, len(ackedResults))})
+			}
+			if err := runtime.RemoveFrozenRecord(p.Dir); err != nil {
+				return rep, fmt.Errorf("harness: drill wake marker removal: %w", err)
+			}
 		}
 	}
 

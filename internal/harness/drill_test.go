@@ -10,7 +10,7 @@ import (
 // contract holds: acknowledged routines recover identically, in-flight
 // routines recover aborted, parked submissions are rejected and absent.
 func TestDrillFamily(t *testing.T) {
-	points := []CrashPoint{CrashPostAck, CrashInFlight, CrashMidBatch, CrashMidCheckpoint, CrashPanic}
+	points := []CrashPoint{CrashPostAck, CrashInFlight, CrashMidBatch, CrashMidCheckpoint, CrashPanic, CrashMidFreeze, CrashPostFreeze}
 	for _, pt := range points {
 		pt := pt
 		t.Run(pt.String(), func(t *testing.T) {
@@ -39,7 +39,7 @@ func TestDrillFamily(t *testing.T) {
 // the writer, and recovery tails the old epoch through a fresh one. The
 // contract is the same as sync — acknowledged means durable.
 func TestDrillFamilyGroup(t *testing.T) {
-	points := []CrashPoint{CrashPostAck, CrashInFlight, CrashMidBatch, CrashMidCheckpoint, CrashPanic}
+	points := []CrashPoint{CrashPostAck, CrashInFlight, CrashMidBatch, CrashMidCheckpoint, CrashPanic, CrashMidFreeze, CrashPostFreeze}
 	for _, pt := range points {
 		pt := pt
 		t.Run(pt.String(), func(t *testing.T) {

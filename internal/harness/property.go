@@ -151,7 +151,10 @@ type SweepFailure struct {
 type SweepResult struct {
 	Runs     int
 	Routines int
-	Failures []SweepFailure
+	// IdleHomes counts generated specs marked Idle (IdlePct > 0); each also
+	// ran the hibernation freeze/wake oracle.
+	IdleHomes int
+	Failures  []SweepFailure
 }
 
 // DefaultSchedulers are the three EV scheduling policies the sweep exercises.
@@ -174,6 +177,23 @@ func Sweep(p SweepParams) SweepResult {
 		gp := p.Params
 		gp.Seed = p.Params.Seed + int64(i)
 		spec := workload.Generate(gp)
+		if spec.Idle {
+			// Idle homes are hibernation's home turf: beyond the controller
+			// invariants below, the quiesced home must survive a freeze/wake
+			// round trip exactly. Once per seed — the oracle checks the
+			// journal path, which is scheduler-independent.
+			res.IdleHomes++
+			fwViols, err := CheckFreezeWake(spec, scheds[0])
+			if err != nil {
+				fwViols = append(fwViols, Violation{"freeze-wake-error", err.Error()})
+			}
+			if len(fwViols) > 0 {
+				res.Failures = append(res.Failures, SweepFailure{
+					Seed: gp.Seed, Scheduler: scheds[0],
+					Violations: fwViols, Minimal: spec, MinimalViolations: fwViols,
+				})
+			}
+		}
 		for _, sched := range scheds {
 			opts := visibility.DefaultOptions(visibility.EV)
 			opts.Scheduler = sched

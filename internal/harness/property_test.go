@@ -64,6 +64,26 @@ func TestSweepGeneratedWorkloads(t *testing.T) {
 	}
 }
 
+// TestSweepIdleHomesFreezeWake exercises the idle-skew knob end to end: every
+// seed is idle, so each spec runs both the controller oracles and the
+// hibernation freeze/wake identity check.
+func TestSweepIdleHomesFreezeWake(t *testing.T) {
+	p := SweepParams{
+		Params: workload.DefaultGenParams(),
+		Seeds:  3,
+	}
+	p.Params.Seed = 8000
+	p.Params.Routines = 40
+	p.Params.IdlePct = 100
+	res := Sweep(p)
+	if res.IdleHomes != p.Seeds {
+		t.Errorf("IdleHomes = %d, want %d (IdlePct=100)", res.IdleHomes, p.Seeds)
+	}
+	for _, f := range res.Failures {
+		t.Errorf("seed %d / %v: %v", f.Seed, f.Scheduler, f.Violations)
+	}
+}
+
 // TestSweepWithDeviceFailures exercises the failure-injection path; with
 // failures present only the completeness and serialization-set oracles apply.
 func TestSweepWithDeviceFailures(t *testing.T) {

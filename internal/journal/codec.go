@@ -252,8 +252,20 @@ func (b *Batch) Empty() bool {
 // the runtime's immutable Snapshot. A recovery loads the newest checkpoint
 // and replays only the journal records with LSN > Checkpoint.LSN; segments
 // at or below the checkpoint are truncated.
+//
+// Checkpoints are incremental over the routine history: once every routine
+// in an aligned SealSize-sized ID range is terminal, the range is sealed
+// into an immutable chunk object (SealChunk) that later checkpoints
+// reference by count instead of re-serializing — Sealed records how many
+// leading routines live in chunks, and the image's own Routines slice
+// starts at ID Sealed+1. Cutting a checkpoint is therefore O(new finishes
+// since the last one), not O(history), which is what makes the hibernation
+// freeze path cheap enough to run continuously. A checkpoint with Sealed ==
+// 0 (every image written before chunks existed) recovers exactly as before.
 type Checkpoint struct {
 	LSN      uint64          `json:"lsn"`
+	Sealed   int             `json:"sealed,omitempty"`
+	SealSize int             `json:"seal_size,omitempty"`
 	Routines []RoutineRecord `json:"routines,omitempty"`
 	States   []StateEntry    `json:"states,omitempty"`
 	FirstSeq uint64          `json:"first_seq"`
@@ -263,6 +275,23 @@ type Checkpoint struct {
 	// NextTrigger is the highest trigger handle ever issued, so recovered
 	// homes keep handing out fresh handles.
 	NextTrigger int64 `json:"next_trigger,omitempty"`
+}
+
+// sealedChunk is the payload of one sealed-chunk object: an immutable,
+// dense run of SealSize terminal routine records covering IDs
+// Index*SealSize+1 .. (Index+1)*SealSize.
+type sealedChunk struct {
+	Index    int             `json:"index"`
+	Routines []RoutineRecord `json:"routines"`
+}
+
+// decodeSealedChunk parses one sealed-chunk payload.
+func decodeSealedChunk(payload []byte) (*sealedChunk, error) {
+	var c sealedChunk
+	if err := json.Unmarshal(payload, &c); err != nil {
+		return nil, fmt.Errorf("journal: decoding sealed chunk: %w", err)
+	}
+	return &c, nil
 }
 
 // DecodeBatch parses one batch payload. It never panics on arbitrary input.

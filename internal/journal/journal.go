@@ -28,7 +28,9 @@ package journal
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
@@ -134,6 +136,12 @@ type Options struct {
 	// whole tree — which is what bounds descriptors at high tenant counts.
 	// Ignored when the resolved mode is sync.
 	Writer *GroupWriter
+	// Store, when non-nil, is where checkpoint images and sealed routine
+	// chunks live — the cold, write-once artifacts. Nil defaults to a
+	// DirStore rooted at the journal directory (everything local). The
+	// active segments never route through the store; only the journal tail
+	// must be local.
+	Store SegmentStore
 	// OnSync, when non-nil, is called after each data fsync with the synced
 	// file's path and its size at that sync. Crash drills use it to compute
 	// exactly which acknowledged bytes an OS crash could lose in async mode.
@@ -159,6 +167,11 @@ const (
 	DefaultSegmentBytes     = 4 << 20
 	DefaultCheckpointBytes  = 1 << 20
 	DefaultAsyncWindowBytes = 256 << 10
+	// DefaultSealSize is how many terminal routines an owner seals per
+	// immutable chunk (four of the visibility layer's 64-entry export
+	// chunks): small enough that the unsealed tail a checkpoint carries
+	// stays bounded, large enough that chunk objects are worth shipping.
+	DefaultSealSize = 256
 )
 
 func (o Options) normalized() Options {
@@ -186,12 +199,18 @@ const (
 	segmentPrefix  = "wal-"
 	segmentSuffix  = ".seg"
 	checkpointName = "checkpoint.ckpt"
-	checkpointTmp  = "checkpoint.tmp"
 	lockName       = "journal.lock"
+	chunkPrefix    = "ckchunk-"
+	chunkSuffix    = ".ckpt"
 )
 
 func segmentName(firstLSN uint64) string {
 	return fmt.Sprintf("%s%016x%s", segmentPrefix, firstLSN, segmentSuffix)
+}
+
+// chunkName names the sealed-chunk object with the given index.
+func chunkName(index int) string {
+	return fmt.Sprintf("%s%08d%s", chunkPrefix, index, chunkSuffix)
 }
 
 // parseSegmentName extracts the first LSN a segment file may contain.
@@ -226,6 +245,10 @@ type Journal struct {
 	unflushed int64  // standalone async: bytes appended since the last data fsync
 	buf       []byte // reused frame scratch
 
+	store    SegmentStore // checkpoint + sealed-chunk objects (DirStore default)
+	sealed   int          // routines covered by durable sealed chunks
+	sealSize int          // chunk size the sealed prefix was cut at (0 = none yet)
+
 	// Shared-log mode (Options.Writer): the journal owns no fd of its own;
 	// frames carry home and land in the writer's segments. wEnd and
 	// wUnflushed are guarded by writer.mu, not by the loop.
@@ -251,6 +274,12 @@ type Recovered struct {
 	Bank        []BankRecord
 	Triggers    map[int64]TriggerRecord
 	NextTrigger int64
+	// Sealed is how many leading routines the recovery read out of sealed
+	// chunk objects (always a multiple of SealSize; zero for pre-chunk
+	// checkpoints). The owner's next checkpoint continues sealing from
+	// here instead of re-serializing them.
+	Sealed   int
+	SealSize int
 }
 
 // NextSeq returns the sequence number the next activity event must get for
@@ -278,6 +307,10 @@ func Open(dir string, opts Options) (*Journal, *Recovered, error) {
 		return nil, nil, fmt.Errorf("journal: creating %s: %w", dir, err)
 	}
 	j := &Journal{dir: dir, opts: opts, mode: mode}
+	j.store = opts.Store
+	if j.store == nil {
+		j.store = DirStore{Dir: dir}
+	}
 	if opts.Writer != nil && mode != ModeSync {
 		if opts.HomeID == "" {
 			return nil, nil, fmt.Errorf("journal: %s mode through a shared writer requires Options.HomeID", mode)
@@ -377,15 +410,25 @@ func (j *Journal) recover() (*Recovered, bool, error) {
 	}
 	found := false
 
-	ckptPath := filepath.Join(j.dir, checkpointName)
-	if buf, err := os.ReadFile(ckptPath); err == nil {
+	if buf, err := j.store.Get(checkpointName); err == nil {
 		ck, ok := decodeCheckpointFile(buf)
 		if !ok {
-			return nil, false, fmt.Errorf("journal: checkpoint %s is corrupt", ckptPath)
+			return nil, false, fmt.Errorf("journal: checkpoint for %s is corrupt", j.dir)
+		}
+		prefix, err := j.loadSealed(ck)
+		if err != nil {
+			return nil, false, err
 		}
 		applyCheckpoint(rec, ck)
+		if len(prefix) > 0 {
+			rec.Routines = append(prefix, rec.Routines...)
+		}
+		rec.Sealed = ck.Sealed
+		rec.SealSize = ck.SealSize
+		j.sealed = ck.Sealed
+		j.sealSize = ck.SealSize
 		found = true
-	} else if !os.IsNotExist(err) {
+	} else if !errors.Is(err, fs.ErrNotExist) {
 		return nil, false, fmt.Errorf("journal: reading checkpoint: %w", err)
 	}
 
@@ -528,6 +571,45 @@ func decodeCheckpointFile(buf []byte) (*Checkpoint, bool) {
 		return nil, false
 	}
 	return ck, true
+}
+
+// loadSealed fetches and validates the sealed-chunk prefix a checkpoint
+// references: chunks 0..Sealed/SealSize-1, each a dense run of terminal
+// records. A missing or corrupt chunk is unrecoverable history the
+// checkpoint promised was durable, so it fails recovery loudly rather than
+// silently resurrecting a truncated past.
+func (j *Journal) loadSealed(ck *Checkpoint) ([]RoutineRecord, error) {
+	if ck.Sealed == 0 {
+		return nil, nil
+	}
+	if ck.SealSize <= 0 || ck.Sealed%ck.SealSize != 0 {
+		return nil, fmt.Errorf("journal: checkpoint seals %d routines with invalid chunk size %d", ck.Sealed, ck.SealSize)
+	}
+	prefix := make([]RoutineRecord, 0, ck.Sealed)
+	for idx := 0; idx < ck.Sealed/ck.SealSize; idx++ {
+		buf, err := j.store.Get(chunkName(idx))
+		if err != nil {
+			return nil, fmt.Errorf("journal: sealed chunk %d: %w", idx, err)
+		}
+		var chunk *sealedChunk
+		clean, err := scanFrames(buf, func(payload []byte) error {
+			c, err := decodeSealedChunk(payload)
+			if err != nil {
+				return err
+			}
+			chunk = c
+			return nil
+		})
+		if err != nil || !clean || chunk == nil {
+			return nil, fmt.Errorf("journal: sealed chunk %d is corrupt", idx)
+		}
+		if chunk.Index != idx || len(chunk.Routines) != ck.SealSize {
+			return nil, fmt.Errorf("journal: sealed chunk %d holds index %d with %d routines (want %d)",
+				idx, chunk.Index, len(chunk.Routines), ck.SealSize)
+		}
+		prefix = append(prefix, chunk.Routines...)
+	}
+	return prefix, nil
 }
 
 func applyCheckpoint(rec *Recovered, ck *Checkpoint) {
@@ -780,36 +862,22 @@ func (j *Journal) Checkpoint(ck *Checkpoint) error {
 		// Recovery rejects frames over maxFramePayload; writing one anyway
 		// would brick the next restart. Refusing degrades the home to
 		// memory-only (the owner's journalFail path) with the state on disk
-		// still recoverable. Incremental checkpoints are the real fix (see
-		// ROADMAP "Durability follow-ons").
+		// still recoverable. With incremental checkpoints the image carries
+		// only the unsealed routine tail, so hitting this guard takes a
+		// pathological single-drain burst, not accumulated history.
 		return fmt.Errorf("journal: checkpoint image is %d bytes, over the %d frame limit", len(payload), maxFramePayload)
 	}
 	frame := appendFrame(nil, payload)
 
-	tmp := filepath.Join(j.dir, checkpointTmp)
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
-	if err != nil {
-		return fmt.Errorf("journal: creating checkpoint: %w", err)
-	}
-	if _, err := f.Write(frame); err != nil {
-		f.Close()
-		return fmt.Errorf("journal: writing checkpoint: %w", err)
-	}
-	// The checkpoint fsyncs in every tier, async included: journal records
-	// at or below its LSN are truncated right after it lands, so an
-	// undurable checkpoint would turn the bounded async window into
-	// unbounded loss.
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return fmt.Errorf("journal: syncing checkpoint: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("journal: closing checkpoint: %w", err)
-	}
-	if err := os.Rename(tmp, filepath.Join(j.dir, checkpointName)); err != nil {
+	// The store's Put is atomic and durable in every tier, async included:
+	// journal records at or below the checkpoint's LSN are truncated right
+	// after it lands, so an undurable checkpoint would turn the bounded
+	// async window into unbounded loss.
+	if err := j.store.Put(checkpointName, frame); err != nil {
 		return fmt.Errorf("journal: publishing checkpoint: %w", err)
 	}
-	j.syncDir()
+	j.sealed = ck.Sealed
+	j.sealSize = ck.SealSize
 
 	if j.writer != nil {
 		// Every local (sync-era) segment is now covered, and the shared log
@@ -843,6 +911,50 @@ func (j *Journal) Checkpoint(ck *Checkpoint) error {
 	}
 	j.syncDir()
 	j.sinceCkpt = 0
+	return nil
+}
+
+// SealedRoutines returns how many leading routines are covered by durable
+// sealed chunks (recovered from the last checkpoint, advanced by
+// Checkpoint). The owner seals forward from here.
+func (j *Journal) SealedRoutines() int { return j.sealed }
+
+// SealedChunkSize returns the chunk size the sealed prefix was cut at (0
+// when nothing is sealed yet). An owner must keep sealing at this size; a
+// fresh prefix may pick any size.
+func (j *Journal) SealedChunkSize() int { return j.sealSize }
+
+// SealChunk durably writes one immutable chunk object covering routines
+// Index*len(recs)+1 .. (Index+1)*len(recs), all terminal. The chunk becomes
+// live only when a later Checkpoint references it via Sealed/SealSize; a
+// crash in between leaves an orphan object that the next seal overwrites
+// with identical content (terminal records never change), so re-sealing is
+// idempotent. Called by the owner between batches, off the same immutable
+// snapshot the checkpoint is cut from.
+func (j *Journal) SealChunk(index int, recs []RoutineRecord) error {
+	if !j.open {
+		return fmt.Errorf("journal: closed")
+	}
+	if j.opts.TestInjectErr != nil {
+		if err := j.opts.TestInjectErr("seal"); err != nil {
+			return fmt.Errorf("journal: writing sealed chunk: %w", err)
+		}
+	}
+	for _, r := range recs {
+		if r.Open() {
+			return fmt.Errorf("journal: sealing open routine %d", r.ID)
+		}
+	}
+	payload, err := json.Marshal(&sealedChunk{Index: index, Routines: recs})
+	if err != nil {
+		return fmt.Errorf("journal: encoding sealed chunk: %w", err)
+	}
+	if len(payload) > maxFramePayload {
+		return fmt.Errorf("journal: sealed chunk is %d bytes, over the %d frame limit", len(payload), maxFramePayload)
+	}
+	if err := j.store.Put(chunkName(index), appendFrame(nil, payload)); err != nil {
+		return fmt.Errorf("journal: writing sealed chunk: %w", err)
+	}
 	return nil
 }
 

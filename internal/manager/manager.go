@@ -159,6 +159,18 @@ type Config struct {
 	// sync restores per-home segments and per-home fsyncs; async
 	// acknowledges ahead of the disk behind Journal.AsyncWindowBytes.
 	Journal journal.Options
+	// HibernateAfter enables hibernation: a healthy home idle this long —
+	// no admitted mutating operation, empty mailbox, nothing pending or
+	// active, no simulator event imminent — takes a final checkpoint and
+	// collapses to a frozen record of a few hundred bytes; any submit,
+	// query or due trigger deadline reanimates it from checkpoint + journal
+	// tail. With it set, AddHome registers state-less and cleanly
+	// hibernated homes cold (no runtime until first touch), which is what
+	// lets one process hold millions of registered homes. Requires DataDir
+	// (a memory-only home has nothing to wake from); the automatic idle
+	// sweep runs under ClockLive, while FreezeIdle/FreezeHome work under
+	// any clock. 0 disables hibernation.
+	HibernateAfter time.Duration
 	// Supervisor tunes panic recovery: a home whose loop panics is poisoned,
 	// torn down, and restarted by its shard's supervisor (from its journal
 	// when durable, empty otherwise) with capped exponential backoff, then
@@ -186,8 +198,14 @@ func (c Config) normalized() Config {
 	if c.Home.Model == visibility.WV && !c.Home.ExplicitWV {
 		c.Home.Model = visibility.EV
 	}
+	if c.DataDir == "" {
+		c.HibernateAfter = 0 // nothing durable to wake from
+	}
 	return c
 }
+
+// hibernating reports whether the manager registers and parks homes cold.
+func (m *Manager) hibernating() bool { return m.cfg.HibernateAfter > 0 }
 
 // Manager owns and schedules many independent home runtimes across worker
 // shards. All methods are safe for concurrent use. After Close, mutating
@@ -224,6 +242,13 @@ type Manager struct {
 	durability journal.Mode
 	writers    []*journal.GroupWriter
 	writerErr  error
+
+	// Hibernation wiring: the deadline heap of frozen homes' earliest
+	// scheduled-trigger deadlines, drained by the waker goroutine so a
+	// hibernated home's alarm still fires on time.
+	wakeQMu  sync.Mutex
+	wakeQ    wakeHeap
+	wakeKick chan struct{}
 }
 
 // New builds and starts a manager. The returned manager has no homes; add
@@ -238,6 +263,7 @@ func New(cfg Config) *Manager {
 		committed: stats.NewShardedCounter(cfg.Shards),
 		aborted:   stats.NewShardedCounter(cfg.Shards),
 		simEvents: stats.NewShardedCounter(cfg.Shards),
+		wakeKick:  make(chan struct{}, 1),
 	}
 	if cfg.DataDir != "" {
 		m.durability = journal.ResolveMode(cfg.Journal, journal.ModeGroup)
@@ -274,6 +300,16 @@ func New(cfg Config) *Manager {
 			m.wg.Add(1)
 			go m.shards[i].runSupervisor()
 		}
+	}
+	if cfg.DataDir != "" {
+		// The waker serves explicit freezes too, so it runs whenever homes
+		// can be frozen at all — not only with automatic hibernation on.
+		m.wg.Add(1)
+		go m.runWaker()
+	}
+	if m.hibernating() && cfg.Clock == ClockLive {
+		m.wg.Add(1)
+		go m.runFreezer()
 	}
 	return m
 }
@@ -407,6 +443,30 @@ func (m *Manager) AddHome(id HomeID, devices ...device.Info) error {
 	if err := m.persistHomeMeta(id, devices); err != nil {
 		return err
 	}
+	if m.hibernating() {
+		// Register cold when the directory is state-less (a fresh home: the
+		// first touch builds it) or carries the frozen marker (a cleanly
+		// hibernated home: stay cold, wake on demand). Journal state with no
+		// marker means the home crashed live — fall through and recover it
+		// live so aborts surface and its triggers re-arm now.
+		fr, err := m.coldRecord(id, len(devices))
+		if err != nil {
+			return err
+		}
+		if fr != nil {
+			if err := sh.addCold(id, devices, fr); err != nil {
+				return err
+			}
+			m.scheduleWake(id, fr.NextFire)
+			return nil
+		}
+	} else if dir := m.homeDir(id); dir != "" {
+		// Hibernation is off: a leftover frozen marker would go stale the
+		// moment the live home journals anything, so retire it now.
+		if err := rt.RemoveFrozenRecord(dir); err != nil {
+			return err
+		}
+	}
 	return sh.addHome(id, devices)
 }
 
@@ -471,7 +531,9 @@ func (m *Manager) AddHomes(prefix string, n, plugs int) ([]HomeID, error) {
 // Runtime returns the home's runtime, for introspection (mailbox stats,
 // suspension in tests). Most callers should use the typed Manager methods.
 // While the home is down it returns ErrRestarting or ErrQuarantined instead
-// of handing out a poisoned runtime.
+// of handing out a poisoned runtime. Touching a hibernated home through
+// here reanimates it: the wake is ordinary journal recovery behind a
+// per-home singleflight guard.
 func (m *Manager) Runtime(id HomeID) (*rt.HomeRuntime, error) {
 	slot, err := m.slotOf(id)
 	if err != nil {
@@ -483,7 +545,10 @@ func (m *Manager) Runtime(id HomeID) (*rt.HomeRuntime, error) {
 	case !slot.sup.Serving():
 		return nil, fmt.Errorf("%w: %q", ErrRestarting, id)
 	}
-	return slot.rt.Load(), nil
+	if home := slot.rt.Load(); home != nil {
+		return home, nil
+	}
+	return m.shards[m.ShardOf(id)].wake(slot)
 }
 
 // slotOf returns the home's slot regardless of its health — status and
@@ -506,7 +571,16 @@ func (m *Manager) Submit(id HomeID, r *routine.Routine) (routine.ID, error) {
 	if err != nil {
 		return routine.None, err
 	}
-	return home.Submit(r)
+	rid, err := home.Submit(r)
+	if errors.Is(err, ErrClosed) {
+		// The freezer closed the home between the lookup and the submit:
+		// one pass through the wake path yields the next generation —
+		// nothing acknowledged is lost across the freeze/wake boundary.
+		if home, werr := m.reanimate(id, home); werr == nil {
+			return home.Submit(r)
+		}
+	}
+	return rid, err
 }
 
 // SubmitSpec parses a Fig 10-style JSON routine document and submits it.
@@ -525,7 +599,13 @@ func (m *Manager) SubmitAfter(id HomeID, d time.Duration, r *routine.Routine) er
 	if err != nil {
 		return err
 	}
-	return home.SubmitAfter(d, r)
+	err = home.SubmitAfter(d, r)
+	if errors.Is(err, ErrClosed) {
+		if home, werr := m.reanimate(id, home); werr == nil {
+			return home.SubmitAfter(d, r)
+		}
+	}
+	return err
 }
 
 // FailDevice injects a fail-stop failure of the device in the home.
@@ -534,7 +614,13 @@ func (m *Manager) FailDevice(id HomeID, dev device.ID) error {
 	if err != nil {
 		return err
 	}
-	return home.FailDevice(dev)
+	err = home.FailDevice(dev)
+	if errors.Is(err, ErrClosed) {
+		if home, werr := m.reanimate(id, home); werr == nil {
+			return home.FailDevice(dev)
+		}
+	}
+	return err
 }
 
 // RestoreDevice injects a restart of a previously failed device.
@@ -543,7 +629,13 @@ func (m *Manager) RestoreDevice(id HomeID, dev device.ID) error {
 	if err != nil {
 		return err
 	}
-	return home.RestoreDevice(dev)
+	err = home.RestoreDevice(dev)
+	if errors.Is(err, ErrClosed) {
+		if home, werr := m.reanimate(id, home); werr == nil {
+			return home.RestoreDevice(dev)
+		}
+	}
+	return err
 }
 
 // Results returns the home's per-routine outcomes in submission order.
@@ -588,7 +680,9 @@ func (m *Manager) Events(id HomeID, since uint64) ([]visibility.Event, uint64, e
 
 // HomeStatus summarizes one home. Health is ok, degraded (serving but the
 // journal died — memory-only until restart), restarting (poisoned, being
-// rebuilt by the supervisor) or quarantined (restart budget exhausted).
+// rebuilt by the supervisor), quarantined (restart budget exhausted) or
+// frozen (hibernated: answered from the resident FrozenHome record, never
+// by waking the home).
 type HomeStatus struct {
 	ID        HomeID        `json:"id"`
 	Shard     int           `json:"shard"`
@@ -606,10 +700,36 @@ type HomeStatus struct {
 	Active     int              `json:"active"`
 	Now        time.Time        `json:"now"`
 	Created    time.Time        `json:"created"`
+	// FrozenAt and NextFire are set only for hibernated homes: when the
+	// final checkpoint landed, and the earliest scheduled-trigger deadline
+	// the manager will wake the home for.
+	FrozenAt time.Time `json:"frozen_at,omitempty"`
+	NextFire time.Time `json:"next_fire,omitempty"`
 }
 
 func (m *Manager) statusOf(slot *homeSlot, shard int) HomeStatus {
 	home := slot.rt.Load()
+	if home == nil {
+		fr := slot.frozen.Load()
+		if fr == nil {
+			// Caught a wake mid-transition (rt published, frozen not yet
+			// cleared when we looked, or vice versa): re-read the runtime.
+			home = slot.rt.Load()
+		}
+		if home == nil {
+			st := HomeStatus{ID: slot.id, Shard: shard, Health: rt.HealthFrozen}
+			if fr != nil {
+				st.Model = fr.Model
+				st.Devices = fr.Devices
+				st.Routines = fr.Routines
+				st.Created = fr.Created
+				st.FrozenAt = fr.FrozenAt
+				st.NextFire = fr.NextFire
+			}
+			st.LastPoison = slot.lastPoison.Load()
+			return st
+		}
+	}
 	c := home.Counts()
 	st := HomeStatus{
 		ID:       slot.id,
@@ -681,8 +801,12 @@ func (m *Manager) Homes() []HomeStatus {
 
 // Status summarizes the whole manager.
 type Status struct {
-	Shards      int    `json:"shards"`
-	Homes       int    `json:"homes"`
+	Shards int `json:"shards"`
+	Homes  int `json:"homes"`
+	// Frozen counts the hibernated homes (included in Homes). Their
+	// lifetime mailbox totals still fold into Accepted/Rejected — read
+	// from the resident frozen records, never by waking anyone.
+	Frozen      int    `json:"frozen,omitempty"`
 	Clock       string `json:"clock"`
 	Model       string `json:"model"`
 	Submitted   int64  `json:"submitted"`
@@ -730,10 +854,18 @@ func (m *Manager) Status() Status {
 	for _, sh := range m.shards {
 		st.Homes += int(sh.homeCount.Load())
 		for _, slot := range sh.snapshot() {
-			mb := slot.rt.Load().Mailbox()
-			st.Accepted += mb.Accepted
-			st.Rejected += mb.Rejected
-			st.Depth += mb.Depth
+			if home := slot.rt.Load(); home != nil {
+				mb := home.Mailbox()
+				st.Accepted += mb.Accepted
+				st.Rejected += mb.Rejected
+				st.Depth += mb.Depth
+			} else if fr := slot.frozen.Load(); fr != nil {
+				st.Frozen++
+				st.Accepted += fr.Accepted
+				st.Rejected += fr.Rejected
+			} else {
+				st.Frozen++ // mid-transition; counters settle next read
+			}
 		}
 	}
 	return st

@@ -206,20 +206,59 @@ func (rt *HomeRuntime) maybeCheckpoint() {
 	rt.checkpointNow()
 }
 
-// checkpointNow derives a full durable image from the latest published
-// Snapshot (results including open routines, committed states, the retained
-// event window) and hands it to the journal, which truncates the segments
-// the checkpoint covers.
+// checkpointNow derives a durable image from the latest published Snapshot
+// (results including open routines, committed states, the retained event
+// window) and hands it to the journal, which truncates the segments the
+// checkpoint covers.
+//
+// The routine history is written incrementally, riding the export spine's
+// write-once chunks: every aligned DefaultSealSize run of terminal results
+// beyond the already-sealed prefix is sealed into an immutable chunk object
+// first (each such run is serialized exactly once in the home's lifetime),
+// and the checkpoint image itself carries only the unsealed tail. Cutting a
+// checkpoint is therefore O(new finishes since the last one) instead of
+// O(history) — cheap enough for the hibernation freezer to run it as every
+// idle home's final act.
 func (rt *HomeRuntime) checkpointNow() {
 	if rt.j == nil {
 		return
 	}
 	s := rt.snap.Load()
+	results := s.state.Results
+	n := results.Len()
+	sealed := rt.j.jrn.SealedRoutines()
+	sealSize := rt.j.jrn.SealedChunkSize()
+	if sealSize <= 0 {
+		sealSize = journal.DefaultSealSize
+	}
+	var chunk []journal.RoutineRecord
+	for sealed+sealSize <= n {
+		complete := true
+		chunk = chunk[:0]
+		for i := sealed; i < sealed+sealSize; i++ {
+			res := results.At(i)
+			if !res.Status.Finished() {
+				complete = false
+				break
+			}
+			chunk = append(chunk, journal.FromResult(res))
+		}
+		if !complete {
+			break // an open routine pins the seal frontier; retry next time
+		}
+		if err := rt.j.jrn.SealChunk(sealed/sealSize, chunk); err != nil {
+			rt.journalFail(err)
+			return
+		}
+		sealed += sealSize
+	}
 	ck := &journal.Checkpoint{}
-	results := s.Results()
-	ck.Routines = make([]journal.RoutineRecord, 0, len(results))
-	for _, res := range results {
-		ck.Routines = append(ck.Routines, journal.FromResult(res))
+	if sealed > 0 {
+		ck.Sealed, ck.SealSize = sealed, sealSize
+	}
+	ck.Routines = make([]journal.RoutineRecord, 0, n-sealed)
+	for i := sealed; i < n; i++ {
+		ck.Routines = append(ck.Routines, journal.FromResult(results.At(i)))
 	}
 	for d, st := range s.CommittedStates() {
 		ck.States = append(ck.States, journal.StateEntry{Device: d, State: st})

@@ -68,6 +68,7 @@ const (
 	opSuspend       // gate, release
 	opBarrier       // reply: answers once everything queued before it ran
 	opStopTriggers  // reply: cancels every trigger, refuses new ones
+	opCompactNow    // reply: folds all released lock-access history (freeze path)
 )
 
 // op is one tagged mailbox entry. The struct is moved by value through the
@@ -144,6 +145,10 @@ func (rt *HomeRuntime) tryPost(o op) error {
 	select {
 	case rt.ch <- o:
 		rt.accepted.Inc()
+		// Any admitted mutation resets the idle clock the hibernation
+		// freezer watches; queries deliberately do not (status polls must
+		// not keep a home resident).
+		rt.lastActive.Store(time.Now().UnixNano())
 		return nil
 	default:
 		rt.rejected.Inc()

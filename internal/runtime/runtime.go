@@ -189,6 +189,12 @@ type HomeRuntime struct {
 	nextDue    atomic.Int64
 	pumpQueued atomic.Bool
 
+	// lastActive is the wall time (unix nanos) of the last admitted mutating
+	// operation — the idle clock the manager's hibernation freezer watches.
+	// Queries do not bump it: a home polled for status but never commanded
+	// is still idle.
+	lastActive atomic.Int64
+
 	// snap is the off-loop read path: the loop publishes an immutable
 	// Snapshot here once per batch drain (see snapshot.go), and queries under
 	// ReadSnapshot consistency answer from it without entering the mailbox.
@@ -268,6 +274,11 @@ func NewSim(cfg Config, reg *device.Registry) (*HomeRuntime, error) {
 	if rec != nil {
 		rt.finishRecovery()
 	}
+	// Publish the first simulator deadline before the loop exists: a
+	// recovered home whose re-armed triggers are its only pending work would
+	// otherwise sit at nextDue 0 — invisible to the shard pumper — until
+	// some unrelated op ran a batch, and its triggers would never fire.
+	rt.publishNextDue()
 	go rt.loop()
 	return rt, nil
 }
@@ -336,7 +347,7 @@ func NewLive(cfg Config, reg *device.Registry, actuator device.Actuator) (*HomeR
 }
 
 func newRuntime(cfg Config, reg *device.Registry) *HomeRuntime {
-	return &HomeRuntime{
+	rt := &HomeRuntime{
 		cfg:      cfg,
 		reg:      reg,
 		bank:     routine.NewBank(),
@@ -346,6 +357,8 @@ func newRuntime(cfg Config, reg *device.Registry) *HomeRuntime {
 		triggers: make(map[TriggerHandle]*trigger),
 		elog:     newEventLog(cfg.EventLog),
 	}
+	rt.lastActive.Store(rt.started.UnixNano())
+	return rt
 }
 
 // controllerOptions chains the journal tap and the runtime's activity log in
@@ -700,6 +713,19 @@ func (rt *HomeRuntime) apply(o *op) (result, *reply) {
 		return result{}, o.reply
 	case opStopTriggers:
 		rt.stopAllTriggers()
+		return result{}, o.reply
+	case opCompactNow:
+		// The freeze path's history bound: fold every fully released
+		// lock-access entry into the committed states regardless of the
+		// HistoryHorizon cadence, so the final checkpoint (and the frozen
+		// record behind it) never carries stale lineage.
+		if rt.compacter != nil {
+			now := rt.env.Now()
+			rt.lastCompact = now
+			if rt.compacter.CompactBefore(now) > 0 {
+				rt.snapDirty = true
+			}
+		}
 		return result{}, o.reply
 	default:
 		panic(fmt.Sprintf("runtime: unknown op kind %d", o.kind))
@@ -1069,6 +1095,25 @@ func (rt *HomeRuntime) BreakerState(id device.ID) live.BreakerState {
 
 // Since returns the runtime's creation time.
 func (rt *HomeRuntime) Since() time.Time { return rt.started }
+
+// IdleSince returns the wall time of the last admitted mutating operation
+// (construction time if none): the idle clock the hibernation freezer
+// compares against Config.HibernateAfter. Queries never advance it.
+func (rt *HomeRuntime) IdleSince() time.Time {
+	return time.Unix(0, rt.lastActive.Load())
+}
+
+// NextDueAt returns the earliest pending simulator deadline the loop has
+// published (zero time = nothing pending). The freezer uses it to skip homes
+// with imminent work; the paced-clock pumper uses the same value through
+// PumpIfDue.
+func (rt *HomeRuntime) NextDueAt() time.Time {
+	due := rt.nextDue.Load()
+	if due == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, due)
+}
 
 // Mailbox reports the mailbox's admission counters and occupancy.
 func (rt *HomeRuntime) Mailbox() MailboxStats {

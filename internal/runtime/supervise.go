@@ -28,6 +28,11 @@ const (
 	// HealthQuarantined: the restart budget is exhausted; the home stays down
 	// until an operator intervenes (e.g. re-adds it).
 	HealthQuarantined HomeHealth = "quarantined"
+	// HealthFrozen: hibernated — the home took its final checkpoint and
+	// released its runtime; the manager holds only a FrozenHome record. Any
+	// submit, query or due trigger reanimates it from checkpoint + journal
+	// tail. Reported without waking the home.
+	HealthFrozen HomeHealth = "frozen"
 )
 
 // Supervisor restart-policy defaults.

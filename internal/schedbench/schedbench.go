@@ -12,7 +12,12 @@ package schedbench
 import (
 	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
+	goruntime "runtime"
+	"sort"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -285,6 +290,131 @@ func QueryThroughput(consistency rt.ReadConsistency, readPct int) func(b *testin
 	}
 }
 
+// DensityHomes returns the registered-fleet size for the HomeDensity
+// benchmark: SAFEHOME_DENSITY_HOMES when set to an integer >= 100, else the
+// full-size default of 100000.
+func DensityHomes() int {
+	if s := os.Getenv("SAFEHOME_DENSITY_HOMES"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n >= 100 {
+			return n
+		}
+	}
+	return 100_000
+}
+
+// HomeDensity measures the hibernation tentpole: register `homes` homes on a
+// hibernating manager — every one lands cold (a frozen record, no runtime, no
+// goroutines) — then wake a hotPct% hot set by first touch and report what
+// the paper's "millions of registered homes in one process" claim rests on:
+//
+//	cold-B/home   resident heap bytes per registered-but-frozen home
+//	live-B/home   incremental heap bytes per woken home — the all-live
+//	              per-home cost the frozen representation is measured against
+//	live/cold-x   the density win: how many times more homes fit frozen
+//	wake-p50-ms / wake-p99-ms   first-touch reanimation latency
+//
+// Each b.N iteration builds the whole fleet from scratch; run with
+// -benchtime=1x for the big configurations.
+func HomeDensity(homes int, hotPct float64) func(b *testing.B) {
+	return func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			homeDensity(b, homes, hotPct)
+		}
+	}
+}
+
+func homeDensity(b *testing.B, homes int, hotPct float64) {
+	m := manager.New(manager.Config{
+		Shards:         8,
+		DataDir:        b.TempDir(),
+		HibernateAfter: time.Hour,
+		Home:           manager.HomeConfig{Model: visibility.EV},
+	})
+	defer m.Close()
+
+	heap := func() uint64 {
+		goruntime.GC()
+		var ms goruntime.MemStats
+		goruntime.ReadMemStats(&ms)
+		return ms.HeapAlloc
+	}
+
+	base := heap()
+	if _, err := m.AddHomes("home", homes, 4); err != nil {
+		b.Fatal(err)
+	}
+	coldHeap := heap()
+	coldBytes := float64(coldHeap-base) / float64(homes)
+	if st := m.Status(); st.Frozen != homes {
+		b.Fatalf("registered %d homes, %d are frozen", homes, st.Frozen)
+	}
+
+	// Wake the hot set by first touch, timing each reanimation — journal
+	// recovery behind the singleflight guard, striding so the hot homes
+	// spread over every shard.
+	hot := int(float64(homes) * hotPct / 100)
+	if hot < 1 {
+		hot = 1
+	}
+	stride := homes / hot
+	lat := make([]time.Duration, 0, hot)
+	for i := 0; i < hot; i++ {
+		id := manager.HomeID(fmt.Sprintf("home-%d", i*stride))
+		start := time.Now()
+		if _, err := m.Runtime(id); err != nil {
+			b.Fatal(err)
+		}
+		lat = append(lat, time.Since(start))
+	}
+	liveBytes := float64(heap()-coldHeap) / float64(hot)
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p50 := lat[len(lat)/2]
+	p99 := lat[len(lat)*99/100]
+	if os.Getenv("SAFEHOME_DENSITY_HIST") != "" {
+		printWakeHistogram(lat)
+	}
+
+	b.ReportMetric(coldBytes, "cold-B/home")
+	b.ReportMetric(liveBytes, "live-B/home")
+	if coldBytes > 0 {
+		b.ReportMetric(liveBytes/coldBytes, "live/cold-x")
+	}
+	b.ReportMetric(float64(p50)/float64(time.Millisecond), "wake-p50-ms")
+	b.ReportMetric(float64(p99)/float64(time.Millisecond), "wake-p99-ms")
+}
+
+// printWakeHistogram renders the first-touch wake-latency distribution as a
+// log-scale bucket histogram on stderr (SAFEHOME_DENSITY_HIST=1) — the
+// nightly density sweep captures it as an artifact alongside the p50/p99
+// extras, since a tail regression hides inside two percentiles.
+func printWakeHistogram(sorted []time.Duration) {
+	buckets := []time.Duration{
+		100 * time.Microsecond, 250 * time.Microsecond, 500 * time.Microsecond,
+		time.Millisecond, 2500 * time.Microsecond, 5 * time.Millisecond,
+		10 * time.Millisecond, 25 * time.Millisecond, 50 * time.Millisecond,
+	}
+	counts := make([]int, len(buckets)+1)
+	for _, d := range sorted {
+		i := sort.Search(len(buckets), func(i int) bool { return d < buckets[i] })
+		counts[i]++
+	}
+	max := 1
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	fmt.Fprintf(os.Stderr, "wake latency histogram (%d wakes, max %v):\n", len(sorted), sorted[len(sorted)-1])
+	for i, c := range counts {
+		label := fmt.Sprintf(">= %v", buckets[len(buckets)-1])
+		if i < len(buckets) {
+			label = fmt.Sprintf("< %v", buckets[i])
+		}
+		fmt.Fprintf(os.Stderr, "  %-10s %7d %s\n", label, c, strings.Repeat("#", c*40/max))
+	}
+}
+
 // GraphAddEdge measures adding (and removing again) one precedence
 // constraint — including the cycle-check DFS — on a layered graph of the
 // given node count, the inner loop of every placement decision.
@@ -347,6 +477,12 @@ func Cases() []Case {
 	for _, md := range []journal.Mode{journal.ModeSync, journal.ModeGroup, journal.ModeAsync} {
 		out = append(out, Case{Name: fmt.Sprintf("ManagerThroughput/shards=8/journal=%v", md), Fn: ManagerThroughputJournaled(8, 64, md)})
 	}
+	// The hibernation density row: 100k registered homes, 1% hot. One
+	// iteration builds and freezes the whole fleet, so at the default
+	// benchtime this records a single full-size run. CI's recorder smoke
+	// shrinks it through the same env knob the benchmark honours.
+	homes := DensityHomes()
+	out = append(out, Case{Name: fmt.Sprintf("HomeDensity/homes=%d/hot=1%%", homes), Fn: HomeDensity(homes, 1)})
 	// Query throughput runs last: its read-heavy homes accumulate the most
 	// per-home state of the suite, and recording it after the throughput
 	// benchmarks keeps their GC environment comparable across trajectory

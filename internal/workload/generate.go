@@ -74,6 +74,13 @@ type GenParams struct {
 	// mid-run controller panic injection: PanicAt lands in the middle half
 	// of the horizon, where generated routines are in flight (default 0).
 	PanicPct float64
+	// IdlePct is the probability (in percent) that the generated home is an
+	// idle home: all submissions and failure injections land in a setup
+	// burst in the first 1/50th of the horizon and the home never resubmits
+	// — the cold tail of a realistic fleet where only a few percent of
+	// homes stay hot. Idle specs are marked Spec.Idle so harnesses can run
+	// the hibernation freeze/wake oracle on them (default 0).
+	IdlePct float64
 	// Seed makes generation deterministic.
 	Seed int64
 }
@@ -152,6 +159,9 @@ func Generate(p GenParams) Spec {
 	// Forked last so specs generated before the robustness knobs existed keep
 	// their exact historical content for any (params, seed).
 	faultRNG := rng.Fork()
+	// Forked after faultRNG for the same reason: with IdlePct at 0 every
+	// earlier stream draws exactly what it always did.
+	idleRNG := rng.Fork()
 
 	spec := Spec{
 		Name:    fmt.Sprintf("gen-s%d-d%d-r%d", p.Seed, p.Devices, p.Routines),
@@ -257,9 +267,25 @@ func Generate(p GenParams) Spec {
 			return spec.Failures[i].At < spec.Failures[j].At
 		})
 	}
-	if p.PanicPct > 0 && faultRNG.Bool(p.PanicPct/100) {
+	if p.IdlePct > 0 && idleRNG.Bool(p.IdlePct/100) {
+		// An idle home does all its work in a setup burst and then goes
+		// quiet: compress every arrival and failure instant into the first
+		// 1/50th of the horizon. Division preserves relative order, so burst
+		// adjacency and fail-before-restart pairing survive untouched.
+		spec.Idle = true
+		spec.Name += "-idle"
+		const idleWindowDiv = 50
+		for i := range spec.Submissions {
+			spec.Submissions[i].At /= idleWindowDiv
+		}
+		for i := range spec.Failures {
+			spec.Failures[i].At /= idleWindowDiv
+		}
+	}
+	if p.PanicPct > 0 && !spec.Idle && faultRNG.Bool(p.PanicPct/100) {
 		// Land the panic in the middle half of the horizon, where generated
-		// routines are overwhelmingly likely to be in flight.
+		// routines are overwhelmingly likely to be in flight. Idle homes are
+		// exempt: their quiet tail has nothing in flight to panic into.
 		spec.PanicAt = p.Horizon/4 + faultRNG.UniformDuration(0, p.Horizon/2)
 	}
 	return spec

@@ -260,6 +260,53 @@ func TestGeneratePanicInjection(t *testing.T) {
 	}
 }
 
+func TestGenerateIdleSkewKnob(t *testing.T) {
+	p := DefaultGenParams()
+	p.Seed = 23
+	p.FailedPct = 20
+	p.IdlePct = 100
+	spec := Generate(p)
+	if !spec.Idle {
+		t.Fatal("IdlePct=100 produced a non-idle spec")
+	}
+	window := p.Horizon / 50
+	for i, sub := range spec.Submissions {
+		if sub.At > window {
+			t.Fatalf("idle submission %d arrives at %v, past the setup window %v", i, sub.At, window)
+		}
+	}
+	for i, f := range spec.Failures {
+		if f.At > window {
+			t.Fatalf("idle failure %d lands at %v, past the setup window %v", i, f.At, window)
+		}
+	}
+	p.PanicPct = 100
+	if again := Generate(p); again.PanicAt != 0 {
+		t.Errorf("idle home drew a panic injection at %v", again.PanicAt)
+	}
+
+	// The knob at zero must leave every (params, seed) byte-identical to the
+	// pre-knob generator: idleRNG forks last, so no other stream moves.
+	p.IdlePct = 0
+	p.PanicPct = 0
+	off := Generate(p)
+	if off.Idle {
+		t.Fatal("IdlePct=0 marked the spec idle")
+	}
+	if len(off.Submissions) != len(spec.Submissions) {
+		t.Fatal("idle knob changed submission count")
+	}
+	for i := range off.Submissions {
+		if off.Submissions[i].At/50 != spec.Submissions[i].At {
+			t.Fatalf("submission %d: idle arrival %v is not the non-idle %v compressed 50x",
+				i, spec.Submissions[i].At, off.Submissions[i].At)
+		}
+		if off.Submissions[i].Routine.String() != spec.Submissions[i].Routine.String() {
+			t.Fatalf("idle knob reshuffled submission %d content", i)
+		}
+	}
+}
+
 func TestGenerateRobustnessKnobsDoNotReshuffle(t *testing.T) {
 	p := DefaultGenParams()
 	p.Seed = 17

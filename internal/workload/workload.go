@@ -48,6 +48,11 @@ type Spec struct {
 	// poisoned, torn down and recovered instead of unwinding the process.
 	// Replayers without panic support ignore it.
 	PanicAt time.Duration
+	// Idle marks a home that never resubmits after its initial setup burst —
+	// every submission and failure instant sits in the front sliver of the
+	// horizon. Hibernation-aware harnesses use the mark to run a freeze/wake
+	// identity check on the quiesced home; others may ignore it.
+	Idle bool
 }
 
 // Registry builds a device registry for the spec.
