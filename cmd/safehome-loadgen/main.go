@@ -1,0 +1,379 @@
+// Command safehome-loadgen is an open-loop HTTP load generator for the
+// SafeHome hub: it submits routines at a controlled request rate and reports
+// end-to-end latency percentiles (p50/p99/p999), the shed (429) rate, and a
+// before/after diff of the hub's own /metrics counters — the tool that turns
+// the durability-tier and hibernation microbenchmarks into end-to-end
+// numbers.
+//
+// Open-loop means the dispatch schedule never waits for responses: request i
+// fires at start + i/RPS regardless of how slow the server is, which is what
+// exposes queueing collapse (a closed-loop generator self-throttles and
+// hides it). A bounded in-flight cap keeps a melted-down target from
+// accumulating unbounded goroutines; requests that would exceed it are
+// counted as dropped, not silently skipped.
+//
+// Against a multi-tenant hub (-homes N) traffic spreads over the homes with
+// a Zipf(-zipf) popularity skew — tenant 0 hottest — and -idle-fraction
+// holds the coldest fraction of homes completely idle, so hibernation
+// behavior under realistic skew is visible in the freeze/wake counters of
+// the final scrape diff. With -homes 0 every request hits the single-home
+// hub's /api/routines.
+//
+// Usage:
+//
+//	safehome-hub -listen :8123 -homes 64 -shards 4 -data /tmp/wal -durability group &
+//	safehome-loadgen -target http://127.0.0.1:8123 -homes 64 -rps 300 -duration 30s -zipf 1.2 -idle-fraction 0.25
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"safehome/internal/telemetry"
+)
+
+func main() {
+	var (
+		target   = flag.String("target", "http://127.0.0.1:8123", "base URL of the hub to load")
+		rps      = flag.Float64("rps", 200, "open-loop dispatch rate, requests per second")
+		duration = flag.Duration("duration", 10*time.Second, "how long to dispatch")
+		homes    = flag.Int("homes", 0, "number of homes to spread traffic over (0 = single-home hub API)")
+		prefix   = flag.String("home-prefix", "home-", "home ID prefix; homes are {prefix}0..{prefix}N-1")
+		plugs    = flag.Int("plugs", 5, "plugs per home when creating missing homes, and the device fan-out routines pick from")
+		zipfS    = flag.Float64("zipf", 1.1, "Zipf skew across homes (s parameter; <= 1 means uniform)")
+		idle     = flag.Float64("idle-fraction", 0, "fraction of homes that receive no traffic at all (0..0.9) — the hibernation knob")
+		holdMS   = flag.Int("hold-ms", 0, "per-command hold duration in milliseconds")
+		inflight = flag.Int("max-inflight", 512, "in-flight request cap; dispatches beyond it are counted as dropped")
+		seed     = flag.Int64("seed", 1, "random seed for home selection")
+		outPath  = flag.String("out", "", "also write the report as JSON to this path")
+	)
+	flag.Parse()
+	if *rps <= 0 || *duration <= 0 {
+		log.Fatal("safehome-loadgen: -rps and -duration must be positive")
+	}
+	if *idle < 0 || *idle > 0.9 {
+		log.Fatal("safehome-loadgen: -idle-fraction must be in [0, 0.9]")
+	}
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	base := strings.TrimRight(*target, "/")
+
+	if *homes > 0 {
+		ensureHomes(client, base, *prefix, *homes, *plugs)
+	}
+	before := scrape(client, base)
+
+	res := run(client, config{
+		base: base, rps: *rps, duration: *duration, homes: *homes, prefix: *prefix,
+		plugs: *plugs, zipfS: *zipfS, idle: *idle, holdMS: *holdMS,
+		inflight: *inflight, seed: *seed,
+	})
+	after := scrape(client, base)
+
+	report(res, before, after)
+	if *outPath != "" {
+		writeJSONReport(*outPath, res, before, after)
+	}
+	if res.sent == 0 {
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	base     string
+	rps      float64
+	duration time.Duration
+	homes    int
+	prefix   string
+	plugs    int
+	zipfS    float64
+	idle     float64
+	holdMS   int
+	inflight int
+	seed     int64
+}
+
+type results struct {
+	cfg       config
+	elapsed   time.Duration
+	sent      int64
+	ok        int64
+	shed      int64 // HTTP 429
+	errors    int64 // transport errors + non-2xx/429 statuses
+	dropped   int64 // never dispatched: in-flight cap reached
+	latencies []time.Duration
+}
+
+// run dispatches requests open-loop until the duration elapses, then waits
+// for stragglers.
+func run(client *http.Client, cfg config) *results {
+	res := &results{cfg: cfg}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var okCount, shedCount, errCount atomic.Int64
+
+	sem := make(chan struct{}, cfg.inflight)
+	rng := rand.New(rand.NewSource(cfg.seed))
+
+	// The active home pool: the coldest -idle-fraction of homes gets nothing.
+	active := cfg.homes - int(float64(cfg.homes)*cfg.idle)
+	if cfg.homes > 0 && active < 1 {
+		active = 1
+	}
+	var zipf *rand.Zipf
+	if cfg.homes > 0 && cfg.zipfS > 1 && active > 1 {
+		zipf = rand.NewZipf(rng, cfg.zipfS, 1, uint64(active-1))
+	}
+
+	interval := time.Duration(float64(time.Second) / cfg.rps)
+	start := time.Now()
+	deadline := start.Add(cfg.duration)
+	for i := int64(0); ; i++ {
+		next := start.Add(time.Duration(i) * interval)
+		if next.After(deadline) {
+			break
+		}
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		select {
+		case sem <- struct{}{}:
+		default:
+			res.dropped++
+			continue
+		}
+		res.sent++
+		url, body := buildRequest(cfg, rng, zipf, active, res.sent)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t0 := time.Now()
+			status, err := post(client, url, body)
+			lat := time.Since(t0)
+			switch {
+			case err != nil:
+				errCount.Add(1)
+			case status == http.StatusTooManyRequests:
+				shedCount.Add(1)
+			case status >= 200 && status < 300:
+				okCount.Add(1)
+				mu.Lock()
+				res.latencies = append(res.latencies, lat)
+				mu.Unlock()
+			default:
+				errCount.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	res.elapsed = time.Since(start)
+	res.ok = okCount.Load()
+	res.shed = shedCount.Load()
+	res.errors = errCount.Load()
+	return res
+}
+
+// buildRequest picks the target home (Zipf-skewed over the active pool) and
+// a device, and renders the Fig 10-style routine spec.
+func buildRequest(cfg config, rng *rand.Rand, zipf *rand.Zipf, active int, n int64) (string, []byte) {
+	var url string
+	if cfg.homes > 0 {
+		var h uint64
+		if zipf != nil {
+			h = zipf.Uint64()
+		} else if active > 1 {
+			h = uint64(rng.Intn(active))
+		}
+		url = fmt.Sprintf("%s/homes/%s%d/routines", cfg.base, cfg.prefix, h)
+	} else {
+		url = cfg.base + "/api/routines"
+	}
+	dev := 0
+	if cfg.plugs > 1 {
+		dev = rng.Intn(cfg.plugs)
+	}
+	body := fmt.Sprintf(`{"routine_name":"loadgen-%d","user":"loadgen","commands":[{"device":"plug-%d","action":"ON","duration_ms":%d}]}`,
+		n, dev, cfg.holdMS)
+	return url, []byte(body)
+}
+
+func post(client *http.Client, url string, body []byte) (int, error) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// ensureHomes creates any missing homes (PUT is idempotent on our side: an
+// existing home answers 409, which is fine).
+func ensureHomes(client *http.Client, base, prefix string, n, plugs int) {
+	for i := 0; i < n; i++ {
+		url := fmt.Sprintf("%s/homes/%s%d?plugs=%d", base, prefix, i, plugs)
+		req, err := http.NewRequest(http.MethodPut, url, nil)
+		if err != nil {
+			log.Fatalf("safehome-loadgen: %v", err)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			log.Fatalf("safehome-loadgen: creating %s%d: %v (is the hub running in -homes mode at %s?)", prefix, i, err, base)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusConflict {
+			log.Fatalf("safehome-loadgen: creating %s%d: unexpected status %d", prefix, i, resp.StatusCode)
+		}
+	}
+}
+
+// scrape fetches and parses /metrics; a hub without the endpoint (or a
+// scrape error) degrades to an empty map so the run still reports latencies.
+func scrape(client *http.Client, base string) map[string]*telemetry.Family {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		log.Printf("safehome-loadgen: scrape: %v", err)
+		return map[string]*telemetry.Family{}
+	}
+	defer resp.Body.Close()
+	text, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		log.Printf("safehome-loadgen: scrape: status %d err %v", resp.StatusCode, err)
+		return map[string]*telemetry.Family{}
+	}
+	fams, err := telemetry.Parse(string(text))
+	if err != nil {
+		log.Printf("safehome-loadgen: scrape parse: %v", err)
+		return map[string]*telemetry.Family{}
+	}
+	return fams
+}
+
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+func report(res *results, before, after map[string]*telemetry.Family) {
+	sort.Slice(res.latencies, func(i, j int) bool { return res.latencies[i] < res.latencies[j] })
+	answered := res.ok + res.shed + res.errors
+	fmt.Printf("safehome-loadgen: %v at %.0f rps open-loop (%d homes, zipf %.2f, idle %.0f%%)\n",
+		res.cfg.duration, res.cfg.rps, res.cfg.homes, res.cfg.zipfS, res.cfg.idle*100)
+	fmt.Printf("  dispatched %d  ok %d  shed(429) %d  errors %d  dropped(cap) %d  achieved %.0f rps\n",
+		res.sent, res.ok, res.shed, res.errors, res.dropped, float64(answered)/res.elapsed.Seconds())
+	if answered > 0 {
+		fmt.Printf("  shed rate %.2f%%\n", 100*float64(res.shed)/float64(answered))
+	}
+	if len(res.latencies) > 0 {
+		var sum time.Duration
+		for _, l := range res.latencies {
+			sum += l
+		}
+		fmt.Printf("  submit latency  p50 %v  p90 %v  p99 %v  p999 %v  max %v  avg %v\n",
+			percentile(res.latencies, 0.50), percentile(res.latencies, 0.90),
+			percentile(res.latencies, 0.99), percentile(res.latencies, 0.999),
+			res.latencies[len(res.latencies)-1], sum/time.Duration(len(res.latencies)))
+	}
+
+	if len(after) == 0 {
+		return
+	}
+	fmt.Printf("  server /metrics diff over the run:\n")
+	beforeTotals := telemetry.CounterTotals(before)
+	afterTotals := telemetry.CounterTotals(after)
+	names := make([]string, 0, len(afterTotals))
+	for name := range afterTotals {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		delta := afterTotals[name] - beforeTotals[name]
+		if delta != 0 {
+			fmt.Printf("    %-45s +%.0f\n", name, delta)
+		}
+	}
+	if f, ok := after["safehome_routine_stage_seconds"]; ok {
+		// The submit→done span on the home clock (the in-loop view of full
+		// routine latency), estimated from the server's own buckets.
+		done := &telemetry.Family{Name: f.Name, Type: f.Type}
+		for _, s := range f.Samples {
+			if s.Labels["stage"] == "done" {
+				done.Samples = append(done.Samples, s)
+			}
+		}
+		if q50, ok1 := telemetry.HistogramQuantile(done, 0.5); ok1 {
+			q99, _ := telemetry.HistogramQuantile(done, 0.99)
+			fmt.Printf("    in-loop routine latency (stage=done, home clock): p50 ~%.4fs p99 ~%.4fs\n", q50, q99)
+		}
+	}
+}
+
+// jsonReport is the machine-readable run record (-out) CI uploads as an
+// artifact.
+type jsonReport struct {
+	Target      string             `json:"target_rps"`
+	Duration    string             `json:"duration"`
+	Homes       int                `json:"homes"`
+	Zipf        float64            `json:"zipf"`
+	IdleFrac    float64            `json:"idle_fraction"`
+	Dispatched  int64              `json:"dispatched"`
+	OK          int64              `json:"ok"`
+	Shed        int64              `json:"shed_429"`
+	Errors      int64              `json:"errors"`
+	Dropped     int64              `json:"dropped_at_cap"`
+	AchievedRPS float64            `json:"achieved_rps"`
+	ShedRate    float64            `json:"shed_rate"`
+	LatencyMS   map[string]float64 `json:"latency_ms"`
+	CounterDiff map[string]float64 `json:"metrics_counter_diff"`
+}
+
+func writeJSONReport(path string, res *results, before, after map[string]*telemetry.Family) {
+	answered := res.ok + res.shed + res.errors
+	rep := jsonReport{
+		Target:   fmt.Sprintf("%.0f", res.cfg.rps),
+		Duration: res.cfg.duration.String(),
+		Homes:    res.cfg.homes, Zipf: res.cfg.zipfS, IdleFrac: res.cfg.idle,
+		Dispatched: res.sent, OK: res.ok, Shed: res.shed, Errors: res.errors, Dropped: res.dropped,
+		LatencyMS:   map[string]float64{},
+		CounterDiff: map[string]float64{},
+	}
+	if res.elapsed > 0 {
+		rep.AchievedRPS = float64(answered) / res.elapsed.Seconds()
+	}
+	if answered > 0 {
+		rep.ShedRate = float64(res.shed) / float64(answered)
+	}
+	for q, name := range map[float64]string{0.50: "p50", 0.90: "p90", 0.99: "p99", 0.999: "p999"} {
+		rep.LatencyMS[name] = float64(percentile(res.latencies, q).Microseconds()) / 1000
+	}
+	beforeTotals := telemetry.CounterTotals(before)
+	for name, v := range telemetry.CounterTotals(after) {
+		if d := v - beforeTotals[name]; d != 0 {
+			rep.CounterDiff[name] = d
+		}
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err == nil {
+		err = os.WriteFile(path, append(data, '\n'), 0o644)
+	}
+	if err != nil {
+		log.Printf("safehome-loadgen: writing %s: %v", path, err)
+	}
+}

@@ -144,6 +144,10 @@ type Hub struct {
 	durErr     error
 	lastPoison atomic.Pointer[rt.PoisonRecord]
 
+	// tel is the /metrics surface. It outlives runtime generations, so a
+	// supervised restart keeps appending to the same histograms.
+	tel *hubTelemetry
+
 	started time.Time
 }
 
@@ -170,6 +174,7 @@ func New(cfg Config, reg *device.Registry, actuator device.Actuator) (*Hub, erro
 		restartCh: make(chan struct{}, 1),
 		started:   time.Now(),
 	}
+	h.tel = newHubTelemetry(h)
 	if cfg.DataDir != "" {
 		h.durability = journal.ResolveMode(cfg.Journal, journal.ModeSync)
 		h.lastPoison.Store(rt.LoadPoisonRecord(cfg.DataDir))
@@ -177,6 +182,11 @@ func New(cfg Config, reg *device.Registry, actuator device.Actuator) (*Hub, erro
 			writers, err := journal.OpenWriters(filepath.Join(cfg.DataDir, "wal"), 1, journal.WriterOptions{
 				SegmentBytes: cfg.Journal.SegmentBytes,
 				OnSync:       cfg.Journal.OnSync,
+				Stats:        &h.tel.jstats,
+				OnCycle: func(bytes int64, commits int) {
+					h.tel.cycleBytes.Observe(float64(bytes))
+					h.tel.cycleCommits.Observe(float64(commits))
+				},
 			})
 			if err != nil {
 				h.durErr = err
@@ -220,6 +230,8 @@ func (h *Hub) buildRuntime() (*rt.HomeRuntime, error) {
 	}
 	cfg.Journal.Mode = h.durability
 	cfg.Journal.Writer = h.writer
+	cfg.Journal.Stats = &h.tel.jstats
+	cfg.Metrics = h.tel.loop
 	if !h.cfg.Supervisor.Disable {
 		cfg.OnPoison = h.notifyPoison
 	}

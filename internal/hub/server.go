@@ -20,6 +20,8 @@ import (
 //	GET  /healthz                 process liveness (always 200)
 //	GET  /readyz                  readiness: 503 + Retry-After while the
 //	                              hub is restarting or quarantined
+//	GET  /metrics                 Prometheus text exposition (see
+//	                              ARCHITECTURE.md "Observability")
 //	GET  /api/status              hub summary
 //	GET  /api/devices             device states and liveness
 //	GET  /api/routines            all routine results
@@ -44,6 +46,7 @@ func (h *Hub) Handler() http.Handler {
 		}
 		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("hub %s", health))
 	})
+	mux.Handle("GET /metrics", h.Telemetry().Handler())
 	mux.HandleFunc("GET /api/status", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, h.Status())
 	})
@@ -220,6 +223,7 @@ func writeHubError(w http.ResponseWriter, fallback int, err error) {
 //
 //	GET  /healthz                         process liveness (always 200)
 //	GET  /readyz                          readiness + supervision counters
+//	GET  /metrics                         Prometheus text exposition
 //	GET  /api/status                      manager summary (shards, totals)
 //	GET  /homes                           every home's summary (incl. health)
 //	PUT  /homes/{id}?plugs=N              create a home with N plug devices
@@ -258,6 +262,7 @@ func ManagerHandler(m *manager.Manager, defaultPlugs int) http.Handler {
 			"quarantined": st.Quarantined,
 		})
 	})
+	mux.Handle("GET /metrics", m.Telemetry().Handler())
 	mux.HandleFunc("GET /api/status", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, m.Status())
 	})

@@ -55,6 +55,16 @@ type WriterOptions struct {
 	// internal lock held — the hook must not call back into the writer or
 	// any attached journal.
 	OnSync func(path string, syncedBytes int64)
+	// Stats, when non-nil, receives the writer's fsync count. Usually the
+	// same Stats the attached journals carry, so standalone and group syncs
+	// land in one fleet-wide total.
+	Stats *Stats
+	// OnCycle, when non-nil, is called after each sync cycle with the bytes
+	// that cycle made durable and the number of commit tickets it released —
+	// the group-commit coalescing factor. Called with the writer's internal
+	// lock held; the hook must not call back into the writer or any attached
+	// journal (a plain histogram observation is the intended use).
+	OnCycle func(bytes int64, commits int)
 }
 
 // DefaultSyncDelay is the default group-commit window. At ~1ms it is far
@@ -569,21 +579,28 @@ func (w *GroupWriter) syncLoop() {
 			w.mu.Unlock()
 			return
 		}
+		cycleBytes := pos - w.totalSynced
 		if pos > w.totalSynced {
 			w.totalSynced = pos
 		}
+		w.sopts.Stats.noteFsync()
 		if w.sopts.OnSync != nil {
 			w.sopts.OnSync(segPath, segBytes)
 		}
+		commits := 0
 		keep := w.tickets[:0]
 		for _, t := range w.tickets {
 			if t.pos <= w.totalSynced {
 				close(t.done)
+				commits++
 			} else {
 				keep = append(keep, t)
 			}
 		}
 		w.tickets = keep
+		if w.sopts.OnCycle != nil && cycleBytes > 0 {
+			w.sopts.OnCycle(cycleBytes, commits)
+		}
 		// Credit async journals whose bytes are now fully covered. The
 		// all-or-nothing reset over-counts a journal that appended during
 		// the fsync, which errs on the side of syncing sooner — the ≤window

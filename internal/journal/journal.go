@@ -149,6 +149,11 @@ type Options struct {
 	// calls it with its internal lock held — the hook must not call back
 	// into the journal or writer.
 	OnSync func(path string, syncedBytes int64)
+	// Stats, when non-nil, receives plain atomic counts of appends, fsyncs
+	// and checkpoints. The same Stats is typically shared by every home (and
+	// the shard GroupWriters) so the /metrics surface gets fleet totals
+	// without the journal knowing about telemetry.
+	Stats *Stats
 	// NoSync skips the per-batch fsync.
 	//
 	// Deprecated: NoSync predates Mode and now aliases to ModeAsync with an
@@ -743,6 +748,7 @@ func (j *Journal) syncSeg() error {
 		return fmt.Errorf("journal: sync: %w", err)
 	}
 	j.unflushed = 0
+	j.opts.Stats.noteFsync()
 	if j.opts.OnSync != nil {
 		j.opts.OnSync(j.segPath, j.segBytes)
 	}
@@ -797,6 +803,7 @@ func (j *Journal) Append(b *Batch) error {
 	}
 	j.lsn = b.LSN
 	j.sinceCkpt += int64(len(j.buf))
+	j.opts.Stats.noteAppend(int64(len(j.buf)))
 	return nil
 }
 
@@ -876,6 +883,7 @@ func (j *Journal) Checkpoint(ck *Checkpoint) error {
 	if err := j.store.Put(checkpointName, frame); err != nil {
 		return fmt.Errorf("journal: publishing checkpoint: %w", err)
 	}
+	j.opts.Stats.noteCheckpoint()
 	j.sealed = ck.Sealed
 	j.sealSize = ck.SealSize
 

@@ -114,19 +114,25 @@ func (s BreakerState) String() string {
 
 // breaker is one device's circuit breaker. Guarded by Env.mu.
 type breaker struct {
-	state   BreakerState
-	fails   int       // consecutive failures
-	reopens time.Time // when an open breaker admits its probe
-	probing bool      // a half-open probe is in flight
-	opens   int64     // times the breaker has opened (monotonic)
+	state     BreakerState
+	fails     int       // consecutive failures
+	reopens   time.Time // when an open breaker admits its probe
+	probing   bool      // a half-open probe is in flight
+	opens     int64     // times the breaker has opened (monotonic)
+	halfOpens int64     // times an open breaker admitted a probe (monotonic)
+	shorts    int64     // commands failed fast on this breaker (monotonic)
 }
 
-// BreakerStats is one device's breaker position for Status surfaces.
+// BreakerStats is one device's breaker position for Status surfaces and the
+// /metrics breaker collector. State is the current position; Opens,
+// HalfOpens and ShortCircuits are monotone per-device transition counters.
 type BreakerStats struct {
-	Device device.ID `json:"device"`
-	State  string    `json:"state"`
-	Fails  int       `json:"consecutive_failures,omitempty"`
-	Opens  int64     `json:"opens,omitempty"`
+	Device        device.ID `json:"device"`
+	State         string    `json:"state"`
+	Fails         int       `json:"consecutive_failures,omitempty"`
+	Opens         int64     `json:"opens,omitempty"`
+	HalfOpens     int64     `json:"half_opens,omitempty"`
+	ShortCircuits int64     `json:"short_circuits,omitempty"`
 }
 
 // Env implements visibility.Env over wall-clock time and a device actuator.
@@ -258,13 +264,16 @@ func (e *Env) admit(id device.ID) (probe, admitted bool) {
 	switch b.state {
 	case BreakerOpen:
 		if time.Now().Before(b.reopens) {
+			b.shorts++
 			return false, false
 		}
 		b.state = BreakerHalfOpen
+		b.halfOpens++
 		b.probing = true
 		return true, true
 	case BreakerHalfOpen:
 		if b.probing {
+			b.shorts++
 			return false, false
 		}
 		b.probing = true
@@ -318,7 +327,8 @@ func (e *Env) Breakers() []BreakerStats {
 	e.mu.Lock()
 	out := make([]BreakerStats, 0, len(e.breakers))
 	for id, b := range e.breakers {
-		out = append(out, BreakerStats{Device: id, State: b.state.String(), Fails: b.fails, Opens: b.opens})
+		out = append(out, BreakerStats{Device: id, State: b.state.String(), Fails: b.fails,
+			Opens: b.opens, HalfOpens: b.halfOpens, ShortCircuits: b.shorts})
 	}
 	e.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Device < out[j].Device })

@@ -229,10 +229,16 @@ type Manager struct {
 	aborted   *stats.ShardedCounter
 	simEvents *stats.ShardedCounter
 
-	// Supervision totals across all shards.
-	poisons     atomic.Int64
-	restarts    atomic.Int64
-	quarantined atomic.Int64
+	// Supervision totals across all shards. restartingNow is the number of
+	// supervised rebuilds in flight right now (a gauge, not a total).
+	poisons       atomic.Int64
+	restarts      atomic.Int64
+	quarantined   atomic.Int64
+	restartingNow atomic.Int64
+
+	// tel is the /metrics surface: registry, fleet-shared loop instruments,
+	// journal stats, and the TTL-cached status gauges.
+	tel *managerTelemetry
 
 	// Durability tier wiring: in group/async mode every journaled home on
 	// shard i appends through writers[i % len(writers)] — one shared segment
@@ -265,6 +271,7 @@ func New(cfg Config) *Manager {
 		simEvents: stats.NewShardedCounter(cfg.Shards),
 		wakeKick:  make(chan struct{}, 1),
 	}
+	m.tel = newManagerTelemetry(m)
 	if cfg.DataDir != "" {
 		m.durability = journal.ResolveMode(cfg.Journal, journal.ModeGroup)
 		if m.durability != journal.ModeSync {
@@ -277,6 +284,8 @@ func New(cfg Config) *Manager {
 			writers, err := journal.OpenWriters(filepath.Join(cfg.DataDir, "wal"), nw, journal.WriterOptions{
 				SegmentBytes: cfg.Journal.SegmentBytes,
 				OnSync:       cfg.Journal.OnSync,
+				Stats:        &m.tel.jstats,
+				OnCycle:      m.tel.onCycle,
 			})
 			if err != nil {
 				// Keep New's no-error signature: fall back to per-home sync
@@ -337,6 +346,7 @@ func (m *Manager) runtimeConfig(id HomeID, shard int) rt.Config {
 	jopts := m.cfg.Journal
 	jopts.Mode = m.durability
 	jopts.HomeID = string(id)
+	jopts.Stats = &m.tel.jstats
 	if m.writers != nil {
 		jopts.Writer = m.writers[shard%len(m.writers)]
 	}
@@ -364,6 +374,7 @@ func (m *Manager) runtimeConfig(id HomeID, shard int) rt.Config {
 			}
 		},
 		OnSimEvents: func(n int) { m.simEvents.Add(shard, int64(n)) },
+		Metrics:     m.tel.loop,
 	}
 }
 

@@ -192,6 +192,8 @@ func (s *shard) runSupervisor() {
 
 // superviseRestart swaps a fresh runtime generation into a poisoned slot.
 func (s *shard) superviseRestart(slot *homeSlot) {
+	s.m.restartingNow.Add(1)
+	defer s.m.restartingNow.Add(-1)
 	// Join the dead loop first. The poison teardown already closed the
 	// mailbox and released the journal's file lock, so the data directory is
 	// free for the next generation.
@@ -244,6 +246,7 @@ func (s *shard) setLive(slot *homeSlot, live bool) bool {
 // no marker: an ordinary live recovery next boot, never a stale frozen
 // claim over a home that already reanimated.
 func (s *shard) wake(slot *homeSlot) (*rt.HomeRuntime, error) {
+	wakeStart := time.Now()
 	slot.wakeMu.Lock()
 	defer slot.wakeMu.Unlock()
 	if home := slot.rt.Load(); home != nil {
@@ -264,6 +267,8 @@ func (s *shard) wake(slot *homeSlot) (*rt.HomeRuntime, error) {
 	}
 	slot.rt.Store(home)
 	slot.frozen.Store(nil)
+	s.m.tel.wakes.Inc()
+	s.m.tel.wakeSeconds.Observe(time.Since(wakeStart).Seconds())
 	return home, nil
 }
 
@@ -303,6 +308,7 @@ func (s *shard) freeze(slot *homeSlot) error {
 	slot.frozen.Store(fr)
 	s.setLive(slot, false)
 	slot.rt.Store(nil)
+	s.m.tel.freezes.Inc()
 	if !fr.NextFire.IsZero() {
 		s.m.scheduleWake(slot.id, fr.NextFire)
 	}

@@ -112,6 +112,11 @@ type Config struct {
 	// owner uses it to trigger a supervised restart; it must not block on the
 	// poisoned runtime other than Close, which merely joins the dead loop.
 	OnPoison func(err error)
+	// Metrics, if set, receives in-loop telemetry (stage-latency histograms,
+	// snapshot publish counts) recorded with single atomic operations on the
+	// loop goroutine. One LoopMetrics is shared by every home of a manager;
+	// nil disables recording with one nil check on the hot path.
+	Metrics *LoopMetrics
 }
 
 const (
@@ -368,13 +373,17 @@ func (rt *HomeRuntime) controllerOptions() visibility.Options {
 	opts := rt.cfg.options()
 	user := rt.cfg.Observer
 	journaled := rt.j != nil
-	if journaled || rt.cfg.EventLog > 0 {
+	metered := rt.cfg.Metrics != nil
+	if journaled || metered || rt.cfg.EventLog > 0 {
 		opts.Observer = func(e visibility.Event) {
 			if rt.j != nil {
 				rt.collectJournal(e)
 			}
 			if rt.cfg.EventLog > 0 {
 				rt.recordEvent(e)
+			}
+			if metered {
+				rt.recordStage(e)
 			}
 			if user != nil {
 				user(e)
@@ -654,7 +663,16 @@ func (rt *HomeRuntime) apply(o *op) (result, *reply) {
 	switch o.kind {
 	case opSubmit:
 		rt.snapDirty = true
-		rid := rt.ctrl.Submit(o.r)
+		var rid routine.ID
+		if m := rt.cfg.Metrics; m != nil {
+			// The submit→placed stage: wall-clock cost of admission plus
+			// scheduler placement, measured around the Submit call itself.
+			t0 := time.Now()
+			rid = rt.ctrl.Submit(o.r)
+			m.StagePlace.Observe(time.Since(t0).Seconds())
+		} else {
+			rid = rt.ctrl.Submit(o.r)
+		}
 		rt.pumpVirtual()
 		return result{rid: rid}, o.reply
 	case opSubmitAfter:

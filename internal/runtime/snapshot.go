@@ -189,4 +189,7 @@ func (rt *HomeRuntime) publish(force bool) {
 	}
 	rt.snap.Store(s)
 	rt.snapDirty = false
+	if m := rt.cfg.Metrics; m != nil {
+		m.SnapshotPublishes.Inc()
+	}
 }

@@ -1,0 +1,42 @@
+package runtime
+
+import (
+	"testing"
+
+	"safehome/internal/device"
+	"safehome/internal/telemetry"
+	"safehome/internal/visibility"
+)
+
+// TestMeteredSubmitDoesNotAllocate guards the hot path: attaching
+// LoopMetrics must not add a single allocation per submit. The histogram
+// Observe is a bucket scan over atomics plus a CAS on the sum, and the
+// stage tap rides the observer chain the journal already uses — so the
+// metered and unmetered allocs/op must be identical.
+func TestMeteredSubmitDoesNotAllocate(t *testing.T) {
+	run := func(cfg Config) float64 {
+		rt, err := NewSim(cfg, device.Plugs(2))
+		if err != nil {
+			t.Fatalf("NewSim: %v", err)
+		}
+		defer rt.Close()
+		// Warm up so lazy one-time allocations don't skew the measurement.
+		for i := 0; i < 10; i++ {
+			if _, err := rt.Submit(plugRoutine("warm", device.On, 0)); err != nil {
+				t.Fatalf("warm-up submit: %v", err)
+			}
+		}
+		return testing.AllocsPerRun(200, func() {
+			if _, err := rt.Submit(plugRoutine("measured", device.On, 0)); err != nil {
+				t.Fatalf("submit: %v", err)
+			}
+		})
+	}
+
+	bare := run(Config{Model: visibility.EV})
+	metered := run(Config{Model: visibility.EV, Metrics: NewLoopMetrics(telemetry.NewRegistry())})
+	if metered > bare {
+		t.Errorf("metered submit allocates more: %.1f allocs/op vs %.1f bare", metered, bare)
+	}
+	t.Logf("allocs/op: bare=%.1f metered=%.1f", bare, metered)
+}

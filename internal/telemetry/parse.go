@@ -1,0 +1,413 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one exposition line: a metric name, its label set, and a value.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Family is a parsed metric family: the HELP/TYPE header plus every sample
+// that belongs to it (for histograms that includes the _bucket/_sum/_count
+// series).
+type Family struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []Sample
+}
+
+// Parse decodes Prometheus text exposition format. It is the consumer-side
+// counterpart of Registry.Render, used by safehome-loadgen's scrape diff and
+// by the exposition-lint tests; it accepts the subset of the format the
+// registry emits (plus untyped samples with no header).
+func Parse(text string) (map[string]*Family, error) {
+	fams := map[string]*Family{}
+	get := func(name string) *Family {
+		f, ok := fams[name]
+		if !ok {
+			f = &Family{Name: name}
+			fams[name] = f
+		}
+		return f
+	}
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 {
+				continue // bare comment
+			}
+			switch fields[1] {
+			case "HELP":
+				f := get(fields[2])
+				if len(fields) == 4 {
+					f.Help = fields[3]
+				} else {
+					f.Help = " " // present but empty
+				}
+			case "TYPE":
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("line %d: malformed TYPE", ln+1)
+				}
+				f := get(fields[2])
+				if f.Type != "" {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %s", ln+1, fields[2])
+				}
+				f.Type = fields[3]
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		f := get(familyOf(fams, s.Name))
+		f.Samples = append(f.Samples, s)
+	}
+	return fams, nil
+}
+
+// familyOf maps a sample name onto its family: histogram series names carry
+// _bucket/_sum/_count suffixes on top of the family name.
+func familyOf(fams map[string]*Family, name string) string {
+	if f, ok := fams[name]; ok && f.Type != "" {
+		return name
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name {
+			if f, ok := fams[base]; ok && f.Type == TypeHistogram {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := -1
+		inQuote, esc := false, false
+		for i := 1; i < len(rest); i++ {
+			c := rest[i]
+			switch {
+			case esc:
+				esc = false
+			case c == '\\' && inQuote:
+				esc = true
+			case c == '"':
+				inQuote = !inQuote
+			case c == '}' && !inQuote:
+				end = i
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := parseLabels(rest[1:end], s.Labels); err != nil {
+			return s, err
+		}
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimSpace(rest)
+	// The format allows an optional timestamp after the value; the registry
+	// never emits one, so a second field is an error here.
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		return s, fmt.Errorf("unexpected trailing field in %q", line)
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %w", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseLabels(s string, into map[string]string) error {
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 || eq+1 >= len(s) || s[eq+1] != '"' {
+			return fmt.Errorf("malformed label pair in %q", s)
+		}
+		name := s[:eq]
+		rest := s[eq+2:]
+		var sb strings.Builder
+		i, closed := 0, false
+		for i < len(rest) {
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				switch rest[i+1] {
+				case 'n':
+					sb.WriteByte('\n')
+				case '\\':
+					sb.WriteByte('\\')
+				case '"':
+					sb.WriteByte('"')
+				default:
+					sb.WriteByte(rest[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				closed = true
+				i++
+				break
+			}
+			sb.WriteByte(c)
+			i++
+		}
+		if !closed {
+			return fmt.Errorf("unterminated label value for %s", name)
+		}
+		into[name] = sb.String()
+		s = strings.TrimPrefix(rest[i:], ",")
+	}
+	return nil
+}
+
+var (
+	metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRE  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// Lint checks exposition text against the format rules plus the repo's own
+// conventions, returning one message per problem (empty means clean):
+//
+//   - every sample's family has both HELP and TYPE lines
+//   - metric and label names are legal; no reserved `__` label prefix
+//   - counter family names end in `_total`
+//   - no duplicate series (same name + label set twice)
+//   - histogram children have ascending-cumulative buckets, an `le="+Inf"`
+//     bucket equal to `_count`, and a `_sum`
+func Lint(text string) []string {
+	var problems []string
+	bad := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+	fams, err := Parse(text)
+	if err != nil {
+		return []string{fmt.Sprintf("parse: %v", err)}
+	}
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := fams[name]
+		if !metricNameRE.MatchString(name) {
+			bad("family %s: illegal metric name", name)
+		}
+		if f.Type == "" {
+			bad("family %s: missing TYPE line", name)
+		}
+		if f.Help == "" {
+			bad("family %s: missing HELP line", name)
+		}
+		if f.Type == TypeCounter && !strings.HasSuffix(name, "_total") {
+			bad("family %s: counter name should end in _total", name)
+		}
+		seen := map[string]bool{}
+		for _, s := range f.Samples {
+			for ln := range s.Labels {
+				if !labelNameRE.MatchString(ln) {
+					bad("family %s: illegal label name %q", name, ln)
+				}
+				if strings.HasPrefix(ln, "__") {
+					bad("family %s: reserved label name %q", name, ln)
+				}
+			}
+			key := s.Name + "|" + labelKey(s.Labels)
+			if seen[key] {
+				bad("family %s: duplicate series %s{%s}", name, s.Name, labelKey(s.Labels))
+			}
+			seen[key] = true
+		}
+		if f.Type == TypeHistogram {
+			lintHistogram(f, bad)
+		}
+	}
+	return problems
+}
+
+// lintHistogram groups a histogram family's samples into children by their
+// non-le label set and checks each child's bucket/sum/count consistency.
+func lintHistogram(f *Family, bad func(string, ...any)) {
+	type hchild struct {
+		buckets  []Sample
+		hasInf   bool
+		infCount float64
+		count    float64
+		hasCount bool
+		hasSum   bool
+	}
+	children := map[string]*hchild{}
+	get := func(s Sample) *hchild {
+		labels := map[string]string{}
+		for k, v := range s.Labels {
+			if k != "le" {
+				labels[k] = v
+			}
+		}
+		key := labelKey(labels)
+		c, ok := children[key]
+		if !ok {
+			c = &hchild{}
+			children[key] = c
+		}
+		return c
+	}
+	for _, s := range f.Samples {
+		c := get(s)
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			if s.Labels["le"] == "+Inf" {
+				c.hasInf = true
+				c.infCount = s.Value
+			}
+			c.buckets = append(c.buckets, s)
+		case strings.HasSuffix(s.Name, "_count"):
+			c.hasCount = true
+			c.count = s.Value
+		case strings.HasSuffix(s.Name, "_sum"):
+			c.hasSum = true
+		default:
+			bad("family %s: stray histogram sample %s", f.Name, s.Name)
+		}
+	}
+	keys := make([]string, 0, len(children))
+	for k := range children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		c := children[key]
+		if !c.hasInf {
+			bad("family %s{%s}: no le=\"+Inf\" bucket", f.Name, key)
+		}
+		if !c.hasCount || !c.hasSum {
+			bad("family %s{%s}: missing _count or _sum", f.Name, key)
+		}
+		if c.hasInf && c.hasCount && c.infCount != c.count {
+			bad("family %s{%s}: +Inf bucket %v != _count %v", f.Name, key, c.infCount, c.count)
+		}
+		// Buckets must be sorted by le and cumulative counts non-decreasing.
+		sort.Slice(c.buckets, func(i, j int) bool {
+			return leValue(c.buckets[i].Labels["le"]) < leValue(c.buckets[j].Labels["le"])
+		})
+		prev := -1.0
+		for _, b := range c.buckets {
+			if b.Value < prev {
+				bad("family %s{%s}: bucket counts not monotone at le=%s", f.Name, key, b.Labels["le"])
+			}
+			prev = b.Value
+		}
+	}
+}
+
+func leValue(le string) float64 {
+	if le == "+Inf" {
+		return math.Inf(1)
+	}
+	v, err := strconv.ParseFloat(le, 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+func labelKey(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(k)
+		sb.WriteByte('=')
+		sb.WriteString(labels[k])
+	}
+	return sb.String()
+}
+
+// CounterTotals sums every counter family's samples (all label children) —
+// the convenient shape for loadgen's before/after scrape diff.
+func CounterTotals(fams map[string]*Family) map[string]float64 {
+	out := map[string]float64{}
+	for name, f := range fams {
+		if f.Type != TypeCounter {
+			continue
+		}
+		for _, s := range f.Samples {
+			out[name] += s.Value
+		}
+	}
+	return out
+}
+
+// HistogramQuantile estimates quantile q (0..1) for a histogram family child
+// from its cumulative buckets, interpolating linearly inside the winning
+// bucket — the standard Prometheus histogram_quantile estimate.
+func HistogramQuantile(f *Family, q float64) (float64, bool) {
+	type pt struct{ le, cum float64 }
+	var pts []pt
+	for _, s := range f.Samples {
+		if strings.HasSuffix(s.Name, "_bucket") {
+			pts = append(pts, pt{leValue(s.Labels["le"]), s.Value})
+		}
+	}
+	if len(pts) == 0 {
+		return 0, false
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].le < pts[j].le })
+	total := pts[len(pts)-1].cum
+	if total == 0 {
+		return 0, false
+	}
+	rank := q * total
+	for i, p := range pts {
+		if p.cum >= rank {
+			lo, locum := 0.0, 0.0
+			if i > 0 {
+				lo, locum = pts[i-1].le, pts[i-1].cum
+			}
+			if math.IsInf(p.le, 1) || p.le > 1e307 {
+				return lo, true
+			}
+			if p.cum == locum {
+				return p.le, true
+			}
+			return lo + (p.le-lo)*(rank-locum)/(p.cum-locum), true
+		}
+	}
+	return pts[len(pts)-1].le, true
+}

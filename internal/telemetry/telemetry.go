@@ -1,0 +1,447 @@
+// Package telemetry is a dependency-free metrics registry that renders the
+// Prometheus text exposition format (version 0.0.4). It exists so the hub and
+// manager can serve `GET /metrics` without pulling the Prometheus client
+// library into a repo that is deliberately stdlib-only.
+//
+// The design follows the repo's off-loop read discipline (the PR 4 snapshot
+// pattern): instruments are written with single atomic operations — no locks,
+// no allocation — so the home loop goroutines can record stage latencies
+// in-line, and scrapes read the same atomics without ever touching a mailbox
+// or blocking a writer. A Histogram keeps non-cumulative per-bucket cells;
+// the render pass computes the cumulative counts Prometheus expects, which
+// makes `le="+Inf"` equal `_count` by construction even while writers are
+// mid-flight.
+//
+// Registration is get-or-create and keyed by (family, label set): asking for
+// the same instrument twice returns the same cells, so a restarted home
+// generation keeps appending to the counters of its predecessor.
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Instrument kinds, as they appear on `# TYPE` lines.
+const (
+	TypeCounter   = "counter"
+	TypeGauge     = "gauge"
+	TypeHistogram = "histogram"
+)
+
+// Label is one name="value" pair. Labels are rendered once at registration,
+// so holding an instrument and bumping it is allocation-free.
+type Label struct{ Name, Value string }
+
+// L is shorthand for Label{name, value}.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// Counter is a monotonically increasing int64. By convention (enforced by
+// Lint) counter family names end in `_total`.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; negative deltas are ignored so the counter stays monotone.
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable int64 value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the value by n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into fixed buckets. Observe is lock-free and
+// allocation-free: one atomic add on the bucket cell plus a CAS loop on the
+// float64 sum, so many loop goroutines can share one histogram (the fleet-wide
+// stage histograms are written by every home on the manager).
+type Histogram struct {
+	upper []float64 // ascending upper bounds; +Inf is implicit
+	cells []atomic.Uint64
+	sum   atomic.Uint64 // float64 bits
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.upper) && v > h.upper[i] {
+		i++
+	}
+	h.cells[i].Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.cells {
+		n += h.cells[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// ExponentialBuckets returns n upper bounds starting at start and multiplying
+// by factor: the fixed exponential ladder the repo's latency histograms use.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("telemetry: ExponentialBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// DefBuckets covers 10µs to ~21s at 2x resolution — wide enough for both
+// virtual-clock stage latencies and wall-clock wake/HTTP latencies.
+func DefBuckets() []float64 { return ExponentialBuckets(10e-6, 2, 22) }
+
+// child is one labeled instrument inside a family.
+type child struct {
+	labels  string // pre-rendered `a="b",c="d"` (no braces), "" for unlabeled
+	ctr     *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	ctrFn   func() int64
+	gaugeFn func() float64
+}
+
+// family is a named group of children sharing HELP/TYPE.
+type family struct {
+	name, help, typ string
+	order           []string // label keys in registration order
+	children        map[string]*child
+}
+
+// Registry holds families in registration order and renders them as
+// Prometheus text. All methods are safe for concurrent use; instrument
+// registration takes the registry lock, but the returned instruments are
+// lock-free to bump.
+type Registry struct {
+	mu         sync.Mutex
+	families   []*family
+	byName     map[string]*family
+	collectors []func(*Emitter)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*family{}}
+}
+
+func (r *Registry) getFamily(name, help, typ string) *family {
+	f, ok := r.byName[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, children: map[string]*child{}}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+		return f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("telemetry: family %s registered as %s and %s", name, f.typ, typ))
+	}
+	return f
+}
+
+func (f *family) getChild(labels []Label) *child {
+	key := renderLabels(labels)
+	c, ok := f.children[key]
+	if !ok {
+		c = &child{labels: key}
+		f.children[key] = c
+		f.order = append(f.order, key)
+	}
+	return c
+}
+
+// Counter registers (or finds) a counter. Counter names should end in _total.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.getFamily(name, help, TypeCounter).getChild(labels)
+	if c.ctr == nil {
+		c.ctr = &Counter{}
+	}
+	return c.ctr
+}
+
+// Gauge registers (or finds) a gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.getFamily(name, help, TypeGauge).getChild(labels)
+	if c.gauge == nil {
+		c.gauge = &Gauge{}
+	}
+	return c.gauge
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape time
+// — the bridge to counters that already exist elsewhere (sharded manager
+// totals, journal stats atomics).
+func (r *Registry) CounterFunc(name, help string, fn func() int64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.getFamily(name, help, TypeCounter).getChild(labels).ctrFn = fn
+}
+
+// GaugeFunc registers a gauge read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.getFamily(name, help, TypeGauge).getChild(labels).gaugeFn = fn
+}
+
+// Histogram registers (or finds) a histogram with the given upper bounds
+// (ascending; +Inf is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if len(buckets) == 0 {
+		panic("telemetry: histogram needs at least one bucket")
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic("telemetry: histogram buckets must ascend")
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.getFamily(name, help, TypeHistogram).getChild(labels)
+	if c.hist == nil {
+		up := make([]float64, len(buckets))
+		copy(up, buckets)
+		c.hist = &Histogram{upper: up, cells: make([]atomic.Uint64, len(up)+1)}
+	}
+	return c.hist
+}
+
+// Collect registers a scrape-time callback for families whose label sets are
+// dynamic (per-device breaker counters, per-state home gauges). The callback
+// must emit families whose names are not registered statically.
+func (r *Registry) Collect(fn func(*Emitter)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, fn)
+}
+
+// Emitter writes one scrape's worth of collector samples.
+type Emitter struct {
+	buf     *bytes.Buffer
+	curName string
+}
+
+// Family starts a metric family: writes its HELP/TYPE header. Subsequent
+// Value calls emit samples for it.
+func (e *Emitter) Family(name, typ, help string) {
+	writeHeader(e.buf, name, help, typ)
+	e.curName = name
+}
+
+// Value emits one sample for the current family. labelPairs alternate
+// name, value.
+func (e *Emitter) Value(v float64, labelPairs ...string) {
+	if e.curName == "" {
+		panic("telemetry: Emitter.Value before Family")
+	}
+	e.buf.WriteString(e.curName)
+	if len(labelPairs) > 0 {
+		e.buf.WriteByte('{')
+		for i := 0; i+1 < len(labelPairs); i += 2 {
+			if i > 0 {
+				e.buf.WriteByte(',')
+			}
+			e.buf.WriteString(labelPairs[i])
+			e.buf.WriteString(`="`)
+			e.buf.WriteString(escapeLabel(labelPairs[i+1]))
+			e.buf.WriteByte('"')
+		}
+		e.buf.WriteByte('}')
+	}
+	e.buf.WriteByte(' ')
+	writeFloat(e.buf, v)
+	e.buf.WriteByte('\n')
+}
+
+// Render returns the full exposition text.
+func (r *Registry) Render() []byte {
+	var b bytes.Buffer
+	r.mu.Lock()
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	cols := make([]func(*Emitter), len(r.collectors))
+	copy(cols, r.collectors)
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		writeHeader(&b, f.name, f.help, f.typ)
+		for _, key := range f.order {
+			c := f.children[key]
+			switch {
+			case c.hist != nil:
+				renderHistogram(&b, f.name, c)
+			case c.ctr != nil:
+				writeSample(&b, f.name, "", c.labels, float64(c.ctr.Value()))
+			case c.gauge != nil:
+				writeSample(&b, f.name, "", c.labels, float64(c.gauge.Value()))
+			case c.ctrFn != nil:
+				writeSample(&b, f.name, "", c.labels, float64(c.ctrFn()))
+			case c.gaugeFn != nil:
+				writeSample(&b, f.name, "", c.labels, c.gaugeFn())
+			}
+		}
+	}
+	e := &Emitter{buf: &b}
+	for _, fn := range cols {
+		fn(e)
+	}
+	return b.Bytes()
+}
+
+// renderHistogram reads the cells once, then renders the cumulative buckets,
+// sum and count from that single read — the exposition is internally
+// consistent no matter how many writers are mid-Observe.
+func renderHistogram(b *bytes.Buffer, name string, c *child) {
+	counts := make([]uint64, len(c.hist.cells))
+	for i := range c.hist.cells {
+		counts[i] = c.hist.cells[i].Load()
+	}
+	var cum uint64
+	for i, up := range c.hist.upper {
+		cum += counts[i]
+		writeBucket(b, name, c.labels, strconv.FormatFloat(up, 'g', -1, 64), cum)
+	}
+	cum += counts[len(counts)-1]
+	writeBucket(b, name, c.labels, "+Inf", cum)
+	writeSample(b, name, "_sum", c.labels, c.hist.Sum())
+	writeSample(b, name, "_count", c.labels, float64(cum))
+}
+
+func writeHeader(b *bytes.Buffer, name, help, typ string) {
+	b.WriteString("# HELP ")
+	b.WriteString(name)
+	b.WriteByte(' ')
+	b.WriteString(escapeHelp(help))
+	b.WriteString("\n# TYPE ")
+	b.WriteString(name)
+	b.WriteByte(' ')
+	b.WriteString(typ)
+	b.WriteByte('\n')
+}
+
+func writeBucket(b *bytes.Buffer, name, labels, le string, v uint64) {
+	b.WriteString(name)
+	b.WriteString("_bucket{")
+	if labels != "" {
+		b.WriteString(labels)
+		b.WriteByte(',')
+	}
+	b.WriteString(`le="`)
+	b.WriteString(le)
+	b.WriteString(`"} `)
+	b.WriteString(strconv.FormatUint(v, 10))
+	b.WriteByte('\n')
+}
+
+func writeSample(b *bytes.Buffer, name, suffix, labels string, v float64) {
+	b.WriteString(name)
+	b.WriteString(suffix)
+	if labels != "" {
+		b.WriteByte('{')
+		b.WriteString(labels)
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	writeFloat(b, v)
+	b.WriteByte('\n')
+}
+
+func writeFloat(b *bytes.Buffer, v float64) {
+	switch {
+	case math.IsInf(v, 1):
+		b.WriteString("+Inf")
+	case math.IsInf(v, -1):
+		b.WriteString("-Inf")
+	case math.IsNaN(v):
+		b.WriteString("NaN")
+	default:
+		b.Write(strconv.AppendFloat(b.AvailableBuffer(), v, 'g', -1, 64))
+	}
+}
+
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Name)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(l.Value))
+		sb.WriteByte('"')
+	}
+	return sb.String()
+}
+
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Handler serves the registry as `text/plain; version=0.0.4`.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write(r.Render())
+	})
+}

@@ -1,0 +1,218 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("safehome_test_ops_total", "Ops processed.", L("kind", "submit"))
+	c.Add(3)
+	c.Inc()
+	c.Add(-5) // ignored: counters stay monotone
+	g := r.Gauge("safehome_test_depth", "Queue depth.")
+	g.Set(7)
+	g.Dec()
+	r.CounterFunc("safehome_test_fn_total", "Func counter.", func() int64 { return 42 })
+	r.GaugeFunc("safehome_test_fn_gauge", "Func gauge.", func() float64 { return 1.5 })
+
+	text := string(r.Render())
+	for _, want := range []string{
+		"# HELP safehome_test_ops_total Ops processed.",
+		"# TYPE safehome_test_ops_total counter",
+		`safehome_test_ops_total{kind="submit"} 4`,
+		"safehome_test_depth 6",
+		"safehome_test_fn_total 42",
+		"safehome_test_fn_gauge 1.5",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("render missing %q in:\n%s", want, text)
+		}
+	}
+	if problems := Lint(text); len(problems) != 0 {
+		t.Errorf("lint problems: %v", problems)
+	}
+}
+
+func TestCounterRegistrationIsIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("safehome_test_total", "x.")
+	b := r.Counter("safehome_test_total", "x.")
+	if a != b {
+		t.Fatal("same name+labels must return the same counter")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("counters not shared")
+	}
+}
+
+func TestFamilyTypeConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("safehome_x_total", "x.")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on type conflict")
+		}
+	}()
+	r.Gauge("safehome_x_total", "x.")
+}
+
+func TestExponentialBuckets(t *testing.T) {
+	b := ExponentialBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("bucket %d = %v, want %v", i, b[i], want[i])
+		}
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("safehome_test_latency_seconds", "Latency.", []float64{0.001, 0.01, 0.1, 1})
+	for _, v := range []float64{0.0005, 0.005, 0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-5.5605) > 1e-9 {
+		t.Fatalf("sum = %v, want 5.5605", got)
+	}
+	text := string(r.Render())
+	for _, want := range []string{
+		`safehome_test_latency_seconds_bucket{le="0.001"} 1`,
+		`safehome_test_latency_seconds_bucket{le="0.01"} 3`,
+		`safehome_test_latency_seconds_bucket{le="0.1"} 4`,
+		`safehome_test_latency_seconds_bucket{le="1"} 5`,
+		`safehome_test_latency_seconds_bucket{le="+Inf"} 6`,
+		`safehome_test_latency_seconds_count 6`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("render missing %q in:\n%s", want, text)
+		}
+	}
+	if problems := Lint(text); len(problems) != 0 {
+		t.Errorf("lint problems: %v", problems)
+	}
+	fams, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fams["safehome_test_latency_seconds"]
+	if f == nil || f.Type != TypeHistogram {
+		t.Fatalf("histogram family not parsed: %+v", f)
+	}
+	q50, ok := HistogramQuantile(f, 0.5)
+	if !ok || q50 <= 0.001 || q50 > 0.01+1e-12 {
+		t.Errorf("p50 = %v, want in (0.001, 0.01]", q50)
+	}
+	// p99.9 lands in the +Inf bucket; the estimate clamps to the last finite
+	// bound.
+	q999, ok := HistogramQuantile(f, 0.999)
+	if !ok || q999 != 1 {
+		t.Errorf("p999 = %v, want clamp to 1", q999)
+	}
+}
+
+func TestHistogramConcurrentObserveStaysConsistent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("safehome_test_conc_seconds", "Concurrent.", DefBuckets())
+	var wg sync.WaitGroup
+	const writers, per = 8, 2000
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(i%100) / 1000)
+			}
+		}(w)
+	}
+	// Scrape concurrently with the writers: every render must lint clean
+	// (cumulative monotone, +Inf == _count) even mid-write.
+	for i := 0; i < 50; i++ {
+		if problems := Lint(string(r.Render())); len(problems) != 0 {
+			t.Fatalf("lint problems under concurrent writes: %v", problems)
+		}
+	}
+	wg.Wait()
+	if h.Count() != writers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), writers*per)
+	}
+}
+
+func TestObserveAndIncAreAllocationFree(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("safehome_test_alloc_seconds", "Alloc.", DefBuckets())
+	c := r.Counter("safehome_test_alloc_total", "Alloc.")
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(0.0042) }); n != 0 {
+		t.Errorf("Histogram.Observe allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Errorf("Counter.Inc allocates %v/op", n)
+	}
+}
+
+func TestCollector(t *testing.T) {
+	r := NewRegistry()
+	r.Collect(func(e *Emitter) {
+		e.Family("safehome_test_breaker_opens_total", TypeCounter, "Breaker opens.")
+		e.Value(2, "device", "plug-0")
+		e.Value(1, "device", "plug-1")
+	})
+	text := string(r.Render())
+	if !strings.Contains(text, `safehome_test_breaker_opens_total{device="plug-0"} 2`) {
+		t.Fatalf("collector sample missing:\n%s", text)
+	}
+	if problems := Lint(text); len(problems) != 0 {
+		t.Errorf("lint problems: %v", problems)
+	}
+}
+
+func TestLintCatchesBadExposition(t *testing.T) {
+	cases := map[string]string{
+		"missing TYPE":           "# HELP safehome_x_total x.\nsafehome_x_total 1\n",
+		"missing HELP":           "# TYPE safehome_x_total counter\nsafehome_x_total 1\n",
+		"counter without _total": "# HELP safehome_x x.\n# TYPE safehome_x counter\nsafehome_x 1\n",
+		"duplicate series":       "# HELP safehome_x_total x.\n# TYPE safehome_x_total counter\nsafehome_x_total 1\nsafehome_x_total 2\n",
+		"reserved label":         "# HELP safehome_x_total x.\n# TYPE safehome_x_total counter\nsafehome_x_total{__n=\"v\"} 1\n",
+		"inf != count":           "# HELP safehome_h h.\n# TYPE safehome_h histogram\nsafehome_h_bucket{le=\"+Inf\"} 3\nsafehome_h_sum 1\nsafehome_h_count 4\n",
+		"non-monotone buckets":   "# HELP safehome_h h.\n# TYPE safehome_h histogram\nsafehome_h_bucket{le=\"1\"} 5\nsafehome_h_bucket{le=\"2\"} 3\nsafehome_h_bucket{le=\"+Inf\"} 5\nsafehome_h_sum 1\nsafehome_h_count 5\n",
+	}
+	for name, text := range cases {
+		if problems := Lint(text); len(problems) == 0 {
+			t.Errorf("%s: lint passed bad exposition:\n%s", name, text)
+		}
+	}
+}
+
+func TestParseEscapedLabels(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("safehome_test_esc", "Esc.", L("path", `C:\dir "x"`))
+	text := string(r.Render())
+	fams, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fams["safehome_test_esc"].Samples[0]
+	if s.Labels["path"] != `C:\dir "x"` {
+		t.Fatalf("round-trip mangled label: %q", s.Labels["path"])
+	}
+}
+
+func TestCounterTotals(t *testing.T) {
+	text := "# HELP safehome_x_total x.\n# TYPE safehome_x_total counter\n" +
+		"safehome_x_total{a=\"1\"} 2\nsafehome_x_total{a=\"2\"} 3\n"
+	fams, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := CounterTotals(fams)["safehome_x_total"]; got != 5 {
+		t.Fatalf("total = %v, want 5", got)
+	}
+}
